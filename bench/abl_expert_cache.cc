@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation A5: expert caching policy and routing locality. Sweeps the
+ * HBM expert-region size and routing distribution and reports miss
+ * rates and per-request switch time on the SN40L — quantifying the
+ * "HBM as software-managed cache between DDR and SRAM" design
+ * (Section III-B).
+ */
+
+#include <iostream>
+
+#include "coe/coe_runtime.h"
+#include "coe/router.h"
+#include "coe/serving.h"
+#include "util/table.h"
+
+using namespace sn40l;
+using namespace sn40l::coe;
+
+namespace {
+
+double
+missRate(int experts, int cache_slots, RoutingDistribution dist)
+{
+    ExpertZoo zoo =
+        ExpertZoo::uniform(experts, models::LlmConfig::llama2_7b());
+    double expert_bytes = zoo.expert(0).bytes;
+    CoeRuntime runtime(zoo, static_cast<std::int64_t>(
+                                cache_slots * expert_bytes * 1.001));
+    Router router(experts, dist, 7);
+
+    int misses = 0;
+    const int trials = 5000;
+    for (int i = 0; i < trials; ++i) {
+        if (!runtime.activate(router.route()).hit)
+            ++misses;
+    }
+    return static_cast<double>(misses) / trials;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Ablation A5: expert cache (150 experts in DDR, LRU "
+              << "region in HBM)\n\n";
+
+    util::Table table({"HBM slots", "Uniform miss", "Zipf miss",
+                       "RoundRobin miss", "Avg switch/req (uniform)"});
+
+    ServingConfig cfg;
+    cfg.platform = Platform::Sn40l;
+    double switch_s = ServingSimulator(cfg).phaseCosts().switchSeconds;
+
+    for (int slots : {5, 10, 20, 38, 75, 150}) {
+        double uni = missRate(150, slots, RoutingDistribution::Uniform);
+        double zipf = missRate(150, slots, RoutingDistribution::Zipf);
+        double rr = missRate(150, slots, RoutingDistribution::RoundRobin);
+        table.addRow({std::to_string(slots),
+                      util::formatDouble(uni * 100, 1) + "%",
+                      util::formatDouble(zipf * 100, 1) + "%",
+                      util::formatDouble(rr * 100, 1) + "%",
+                      util::formatSeconds(uni * switch_s)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nLRU exploits the temporal locality the paper relies "
+              << "on; round-robin\nrouting defeats any cache smaller "
+              << "than the expert count, and Zipf\n(real deployments) "
+              << "makes even a small region effective.\n";
+    return 0;
+}

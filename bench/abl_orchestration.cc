@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation A1: kernel-launch orchestration. Sweeps the software
+ * launch overhead and reports the hardware-orchestration speedup for
+ * a decode and a prefill workload — showing why the AGCU launch
+ * sequencer (Section IV-D) matters for short-kernel decode but not
+ * for long-kernel prefill.
+ */
+
+#include <iostream>
+
+#include "models/transformer_builder.h"
+#include "runtime/runner.h"
+#include "util/table.h"
+
+using namespace sn40l;
+
+namespace {
+
+double
+hoSpeedup(const graph::DataflowGraph &g, arch::NodeConfig node,
+          double sw_launch_us)
+{
+    node.chip.swLaunchOverhead = sim::fromUs(sw_launch_us);
+    double so = runtime::runWorkload(g, node, 8,
+                                     runtime::RunConfig::FusedSO)
+                    .seconds();
+    double ho = runtime::runWorkload(g, node, 8,
+                                     runtime::RunConfig::FusedHO)
+                    .seconds();
+    return so / ho;
+}
+
+} // namespace
+
+int
+main()
+{
+    arch::NodeConfig node = arch::NodeConfig::sn40lNode(8);
+
+    models::WorkloadSpec spec;
+    spec.model = models::LlmConfig::mistral7b();
+    spec.seqLen = 2048;
+    spec.tensorParallel = 8;
+
+    spec.phase = models::Phase::Decode;
+    graph::DataflowGraph decode = models::buildTransformer(spec);
+    spec.phase = models::Phase::Prefill;
+    graph::DataflowGraph prefill = models::buildTransformer(spec);
+
+    std::cout << "Ablation A1: HW-orchestration speedup vs software "
+              << "launch cost\n(mistral-7B, 2K, TP8)\n\n";
+
+    util::Table table({"SW launch overhead", "Decode HO speedup",
+                       "Prefill HO speedup"});
+    for (double us : {1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 200.0}) {
+        table.addRow({util::formatDouble(us, 0) + " us",
+                      util::formatDouble(hoSpeedup(decode, node, us), 2) +
+                          "x",
+                      util::formatDouble(hoSpeedup(prefill, node, us), 2) +
+                          "x"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nDecode kernels are weight-load bound and short, so "
+              << "launch overheads\ndominate exactly as Section VI-A2 "
+              << "describes; prefill amortizes them.\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation A7: RDN congestion, stream distribution, and packet
+ * throttling (Sections III-A and VII). For the hottest fused kernel
+ * of representative benchmarks, compares three compiler policies:
+ *
+ *   naive       — every inter-stage stream funnels through one route
+ *   distributed — streams spread across the stages' parallel units
+ *                 and the socket's AGCUs (the real placer)
+ *   + throttled — distributed, plus programmable packet throttling
+ *                 smoothing 2x producer bursts
+ */
+
+#include <iostream>
+
+#include "compiler/bandwidth_model.h"
+#include "compiler/placer.h"
+#include "compiler/traffic_analyzer.h"
+#include "models/model_zoo.h"
+#include "util/table.h"
+
+using namespace sn40l;
+
+namespace {
+
+struct Policy
+{
+    const char *name;
+    bool distribute;
+    bool throttled;
+};
+
+} // namespace
+
+int
+main()
+{
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+
+    std::cout << "Ablation A7: RDN hotspots under three bandwidth-"
+              << "management policies\n(burst factor 2x; link bandwidth "
+              << util::formatBandwidth(chip.rdnLinkBandwidth) << ")\n\n";
+
+    const Policy policies[] = {
+        {"naive routes", false, false},
+        {"distributed", true, false},
+        {"distributed+throttled", true, true},
+    };
+
+    util::Table table({"Benchmark", "Policy", "Max link load",
+                       "Kernel dilation"});
+
+    auto suite = models::paperBenchmarks();
+    for (std::size_t idx : {0ul, 1ul, 2ul, 16ul}) {
+        const auto &bench = suite[idx];
+        graph::DataflowGraph g = bench.build();
+        compiler::FusionOptions opt;
+        opt.tensorParallel = bench.sockets;
+        auto kernels = compiler::partitionGraph(g, chip, opt);
+
+        for (const Policy &policy : policies) {
+            compiler::TrafficAnalyzer analyzer(chip, 2.0,
+                                               policy.distribute);
+            double worst_load = 0.0, worst_dilation = 1.0;
+            for (auto &k : kernels) {
+                compiler::placeKernel(g, chip, opt, k);
+                // True kernel duration from the cost model (compute-
+                // or bandwidth-bound, whichever binds).
+                double seconds = std::max(
+                    1e-6,
+                    compiler::costKernel(chip, opt, k).totalSeconds());
+                auto r = analyzer.analyze(g, k, seconds,
+                                          opt.tensorParallel);
+                worst_load = std::max(worst_load, r.maxLinkLoad);
+                worst_dilation = std::max(
+                    worst_dilation, policy.throttled
+                        ? r.throttledFactor : r.congestionFactor);
+            }
+            table.addRow({bench.name, policy.name,
+                          util::formatBandwidth(worst_load),
+                          util::formatDouble(worst_dilation, 2) + "x"});
+        }
+        table.addSeparator();
+    }
+    table.print(std::cout);
+
+    std::cout << "\nNaive routing oversubscribes single links by orders "
+              << "of magnitude; the\nplacer's stream distribution plus "
+              << "throttling brings kernels back to\nroofline — the "
+              << "Section VII production experience.\n";
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig 10: speedups of Fused+SO and Fused+HO over the unfused baseline
+ * on 8 SN40L sockets (FlashFFTConv on one socket), for the seventeen
+ * Table III benchmarks.
+ */
+
+#include <iostream>
+
+#include "models/model_zoo.h"
+#include "runtime/runner.h"
+#include "util/table.h"
+
+using namespace sn40l;
+
+int
+main()
+{
+    arch::NodeConfig node = arch::NodeConfig::sn40lNode(8);
+
+    std::cout << "Fig 10: benchmark speedups over the unfused baseline\n"
+              << "(paper bands: prefill/train 1.5x-3x, decode 1x-13x,\n"
+              << " FlashFFTConv 13x; HO adds 1.4x-8x on decode, <=1.1x "
+              << "elsewhere)\n\n";
+
+    util::Table table({"Benchmark", "Unfused", "Fused+SO", "Fused+HO",
+                       "SO speedup", "HO speedup", "HO/SO"});
+
+    for (const auto &bench : models::paperBenchmarks()) {
+        graph::DataflowGraph g = bench.build();
+        double unfused = runtime::runWorkload(
+            g, node, bench.sockets, runtime::RunConfig::Unfused)
+            .seconds();
+        double so = runtime::runWorkload(
+            g, node, bench.sockets, runtime::RunConfig::FusedSO)
+            .seconds();
+        double ho = runtime::runWorkload(
+            g, node, bench.sockets, runtime::RunConfig::FusedHO)
+            .seconds();
+
+        table.addRow({bench.name, util::formatSeconds(unfused),
+                      util::formatSeconds(so), util::formatSeconds(ho),
+                      util::formatDouble(unfused / so, 2) + "x",
+                      util::formatDouble(unfused / ho, 2) + "x",
+                      util::formatDouble(so / ho, 2) + "x"});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig 13: system footprint (node count) required to sustain TP8
+ * latency with increasing expert counts. DGX must keep every expert
+ * HBM-resident; the SN40L holds experts in node DDR (switching cost
+ * is part of its TP8 latency). Paper: one SN40L node serves up to
+ * 850 experts; matching that with DGX takes 19 nodes.
+ */
+
+#include <iostream>
+
+#include "coe/footprint.h"
+#include "models/llm_config.h"
+#include "util/table.h"
+
+using namespace sn40l;
+
+int
+main()
+{
+    double expert_bytes = models::LlmConfig::llama2_7b().weightBytes();
+    arch::NodeConfig node = arch::NodeConfig::sn40lNode(8);
+    baseline::DgxConfig dgx = baseline::DgxConfig::dgxA100();
+
+    std::cout << "Fig 13: nodes required to sustain TP8 latency\n\n";
+
+    util::Table table({"Experts", "DGX Nodes", "SN40L Nodes"});
+    for (int experts = 10; experts <= 890; experts += 40) {
+        auto d = coe::dgxFootprint(experts, expert_bytes, dgx);
+        auto s = coe::sn40lFootprint(experts, expert_bytes, node);
+        table.addRow({std::to_string(experts), std::to_string(d.nodes),
+                      std::to_string(s.nodes)});
+    }
+    table.print(std::cout);
+
+    auto d850 = coe::dgxFootprint(850, expert_bytes, dgx);
+    auto s850 = coe::sn40lFootprint(850, expert_bytes, node);
+    std::cout << "\nAt 850 experts: " << d850.nodes << " DGX nodes vs "
+              << s850.nodes << " SN40L node(s) — "
+              << util::formatDouble(
+                     static_cast<double>(d850.nodes) / s850.nodes, 0)
+              << "x footprint reduction (paper: up to 19x).\n";
+    return 0;
+}

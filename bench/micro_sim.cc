@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Ablation A6: google-benchmark microbenchmarks of the simulator's
+ * own hot paths: event queue throughput, RDN routing, the free-list
+ * allocator, PMU vector access, and end-to-end workload compilation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/pmu.h"
+#include "arch/rdn.h"
+#include "compiler/compiler.h"
+#include "mem/free_list_allocator.h"
+#include "mem/interleaved_memory.h"
+#include "models/transformer_builder.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+using namespace sn40l;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        long executed = 0;
+        for (int i = 0; i < n; ++i)
+            eq.schedule(i, [&]() { ++executed; });
+        eq.run();
+        benchmark::DoNotOptimize(executed);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
+
+static void
+BM_RdnDimensionOrderRoute(benchmark::State &state)
+{
+    arch::RdnMesh mesh(26, 10);
+    sim::Rng rng(3);
+    for (auto _ : state) {
+        arch::Coord a{static_cast<int>(rng.uniformInt(26)),
+                      static_cast<int>(rng.uniformInt(10))};
+        arch::Coord b{static_cast<int>(rng.uniformInt(26)),
+                      static_cast<int>(rng.uniformInt(10))};
+        benchmark::DoNotOptimize(mesh.routeLinks(a, b));
+    }
+}
+BENCHMARK(BM_RdnDimensionOrderRoute);
+
+static void
+BM_FreeListAllocatorChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        mem::FreeListAllocator alloc(1 << 22, 64);
+        sim::Rng rng(5);
+        std::vector<std::int64_t> live;
+        for (int i = 0; i < 1000; ++i) {
+            if (live.empty() || rng.uniformDouble() < 0.6) {
+                auto off = alloc.allocate(
+                    static_cast<std::int64_t>(rng.uniformInt(4096) + 1));
+                if (off)
+                    live.push_back(*off);
+            } else {
+                std::size_t idx = rng.uniformInt(live.size());
+                alloc.free(live[idx]);
+                live.erase(live.begin() + static_cast<long>(idx));
+            }
+        }
+        benchmark::DoNotOptimize(alloc.usedBytes());
+    }
+}
+BENCHMARK(BM_FreeListAllocatorChurn);
+
+static void
+BM_PmuVectorAccess(benchmark::State &state)
+{
+    arch::ChipConfig cfg = arch::ChipConfig::sn40l();
+    arch::Pmu pmu(cfg, "pmu");
+    std::vector<std::int64_t> addrs;
+    for (int i = 0; i < 32; ++i)
+        addrs.push_back(i * 8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pmu.access(addrs));
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_PmuVectorAccess);
+
+static void
+BM_CompileLlama7bDecode(benchmark::State &state)
+{
+    models::WorkloadSpec spec;
+    spec.model = models::LlmConfig::llama2_7b();
+    spec.phase = models::Phase::Decode;
+    spec.seqLen = 2048;
+    spec.tensorParallel = 8;
+    graph::DataflowGraph g = models::buildTransformer(spec);
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+
+    for (auto _ : state) {
+        compiler::CompileOptions options;
+        options.fusion.tensorParallel = 8;
+        benchmark::DoNotOptimize(compiler::compile(g, chip, options));
+    }
+}
+BENCHMARK(BM_CompileLlama7bDecode);
+
+static void
+BM_InterleavedHbmAccess(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        mem::InterleavedMemory hbm(eq, "hbm", 8, 225e9, 256);
+        int completed = 0;
+        for (int i = 0; i < 64; ++i)
+            hbm.access(i * 4096, 4096.0, [&]() { ++completed; });
+        eq.run();
+        benchmark::DoNotOptimize(completed);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_InterleavedHbmAccess);
+
+static void
+BM_BuildTransformerGraph(benchmark::State &state)
+{
+    models::WorkloadSpec spec;
+    spec.model = models::LlmConfig::llama2_7b();
+    spec.phase = models::Phase::Prefill;
+    spec.seqLen = 4096;
+    spec.tensorParallel = 8;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(models::buildTransformer(spec));
+}
+BENCHMARK(BM_BuildTransformerGraph);

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table II: SN40L chip parameters as configured in the simulator,
+ * against the paper's published values.
+ */
+
+#include <iostream>
+
+#include "arch/chip_config.h"
+#include "arch/tile.h"
+#include "util/table.h"
+
+using namespace sn40l;
+
+int
+main()
+{
+    arch::ChipConfig cfg = arch::ChipConfig::sn40l();
+    arch::RduChip chip(cfg);
+
+    std::cout << "Table II: SN40L chip parameters\n\n";
+
+    util::Table table({"Parameter", "Simulator", "Paper"});
+    table.addRow({"Compute Capability",
+                  util::formatDouble(cfg.peakBf16Flops / 1e12, 0) +
+                      " BF16 TFLOPS",
+                  "638 BF16 TFLOPs"});
+    table.addRow({"SRAM Capacity",
+                  util::formatDouble(cfg.sramBytes / double(MiB), 0) +
+                      " MiB",
+                  "520 MB"});
+    table.addRow({"HBM Capacity",
+                  util::formatDouble(cfg.hbmBytes / double(GiB), 0) +
+                      " GiB",
+                  "64 GB"});
+    table.addRow({"HBM Bandwidth",
+                  util::formatBandwidth(cfg.hbmBandwidth), "1.8 TB/s"});
+    table.addRow({"DDR Capacity",
+                  util::formatDouble(cfg.ddrBytes / double(TiB), 1) +
+                      " TiB",
+                  "1.5 TB"});
+    table.addRow({"DDR Bandwidth",
+                  util::formatBandwidth(cfg.ddrBandwidth), "200 GB/s"});
+    table.addRow({"PCU Count", std::to_string(cfg.pcuCount), "1040"});
+    table.addRow({"PMU Count", std::to_string(cfg.pmuCount), "1040"});
+    table.addRow({"Clock Frequency",
+                  util::formatDouble(cfg.clockGhz, 1) + " GHz",
+                  "< 2 GHz"});
+    table.addRow({"Dies per socket", std::to_string(cfg.diesPerSocket),
+                  "2"});
+    table.print(std::cout);
+
+    std::cout << "\nDerived microarchitecture:\n";
+    util::Table derived({"Quantity", "Value"});
+    derived.addRow({"FLOPS per PCU",
+                    util::formatDouble(cfg.flopsPerPcu() / 1e9, 1) +
+                        " GFLOPS"});
+    derived.addRow({"SRAM per PMU",
+                    util::formatDouble(cfg.sramPerPmu() / double(KiB), 0) +
+                        " KiB"});
+    derived.addRow({"Banks per PMU", std::to_string(cfg.pmuBanks)});
+    derived.addRow({"Tiles per socket", std::to_string(cfg.tileCount())});
+    derived.addRow({"PCUs per tile", std::to_string(cfg.pcusPerTile())});
+    derived.addRow({"Placeable PCUs per kernel",
+                    std::to_string(chip.placeablePcus())});
+    derived.print(std::cout);
+    return 0;
+}

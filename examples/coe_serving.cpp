@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Serve a trillion-parameter Composition of Experts: 150 Llama2-7B
+ * experts with a router, on a simulated SN40L node and on DGX
+ * baselines, printing the per-request latency breakdown (the paper's
+ * Fig 1 / Fig 9 flow).
+ *
+ *   $ ./build/examples/coe_serving [num_experts] [batch] [tokens]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "coe/serving.h"
+#include "util/table.h"
+
+using namespace sn40l;
+using namespace sn40l::coe;
+
+int
+main(int argc, char **argv)
+{
+    ServingConfig cfg;
+    cfg.numExperts = argc > 1 ? std::atoi(argv[1]) : 150;
+    cfg.batch = argc > 2 ? std::atoi(argv[2]) : 8;
+    cfg.outputTokens = argc > 3 ? std::atoi(argv[3]) : 20;
+    cfg.requests = 200;
+
+    std::cout << "Samba-CoE serving: " << cfg.numExperts
+              << " Llama2-7B experts ("
+              << util::formatBytes(cfg.numExperts *
+                                   cfg.expertBase.weightBytes())
+              << " of weights), batch " << cfg.batch << ", "
+              << cfg.outputTokens << " output tokens, prompt "
+              << cfg.promptLen << "\n\n";
+
+    util::Table table({"Platform", "Router", "Switch", "Execute",
+                       "Total/batch", "Miss rate", "HBM-resident"});
+
+    double rdu_total = 0.0;
+    for (Platform p : {Platform::Sn40l, Platform::DgxH100,
+                       Platform::DgxA100}) {
+        cfg.platform = p;
+        ServingSimulator sim(cfg);
+        ServingResult r = sim.run();
+        if (r.oom) {
+            table.addRow({platformName(p), "-", "-", "-",
+                          "OUT OF MEMORY", "-", "-"});
+            continue;
+        }
+        if (p == Platform::Sn40l)
+            rdu_total = r.perBatch.total();
+        table.addRow({platformName(p),
+                      util::formatSeconds(r.perBatch.routerSeconds),
+                      util::formatSeconds(r.perBatch.switchSeconds),
+                      util::formatSeconds(r.perBatch.execSeconds),
+                      util::formatSeconds(r.perBatch.total()),
+                      util::formatDouble(r.missRate * 100, 1) + "%",
+                      std::to_string(r.residentCapacityExperts) +
+                          " experts"});
+    }
+    table.print(std::cout);
+
+    if (rdu_total > 0.0) {
+        cfg.platform = Platform::DgxA100;
+        ServingResult a100 = ServingSimulator(cfg).run();
+        if (!a100.oom) {
+            std::cout << "\nSN40L node speedup over DGX A100: "
+                      << util::formatDouble(
+                             a100.perBatch.total() / rdu_total, 1)
+                      << "x\n";
+        } else {
+            std::cout << "\nDGX cannot host this zoo at all; the SN40L "
+                      << "node serves it from DDR.\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+#include "arch/address_pattern.h"
+
+#include "sim/log.h"
+
+namespace sn40l::arch {
+
+AddressPattern::AddressPattern(std::int64_t base, std::vector<PatternDim> dims)
+    : base_(base), dims_(std::move(dims))
+{
+    for (const PatternDim &d : dims_) {
+        if (d.extent <= 0)
+            sim::panic("AddressPattern: non-positive extent");
+    }
+}
+
+AddressPattern
+AddressPattern::rowMajor(std::int64_t base, std::int64_t rows,
+                         std::int64_t cols, std::int64_t elem_bytes)
+{
+    return AddressPattern(base, {{rows, cols * elem_bytes},
+                                 {cols, elem_bytes}});
+}
+
+AddressPattern
+AddressPattern::colMajor(std::int64_t base, std::int64_t rows,
+                         std::int64_t cols, std::int64_t elem_bytes)
+{
+    return AddressPattern(base, {{cols, elem_bytes},
+                                 {rows, cols * elem_bytes}});
+}
+
+std::int64_t
+AddressPattern::count() const
+{
+    std::int64_t n = 1;
+    for (const PatternDim &d : dims_)
+        n *= d.extent;
+    return n;
+}
+
+std::int64_t
+AddressPattern::addressAt(std::int64_t flat) const
+{
+    if (flat < 0 || flat >= count())
+        sim::panic("AddressPattern: index out of range");
+    std::int64_t addr = base_;
+    for (std::size_t i = dims_.size(); i-- > 0;) {
+        const PatternDim &d = dims_[i];
+        addr += (flat % d.extent) * d.stride;
+        flat /= d.extent;
+    }
+    return addr;
+}
+
+std::vector<std::int64_t>
+AddressPattern::generate(std::int64_t max) const
+{
+    std::int64_t n = count();
+    if (max >= 0 && max < n)
+        n = max;
+    std::vector<std::int64_t> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i)
+        out.push_back(addressAt(i));
+    return out;
+}
+
+std::string
+AddressPattern::str() const
+{
+    std::string out = "base=" + std::to_string(base_);
+    for (const PatternDim &d : dims_) {
+        out += " [" + std::to_string(d.extent) + " x " +
+               std::to_string(d.stride) + "B]";
+    }
+    return out;
+}
+
+} // namespace sn40l::arch

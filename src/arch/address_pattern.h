@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Affine multi-dimensional address pattern, the abstraction the PMU
+ * scalar ALU pipeline and the AGCU address generators execute
+ * (Section IV-B/IV-D). A pattern is a nest of counters, each with an
+ * extent and a byte stride; the generated address for a given counter
+ * state is base + sum(idx_i * stride_i).
+ */
+
+#ifndef SN40L_ARCH_ADDRESS_PATTERN_H
+#define SN40L_ARCH_ADDRESS_PATTERN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sn40l::arch {
+
+struct PatternDim
+{
+    std::int64_t extent = 1;  ///< number of iterations
+    std::int64_t stride = 0;  ///< byte stride per iteration
+};
+
+class AddressPattern
+{
+  public:
+    AddressPattern() = default;
+    AddressPattern(std::int64_t base, std::vector<PatternDim> dims);
+
+    /** Row-major traversal of an [rows x cols] tile of @p elem_bytes. */
+    static AddressPattern rowMajor(std::int64_t base, std::int64_t rows,
+                                   std::int64_t cols,
+                                   std::int64_t elem_bytes);
+
+    /** Column-major traversal of the same tile (a transposed access). */
+    static AddressPattern colMajor(std::int64_t base, std::int64_t rows,
+                                   std::int64_t cols,
+                                   std::int64_t elem_bytes);
+
+    std::int64_t base() const { return base_; }
+    const std::vector<PatternDim> &dims() const { return dims_; }
+
+    /** Total number of addresses the pattern generates. */
+    std::int64_t count() const;
+
+    /** Address at flattened iteration index @p flat (0-based). */
+    std::int64_t addressAt(std::int64_t flat) const;
+
+    /** Materialize the first @p max addresses (all if max < 0). */
+    std::vector<std::int64_t> generate(std::int64_t max = -1) const;
+
+    std::string str() const;
+
+  private:
+    std::int64_t base_ = 0;
+    std::vector<PatternDim> dims_;
+};
+
+} // namespace sn40l::arch
+
+#endif // SN40L_ARCH_ADDRESS_PATTERN_H

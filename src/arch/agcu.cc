@@ -1,0 +1,99 @@
+#include "arch/agcu.h"
+
+#include <algorithm>
+#include <set>
+
+#include "sim/log.h"
+
+namespace sn40l::arch {
+
+const char *
+orchestrationName(Orchestration mode)
+{
+    switch (mode) {
+      case Orchestration::Software: return "software";
+      case Orchestration::Hardware: return "hardware";
+    }
+    sim::panic("orchestrationName: unknown mode");
+}
+
+Agcu::Agcu(const ChipConfig &cfg, std::string name)
+    : cfg_(cfg), name_(std::move(name)), stats_(name_)
+{
+}
+
+sim::Tick
+Agcu::launchOverhead(Orchestration mode) const
+{
+    switch (mode) {
+      case Orchestration::Software: return cfg_.swLaunchOverhead;
+      case Orchestration::Hardware: return cfg_.hwLaunchOverhead;
+    }
+    sim::panic("Agcu::launchOverhead: unknown mode");
+}
+
+sim::Tick
+Agcu::launchGap(Orchestration mode, sim::Tick prev_exec_ticks) const
+{
+    sim::Tick loads = cfg_.programLoadOverhead +
+                      cfg_.argumentLoadOverhead;
+    switch (mode) {
+      case Orchestration::Software:
+        // Host sync, then Program Load, then Argument Load, serial.
+        return cfg_.swLaunchOverhead + loads;
+      case Orchestration::Hardware: {
+        // The sequencer prefetched the loads during the previous
+        // kernel; only the un-hidden remainder is exposed.
+        sim::Tick exposed = std::max<sim::Tick>(
+            0, loads - prev_exec_ticks);
+        return cfg_.hwLaunchOverhead + exposed;
+      }
+    }
+    sim::panic("Agcu::launchGap: unknown mode");
+}
+
+std::int64_t
+Agcu::coalesceRequests(const AddressPattern &pattern,
+                       std::int64_t line_bytes, std::int64_t access_bytes)
+{
+    if (line_bytes <= 0 || access_bytes <= 0)
+        sim::panic("Agcu::coalesceRequests: non-positive sizes");
+
+    std::set<std::int64_t> lines;
+    std::int64_t n = pattern.count();
+    for (std::int64_t i = 0; i < n; ++i) {
+        std::int64_t first = pattern.addressAt(i) / line_bytes;
+        std::int64_t last = (pattern.addressAt(i) + access_bytes - 1) /
+                            line_bytes;
+        for (std::int64_t line = first; line <= last; ++line)
+            lines.insert(line);
+    }
+    stats_.inc("requests", static_cast<double>(lines.size()));
+    return static_cast<std::int64_t>(lines.size());
+}
+
+double
+Agcu::burstEfficiency(const AddressPattern &pattern, std::int64_t line_bytes,
+                      std::int64_t access_bytes)
+{
+    std::int64_t requests = coalesceRequests(pattern, line_bytes,
+                                             access_bytes);
+    double useful = static_cast<double>(pattern.count()) *
+                    static_cast<double>(access_bytes);
+    double fetched = static_cast<double>(requests) *
+                     static_cast<double>(line_bytes);
+    return fetched > 0.0 ? std::min(1.0, useful / fetched) : 0.0;
+}
+
+double
+Agcu::allReduceTrafficFactor(int sockets)
+{
+    if (sockets <= 0)
+        sim::panic("allReduceTrafficFactor: non-positive socket count");
+    if (sockets == 1)
+        return 0.0;
+    double n = static_cast<double>(sockets);
+    return 2.0 * (n - 1.0) / n;
+}
+
+} // namespace sn40l::arch

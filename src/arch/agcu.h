@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Address Generation and Coalescing Unit model (Section IV-D): the
+ * dataflow bridge between the tile and the TLN. Provides
+ *   - request generation/coalescing for off-chip access patterns,
+ *   - the kernel-launch state machine (Program Load / Argument Load /
+ *     Kernel Execute) with software- vs hardware-orchestrated
+ *     scheduling costs,
+ *   - peer-to-peer streaming used to build collectives.
+ */
+
+#ifndef SN40L_ARCH_AGCU_H
+#define SN40L_ARCH_AGCU_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/address_pattern.h"
+#include "arch/chip_config.h"
+#include "sim/stats.h"
+#include "sim/ticks.h"
+
+namespace sn40l::arch {
+
+/** Who sequences kernel launches (Section IV-D). */
+enum class Orchestration { Software, Hardware };
+
+const char *orchestrationName(Orchestration mode);
+
+class Agcu
+{
+  public:
+    Agcu(const ChipConfig &cfg, std::string name);
+
+    /**
+     * Per-launch scheduling overhead. Software orchestration pays the
+     * host round trip; hardware orchestration runs a pre-loaded
+     * schedule out of the AGCU.
+     */
+    sim::Tick launchOverhead(Orchestration mode) const;
+
+    /**
+     * Non-hidden gap before a kernel starts, given the previous
+     * kernel's execution time. A launch is three phases — Program
+     * Load, Argument Load, Kernel Execute (Section IV-D). Software
+     * orchestration serializes host sync + both load phases; the
+     * hardware sequencer prefetches the next kernel's loads during
+     * the previous kernel's execution, exposing them only when the
+     * previous kernel is too short to hide them.
+     */
+    sim::Tick launchGap(Orchestration mode,
+                        sim::Tick prev_exec_ticks) const;
+
+    /**
+     * Coalesce an address pattern into DRAM requests: consecutive
+     * addresses within @p line_bytes merge into one request.
+     * @return number of requests emitted.
+     */
+    std::int64_t coalesceRequests(const AddressPattern &pattern,
+                                  std::int64_t line_bytes,
+                                  std::int64_t access_bytes);
+
+    /**
+     * Efficiency of an off-chip burst for the pattern: ratio of useful
+     * bytes to fetched bytes after coalescing (strided patterns waste
+     * line bandwidth).
+     */
+    double burstEfficiency(const AddressPattern &pattern,
+                           std::int64_t line_bytes,
+                           std::int64_t access_bytes);
+
+    /** Ring all-reduce byte multiplier: 2(n-1)/n of payload per link. */
+    static double allReduceTrafficFactor(int sockets);
+
+    sim::StatSet &stats() { return stats_; }
+
+  private:
+    const ChipConfig &cfg_;
+    std::string name_;
+    sim::StatSet stats_;
+};
+
+} // namespace sn40l::arch
+
+#endif // SN40L_ARCH_AGCU_H

@@ -1,0 +1,49 @@
+#include "arch/chip_config.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace sn40l::arch {
+
+void
+ChipConfig::validate() const
+{
+    if (pcuCount <= 0 || pmuCount <= 0)
+        sim::fatal("ChipConfig: unit counts must be positive");
+    if (peakBf16Flops <= 0 || hbmBandwidth <= 0 || ddrBandwidth <= 0)
+        sim::fatal("ChipConfig: rates must be positive");
+    if (sramBytes <= 0 || hbmBytes <= 0 || ddrBytes <= 0)
+        sim::fatal("ChipConfig: capacities must be positive");
+    if (hbmEfficiency <= 0 || hbmEfficiency > 1.0 ||
+        ddrEfficiency <= 0 || ddrEfficiency > 1.0) {
+        sim::fatal("ChipConfig: efficiencies must be in (0,1]");
+    }
+    if (placeableFraction <= 0 || placeableFraction > 1.0)
+        sim::fatal("ChipConfig: placeableFraction must be in (0,1]");
+    if (pcuCount % tileCount() != 0 || pmuCount % tileCount() != 0)
+        sim::fatal("ChipConfig: units must divide evenly across tiles");
+    if ((pmuBanks & (pmuBanks - 1)) != 0)
+        sim::fatal("ChipConfig: pmuBanks must be a power of two");
+}
+
+ChipConfig
+ChipConfig::sn40l()
+{
+    ChipConfig cfg;
+    cfg.validate();
+    return cfg;
+}
+
+NodeConfig
+NodeConfig::sn40lNode(int sockets)
+{
+    NodeConfig node;
+    node.sockets = sockets;
+    node.name = "SN40L-Node-" + std::to_string(sockets) + "s";
+    if (sockets <= 0)
+        sim::fatal("NodeConfig: sockets must be positive");
+    return node;
+}
+
+} // namespace sn40l::arch

@@ -1,0 +1,84 @@
+#include "arch/numerics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace sn40l::arch {
+
+std::uint32_t
+fp32Bits(float value)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+float
+fp32FromBits(std::uint32_t bits)
+{
+    float value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+std::uint16_t
+fp32ToBf16Rne(float value)
+{
+    std::uint32_t bits = fp32Bits(value);
+
+    // NaN: preserve a quiet NaN payload.
+    if ((bits & 0x7f800000u) == 0x7f800000u && (bits & 0x007fffffu)) {
+        return static_cast<std::uint16_t>((bits >> 16) | 0x0040u);
+    }
+
+    // Round to nearest, ties to even, on the low 16 bits.
+    std::uint32_t lsb = (bits >> 16) & 1u;
+    std::uint32_t rounding = 0x7fffu + lsb;
+    return static_cast<std::uint16_t>((bits + rounding) >> 16);
+}
+
+std::uint16_t
+fp32ToBf16Stochastic(float value, sim::Rng &rng)
+{
+    std::uint32_t bits = fp32Bits(value);
+    if ((bits & 0x7f800000u) == 0x7f800000u) {
+        // Inf/NaN: fall back to deterministic conversion.
+        return fp32ToBf16Rne(value);
+    }
+
+    // Add a uniform 16-bit dither to the truncated fraction: the
+    // result rounds up with probability fraction/2^16.
+    std::uint32_t dither =
+        static_cast<std::uint32_t>(rng.uniformInt(0x10000u));
+    return static_cast<std::uint16_t>((bits + dither) >> 16);
+}
+
+float
+bf16ToFp32(std::uint16_t bits)
+{
+    return fp32FromBits(static_cast<std::uint32_t>(bits) << 16);
+}
+
+float
+quantizeBf16(float value)
+{
+    return bf16ToFp32(fp32ToBf16Rne(value));
+}
+
+std::int8_t
+quantizeInt8(float value, float scale)
+{
+    float scaled = value / scale;
+    float rounded = std::nearbyint(scaled);
+    rounded = std::clamp(rounded, -127.0f, 127.0f);
+    return static_cast<std::int8_t>(rounded);
+}
+
+float
+dequantizeInt8(std::int8_t q, float scale)
+{
+    return static_cast<float>(q) * scale;
+}
+
+} // namespace sn40l::arch

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * PCU tail-unit numerics (Section IV-A): BF16/FP32 format conversion
+ * with round-to-nearest-even and stochastic rounding, plus INT8
+ * quantization. These are functional models of the tail datapath,
+ * used to validate numeric properties (stochastic rounding is
+ * unbiased; RNE ties go to even) rather than to run real tensors.
+ */
+
+#ifndef SN40L_ARCH_NUMERICS_H
+#define SN40L_ARCH_NUMERICS_H
+
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace sn40l::arch {
+
+/** Reinterpret an FP32 value's bits. */
+std::uint32_t fp32Bits(float value);
+float fp32FromBits(std::uint32_t bits);
+
+/** FP32 -> BF16 with round-to-nearest-even (the default tail mode). */
+std::uint16_t fp32ToBf16Rne(float value);
+
+/**
+ * FP32 -> BF16 with stochastic rounding: rounds up with probability
+ * equal to the truncated fraction, making the expected value of the
+ * conversion equal to the input (used for training accumulations).
+ */
+std::uint16_t fp32ToBf16Stochastic(float value, sim::Rng &rng);
+
+/** BF16 -> FP32 (exact: BF16 is a truncated FP32). */
+float bf16ToFp32(std::uint16_t bits);
+
+/** Round-trip an FP32 value through BF16 RNE. */
+float quantizeBf16(float value);
+
+/**
+ * Symmetric INT8 quantization with the given scale:
+ * q = clamp(round(value / scale), -127, 127).
+ */
+std::int8_t quantizeInt8(float value, float scale);
+float dequantizeInt8(std::int8_t q, float scale);
+
+/** ULP of BF16 at 1.0 (7 stored mantissa bits -> 2^-7). */
+constexpr float kBf16Epsilon = 1.0f / 128.0f;
+
+} // namespace sn40l::arch
+
+#endif // SN40L_ARCH_NUMERICS_H

@@ -1,0 +1,70 @@
+#include "arch/pcu.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace sn40l::arch {
+
+double
+Pcu::throughput(const ChipConfig &cfg, graph::OpClass cls)
+{
+    switch (cls) {
+      case graph::OpClass::Systolic:
+        return cfg.flopsPerPcu() * cfg.systolicEfficiency;
+      case graph::OpClass::Simd:
+        return cfg.flopsPerPcu() * cfg.simdRelativeThroughput;
+      case graph::OpClass::Memory:
+      case graph::OpClass::Collective:
+        return 0.0;
+    }
+    sim::panic("Pcu::throughput: unknown class");
+}
+
+std::int64_t
+Pcu::systolicTileCycles(std::int64_t m, std::int64_t n, std::int64_t k) const
+{
+    if (m <= 0 || n <= 0 || k <= 0)
+        sim::panic("Pcu: non-positive tile dims");
+    // lanes x stages MAC grid; output-stationary: the [m x n] output
+    // tile is produced in ceil(m/lanes)*ceil(n/stages) passes of k
+    // cycles each, plus a drain of the accumulators through the tail.
+    std::int64_t lanes = cfg_.vectorLanes;
+    std::int64_t stages = cfg_.simdStages;
+    std::int64_t passes = ((m + lanes - 1) / lanes) *
+                          ((n + stages - 1) / stages);
+    std::int64_t drain = stages;
+    return passes * k + drain;
+}
+
+std::int64_t
+Pcu::simdCycles(std::int64_t elems) const
+{
+    if (elems < 0)
+        sim::panic("Pcu: negative element count");
+    std::int64_t lanes = cfg_.vectorLanes;
+    // Fully pipelined: one vector of `lanes` elements per cycle, plus
+    // pipeline depth to drain.
+    return (elems + lanes - 1) / lanes + cfg_.simdStages;
+}
+
+std::int64_t
+Pcu::reduceCycles(std::int64_t elems) const
+{
+    // Lane-wise accumulation followed by a log2(lanes) cross-lane
+    // tree (the blue triangle in Fig 7).
+    std::int64_t lanes = cfg_.vectorLanes;
+    std::int64_t tree = 1;
+    while ((1LL << tree) < lanes)
+        ++tree;
+    return simdCycles(elems) + tree;
+}
+
+sim::Tick
+Pcu::cyclesToTicks(std::int64_t cycles) const
+{
+    double ns_per_cycle = 1.0 / cfg_.clockGhz;
+    return sim::fromNs(static_cast<double>(cycles) * ns_per_cycle);
+}
+
+} // namespace sn40l::arch

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Pattern Compute Unit model (Section IV-A). A PCU is configurable as
+ * an output-stationary systolic array (GEMM) or a pipelined SIMD core
+ * (elementwise / reduction / transcendental ops). This model exposes
+ * per-PCU throughput for the compiler's placer and cycle-level tile
+ * timings for microbenchmarks and tests.
+ */
+
+#ifndef SN40L_ARCH_PCU_H
+#define SN40L_ARCH_PCU_H
+
+#include <cstdint>
+
+#include "arch/chip_config.h"
+#include "graph/operator.h"
+#include "sim/ticks.h"
+
+namespace sn40l::arch {
+
+class Pcu
+{
+  public:
+    enum class Mode { Systolic, Simd };
+
+    explicit Pcu(const ChipConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Sustained FLOP/s of one PCU executing ops of class @p cls.
+     * Memory/collective classes consume no PCU compute.
+     */
+    static double throughput(const ChipConfig &cfg, graph::OpClass cls);
+
+    /**
+     * Cycles for one [m x k] x [k x n] tile matmul on the systolic
+     * body: the array computes lanes x stages MACs per cycle, output
+     * stationary, plus a drain of the output tile.
+     */
+    std::int64_t systolicTileCycles(std::int64_t m, std::int64_t n,
+                                    std::int64_t k) const;
+
+    /** Cycles for an elementwise pass over @p elems elements. */
+    std::int64_t simdCycles(std::int64_t elems) const;
+
+    /** Cycles for a cross-lane reduction over @p elems elements. */
+    std::int64_t reduceCycles(std::int64_t elems) const;
+
+    sim::Tick cyclesToTicks(std::int64_t cycles) const;
+
+  private:
+    const ChipConfig &cfg_;
+};
+
+} // namespace sn40l::arch
+
+#endif // SN40L_ARCH_PCU_H

@@ -1,0 +1,116 @@
+#include "arch/pmu.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/log.h"
+
+namespace sn40l::arch {
+
+namespace {
+
+int
+log2i(int value)
+{
+    int bits = 0;
+    while ((1 << bits) < value)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+Pmu::Pmu(const ChipConfig &cfg, std::string name)
+    : cfg_(cfg), name_(std::move(name)),
+      validHi_(std::numeric_limits<std::int64_t>::max()), stats_(name_)
+{
+    // Default bank bits: low-order bits above the bank word size, so
+    // consecutive words interleave across banks.
+    int n = log2i(cfg_.pmuBanks);
+    int word_bits = 3; // 8-byte bank words
+    bankBits_.resize(n);
+    for (int i = 0; i < n; ++i)
+        bankBits_[i] = word_bits + i;
+}
+
+void
+Pmu::setBankBits(const std::vector<int> &bits)
+{
+    if (static_cast<int>(bits.size()) != log2i(cfg_.pmuBanks))
+        sim::fatal("Pmu " + name_ + ": need exactly log2(banks) bank bits");
+    for (int b : bits) {
+        if (b < 0 || b > 62)
+            sim::fatal("Pmu " + name_ + ": bank bit out of range");
+    }
+    bankBits_ = bits;
+}
+
+int
+Pmu::bankOf(std::int64_t addr) const
+{
+    int bank = 0;
+    for (std::size_t i = 0; i < bankBits_.size(); ++i) {
+        if ((addr >> bankBits_[i]) & 1)
+            bank |= 1 << i;
+    }
+    return bank;
+}
+
+void
+Pmu::setValidRange(std::int64_t lo, std::int64_t hi)
+{
+    if (lo >= hi)
+        sim::fatal("Pmu " + name_ + ": empty valid range");
+    validLo_ = lo;
+    validHi_ = hi;
+}
+
+bool
+Pmu::accepts(std::int64_t addr) const
+{
+    return addr >= validLo_ && addr < validHi_;
+}
+
+Pmu::AccessResult
+Pmu::access(std::span<const std::int64_t> addrs)
+{
+    std::vector<int> per_bank(cfg_.pmuBanks, 0);
+    AccessResult result;
+    for (std::int64_t addr : addrs) {
+        if (!accepts(addr))
+            continue; // predicated off: another PMU owns this address
+        ++result.accepted;
+        ++per_bank[bankOf(addr)];
+    }
+    int worst = 0;
+    for (int c : per_bank)
+        worst = std::max(worst, c);
+    result.cycles = std::max(worst, result.accepted > 0 ? 1 : 0);
+    result.conflicts = result.cycles > 0 ? result.cycles - 1 : 0;
+
+    stats_.inc("accesses");
+    stats_.inc("lanes_accepted", result.accepted);
+    stats_.inc("cycles", result.cycles);
+    stats_.inc("conflict_cycles", result.conflicts);
+    return result;
+}
+
+std::int64_t
+Pmu::diagonalStripeAddr(std::int64_t row, std::int64_t col,
+                        std::int64_t cols, std::int64_t elem_bytes) const
+{
+    // Rotate the element's column within its row by the row index.
+    // With bank = (element index) % banks, row r holds its elements in
+    // banks (c + r) mod B, so a column read touches B distinct banks.
+    std::int64_t rotated = (col + row) % cols;
+    return (row * cols + rotated) * elem_bytes;
+}
+
+std::int64_t
+Pmu::linearAddr(std::int64_t row, std::int64_t col, std::int64_t cols,
+                std::int64_t elem_bytes)
+{
+    return (row * cols + col) * elem_bytes;
+}
+
+} // namespace sn40l::arch

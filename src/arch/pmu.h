@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Pattern Memory Unit model (Section IV-B): a banked scratchpad with
+ * programmable bank-bit selection, address predication for multi-PMU
+ * tensor interleaving, and the diagonally striped layout that makes
+ * transpose reads conflict-free.
+ */
+
+#ifndef SN40L_ARCH_PMU_H
+#define SN40L_ARCH_PMU_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/chip_config.h"
+#include "sim/stats.h"
+
+namespace sn40l::arch {
+
+class Pmu
+{
+  public:
+    Pmu(const ChipConfig &cfg, std::string name);
+
+    int numBanks() const { return cfg_.pmuBanks; }
+    std::int64_t capacityBytes() const { return cfg_.sramPerPmu(); }
+
+    /**
+     * Program which address bits select the bank (Section IV-B,
+     * "programmable bank bits"). Bits are positions in the byte
+     * address; there must be exactly log2(numBanks()) of them.
+     */
+    void setBankBits(const std::vector<int> &bits);
+
+    /** Bank index for a byte address under the current bank bits. */
+    int bankOf(std::int64_t addr) const;
+
+    /**
+     * Program the valid address range for this PMU (address
+     * predication): accesses outside [lo, hi) are dropped, which is
+     * how one logical tensor interleaves across several PMUs.
+     */
+    void setValidRange(std::int64_t lo, std::int64_t hi);
+
+    /** @return true if this PMU accepts the address. */
+    bool accepts(std::int64_t addr) const;
+
+    struct AccessResult
+    {
+        int cycles = 0;     ///< serialized cycles for this vector access
+        int conflicts = 0;  ///< extra cycles lost to bank conflicts
+        int accepted = 0;   ///< lanes that passed predication
+    };
+
+    /**
+     * Model one vector access (one address per lane). Lanes mapping to
+     * the same bank serialize; the access takes as many cycles as the
+     * most-subscribed bank.
+     */
+    AccessResult access(std::span<const std::int64_t> addrs);
+
+    /**
+     * Byte address of element (row, col) of a [rows x cols] tile under
+     * the diagonally striped layout: element columns are rotated by
+     * the row index so that both row-order and column-order vector
+     * accesses are conflict-free (Section IV-B, Data Alignment Unit).
+     */
+    std::int64_t diagonalStripeAddr(std::int64_t row, std::int64_t col,
+                                    std::int64_t cols,
+                                    std::int64_t elem_bytes) const;
+
+    /** Plain row-major address for comparison/ablation. */
+    static std::int64_t linearAddr(std::int64_t row, std::int64_t col,
+                                   std::int64_t cols,
+                                   std::int64_t elem_bytes);
+
+    sim::StatSet &stats() { return stats_; }
+
+  private:
+    const ChipConfig &cfg_;
+    std::string name_;
+    std::vector<int> bankBits_;
+    std::int64_t validLo_ = 0;
+    std::int64_t validHi_;
+    sim::StatSet stats_;
+};
+
+} // namespace sn40l::arch
+
+#endif // SN40L_ARCH_PMU_H

@@ -1,0 +1,185 @@
+#include "arch/rdn.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace sn40l::arch {
+
+RdnMesh::RdnMesh(int cols, int rows) : cols_(cols), rows_(rows)
+{
+    if (cols <= 0 || rows <= 0)
+        sim::fatal("RdnMesh: non-positive dimensions");
+}
+
+bool
+RdnMesh::contains(Coord c) const
+{
+    return c.x >= 0 && c.x < cols_ && c.y >= 0 && c.y < rows_;
+}
+
+std::vector<Coord>
+RdnMesh::route(Coord src, Coord dst) const
+{
+    if (!contains(src) || !contains(dst))
+        sim::panic("RdnMesh::route: coordinate off mesh");
+
+    std::vector<Coord> path;
+    Coord cur = src;
+    path.push_back(cur);
+    while (cur.x != dst.x) {
+        cur.x += cur.x < dst.x ? 1 : -1;
+        path.push_back(cur);
+    }
+    while (cur.y != dst.y) {
+        cur.y += cur.y < dst.y ? 1 : -1;
+        path.push_back(cur);
+    }
+    return path;
+}
+
+std::vector<Link>
+RdnMesh::routeLinks(Coord src, Coord dst) const
+{
+    std::vector<Coord> path = route(src, dst);
+    std::vector<Link> links;
+    for (std::size_t i = 1; i < path.size(); ++i)
+        links.push_back({path[i - 1], path[i]});
+    return links;
+}
+
+std::set<Link>
+RdnMesh::multicastTree(Coord src, const std::vector<Coord> &dsts) const
+{
+    std::set<Link> tree;
+    for (Coord dst : dsts) {
+        for (const Link &link : routeLinks(src, dst))
+            tree.insert(link);
+    }
+    return tree;
+}
+
+void
+RdnMesh::addFlow(Coord src, Coord dst, double bytes_per_sec)
+{
+    for (const Link &link : routeLinks(src, dst))
+        linkLoad_[link] += bytes_per_sec;
+    ++flowCount_;
+}
+
+void
+RdnMesh::addMulticastFlow(Coord src, const std::vector<Coord> &dsts,
+                          double bytes_per_sec)
+{
+    for (const Link &link : multicastTree(src, dsts))
+        linkLoad_[link] += bytes_per_sec;
+    ++flowCount_;
+}
+
+void
+RdnMesh::clearFlows()
+{
+    linkLoad_.clear();
+    flowCount_ = 0;
+}
+
+double
+RdnMesh::maxLinkLoad() const
+{
+    double worst = 0.0;
+    for (const auto &kv : linkLoad_)
+        worst = std::max(worst, kv.second);
+    return worst;
+}
+
+double
+RdnMesh::congestionFactor(double link_bw) const
+{
+    if (link_bw <= 0.0)
+        sim::fatal("RdnMesh: non-positive link bandwidth");
+    return std::max(1.0, maxLinkLoad() / link_bw);
+}
+
+void
+ReorderBuffer::push(std::uint64_t seq)
+{
+    if (seq < next_ || pending_.count(seq))
+        sim::panic("ReorderBuffer: duplicate or stale sequence id " +
+                   std::to_string(seq));
+    pending_.insert(seq);
+    maxOccupancy_ = std::max(maxOccupancy_, pending_.size());
+}
+
+std::size_t
+ReorderBuffer::drain()
+{
+    std::size_t released = 0;
+    while (!pending_.empty() && *pending_.begin() == next_) {
+        pending_.erase(pending_.begin());
+        ++next_;
+        ++released;
+    }
+    return released;
+}
+
+CreditLink::CreditLink(sim::EventQueue &eq, std::string name, int credits,
+                       sim::Tick flit_time, sim::Tick credit_latency)
+    : eq_(eq), name_(std::move(name)), credits_(credits),
+      maxCredits_(credits), flitTime_(flit_time),
+      creditLatency_(credit_latency), stats_(name_)
+{
+    if (credits <= 0)
+        sim::fatal("CreditLink " + name_ + ": need at least one credit");
+    if (flit_time <= 0)
+        sim::fatal("CreditLink " + name_ + ": flit time must be positive");
+}
+
+void
+CreditLink::send(int flits, Callback on_delivered)
+{
+    if (flits <= 0)
+        sim::panic("CreditLink " + name_ + ": empty message");
+    sendQueue_.push({flits, std::move(on_delivered)});
+    stats_.inc("messages");
+    stats_.inc("flits_requested", flits);
+    trySend();
+}
+
+void
+CreditLink::trySend()
+{
+    while (!sendQueue_.empty()) {
+        if (credits_ == 0) {
+            stats_.inc("credit_stalls");
+            return; // retry when a credit returns
+        }
+        Message &msg = sendQueue_.front();
+        --credits_;
+
+        // Serialize flits on the wire.
+        sim::Tick start = std::max(eq_.now(), linkFreeAt_);
+        sim::Tick delivered = start + flitTime_;
+        linkFreeAt_ = delivered;
+        stats_.inc("flits_sent");
+
+        bool last = --msg.flitsLeft == 0;
+        Callback cb;
+        if (last) {
+            cb = std::move(msg.onDelivered);
+            sendQueue_.pop();
+        }
+
+        eq_.schedule(delivered, [this, cb = std::move(cb)]() {
+            if (cb)
+                cb();
+            // Credit returns to the sender after the return latency.
+            eq_.scheduleIn(creditLatency_, [this]() {
+                if (credits_ < maxCredits_)
+                    ++credits_;
+                trySend();
+            }, name_ + ".credit_return");
+        }, name_ + ".flit_delivered");
+    }
+}
+
+} // namespace sn40l::arch

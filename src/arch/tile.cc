@@ -1,0 +1,68 @@
+#include "arch/tile.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace sn40l::arch {
+
+Tile::Tile(const ChipConfig &cfg, std::string name)
+    : cfg_(cfg), name_(std::move(name)),
+      mesh_(cfg.meshCols, cfg.meshRows), pcuModel_(cfg),
+      agcu_(cfg, name_ + ".agcu")
+{
+    if (cfg.meshCols * cfg.meshRows < cfg.pcusPerTile()) {
+        sim::fatal("Tile " + name_ + ": mesh too small for " +
+                   std::to_string(cfg.pcusPerTile()) + " PCUs");
+    }
+}
+
+Coord
+Tile::pcuCoord(int index) const
+{
+    if (index < 0 || index >= numPcus())
+        sim::panic("Tile::pcuCoord: index out of range");
+    return {index % cfg_.meshCols, index / cfg_.meshCols};
+}
+
+Coord
+Tile::pmuCoord(int index) const
+{
+    if (index < 0 || index >= numPmus())
+        sim::panic("Tile::pmuCoord: index out of range");
+    // PMUs sit in the same rows, offset by one column (checkerboard).
+    int x = (index + 1) % cfg_.meshCols;
+    int y = index / cfg_.meshCols;
+    return {x, y};
+}
+
+RduChip::RduChip(const ChipConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    for (int i = 0; i < cfg_.tileCount(); ++i) {
+        tiles_.push_back(std::make_unique<Tile>(
+            cfg_, cfg_.name + ".tile" + std::to_string(i)));
+    }
+}
+
+int
+RduChip::placeablePcus() const
+{
+    return static_cast<int>(
+        std::floor(cfg_.pcuCount * cfg_.placeableFraction));
+}
+
+int
+RduChip::placeablePmus() const
+{
+    return static_cast<int>(
+        std::floor(cfg_.pmuCount * cfg_.placeableFraction));
+}
+
+std::int64_t
+RduChip::placeableSramBytes() const
+{
+    return static_cast<std::int64_t>(placeablePmus()) * cfg_.sramPerPmu();
+}
+
+} // namespace sn40l::arch

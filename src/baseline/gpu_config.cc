@@ -1,0 +1,51 @@
+#include "baseline/gpu_config.h"
+
+namespace sn40l::baseline {
+
+GpuConfig
+GpuConfig::a100()
+{
+    GpuConfig cfg;
+    cfg.name = "A100-80GB";
+    cfg.peakBf16Flops = TFLOPS(312);
+    cfg.hbmBandwidth = TBps(2.039);
+    cfg.hbmBytes = 80 * static_cast<std::int64_t>(GB);
+    cfg.nvlinkBandwidth = GBps(300); // per direction, per GPU
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::h100()
+{
+    GpuConfig cfg;
+    cfg.name = "H100-80GB";
+    cfg.peakBf16Flops = TFLOPS(989);
+    cfg.hbmBandwidth = TBps(3.35);
+    cfg.hbmBytes = 80 * static_cast<std::int64_t>(GB);
+    cfg.nvlinkBandwidth = GBps(450);
+    cfg.launchOverheadSeconds = 2.5e-6;
+    cfg.collectiveLatencySeconds = 8e-6;
+    return cfg;
+}
+
+DgxConfig
+DgxConfig::dgxA100()
+{
+    DgxConfig cfg;
+    cfg.name = "DGX-A100";
+    cfg.gpu = GpuConfig::a100();
+    cfg.hostToGpuBandwidth = GBps(32); // paper Section VI-C
+    return cfg;
+}
+
+DgxConfig
+DgxConfig::dgxH100()
+{
+    DgxConfig cfg;
+    cfg.name = "DGX-H100";
+    cfg.gpu = GpuConfig::h100();
+    cfg.hostToGpuBandwidth = GBps(64); // paper Section VI-C
+    return cfg;
+}
+
+} // namespace sn40l::baseline

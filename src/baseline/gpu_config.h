@@ -1,0 +1,96 @@
+/**
+ * @file
+ * GPU and DGX-node parameters for the paper's comparison baselines
+ * (Section VI-C). Published spec-sheet numbers; effective-bandwidth
+ * and utilization derates follow the paper's stated observations
+ * ("state-of-the-art optimized GPU implementations rarely exceed 50%
+ * HBM bandwidth", Section VI-B).
+ */
+
+#ifndef SN40L_BASELINE_GPU_CONFIG_H
+#define SN40L_BASELINE_GPU_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace sn40l::baseline {
+
+struct GpuConfig
+{
+    std::string name;
+
+    double peakBf16Flops = 0.0;  ///< dense BF16 tensor-core peak
+    double hbmBandwidth = 0.0;
+    std::int64_t hbmBytes = 0;
+
+    /** Sustained fraction of HBM bandwidth on streaming reads. */
+    double hbmEfficiency = 0.5;
+    /** Sustained fraction of peak FLOPs for large GEMMs. */
+    double peakUtilization = 0.5;
+    /** FLOPs per kernel needed to reach peakUtilization. */
+    double saturationFlops = 4e9;
+    double minUtilization = 0.03;
+
+    /** CUDA kernel launch + driver cost, per kernel. */
+    double launchOverheadSeconds = 3e-6;
+    /** NCCL collective call latency (on top of wire time). */
+    double collectiveLatencySeconds = 10e-6;
+    /** Per-GPU NVLink bandwidth for collectives. */
+    double nvlinkBandwidth = 0.0;
+
+    static GpuConfig a100();
+    static GpuConfig h100();
+};
+
+struct DgxConfig
+{
+    std::string name;
+    GpuConfig gpu;
+    int gpus = 8;
+
+    /**
+     * Node-aggregate host-to-GPU copy bandwidth. The paper's
+     * Section VI-C accounting: 32 GB/s on DGX A100, 64 GB/s on
+     * DGX H100.
+     */
+    double hostToGpuBandwidth = 0.0;
+
+    std::int64_t hostDramBytes = 2 * TiB;
+
+    /** Host memory reserved for OS/runtime (sizes the ~150-expert
+     *  OOM point). */
+    std::int64_t hostReservedBytes = 170 * static_cast<std::int64_t>(GB);
+
+    /** HBM reserved per node for router weights and KV cache. */
+    std::int64_t hbmReservedBytes = 27 * static_cast<std::int64_t>(GB);
+
+    std::int64_t totalHbmBytes() const { return gpus * gpu.hbmBytes; }
+    std::int64_t usableHbmBytes() const
+    {
+        return totalHbmBytes() - hbmReservedBytes;
+    }
+    std::int64_t usableHostBytes() const
+    {
+        return hostDramBytes - hostReservedBytes;
+    }
+
+    /**
+     * Total bytes of experts one node can hold. Experts are stored in
+     * host DRAM and *copied* into the HBM working region on demand,
+     * so host DRAM bounds the expert count (the paper's DGX OOM at
+     * >150 Llama2-7B experts).
+     */
+    std::int64_t expertCapacityBytes() const
+    {
+        return usableHostBytes();
+    }
+
+    static DgxConfig dgxA100();
+    static DgxConfig dgxH100();
+};
+
+} // namespace sn40l::baseline
+
+#endif // SN40L_BASELINE_GPU_CONFIG_H

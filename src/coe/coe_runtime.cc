@@ -1,0 +1,78 @@
+#include "coe/coe_runtime.h"
+
+#include "sim/log.h"
+
+namespace sn40l::coe {
+
+CoeRuntime::CoeRuntime(const ExpertZoo &zoo, std::int64_t hbm_region_bytes)
+    : zoo_(zoo), region_(hbm_region_bytes, /*alignment=*/1),
+      stats_("coe_runtime")
+{
+    if (static_cast<double>(hbm_region_bytes) < zoo.maxExpertBytes())
+        sim::fatal("CoeRuntime: HBM region smaller than largest expert");
+}
+
+bool
+CoeRuntime::resident(int expert_id) const
+{
+    return residentOffsets_.count(expert_id) > 0;
+}
+
+void
+CoeRuntime::evictLru(Activation &activation)
+{
+    if (lru_.empty())
+        sim::panic("CoeRuntime: nothing left to evict");
+    int victim = lru_.back();
+    lru_.pop_back();
+
+    auto it = residentOffsets_.find(victim);
+    region_.free(it->second.second);
+    residentOffsets_.erase(it);
+
+    const ExpertModel &e = zoo_.expert(victim);
+    ++activation.evictions;
+    stats_.inc("evictions");
+    if (e.mutableBytes > 0.0) {
+        activation.bytesToWriteBack += e.mutableBytes;
+        stats_.inc("writeback_bytes", e.mutableBytes);
+    } else {
+        // Read-only weights: skip the copy-back (Section V-B).
+        stats_.inc("copyback_skipped");
+    }
+}
+
+Activation
+CoeRuntime::activate(int expert_id)
+{
+    Activation activation;
+    const ExpertModel &expert = zoo_.expert(expert_id);
+
+    auto it = residentOffsets_.find(expert_id);
+    if (it != residentOffsets_.end()) {
+        // Hit: refresh LRU position.
+        lru_.splice(lru_.begin(), lru_, it->second.first);
+        activation.hit = true;
+        stats_.inc("hits");
+        return activation;
+    }
+
+    stats_.inc("misses");
+    std::int64_t need = static_cast<std::int64_t>(expert.bytes);
+
+    std::optional<std::int64_t> offset;
+    for (;;) {
+        offset = region_.allocate(need);
+        if (offset)
+            break;
+        evictLru(activation);
+    }
+
+    lru_.push_front(expert_id);
+    residentOffsets_[expert_id] = {lru_.begin(), *offset};
+    activation.bytesToLoad = expert.bytes;
+    stats_.inc("load_bytes", expert.bytes);
+    return activation;
+}
+
+} // namespace sn40l::coe

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The CoE runtime (Section V-B): a dynamic-linker-style manager that
+ * keeps as many experts resident in HBM as fit, activates experts on
+ * demand by copying their memory segments from the backing tier, and
+ * evicts with LRU. Read-only weight segments skip the copy-back on
+ * eviction.
+ */
+
+#ifndef SN40L_COE_COE_RUNTIME_H
+#define SN40L_COE_COE_RUNTIME_H
+
+#include <functional>
+#include <list>
+#include <map>
+
+#include "coe/expert.h"
+#include "mem/free_list_allocator.h"
+#include "sim/stats.h"
+
+namespace sn40l::coe {
+
+/**
+ * Result of an activation decision (the transfer itself is charged by
+ * the caller through its platform's copy channel).
+ */
+struct Activation
+{
+    bool hit = false;
+    double bytesToLoad = 0.0;    ///< backing-tier -> HBM
+    double bytesToWriteBack = 0.0; ///< evicted mutable state
+    int evictions = 0;
+};
+
+class CoeRuntime
+{
+  public:
+    /**
+     * @param hbm_region_bytes HBM set aside for expert segments
+     *        (the "Expert Region" of Fig 9).
+     */
+    CoeRuntime(const ExpertZoo &zoo, std::int64_t hbm_region_bytes);
+
+    /**
+     * Request @p expert_id. On a hit the expert is refreshed in LRU
+     * order and nothing moves. On a miss, LRU experts are evicted
+     * until the new expert's segments fit, and the expert loads from
+     * the backing tier.
+     *
+     * Throws FatalError if the expert can never fit (larger than the
+     * whole region).
+     */
+    Activation activate(int expert_id);
+
+    bool resident(int expert_id) const;
+    int residentCount() const
+    {
+        return static_cast<int>(lru_.size());
+    }
+
+    std::int64_t regionBytes() const { return region_.capacity(); }
+
+    sim::StatSet &stats() { return stats_; }
+    const sim::StatSet &stats() const { return stats_; }
+
+  private:
+    void evictLru(Activation &activation);
+
+    const ExpertZoo &zoo_;
+    mem::FreeListAllocator region_;
+    /** Most-recently-used at front. */
+    std::list<int> lru_;
+    std::map<int, std::pair<std::list<int>::iterator, std::int64_t>>
+        residentOffsets_; ///< expert -> (lru iterator, region offset)
+    sim::StatSet stats_;
+};
+
+} // namespace sn40l::coe
+
+#endif // SN40L_COE_COE_RUNTIME_H

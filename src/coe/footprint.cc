@@ -1,0 +1,47 @@
+#include "coe/footprint.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace sn40l::coe {
+
+namespace {
+
+FootprintPlan
+plan(int num_experts, double expert_bytes, double usable_per_node)
+{
+    if (num_experts <= 0 || expert_bytes <= 0.0)
+        sim::fatal("footprint: non-positive experts/bytes");
+    if (usable_per_node < expert_bytes)
+        sim::fatal("footprint: node cannot hold even one expert");
+
+    FootprintPlan p;
+    p.bytesPerNode = usable_per_node;
+    p.expertsPerNode =
+        static_cast<int>(std::floor(usable_per_node / expert_bytes));
+    p.nodes = static_cast<int>(std::ceil(
+        static_cast<double>(num_experts) / p.expertsPerNode));
+    return p;
+}
+
+} // namespace
+
+FootprintPlan
+sn40lFootprint(int num_experts, double expert_bytes,
+               const arch::NodeConfig &node, double ddr_reserve_bytes)
+{
+    double usable =
+        static_cast<double>(node.totalDdrBytes()) - ddr_reserve_bytes;
+    return plan(num_experts, expert_bytes, usable);
+}
+
+FootprintPlan
+dgxFootprint(int num_experts, double expert_bytes,
+             const baseline::DgxConfig &dgx)
+{
+    double usable = static_cast<double>(dgx.usableHbmBytes());
+    return plan(num_experts, expert_bytes, usable);
+}
+
+} // namespace sn40l::coe

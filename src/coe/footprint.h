@@ -1,0 +1,36 @@
+/**
+ * @file
+ * System-footprint planner (Fig 13): how many nodes each platform
+ * needs to serve N experts at the TP8 latency. Sustaining that
+ * latency on a DGX requires every expert resident in HBM; the SN40L
+ * includes the DDR->HBM switch in its latency, so experts need only
+ * fit in node DDR.
+ */
+
+#ifndef SN40L_COE_FOOTPRINT_H
+#define SN40L_COE_FOOTPRINT_H
+
+#include "arch/chip_config.h"
+#include "baseline/gpu_config.h"
+
+namespace sn40l::coe {
+
+struct FootprintPlan
+{
+    int nodes = 0;
+    double bytesPerNode = 0.0;   ///< usable capacity per node
+    int expertsPerNode = 0;
+};
+
+/** SN40L: experts live in DDR; a reserve covers the runtime. */
+FootprintPlan sn40lFootprint(int num_experts, double expert_bytes,
+                             const arch::NodeConfig &node,
+                             double ddr_reserve_bytes = 256e9);
+
+/** DGX: experts must all be HBM-resident to sustain TP8 latency. */
+FootprintPlan dgxFootprint(int num_experts, double expert_bytes,
+                           const baseline::DgxConfig &dgx);
+
+} // namespace sn40l::coe
+
+#endif // SN40L_COE_FOOTPRINT_H

@@ -1,0 +1,61 @@
+#include "coe/router.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace sn40l::coe {
+
+const char *
+routingDistributionName(RoutingDistribution dist)
+{
+    switch (dist) {
+      case RoutingDistribution::Uniform: return "uniform";
+      case RoutingDistribution::Zipf: return "zipf";
+      case RoutingDistribution::RoundRobin: return "round-robin";
+    }
+    sim::panic("routingDistributionName: unknown distribution");
+}
+
+Router::Router(int num_experts, RoutingDistribution dist,
+               std::uint64_t seed, double zipf_s)
+    : numExperts_(num_experts), dist_(dist), rng_(seed),
+      model_(models::LlmConfig::llama2_7b())
+{
+    if (num_experts <= 0)
+        sim::fatal("Router: need at least one expert");
+    model_.name = "samba-coe-router";
+
+    if (dist_ == RoutingDistribution::Zipf) {
+        cdf_.resize(numExperts_);
+        double sum = 0.0;
+        for (int i = 0; i < numExperts_; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+            cdf_[i] = sum;
+        }
+        for (double &v : cdf_)
+            v /= sum;
+    }
+}
+
+int
+Router::route()
+{
+    switch (dist_) {
+      case RoutingDistribution::Uniform:
+        return static_cast<int>(rng_.uniformInt(numExperts_));
+      case RoutingDistribution::RoundRobin:
+        return next_++ % numExperts_;
+      case RoutingDistribution::Zipf: {
+        double u = rng_.uniformDouble();
+        for (int i = 0; i < numExperts_; ++i) {
+            if (u <= cdf_[i])
+                return i;
+        }
+        return numExperts_ - 1;
+      }
+    }
+    sim::panic("Router::route: unknown distribution");
+}
+
+} // namespace sn40l::coe

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The Samba-CoE router (Section II, Fig 2): a specialist model that
+ * assigns each prompt to an expert. The routing *decision* here is a
+ * synthetic distribution (the accuracy of the real router is
+ * irrelevant to systems behaviour); the routing *cost* is the real
+ * router-model execution, charged by the serving simulator.
+ */
+
+#ifndef SN40L_COE_ROUTER_H
+#define SN40L_COE_ROUTER_H
+
+#include <vector>
+
+#include "models/llm_config.h"
+#include "sim/rng.h"
+
+namespace sn40l::coe {
+
+enum class RoutingDistribution {
+    Uniform,    ///< every expert equally likely (paper's worst case)
+    Zipf,       ///< few hot experts (deployment locality)
+    RoundRobin, ///< adversarial for caching: maximal working set
+};
+
+const char *routingDistributionName(RoutingDistribution dist);
+
+class Router
+{
+  public:
+    Router(int num_experts, RoutingDistribution dist,
+           std::uint64_t seed = 1, double zipf_s = 1.0);
+
+    /** Route the next prompt; returns an expert id. */
+    int route();
+
+    int numExperts() const { return numExperts_; }
+    const models::LlmConfig &model() const { return model_; }
+
+  private:
+    int numExperts_;
+    RoutingDistribution dist_;
+    sim::Rng rng_;
+    int next_ = 0;                 ///< round-robin cursor
+    std::vector<double> cdf_;      ///< Zipf cumulative distribution
+    models::LlmConfig model_;      ///< the router is itself a 7B model
+};
+
+} // namespace sn40l::coe
+
+#endif // SN40L_COE_ROUTER_H

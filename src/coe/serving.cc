@@ -1,0 +1,166 @@
+#include "coe/serving.h"
+
+#include <algorithm>
+
+#include "baseline/gpu_executor.h"
+#include "runtime/runner.h"
+#include "sim/log.h"
+
+namespace sn40l::coe {
+
+const char *
+platformName(Platform platform)
+{
+    switch (platform) {
+      case Platform::Sn40l: return "SN40L-Node";
+      case Platform::DgxA100: return "DGX-A100";
+      case Platform::DgxH100: return "DGX-H100";
+    }
+    sim::panic("platformName: unknown platform");
+}
+
+ServingSimulator::ServingSimulator(ServingConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.numExperts <= 0 || cfg_.batch <= 0 || cfg_.requests <= 0)
+        sim::fatal("ServingConfig: non-positive counts");
+    computeCosts();
+}
+
+void
+ServingSimulator::computeCosts()
+{
+    using models::Phase;
+    using models::WorkloadSpec;
+
+    WorkloadSpec prefill;
+    prefill.model = cfg_.expertBase;
+    prefill.phase = Phase::Prefill;
+    prefill.batch = 1;
+    prefill.seqLen = cfg_.promptLen;
+    prefill.tensorParallel = cfg_.tensorParallel;
+
+    WorkloadSpec decode = prefill;
+    decode.phase = Phase::Decode;
+
+    // The router is a 7B specialist: one batched prefill plus one
+    // decode step to emit the expert choice.
+    WorkloadSpec router_prefill = prefill;
+    router_prefill.batch = cfg_.batch;
+    WorkloadSpec router_decode = decode;
+    router_decode.batch = cfg_.batch;
+
+    graph::DataflowGraph g_prefill = buildTransformer(prefill);
+    graph::DataflowGraph g_decode = buildTransformer(decode);
+    graph::DataflowGraph g_router_p = buildTransformer(router_prefill);
+    graph::DataflowGraph g_router_d = buildTransformer(router_decode);
+
+    double expert_bytes = cfg_.expertBase.weightBytes();
+
+    if (cfg_.platform == Platform::Sn40l) {
+        arch::NodeConfig node =
+            arch::NodeConfig::sn40lNode(cfg_.tensorParallel);
+
+        auto seconds = [&](const graph::DataflowGraph &g) {
+            return runtime::runWorkload(g, node, cfg_.tensorParallel,
+                                        runtime::RunConfig::FusedHO)
+                .seconds();
+        };
+        costs_.prefillSeconds = seconds(g_prefill);
+        costs_.decodeSecondsPerToken = seconds(g_decode);
+        costs_.routerSeconds = seconds(g_router_p) + seconds(g_router_d);
+
+        sim::EventQueue eq;
+        runtime::RduNode machine(eq, node);
+        costs_.switchSeconds =
+            sim::toSeconds(machine.estimateDdrToHbm(expert_bytes));
+
+        // HBM region for experts: node HBM minus the router's weights
+        // and a KV/activation reserve (Fig 9's "Router Region").
+        double reserve = cfg_.expertBase.weightBytes() + 16e9;
+        costs_.expertRegionBytes = static_cast<std::int64_t>(
+            static_cast<double>(node.totalHbmBytes()) - reserve);
+
+        // Backing capacity: node DDR minus a runtime reserve.
+        costs_.capacityBytes =
+            static_cast<double>(node.totalDdrBytes()) - 256e9;
+        return;
+    }
+
+    baseline::DgxConfig dgx = cfg_.platform == Platform::DgxA100
+        ? baseline::DgxConfig::dgxA100()
+        : baseline::DgxConfig::dgxH100();
+    baseline::GpuExecutor executor(dgx);
+
+    costs_.prefillSeconds = executor.run(g_prefill).seconds;
+    costs_.decodeSecondsPerToken = executor.run(g_decode).seconds;
+    costs_.routerSeconds = executor.run(g_router_p).seconds +
+                           executor.run(g_router_d).seconds;
+
+    // Expert switch: host DRAM -> GPU HBM over the host link.
+    costs_.switchSeconds = expert_bytes / dgx.hostToGpuBandwidth;
+    costs_.expertRegionBytes = dgx.usableHbmBytes();
+    costs_.capacityBytes =
+        static_cast<double>(dgx.expertCapacityBytes());
+}
+
+ServingResult
+ServingSimulator::run()
+{
+    ServingResult result;
+
+    ExpertZoo zoo = ExpertZoo::uniform(cfg_.numExperts, cfg_.expertBase);
+    result.residentCapacityExperts = static_cast<int>(
+        static_cast<double>(costs_.expertRegionBytes) /
+        zoo.maxExpertBytes());
+
+    if (zoo.totalBytes() > costs_.capacityBytes) {
+        result.oom = true;
+        return result;
+    }
+
+    CoeRuntime runtime(zoo, costs_.expertRegionBytes);
+    Router router(cfg_.numExperts, cfg_.routing, cfg_.seed);
+
+    double router_total = 0.0, switch_total = 0.0, exec_total = 0.0;
+    std::int64_t prompts = 0, misses = 0;
+
+    double per_prompt_exec =
+        costs_.prefillSeconds +
+        cfg_.outputTokens * costs_.decodeSecondsPerToken;
+
+    for (int r = 0; r < cfg_.requests; ++r) {
+        router_total += costs_.routerSeconds;
+        for (int b = 0; b < cfg_.batch; ++b) {
+            ++prompts;
+            int expert = router.route();
+            Activation act = runtime.activate(expert);
+            if (!act.hit) {
+                ++misses;
+                double bytes = act.bytesToLoad + act.bytesToWriteBack;
+                double copy = costs_.switchSeconds *
+                    (bytes / zoo.expert(expert).bytes);
+                if (cfg_.predictivePrefetch) {
+                    // The copy overlaps the router (first prompt) or
+                    // the previous prompt's execution (later prompts);
+                    // only the remainder is exposed.
+                    double hide = b == 0 ? costs_.routerSeconds
+                                         : per_prompt_exec;
+                    copy = std::max(0.0, copy - hide);
+                }
+                switch_total += copy;
+            }
+            exec_total += per_prompt_exec;
+        }
+    }
+
+    double batches = static_cast<double>(cfg_.requests);
+    result.perBatch.routerSeconds = router_total / batches;
+    result.perBatch.switchSeconds = switch_total / batches;
+    result.perBatch.execSeconds = exec_total / batches;
+    result.missRate =
+        static_cast<double>(misses) / static_cast<double>(prompts);
+    result.expertSecondsPerPrompt = per_prompt_exec;
+    return result;
+}
+
+} // namespace sn40l::coe

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * End-to-end Samba-CoE serving simulator (Sections V-B and VI-C,
+ * Figs 1, 9, 12): prompt -> router -> expert switch -> expert
+ * execution, on an SN40L node (three-tier memory) or a DGX baseline
+ * (HBM + host DRAM over the host link).
+ */
+
+#ifndef SN40L_COE_SERVING_H
+#define SN40L_COE_SERVING_H
+
+#include <string>
+
+#include "arch/chip_config.h"
+#include "baseline/gpu_config.h"
+#include "coe/coe_runtime.h"
+#include "coe/router.h"
+#include "models/transformer_builder.h"
+
+namespace sn40l::coe {
+
+enum class Platform { Sn40l, DgxA100, DgxH100 };
+
+const char *platformName(Platform platform);
+
+struct ServingConfig
+{
+    Platform platform = Platform::Sn40l;
+
+    int numExperts = 150;
+    int batch = 1;         ///< prompts per CoE batch (paper: 1 and 8)
+    int outputTokens = 20; ///< paper: 20 (chat) and 200 (translation)
+    int promptLen = 2048;
+    int requests = 64;     ///< batches to simulate
+
+    RoutingDistribution routing = RoutingDistribution::Uniform;
+    std::uint64_t seed = 1;
+
+    /**
+     * Predictive prefetching (extension): once the router has chosen
+     * the batch's experts, DDR->HBM copies overlap with the router's
+     * own execution and with preceding prompts' expert executions,
+     * exposing only the un-hidden remainder of each copy.
+     */
+    bool predictivePrefetch = false;
+
+    models::LlmConfig expertBase = models::LlmConfig::llama2_7b();
+
+    /** Tensor parallel degree (TP8 on every platform, Section VI-C). */
+    int tensorParallel = 8;
+};
+
+struct LatencyBreakdown
+{
+    double routerSeconds = 0.0;
+    double switchSeconds = 0.0;
+    double execSeconds = 0.0; ///< expert prefill + decode
+
+    double
+    total() const
+    {
+        return routerSeconds + switchSeconds + execSeconds;
+    }
+
+    /** Fraction of the batch latency spent switching (Fig 1). */
+    double
+    switchShare() const
+    {
+        double t = total();
+        return t > 0.0 ? switchSeconds / t : 0.0;
+    }
+};
+
+struct ServingResult
+{
+    bool oom = false;          ///< experts exceed platform capacity
+    LatencyBreakdown perBatch; ///< average over simulated batches
+    double missRate = 0.0;
+    int residentCapacityExperts = 0;
+
+    /** Per-prompt expert execution time (no router/switch). */
+    double expertSecondsPerPrompt = 0.0;
+};
+
+/** Platform-dependent primitive costs, exposed for tests/benches. */
+struct PhaseCosts
+{
+    double routerSeconds = 0.0;          ///< per batch
+    double prefillSeconds = 0.0;         ///< per prompt
+    double decodeSecondsPerToken = 0.0;  ///< per prompt per token
+    double switchSeconds = 0.0;          ///< per expert copy
+    std::int64_t expertRegionBytes = 0;  ///< HBM available for experts
+    double capacityBytes = 0.0;          ///< total expert capacity
+};
+
+class ServingSimulator
+{
+  public:
+    explicit ServingSimulator(ServingConfig cfg);
+
+    const PhaseCosts &phaseCosts() const { return costs_; }
+
+    /** Simulate cfg.requests batches and return average behaviour. */
+    ServingResult run();
+
+  private:
+    void computeCosts();
+
+    ServingConfig cfg_;
+    PhaseCosts costs_;
+};
+
+} // namespace sn40l::coe
+
+#endif // SN40L_COE_SERVING_H

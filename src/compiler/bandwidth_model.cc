@@ -1,0 +1,106 @@
+#include "compiler/bandwidth_model.h"
+
+#include <algorithm>
+
+#include "arch/agcu.h"
+#include "arch/pcu.h"
+#include "compiler/placer.h"
+#include "sim/log.h"
+
+namespace sn40l::compiler {
+
+const char *
+KernelCost::bottleneck() const
+{
+    double best = computeSeconds;
+    const char *name = "compute";
+    if (hbmSeconds > best) {
+        best = hbmSeconds;
+        name = "hbm";
+    }
+    if (ddrSeconds > best) {
+        best = ddrSeconds;
+        name = "ddr";
+    }
+    if (p2pSeconds > best) {
+        name = "p2p";
+    }
+    return name;
+}
+
+namespace {
+
+/**
+ * Unfused kernels run one operator in isolation: small operators
+ * cannot fill the chip (utilization ramps with work), and the whole
+ * array runs without inter-op pipelining.
+ */
+double
+unfusedComputeSeconds(const arch::ChipConfig &chip, const Kernel &kernel,
+                      int tp)
+{
+    double sys = kernel.systolicFlops / tp;
+    double simd = kernel.simdFlops / tp;
+    double work = sys + simd;
+    if (work <= 0.0)
+        return 0.0;
+
+    double util = std::clamp(work / chip.unfusedSaturationFlops,
+                             chip.unfusedMinUtilization, 1.0);
+    double sys_rate = chip.peakBf16Flops * chip.systolicEfficiency;
+    double simd_rate = chip.peakBf16Flops * chip.simdRelativeThroughput;
+    return (sys / sys_rate + simd / simd_rate) / util;
+}
+
+} // namespace
+
+KernelCost
+costKernel(const arch::ChipConfig &chip, const FusionOptions &options,
+           const Kernel &kernel, const TrafficSplit &split)
+{
+    int tp = std::max(1, options.tensorParallel);
+    KernelCost cost;
+
+    // ---- Compute ---------------------------------------------------
+    if (kernel.mode == ExecMode::RduFused) {
+        cost.computeSeconds = placedComputeSeconds(chip, kernel, tp);
+        cost.fillSeconds =
+            static_cast<double>(kernel.stages.size()) *
+            sim::toSeconds(chip.stageFillLatency);
+    } else {
+        cost.computeSeconds = unfusedComputeSeconds(chip, kernel, tp);
+        cost.fillSeconds = 0.0;
+    }
+
+    // ---- Off-chip traffic ------------------------------------------
+    double boundary_bytes = kernel.offChipBytes() / tp;
+    double ddr_bytes = boundary_bytes * split.ddrFraction;
+    double hbm_bytes = boundary_bytes - ddr_bytes;
+
+    // Unfused kernels cannot overlap address generation with
+    // streaming as deeply; they see lower sustained HBM efficiency.
+    double hbm_eff = chip.hbmEfficiency;
+    if (kernel.mode == ExecMode::RduUnfused)
+        hbm_eff *= 0.75;
+
+    cost.hbmBytes = hbm_bytes;
+    cost.ddrBytes = ddr_bytes;
+    cost.hbmSeconds = hbm_bytes / (chip.hbmBandwidth * hbm_eff);
+    cost.ddrSeconds =
+        ddr_bytes > 0.0 ? ddr_bytes / chip.effectiveDdrBandwidth() : 0.0;
+
+    // ---- Collectives ------------------------------------------------
+    if (tp > 1 && kernel.allReduceBytes > 0.0) {
+        double factor = arch::Agcu::allReduceTrafficFactor(tp);
+        cost.p2pBytes = kernel.allReduceBytes * factor / tp;
+        cost.p2pSeconds = cost.p2pBytes / chip.p2pBandwidth;
+        if (kernel.mode != ExecMode::RduFused) {
+            // Unfused collectives are separate kernels and pay a
+            // latency per hop; fused pipelines overlap it.
+            cost.p2pSeconds += kernel.collectiveOps * 2e-6;
+        }
+    }
+    return cost;
+}
+
+} // namespace sn40l::compiler

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Static bandwidth model (Section VII, "Managing bandwidth in
+ * software"): predicts each kernel's execution time as the bottleneck
+ * of compute, HBM traffic, DDR traffic (spilled symbols), and
+ * peer-to-peer collective traffic, plus pipeline fill.
+ */
+
+#ifndef SN40L_COMPILER_BANDWIDTH_MODEL_H
+#define SN40L_COMPILER_BANDWIDTH_MODEL_H
+
+#include "arch/chip_config.h"
+#include "compiler/fusion.h"
+#include "compiler/kernel.h"
+#include "sim/ticks.h"
+
+namespace sn40l::compiler {
+
+/** Where a kernel's boundary traffic lands. */
+struct TrafficSplit
+{
+    /** Fraction of weight/activation bytes served from DDR because
+     *  they were spilled (0 when everything fits in HBM). */
+    double ddrFraction = 0.0;
+};
+
+struct KernelCost
+{
+    double computeSeconds = 0.0;
+    double hbmSeconds = 0.0;
+    double ddrSeconds = 0.0;
+    double p2pSeconds = 0.0;
+    double fillSeconds = 0.0;
+
+    /** Bytes actually moved (per socket), for channel accounting. */
+    double hbmBytes = 0.0;
+    double ddrBytes = 0.0;
+    double p2pBytes = 0.0;
+
+    double
+    steadySeconds() const
+    {
+        double s = computeSeconds;
+        s = std::max(s, hbmSeconds);
+        s = std::max(s, ddrSeconds);
+        s = std::max(s, p2pSeconds);
+        return s;
+    }
+
+    double totalSeconds() const { return steadySeconds() + fillSeconds; }
+    sim::Tick totalTicks() const
+    {
+        return sim::fromSeconds(totalSeconds());
+    }
+
+    /** Dominant resource name, for reports. */
+    const char *bottleneck() const;
+};
+
+/**
+ * Cost one kernel's per-socket execution. @p kernel must be placed
+ * (for fused kernels) before costing.
+ */
+KernelCost costKernel(const arch::ChipConfig &chip,
+                      const FusionOptions &options, const Kernel &kernel,
+                      const TrafficSplit &split = {});
+
+} // namespace sn40l::compiler
+
+#endif // SN40L_COMPILER_BANDWIDTH_MODEL_H

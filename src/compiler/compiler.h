@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Compiler driver: graph -> kernels -> placement -> memory plan ->
+ * costed, executable Program.
+ */
+
+#ifndef SN40L_COMPILER_COMPILER_H
+#define SN40L_COMPILER_COMPILER_H
+
+#include <string>
+#include <vector>
+
+#include "arch/chip_config.h"
+#include "compiler/bandwidth_model.h"
+#include "compiler/fusion.h"
+#include "compiler/kernel.h"
+#include "graph/dataflow_graph.h"
+#include "mem/static_allocator.h"
+
+namespace sn40l::compiler {
+
+struct CompileOptions
+{
+    FusionOptions fusion;
+
+    /**
+     * Multi-token reuse factor applied to weight/constant/KV symbols
+     * when prioritizing HBM residency (Section V-A: weights win
+     * because they are re-read every generated token).
+     */
+    double weightReuseFactor = 16.0;
+};
+
+/** One schedulable kernel with its predicted cost. */
+struct KernelExec
+{
+    Kernel kernel;
+    KernelCost cost;
+};
+
+struct Program
+{
+    std::string name;
+    ExecMode mode = ExecMode::RduFused;
+    int tensorParallel = 1;
+
+    std::vector<KernelExec> kernels;
+
+    // ---- Memory footprint (per socket) ----------------------------
+    double hbmResidentBytes = 0.0; ///< peak HBM from the static plan
+    double ddrResidentBytes = 0.0; ///< spilled symbols
+    double weightBytes = 0.0;      ///< total parameter bytes (all sockets)
+
+    double totalFlops = 0.0;
+    std::int64_t totalLaunches = 0;
+    int spilledSymbols = 0;
+
+    /** Sum of kernel execution times, no launch overheads. */
+    double execSeconds() const;
+
+    /** Analytic end-to-end estimate with per-launch overhead. */
+    double estimatedSeconds(double launch_overhead_seconds) const;
+};
+
+/**
+ * Compile @p graph for an SN40L socket (replicated tensor-parallel
+ * across options.fusion.tensorParallel sockets).
+ */
+Program compile(const graph::DataflowGraph &graph,
+                const arch::ChipConfig &chip,
+                const CompileOptions &options);
+
+} // namespace sn40l::compiler
+
+#endif // SN40L_COMPILER_COMPILER_H

@@ -1,0 +1,288 @@
+#include "compiler/fusion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sim/log.h"
+
+namespace sn40l::compiler {
+
+using graph::DataflowGraph;
+using graph::OpClass;
+using graph::OpId;
+using graph::OpKind;
+using graph::TensorId;
+
+std::int64_t
+stageBufferBytes(const DataflowGraph &graph, OpId id,
+                 std::int64_t tile_rows)
+{
+    const graph::Operator &op = graph.op(id);
+    std::int64_t total = 0;
+    for (TensorId out : op.outputs) {
+        const graph::Tensor &t = graph.tensor(out);
+        if (t.kind == graph::TensorKind::KvCache)
+            continue; // lives in HBM, streams through
+        std::int64_t row = t.shape.innermost() *
+            static_cast<std::int64_t>(graph::dtypeBytes(t.dtype));
+        std::int64_t tile = std::min(t.bytes(), tile_rows * row);
+        total += 2 * tile; // double-buffered
+    }
+    return total;
+}
+
+namespace {
+
+int
+minPcusFor(const graph::Operator &op, const FusionOptions &opt)
+{
+    switch (op.cls()) {
+      case OpClass::Systolic: return opt.minPcusSystolic;
+      case OpClass::Simd: return opt.minPcusSimd;
+      case OpClass::Memory: return 0;  // PMUs/AGCUs only
+      case OpClass::Collective: return 0;
+    }
+    sim::panic("minPcusFor: unknown class");
+}
+
+/** Finalize a group into a Kernel (traffic + naming). */
+Kernel
+makeKernel(const DataflowGraph &graph, ExecMode mode, int id,
+           std::vector<OpId> ops)
+{
+    Kernel k;
+    k.id = id;
+    k.mode = mode;
+    k.ops = std::move(ops);
+    k.name = graph.op(k.ops.front()).name;
+    if (k.ops.size() > 1)
+        k.name += "..." + graph.op(k.ops.back()).name;
+    accountKernelTraffic(graph, k);
+    return k;
+}
+
+std::vector<Kernel>
+partitionRduFused(const DataflowGraph &graph, const arch::ChipConfig &chip,
+                  const FusionOptions &opt)
+{
+    std::vector<Kernel> kernels;
+    std::vector<OpId> group;
+    int group_pcus = 0;
+    std::int64_t group_sram = 0;
+    double group_flops = 0.0;
+
+    int placeable_pcus = static_cast<int>(
+        std::floor(chip.pcuCount * chip.placeableFraction));
+    std::int64_t placeable_sram = static_cast<std::int64_t>(
+        static_cast<double>(chip.sramBytes) * chip.placeableFraction);
+    int tp = std::max(1, opt.tensorParallel);
+
+    auto flush = [&]() {
+        if (group.empty())
+            return;
+        kernels.push_back(makeKernel(graph, ExecMode::RduFused,
+                                     static_cast<int>(kernels.size()),
+                                     group));
+        group.clear();
+        group_pcus = 0;
+        group_sram = 0;
+        group_flops = 0.0;
+    };
+
+    for (OpId id : graph.topoOrder()) {
+        const graph::Operator &op = graph.op(id);
+        int pcus = minPcusFor(op, opt);
+        // Stage buffers shard across sockets with the tensors.
+        std::int64_t sram = stageBufferBytes(graph, id, opt.tileRows) / tp;
+        double flops = graph.opFlops(id) / tp;
+
+        bool fits = group.empty() ||
+            (group_pcus + pcus <= placeable_pcus &&
+             group_sram + sram <= placeable_sram &&
+             group_flops + flops <= opt.fusedKernelFlopsBudget);
+        if (!fits)
+            flush();
+
+        group.push_back(id);
+        group_pcus += pcus;
+        group_sram += sram;
+        group_flops += flops;
+    }
+    flush();
+    return kernels;
+}
+
+std::vector<Kernel>
+partitionRduUnfused(const DataflowGraph &graph,
+                    const FusionOptions &opt)
+{
+    std::vector<Kernel> kernels;
+    int tp = std::max(1, opt.tensorParallel);
+    for (OpId id : graph.topoOrder()) {
+        Kernel k = makeKernel(graph, ExecMode::RduUnfused,
+                              static_cast<int>(kernels.size()), {id});
+        double socket_flops = graph.opFlops(id) / tp;
+        k.launches = std::max<int>(
+            1, static_cast<int>(std::ceil(
+                   socket_flops / opt.maxFlopsPerUnfusedLaunch)));
+        kernels.push_back(std::move(k));
+    }
+    return kernels;
+}
+
+/**
+ * Match the FlashAttention pattern by following data edges from a
+ * scores BatchGemm: BatchGemm -> [Scale/Add]* -> Softmax -> BatchGemm
+ * (each link through a single-consumer activation).
+ * @return ops consumed, or empty if no match.
+ */
+std::vector<OpId>
+matchFlashAttention(const DataflowGraph &graph, OpId start)
+{
+    auto sole_consumer = [&](OpId id) -> OpId {
+        const graph::Operator &op = graph.op(id);
+        if (op.outputs.size() != 1)
+            return graph::kInvalidOp;
+        const graph::Tensor &t = graph.tensor(op.outputs[0]);
+        if (t.consumers.size() != 1)
+            return graph::kInvalidOp;
+        return t.consumers[0];
+    };
+
+    if (graph.op(start).kind != OpKind::BatchGemm)
+        return {};
+    std::vector<OpId> ops = {start};
+
+    OpId cur = sole_consumer(start);
+    while (cur != graph::kInvalidOp &&
+           (graph.op(cur).kind == OpKind::Scale ||
+            graph.op(cur).kind == OpKind::Add)) {
+        ops.push_back(cur);
+        cur = sole_consumer(cur);
+    }
+    if (cur == graph::kInvalidOp ||
+        graph.op(cur).kind != OpKind::Softmax) {
+        return {};
+    }
+    ops.push_back(cur);
+    cur = sole_consumer(cur);
+    if (cur == graph::kInvalidOp ||
+        graph.op(cur).kind != OpKind::BatchGemm) {
+        return {};
+    }
+    ops.push_back(cur);
+    return ops;
+}
+
+std::vector<Kernel>
+partitionGpu(const DataflowGraph &graph, const FusionOptions &opt)
+{
+    std::vector<Kernel> kernels;
+    std::vector<OpId> order = graph.topoOrder();
+    std::vector<OpId> group;
+
+    auto flush = [&]() {
+        if (group.empty())
+            return;
+        kernels.push_back(makeKernel(graph, ExecMode::GpuConventional,
+                                     static_cast<int>(kernels.size()),
+                                     group));
+        group.clear();
+    };
+
+    std::set<OpId> claimed; // ops already emitted in an FA kernel
+
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const graph::Operator &op = graph.op(order[i]);
+        if (claimed.count(op.id))
+            continue;
+
+        if (opt.gpuFlashAttention) {
+            std::vector<OpId> fa = matchFlashAttention(graph, order[i]);
+            if (!fa.empty()) {
+                flush();
+                kernels.push_back(
+                    makeKernel(graph, ExecMode::GpuConventional,
+                               static_cast<int>(kernels.size()), fa));
+                claimed.insert(fa.begin(), fa.end());
+                continue;
+            }
+        }
+
+        if (op.cls() == OpClass::Systolic ||
+            op.cls() == OpClass::Collective ||
+            op.cls() == OpClass::Memory ||
+            !graph::isGpuFusable(op.kind)) {
+            // Starts (or stands as) its own kernel; GEMMs may then
+            // absorb elementwise epilogues.
+            flush();
+            group.push_back(op.id);
+            if (op.cls() != OpClass::Systolic)
+                flush(); // only GEMMs take epilogues
+            continue;
+        }
+
+        // Elementwise: fuse into the running group (epilogue or
+        // elementwise chain), but only if it consumes the group's
+        // running output — otherwise start a new chain.
+        if (!group.empty()) {
+            bool consumes_prev = false;
+            const graph::Operator &prev = graph.op(group.back());
+            for (TensorId out : prev.outputs) {
+                for (TensorId in : op.inputs) {
+                    if (in == out)
+                        consumes_prev = true;
+                }
+            }
+            if (!consumes_prev)
+                flush();
+        }
+        group.push_back(op.id);
+    }
+    flush();
+    return kernels;
+}
+
+} // namespace
+
+std::vector<Kernel>
+partitionGraph(const DataflowGraph &graph, const arch::ChipConfig &chip,
+               const FusionOptions &options)
+{
+    if (graph.numOps() == 0)
+        sim::fatal("partitionGraph: empty graph");
+    switch (options.mode) {
+      case ExecMode::RduFused:
+        return partitionRduFused(graph, chip, options);
+      case ExecMode::RduUnfused:
+        return partitionRduUnfused(graph, options);
+      case ExecMode::GpuConventional:
+        return partitionGpu(graph, options);
+    }
+    sim::panic("partitionGraph: unknown mode");
+}
+
+std::int64_t
+totalLaunches(const std::vector<Kernel> &kernels)
+{
+    std::int64_t total = 0;
+    for (const Kernel &k : kernels)
+        total += k.launches;
+    return total;
+}
+
+std::vector<graph::FusionGroup>
+toFusionGroups(const std::vector<Kernel> &kernels)
+{
+    std::vector<graph::FusionGroup> groups;
+    groups.reserve(kernels.size());
+    for (const Kernel &k : kernels) {
+        graph::FusionGroup g;
+        g.ops = k.ops;
+        groups.push_back(std::move(g));
+    }
+    return groups;
+}
+
+} // namespace sn40l::compiler

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Graph partitioning into kernels, under three regimes:
+ *
+ *  - RduFused: streaming-dataflow fusion. Ops fuse greedily in
+ *    topological order into coarse pipelines, bounded only by chip
+ *    resources (PCU floors per stage, SRAM stage buffers) and a
+ *    per-kernel FLOP budget representing the compiler's pipeline-
+ *    depth/throughput tradeoff. Arbitrary access patterns (transpose,
+ *    shuffles, collectives) do NOT break fusion (Section III-A).
+ *
+ *  - RduUnfused: the paper's baseline. One kernel per operator;
+ *    large operators split into multiple grid launches; all
+ *    intermediates materialize off-chip.
+ *
+ *  - GpuConventional: TensorRT/torch.compile-class fusion for the DGX
+ *    baseline. A producing kernel absorbs a chain of elementwise
+ *    epilogues; layout changes, lookups, softmax (unless the
+ *    FlashAttention pattern is enabled) and collectives start new
+ *    kernels.
+ */
+
+#ifndef SN40L_COMPILER_FUSION_H
+#define SN40L_COMPILER_FUSION_H
+
+#include <vector>
+
+#include "arch/chip_config.h"
+#include "compiler/kernel.h"
+#include "graph/intensity.h"
+
+namespace sn40l::compiler {
+
+struct FusionOptions
+{
+    ExecMode mode = ExecMode::RduFused;
+
+    /** Tensor-parallel degree (per-socket work = total / tp). */
+    int tensorParallel = 1;
+
+    /** Minimum PCUs a pipeline stage needs to sustain throughput.
+     *  Sized so one decoder layer occupies "almost 90% of the PCUs"
+     *  (Section VI-C) — the paper's per-decoder fusion granularity. */
+    int minPcusSystolic = 80;
+    int minPcusSimd = 8;
+
+    /**
+     * Per-socket FLOP budget per fused kernel: the compiler closes a
+     * pipeline beyond this to bound pipeline depth and stage buffer
+     * pressure (calibration constant; see EXPERIMENTS.md).
+     */
+    double fusedKernelFlopsBudget = 1e12;
+
+    /** Pipeline tile granularity (rows double-buffered per stage). */
+    std::int64_t tileRows = 64;
+
+    /** Per-socket FLOPs one unfused grid launch can cover. */
+    double maxFlopsPerUnfusedLaunch = 32e9;
+
+    /** GPU baseline: fuse the attention pattern like FlashAttention. */
+    bool gpuFlashAttention = true;
+};
+
+/**
+ * Partition @p graph into kernels per @p options. Every op lands in
+ * exactly one kernel; kernels appear in executable (topological)
+ * order with traffic accounting filled in.
+ */
+std::vector<Kernel> partitionGraph(const graph::DataflowGraph &graph,
+                                   const arch::ChipConfig &chip,
+                                   const FusionOptions &options);
+
+/** Total launches (kernels x grid splits) in a partition. */
+std::int64_t totalLaunches(const std::vector<Kernel> &kernels);
+
+/** Convert kernels to intensity-analysis fusion groups. */
+std::vector<graph::FusionGroup>
+toFusionGroups(const std::vector<Kernel> &kernels);
+
+/**
+ * Double-buffered stage-buffer bytes for an op's outputs inside a
+ * pipeline (tiles, not whole tensors — the point of streaming).
+ */
+std::int64_t stageBufferBytes(const graph::DataflowGraph &graph,
+                              graph::OpId id, std::int64_t tile_rows);
+
+} // namespace sn40l::compiler
+
+#endif // SN40L_COMPILER_FUSION_H

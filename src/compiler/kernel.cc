@@ -1,0 +1,115 @@
+#include "compiler/kernel.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/log.h"
+
+namespace sn40l::compiler {
+
+using graph::OpClass;
+using graph::OpId;
+using graph::OpKind;
+using graph::TensorId;
+using graph::TensorKind;
+
+const char *
+execModeName(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::RduFused: return "rdu-fused";
+      case ExecMode::RduUnfused: return "rdu-unfused";
+      case ExecMode::GpuConventional: return "gpu-conventional";
+    }
+    sim::panic("execModeName: unknown mode");
+}
+
+void
+accountKernelTraffic(const graph::DataflowGraph &graph, Kernel &kernel)
+{
+    std::set<OpId> members(kernel.ops.begin(), kernel.ops.end());
+
+    kernel.flops = 0.0;
+    kernel.systolicFlops = 0.0;
+    kernel.simdFlops = 0.0;
+    kernel.weightBytes = 0.0;
+    kernel.inputBytes = 0.0;
+    kernel.outputBytes = 0.0;
+    kernel.kvReadBytes = 0.0;
+    kernel.kvWriteBytes = 0.0;
+    kernel.allReduceBytes = 0.0;
+    kernel.collectiveOps = 0;
+
+    std::map<TensorId, double> reads, writes;
+
+    for (OpId id : kernel.ops) {
+        const graph::Operator &op = graph.op(id);
+        double f = graph.opFlops(id);
+        kernel.flops += f;
+        if (op.cls() == OpClass::Systolic)
+            kernel.systolicFlops += f;
+        else if (op.cls() == OpClass::Simd)
+            kernel.simdFlops += f;
+
+        if (op.kind == OpKind::AllReduce) {
+            ++kernel.collectiveOps;
+            if (!op.inputs.empty()) {
+                kernel.allReduceBytes += static_cast<double>(
+                    graph.tensor(op.inputs[0]).bytes());
+            }
+        }
+
+        for (TensorId in : op.inputs) {
+            const graph::Tensor &t = graph.tensor(in);
+            bool internal = t.producer != graph::kInvalidOp &&
+                            members.count(t.producer) &&
+                            t.kind != TensorKind::KvCache;
+            if (internal)
+                continue;
+            double bytes = graph.effectiveReadBytes(id, in);
+            auto it = reads.find(in);
+            if (it == reads.end() || it->second < bytes)
+                reads[in] = bytes;
+        }
+        for (TensorId out : op.outputs) {
+            const graph::Tensor &t = graph.tensor(out);
+            bool escapes = t.kind == TensorKind::Output ||
+                           t.kind == TensorKind::KvCache;
+            for (OpId c : t.consumers) {
+                if (!members.count(c))
+                    escapes = true;
+            }
+            if (!escapes)
+                continue;
+            double bytes = graph.effectiveWriteBytes(id, out);
+            auto it = writes.find(out);
+            if (it == writes.end() || it->second < bytes)
+                writes[out] = bytes;
+        }
+    }
+
+    for (const auto &kv : reads) {
+        const graph::Tensor &t = graph.tensor(kv.first);
+        switch (t.kind) {
+          case TensorKind::Weight:
+          case TensorKind::Constant:
+            kernel.weightBytes += kv.second;
+            break;
+          case TensorKind::KvCache:
+            kernel.kvReadBytes += kv.second;
+            break;
+          default:
+            kernel.inputBytes += kv.second;
+        }
+    }
+    for (const auto &kv : writes) {
+        const graph::Tensor &t = graph.tensor(kv.first);
+        if (t.kind == TensorKind::KvCache)
+            kernel.kvWriteBytes += kv.second;
+        else
+            kernel.outputBytes += kv.second;
+    }
+}
+
+} // namespace sn40l::compiler

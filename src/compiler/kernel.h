@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Kernel: a fusion group scheduled as one launch (or several grid
+ * launches for split unfused ops), with its off-chip traffic
+ * classified by tensor role. The traffic accounting feeds the static
+ * bandwidth model and the executor.
+ */
+
+#ifndef SN40L_COMPILER_KERNEL_H
+#define SN40L_COMPILER_KERNEL_H
+
+#include <string>
+#include <vector>
+
+#include "graph/dataflow_graph.h"
+
+namespace sn40l::compiler {
+
+/** How the graph was lowered. */
+enum class ExecMode {
+    RduFused,       ///< streaming dataflow fusion (the paper's mode)
+    RduUnfused,     ///< one kernel per operator, materializing
+    GpuConventional ///< GPU-style restricted fusion (baseline)
+};
+
+const char *execModeName(ExecMode mode);
+
+/** PCU assignment for one pipeline stage of a fused kernel. */
+struct StagePlacement
+{
+    graph::OpId op = graph::kInvalidOp;
+    graph::OpClass cls = graph::OpClass::Simd;
+    int pcus = 0;
+    double flops = 0.0;
+    std::int64_t stageBufferBytes = 0;
+};
+
+struct Kernel
+{
+    int id = 0;
+    std::string name;
+    ExecMode mode = ExecMode::RduFused;
+    std::vector<graph::OpId> ops;
+
+    /** Grid launches this kernel needs (unfused ops may split). */
+    int launches = 1;
+
+    // ---- Work (whole-workload aggregate; executor divides by TP) --
+    double flops = 0.0;         ///< total, sparsity-discounted
+    double systolicFlops = 0.0; ///< GEMM-class share of flops
+    double simdFlops = 0.0;     ///< SIMD-class share
+
+    // ---- Off-chip traffic at kernel boundaries -------------------
+    double weightBytes = 0.0;   ///< weights/constants streamed in
+    double inputBytes = 0.0;    ///< activations read from off-chip
+    double outputBytes = 0.0;   ///< activations written off-chip
+    double kvReadBytes = 0.0;
+    double kvWriteBytes = 0.0;
+    double allReduceBytes = 0.0;///< collective payload (pre-ring-factor)
+    int collectiveOps = 0;
+
+    // ---- Placement summary (fused kernels) -----------------------
+    std::vector<StagePlacement> stages;
+    int pcusUsed = 0;
+    int pmusUsed = 0;
+    std::int64_t sramBytes = 0;
+
+    double
+    offChipReadBytes() const
+    {
+        return weightBytes + inputBytes + kvReadBytes;
+    }
+
+    double
+    offChipBytes() const
+    {
+        return offChipReadBytes() + outputBytes + kvWriteBytes;
+    }
+
+    /** FLOPs per off-chip byte at this kernel's boundary. */
+    double
+    operationalIntensity() const
+    {
+        double bytes = offChipBytes();
+        return bytes > 0.0 ? flops / bytes : 0.0;
+    }
+};
+
+/**
+ * Classify the off-chip traffic of a prospective fusion group and
+ * fill the work/traffic fields of @p kernel. @p member must answer
+ * whether an op id belongs to the group.
+ */
+void accountKernelTraffic(const graph::DataflowGraph &graph, Kernel &kernel);
+
+} // namespace sn40l::compiler
+
+#endif // SN40L_COMPILER_KERNEL_H

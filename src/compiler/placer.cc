@@ -1,0 +1,163 @@
+#include "compiler/placer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/pcu.h"
+#include "sim/log.h"
+
+namespace sn40l::compiler {
+
+using graph::OpClass;
+
+namespace {
+
+/**
+ * Placement floors: the minimum PCUs a stage can run on at all. These
+ * are intentionally smaller than the FusionOptions granularity floors
+ * (which express the compiler's throughput target for closing
+ * pipelines); once a pipeline exists, tiny stages may legitimately
+ * run on very few units.
+ */
+int
+placementFloor(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Systolic: return 4;
+      case OpClass::Simd: return 2;
+      default: return 0;
+    }
+}
+
+} // namespace
+
+void
+placeKernel(const graph::DataflowGraph &graph, const arch::ChipConfig &chip,
+            const FusionOptions &options, Kernel &kernel)
+{
+    kernel.stages.clear();
+
+    int placeable_pcus = static_cast<int>(
+        std::floor(chip.pcuCount * chip.placeableFraction));
+
+    // Per-stage normalized work: FLOPs scaled by the inverse of the
+    // class's per-PCU throughput, so a SIMD FLOP demands
+    // proportionally more PCUs than a systolic FLOP.
+    std::vector<double> weight;
+    for (graph::OpId id : kernel.ops) {
+        const graph::Operator &op = graph.op(id);
+        StagePlacement stage;
+        stage.op = id;
+        stage.cls = op.cls();
+        stage.flops = graph.opFlops(id);
+        stage.stageBufferBytes =
+            stageBufferBytes(graph, id, options.tileRows);
+        stage.pcus = placementFloor(op.cls());
+        kernel.stages.push_back(stage);
+
+        double rate = arch::Pcu::throughput(chip, op.cls());
+        weight.push_back(rate > 0.0 ? stage.flops / rate : 0.0);
+    }
+
+    int floor_total = 0;
+    for (const StagePlacement &stage : kernel.stages)
+        floor_total += stage.pcus;
+    if (floor_total > placeable_pcus) {
+        sim::panic("placeKernel: kernel '" + kernel.name +
+                   "' floors exceed placeable PCUs");
+    }
+
+    // Waterfill: equalize stage times. Stages whose floor already
+    // meets the balanced rate pin at the floor; the rest share the
+    // remaining PCUs proportionally to weighted work. Iterate until
+    // the pinned set stabilizes.
+    std::vector<bool> pinned(kernel.stages.size(), false);
+    for (std::size_t i = 0; i < kernel.stages.size(); ++i) {
+        if (weight[i] <= 0.0)
+            pinned[i] = true; // memory/collective stages keep floors
+    }
+    for (;;) {
+        double active_weight = 0.0;
+        int budget = placeable_pcus;
+        for (std::size_t i = 0; i < kernel.stages.size(); ++i) {
+            if (pinned[i])
+                budget -= kernel.stages[i].pcus;
+            else
+                active_weight += weight[i];
+        }
+        if (active_weight <= 0.0 || budget <= 0)
+            break;
+
+        // Balanced per-PCU time if all active stages share budget.
+        double t = active_weight / budget;
+        bool changed = false;
+        for (std::size_t i = 0; i < kernel.stages.size(); ++i) {
+            if (pinned[i])
+                continue;
+            double want = weight[i] / t;
+            if (want <= kernel.stages[i].pcus) {
+                pinned[i] = true; // floor already fast enough
+                changed = true;
+            }
+        }
+        if (!changed) {
+            for (std::size_t i = 0; i < kernel.stages.size(); ++i) {
+                if (!pinned[i]) {
+                    kernel.stages[i].pcus = std::max(
+                        kernel.stages[i].pcus,
+                        static_cast<int>(std::floor(weight[i] / t)));
+                }
+            }
+            break;
+        }
+    }
+
+    kernel.pcusUsed = 0;
+    for (const StagePlacement &stage : kernel.stages)
+        kernel.pcusUsed += stage.pcus;
+    if (kernel.pcusUsed > placeable_pcus) {
+        sim::panic("placeKernel: kernel '" + kernel.name +
+                   "' over-allocated PCUs");
+    }
+
+    // PMUs: stage buffers, at least one PMU per buffered stage.
+    kernel.sramBytes = 0;
+    kernel.pmusUsed = 0;
+    for (const StagePlacement &stage : kernel.stages) {
+        kernel.sramBytes += stage.stageBufferBytes;
+        if (stage.stageBufferBytes > 0) {
+            kernel.pmusUsed += std::max<int>(
+                1, static_cast<int>(
+                       (stage.stageBufferBytes + chip.sramPerPmu() - 1) /
+                       chip.sramPerPmu()));
+        }
+    }
+    kernel.pmusUsed = std::min(
+        kernel.pmusUsed,
+        static_cast<int>(std::floor(chip.pmuCount *
+                                    chip.placeableFraction)));
+}
+
+double
+placedComputeSeconds(const arch::ChipConfig &chip, const Kernel &kernel,
+                     int tensor_parallel)
+{
+    int tp = std::max(1, tensor_parallel);
+
+    // Pipeline steady state: the slowest stage under its allocation
+    // sets the kernel's compute time.
+    double bottleneck = 0.0;
+    for (const StagePlacement &stage : kernel.stages) {
+        if (stage.pcus <= 0 || stage.flops <= 0.0)
+            continue;
+        double rate = arch::Pcu::throughput(chip, stage.cls);
+        if (rate <= 0.0)
+            continue;
+        double stage_seconds =
+            (stage.flops / tp) / (rate * stage.pcus);
+        bottleneck = std::max(bottleneck, stage_seconds);
+    }
+    return bottleneck;
+}
+
+} // namespace sn40l::compiler

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Placer: allocates PCUs and PMUs to the stages of a fused kernel.
+ * PCUs are split proportionally to each stage's FLOP share (with
+ * per-class floors); PMUs follow stage-buffer capacity and bandwidth
+ * needs (Section III's "composable memory units").
+ */
+
+#ifndef SN40L_COMPILER_PLACER_H
+#define SN40L_COMPILER_PLACER_H
+
+#include "arch/chip_config.h"
+#include "compiler/fusion.h"
+#include "compiler/kernel.h"
+#include "graph/dataflow_graph.h"
+
+namespace sn40l::compiler {
+
+/**
+ * Fill kernel.stages / pcusUsed / pmusUsed / sramBytes for a fused
+ * kernel. Throws SimPanic if the kernel cannot place (the fusion pass
+ * should have prevented that).
+ */
+void placeKernel(const graph::DataflowGraph &graph,
+                 const arch::ChipConfig &chip, const FusionOptions &options,
+                 Kernel &kernel);
+
+/**
+ * Effective pipeline compute time (seconds) of a placed kernel's
+ * per-socket work: the bottleneck stage under proportional allocation.
+ */
+double placedComputeSeconds(const arch::ChipConfig &chip,
+                            const Kernel &kernel, int tensor_parallel);
+
+} // namespace sn40l::compiler
+
+#endif // SN40L_COMPILER_PLACER_H

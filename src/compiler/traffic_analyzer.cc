@@ -1,0 +1,129 @@
+#include "compiler/traffic_analyzer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/log.h"
+
+namespace sn40l::compiler {
+
+TrafficAnalyzer::TrafficAnalyzer(const arch::ChipConfig &chip,
+                                 double burst_factor,
+                                 bool distribute_lanes)
+    : chip_(chip), burstFactor_(burst_factor),
+      distributeLanes_(distribute_lanes)
+{
+    if (burst_factor < 1.0)
+        sim::fatal("TrafficAnalyzer: burst factor must be >= 1");
+}
+
+TrafficReport
+TrafficAnalyzer::analyze(const graph::DataflowGraph &graph,
+                         const Kernel &kernel, double kernel_seconds,
+                         int tensor_parallel) const
+{
+    if (kernel.stages.empty())
+        sim::panic("TrafficAnalyzer: kernel is not placed");
+    if (kernel_seconds <= 0.0)
+        kernel_seconds = 1e-6;
+    double tp = std::max(1, tensor_parallel);
+
+    // Logical mesh for the whole socket: tiles stacked vertically.
+    int cols = chip_.meshCols;
+    int rows = chip_.meshRows * chip_.tileCount();
+    arch::RdnMesh mesh(cols, rows);
+
+    // Assign stages contiguous PCU slots in snake order; a stage's
+    // traffic enters/leaves at its centroid slot.
+    TrafficReport report;
+    std::map<graph::OpId, arch::Coord> center_of;
+    int slot = 0;
+    auto slot_coord = [&](int s) {
+        int row = s / cols;
+        int col = s % cols;
+        if (row % 2 == 1)
+            col = cols - 1 - col; // snake
+        return arch::Coord{col, std::min(row, rows - 1)};
+    };
+    for (const StagePlacement &stage : kernel.stages) {
+        int span = std::max(1, stage.pcus);
+        arch::Coord center = slot_coord(slot + span / 2);
+        center_of[stage.op] = center;
+        report.stageCenters.push_back(center);
+        slot += span;
+    }
+
+    // Inter-stage streams: every tensor produced by one stage and
+    // consumed by another flows between their placements at
+    // bytes / kernel_seconds. A distributing placer splits the stream
+    // across the stages' parallel units; a naive one funnels it
+    // through the centroid route.
+    std::set<graph::OpId> members(kernel.ops.begin(), kernel.ops.end());
+    std::map<graph::OpId, int> pcus_of;
+    for (const StagePlacement &stage : kernel.stages) {
+        // Memory-class stages run on PMUs; their streams distribute
+        // across the stage-buffer PMUs (at least a modest spread).
+        int span = stage.pcus > 0 ? stage.pcus : 16;
+        pcus_of[stage.op] = span;
+    }
+
+    for (graph::OpId id : kernel.ops) {
+        const graph::Operator &op = graph.op(id);
+        for (graph::TensorId out : op.outputs) {
+            const graph::Tensor &t = graph.tensor(out);
+            double rate =
+                static_cast<double>(t.bytes()) / tp / kernel_seconds;
+            std::vector<arch::Coord> dsts;
+            int consumer_span = 1 << 20;
+            for (graph::OpId c : t.consumers) {
+                if (!members.count(c) || c == id)
+                    continue;
+                dsts.push_back(center_of.at(c));
+                consumer_span = std::min(consumer_span, pcus_of.at(c));
+            }
+            if (dsts.empty())
+                continue;
+            if (distributeLanes_) {
+                int lanes = std::max(
+                    1, std::min(pcus_of.at(id), consumer_span));
+                rate /= lanes;
+            }
+            // One-to-many streams use a multicast tree.
+            if (dsts.size() == 1)
+                mesh.addFlow(center_of.at(id), dsts[0], rate);
+            else
+                mesh.addMulticastFlow(center_of.at(id), dsts, rate);
+            ++report.flows;
+        }
+        // Off-chip reads enter through the AGCU column (x = 0) at the
+        // stage's row, spread across the socket's AGCUs when the
+        // placer distributes.
+        double inbound = graph.opReadBytes(id);
+        const graph::Tensor *first_in = op.inputs.empty()
+            ? nullptr
+            : &graph.tensor(op.inputs[0]);
+        bool reads_offchip = first_in &&
+            (first_in->kind == graph::TensorKind::Weight ||
+             first_in->kind == graph::TensorKind::Input ||
+             first_in->kind == graph::TensorKind::KvCache);
+        if (reads_offchip && inbound > 0.0) {
+            double rate = inbound / tp / kernel_seconds;
+            if (distributeLanes_)
+                rate /= chip_.agcusPerTile * chip_.tileCount();
+            arch::Coord dst = center_of.at(id);
+            arch::Coord src{0, dst.y};
+            mesh.addFlow(src, dst, rate);
+            ++report.flows;
+        }
+    }
+
+    report.maxLinkLoad = mesh.maxLinkLoad();
+    double link_bw = chip_.rdnLinkBandwidth;
+    report.throttledFactor = mesh.congestionFactor(link_bw);
+    report.congestionFactor =
+        std::max(1.0, report.maxLinkLoad * burstFactor_ / link_bw);
+    return report;
+}
+
+} // namespace sn40l::compiler

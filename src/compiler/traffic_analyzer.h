@@ -1,0 +1,75 @@
+/**
+ * @file
+ * RDN traffic analysis for placed kernels (Section VII, "Performance
+ * debugging"): maps pipeline stages onto mesh coordinates, derives the
+ * on-chip streams between producer and consumer stages, finds hot
+ * links, and models the effect of programmable packet throttling on
+ * bursty traffic.
+ */
+
+#ifndef SN40L_COMPILER_TRAFFIC_ANALYZER_H
+#define SN40L_COMPILER_TRAFFIC_ANALYZER_H
+
+#include <vector>
+
+#include "arch/chip_config.h"
+#include "arch/rdn.h"
+#include "compiler/kernel.h"
+#include "graph/dataflow_graph.h"
+
+namespace sn40l::compiler {
+
+struct TrafficReport
+{
+    std::size_t flows = 0;
+
+    /** Sustained load on the hottest link, bytes/sec. */
+    double maxLinkLoad = 0.0;
+
+    /** Time dilation with bursty (unthrottled) traffic. */
+    double congestionFactor = 1.0;
+
+    /** Time dilation after programmable packet throttling smooths
+     *  bursts to the sustained rate (Section VII). */
+    double throttledFactor = 1.0;
+
+    /** Stage coordinates used (for inspection/tests). */
+    std::vector<arch::Coord> stageCenters;
+};
+
+class TrafficAnalyzer
+{
+  public:
+    /**
+     * @param burst_factor peak-to-sustained ratio of unthrottled
+     *        producer bursts (the paper observes bursty traffic can
+     *        "easily slow down the entire kernel").
+     * @param distribute_lanes when true (the compiler's real
+     *        behaviour), an inter-stage stream is spread across the
+     *        participating units' parallel paths instead of funneling
+     *        through one route — the "program-controlled bandwidth
+     *        management" of Section III-A.
+     */
+    explicit TrafficAnalyzer(const arch::ChipConfig &chip,
+                             double burst_factor = 2.0,
+                             bool distribute_lanes = true);
+
+    /**
+     * Analyze a *placed* fused kernel executing with steady-state
+     * duration @p kernel_seconds on one socket of a
+     * @p tensor_parallel-way sharded workload: inter-stage stream
+     * rates are per-socket tensor bytes over that duration.
+     */
+    TrafficReport analyze(const graph::DataflowGraph &graph,
+                          const Kernel &kernel, double kernel_seconds,
+                          int tensor_parallel = 1) const;
+
+  private:
+    const arch::ChipConfig &chip_;
+    double burstFactor_;
+    bool distributeLanes_;
+};
+
+} // namespace sn40l::compiler
+
+#endif // SN40L_COMPILER_TRAFFIC_ANALYZER_H

@@ -1,0 +1,327 @@
+#include "graph/dataflow_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/log.h"
+
+namespace sn40l::graph {
+
+TensorId
+DataflowGraph::addTensor(const std::string &name, TensorShape shape,
+                         DType dtype, TensorKind kind)
+{
+    Tensor t;
+    t.id = static_cast<TensorId>(tensors_.size());
+    t.name = name;
+    t.shape = std::move(shape);
+    t.dtype = dtype;
+    t.kind = kind;
+    tensors_.push_back(std::move(t));
+    return tensors_.back().id;
+}
+
+OpId
+DataflowGraph::addOp(OpKind kind, const std::string &name,
+                     std::vector<TensorId> inputs,
+                     std::vector<TensorId> outputs, double sparsity)
+{
+    Operator op;
+    op.id = static_cast<OpId>(ops_.size());
+    op.kind = kind;
+    op.name = name;
+    op.sparsity = sparsity;
+
+    for (TensorId in : inputs) {
+        if (in < 0 || in >= static_cast<TensorId>(tensors_.size()))
+            sim::panic("addOp(" + name + "): invalid input tensor id");
+        tensors_[in].consumers.push_back(op.id);
+    }
+    for (TensorId out : outputs) {
+        if (out < 0 || out >= static_cast<TensorId>(tensors_.size()))
+            sim::panic("addOp(" + name + "): invalid output tensor id");
+        Tensor &t = tensors_[out];
+        // KvCache tensors are mutable state and may be rewritten.
+        if (t.producer != kInvalidOp && t.kind != TensorKind::KvCache) {
+            sim::panic("addOp(" + name + "): tensor '" + t.name +
+                       "' already has a producer");
+        }
+        t.producer = op.id;
+    }
+
+    op.inputs = std::move(inputs);
+    op.outputs = std::move(outputs);
+    ops_.push_back(std::move(op));
+    return ops_.back().id;
+}
+
+const Tensor &
+DataflowGraph::tensor(TensorId id) const
+{
+    if (id < 0 || id >= static_cast<TensorId>(tensors_.size()))
+        sim::panic("tensor(): invalid id " + std::to_string(id));
+    return tensors_[id];
+}
+
+const Operator &
+DataflowGraph::op(OpId id) const
+{
+    if (id < 0 || id >= static_cast<OpId>(ops_.size()))
+        sim::panic("op(): invalid id " + std::to_string(id));
+    return ops_[id];
+}
+
+std::vector<OpId>
+DataflowGraph::topoOrder() const
+{
+    // Edges: producer(op) -> consumer(op) through Activation/Output
+    // tensors. KvCache reads do not create ordering edges (state).
+    std::vector<int> indegree(ops_.size(), 0);
+    std::vector<std::vector<OpId>> succs(ops_.size());
+
+    for (const Operator &op : ops_) {
+        for (TensorId in : op.inputs) {
+            const Tensor &t = tensors_[in];
+            if (t.kind == TensorKind::KvCache)
+                continue;
+            if (t.producer != kInvalidOp && t.producer != op.id) {
+                succs[t.producer].push_back(op.id);
+                ++indegree[op.id];
+            }
+        }
+    }
+
+    std::queue<OpId> ready;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        if (indegree[i] == 0)
+            ready.push(static_cast<OpId>(i));
+    }
+
+    std::vector<OpId> order;
+    order.reserve(ops_.size());
+    while (!ready.empty()) {
+        OpId id = ready.front();
+        ready.pop();
+        order.push_back(id);
+        for (OpId succ : succs[id]) {
+            if (--indegree[succ] == 0)
+                ready.push(succ);
+        }
+    }
+
+    if (order.size() != ops_.size())
+        sim::panic("topoOrder: graph '" + name_ + "' has a cycle");
+    return order;
+}
+
+void
+DataflowGraph::validate() const
+{
+    for (const Tensor &t : tensors_) {
+        bool has_producer = t.producer != kInvalidOp;
+        switch (t.kind) {
+          case TensorKind::Input:
+          case TensorKind::Weight:
+          case TensorKind::Constant:
+            if (has_producer) {
+                sim::panic("validate: " + std::string(tensorKindName(t.kind)) +
+                           " tensor '" + t.name + "' has a producer");
+            }
+            break;
+          case TensorKind::Activation:
+          case TensorKind::Output:
+            if (!has_producer) {
+                sim::panic("validate: tensor '" + t.name +
+                           "' has no producer");
+            }
+            break;
+          case TensorKind::KvCache:
+            break; // may or may not be written
+        }
+        if (t.kind == TensorKind::Activation && t.consumers.empty()) {
+            sim::panic("validate: activation '" + t.name +
+                       "' is never consumed");
+        }
+    }
+    // Throws on cycles.
+    (void)topoOrder();
+}
+
+namespace {
+
+/**
+ * FLOPs for a (possibly batched) GEMM given operand shapes.
+ * Convention: op.inputs[0] is the data operand [..., M, K] and
+ * op.inputs[1] the weight/second operand [..., K, N] (or [K, N]).
+ */
+double
+gemmFlops(const Tensor &a, const Tensor &b)
+{
+    if (a.shape.rank() < 2 || b.shape.rank() < 2)
+        sim::panic("gemmFlops: operands must be rank >= 2");
+    std::int64_t k = a.shape.dims.back();
+    std::int64_t k2 = b.shape.dims[b.shape.rank() - 2];
+    if (k != k2) {
+        sim::panic("gemmFlops: inner dims disagree: " + a.shape.str() +
+                   " x " + b.shape.str());
+    }
+    std::int64_t n = b.shape.dims.back();
+    // Every dim of A except the last participates as batch*M.
+    std::int64_t batch_m = a.shape.elems() / k;
+    return 2.0 * static_cast<double>(batch_m) * static_cast<double>(k) *
+           static_cast<double>(n);
+}
+
+/** Per-element FLOP factors for SIMD-class ops. */
+double
+simdFlopsPerElem(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Div:
+      case OpKind::Scale:
+      case OpKind::Relu:
+      case OpKind::Cast:
+      case OpKind::Reduce:
+        return 1.0;
+      case OpKind::Exp:
+      case OpKind::TopK:
+      case OpKind::Sample:
+        return 2.0;
+      case OpKind::Silu:
+      case OpKind::Gelu:
+      case OpKind::RmsNorm:
+        return 4.0;
+      case OpKind::Softmax:
+        return 5.0;
+      case OpKind::LayerNorm:
+      case OpKind::Rope:
+        return 6.0;
+      default:
+        return 0.0;
+    }
+}
+
+} // namespace
+
+double
+DataflowGraph::opFlops(OpId id) const
+{
+    const Operator &o = op(id);
+    switch (o.cls()) {
+      case OpClass::Systolic: {
+        if (o.inputs.size() < 2)
+            sim::panic("opFlops: gemm '" + o.name + "' needs 2 inputs");
+        double dense = gemmFlops(tensor(o.inputs[0]), tensor(o.inputs[1]));
+        return dense * (1.0 - o.sparsity);
+      }
+      case OpClass::Simd: {
+        if (o.outputs.empty())
+            sim::panic("opFlops: simd op '" + o.name + "' has no output");
+        // Reductions do work proportional to what they consume, not
+        // to their (collapsed) output.
+        const Tensor &sized = (o.kind == OpKind::Reduce &&
+                               !o.inputs.empty())
+            ? tensor(o.inputs[0])
+            : tensor(o.outputs[0]);
+        double elems = static_cast<double>(sized.shape.elems());
+        return elems * simdFlopsPerElem(o.kind);
+      }
+      case OpClass::Memory:
+      case OpClass::Collective:
+        return 0.0;
+    }
+    sim::panic("opFlops: unknown class");
+}
+
+double
+DataflowGraph::totalFlops() const
+{
+    double total = 0.0;
+    for (const Operator &o : ops_)
+        total += opFlops(o.id);
+    return total;
+}
+
+std::int64_t
+DataflowGraph::tensorBytes(TensorId id) const
+{
+    return tensor(id).bytes();
+}
+
+double
+DataflowGraph::weightBytes() const
+{
+    double total = 0.0;
+    for (const Tensor &t : tensors_) {
+        if (t.kind != TensorKind::Weight && t.kind != TensorKind::Constant)
+            continue;
+        double sparsity = 0.0;
+        // A sparse consumer means the stored weight is compressed.
+        for (OpId c : t.consumers)
+            sparsity = std::max(sparsity, ops_[c].sparsity);
+        total += static_cast<double>(t.bytes()) * (1.0 - sparsity);
+    }
+    return total;
+}
+
+double
+DataflowGraph::effectiveReadBytes(OpId id, TensorId input) const
+{
+    const Operator &o = op(id);
+    const Tensor &t = tensor(input);
+
+    // Indexed table lookups fetch only the gathered rows (one row of
+    // the table per output row).
+    bool is_lookup = o.kind == OpKind::Embedding || o.kind == OpKind::Gather;
+    bool is_table = t.kind == TensorKind::Weight ||
+                    t.kind == TensorKind::Constant;
+    if (is_lookup && is_table && !o.outputs.empty()) {
+        double gathered =
+            static_cast<double>(tensor(o.outputs[0]).bytes());
+        return std::min(static_cast<double>(t.bytes()), gathered);
+    }
+
+    double discount =
+        (t.kind == TensorKind::Weight) ? (1.0 - o.sparsity) : 1.0;
+    return static_cast<double>(t.bytes()) * discount;
+}
+
+double
+DataflowGraph::effectiveWriteBytes(OpId id, TensorId output) const
+{
+    const Operator &o = op(id);
+    const Tensor &t = tensor(output);
+
+    // Appending to a persistent cache writes only the appended rows.
+    if (o.kind == OpKind::KvAppend && !o.inputs.empty()) {
+        double appended =
+            static_cast<double>(tensor(o.inputs[0]).bytes());
+        return std::min(static_cast<double>(t.bytes()), appended);
+    }
+    return static_cast<double>(t.bytes());
+}
+
+double
+DataflowGraph::opReadBytes(OpId id) const
+{
+    const Operator &o = op(id);
+    double total = 0.0;
+    for (TensorId in : o.inputs)
+        total += effectiveReadBytes(id, in);
+    return total;
+}
+
+double
+DataflowGraph::opWriteBytes(OpId id) const
+{
+    const Operator &o = op(id);
+    double total = 0.0;
+    for (TensorId out : o.outputs)
+        total += effectiveWriteBytes(id, out);
+    return total;
+}
+
+} // namespace sn40l::graph

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The dataflow graph IR: a DAG of operators over tensors. Workload
+ * builders (models/) emit these graphs; the compiler partitions them
+ * into kernels; cost models consume per-op FLOP and byte accounting
+ * defined here.
+ */
+
+#ifndef SN40L_GRAPH_DATAFLOW_GRAPH_H
+#define SN40L_GRAPH_DATAFLOW_GRAPH_H
+
+#include <string>
+#include <vector>
+
+#include "graph/operator.h"
+#include "graph/tensor.h"
+
+namespace sn40l::graph {
+
+class DataflowGraph
+{
+  public:
+    explicit DataflowGraph(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Add a tensor node. @return its id. */
+    TensorId addTensor(const std::string &name, TensorShape shape,
+                       DType dtype = DType::BF16,
+                       TensorKind kind = TensorKind::Activation);
+
+    /**
+     * Add an operator consuming @p inputs and producing @p outputs.
+     * Output tensors must not already have a producer.
+     * @return the op id.
+     */
+    OpId addOp(OpKind kind, const std::string &name,
+               std::vector<TensorId> inputs,
+               std::vector<TensorId> outputs,
+               double sparsity = 0.0);
+
+    const Tensor &tensor(TensorId id) const;
+    const Operator &op(OpId id) const;
+
+    std::size_t numTensors() const { return tensors_.size(); }
+    std::size_t numOps() const { return ops_.size(); }
+
+    const std::vector<Tensor> &tensors() const { return tensors_; }
+    const std::vector<Operator> &ops() const { return ops_; }
+
+    /**
+     * Kahn topological order over ops. Panics if the graph has a
+     * cycle (addOp ordering normally prevents one, but builders can
+     * create cycles through KvCache tensors if buggy).
+     */
+    std::vector<OpId> topoOrder() const;
+
+    /**
+     * Check structural invariants; throws SimPanic on violation:
+     * every Activation/Output tensor has exactly one producer,
+     * Input/Weight/Constant tensors have none, all ids are valid,
+     * and the graph is acyclic.
+     */
+    void validate() const;
+
+    /** FLOPs executed by one op (sparsity-discounted). */
+    double opFlops(OpId id) const;
+
+    /** Sum of opFlops over the whole graph. */
+    double totalFlops() const;
+
+    /** Bytes of one tensor. */
+    std::int64_t tensorBytes(TensorId id) const;
+
+    /**
+     * Total parameter bytes (Weight tensors), discounted by the
+     * sparsity of their consuming op where applicable (sparseGPT
+     * stores compressed weights).
+     */
+    double weightBytes() const;
+
+    /**
+     * Bytes an op actually reads from tensor @p input. Differs from
+     * the tensor's size for indexed accesses: Embedding/Gather read
+     * only the gathered rows of their table, and sparse consumers read
+     * compressed weights.
+     */
+    double effectiveReadBytes(OpId id, TensorId input) const;
+
+    /**
+     * Bytes an op actually writes to tensor @p output. KvAppend
+     * writes only the appended rows, not the whole cache.
+     */
+    double effectiveWriteBytes(OpId id, TensorId output) const;
+
+    /** Bytes read by an op: effectiveReadBytes over all inputs. */
+    double opReadBytes(OpId id) const;
+
+    /** Bytes written by an op: effectiveWriteBytes over all outputs. */
+    double opWriteBytes(OpId id) const;
+
+  private:
+    std::string name_;
+    std::vector<Tensor> tensors_;
+    std::vector<Operator> ops_;
+};
+
+} // namespace sn40l::graph
+
+#endif // SN40L_GRAPH_DATAFLOW_GRAPH_H

@@ -1,0 +1,93 @@
+#include "graph/intensity.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/log.h"
+
+namespace sn40l::graph {
+
+IntensityResult
+operationalIntensity(const DataflowGraph &graph,
+                     const std::vector<FusionGroup> &groups)
+{
+    // Map op -> group index, checking the partition is exact.
+    std::vector<int> group_of(graph.numOps(), -1);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (OpId id : groups[g].ops) {
+            if (id < 0 || id >= static_cast<OpId>(graph.numOps()))
+                sim::panic("operationalIntensity: invalid op id");
+            if (group_of[id] != -1)
+                sim::panic("operationalIntensity: op in two groups");
+            group_of[id] = static_cast<int>(g);
+        }
+    }
+    for (std::size_t i = 0; i < graph.numOps(); ++i) {
+        if (group_of[i] == -1)
+            sim::panic("operationalIntensity: op missing from partition");
+    }
+
+    IntensityResult result;
+    result.flops = graph.totalFlops();
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        // Tensor -> charged bytes; a tensor touched by several ops of
+        // the group is charged once (at the largest effective size).
+        std::map<TensorId, double> reads, writes;
+        for (OpId id : groups[g].ops) {
+            const Operator &op = graph.op(id);
+            for (TensorId in : op.inputs) {
+                const Tensor &t = graph.tensor(in);
+                bool produced_inside = t.producer != kInvalidOp &&
+                    group_of[t.producer] == static_cast<int>(g);
+                if (produced_inside)
+                    continue;
+                double bytes = graph.effectiveReadBytes(id, in);
+                auto it = reads.find(in);
+                if (it == reads.end() || it->second < bytes)
+                    reads[in] = bytes;
+            }
+            for (TensorId out : op.outputs) {
+                const Tensor &t = graph.tensor(out);
+                bool escapes = t.kind == TensorKind::Output ||
+                               t.kind == TensorKind::KvCache;
+                for (OpId c : t.consumers) {
+                    if (group_of[c] != static_cast<int>(g))
+                        escapes = true;
+                }
+                if (!escapes)
+                    continue;
+                double bytes = graph.effectiveWriteBytes(id, out);
+                auto it = writes.find(out);
+                if (it == writes.end() || it->second < bytes)
+                    writes[out] = bytes;
+            }
+        }
+        for (const auto &kv : reads)
+            result.bytes += kv.second;
+        for (const auto &kv : writes)
+            result.bytes += kv.second;
+    }
+    return result;
+}
+
+std::vector<FusionGroup>
+singleOpGroups(const DataflowGraph &graph)
+{
+    std::vector<FusionGroup> groups(graph.numOps());
+    for (std::size_t i = 0; i < graph.numOps(); ++i)
+        groups[i].ops = {static_cast<OpId>(i)};
+    return groups;
+}
+
+std::vector<FusionGroup>
+singleGroup(const DataflowGraph &graph)
+{
+    std::vector<FusionGroup> groups(1);
+    for (std::size_t i = 0; i < graph.numOps(); ++i)
+        groups[0].ops.push_back(static_cast<OpId>(i));
+    return groups;
+}
+
+} // namespace sn40l::graph

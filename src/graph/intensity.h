@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Operational-intensity analysis over fusion partitions (paper
+ * Table I). Given a partition of a graph into fusion groups, computes
+ * FLOPs and the off-chip bytes crossing group boundaries; their ratio
+ * is the achievable operational intensity at that fusion level.
+ */
+
+#ifndef SN40L_GRAPH_INTENSITY_H
+#define SN40L_GRAPH_INTENSITY_H
+
+#include <vector>
+
+#include "graph/dataflow_graph.h"
+
+namespace sn40l::graph {
+
+/** A set of ops executed as one fused kernel. */
+struct FusionGroup
+{
+    std::vector<OpId> ops;
+};
+
+struct IntensityResult
+{
+    double flops = 0.0;
+    double bytes = 0.0;
+
+    double
+    intensity() const
+    {
+        return bytes > 0.0 ? flops / bytes : 0.0;
+    }
+};
+
+/**
+ * Byte accounting: for each group, external reads are tensors consumed
+ * by a group op but produced outside the group (including weights,
+ * constants and graph inputs); external writes are tensors produced in
+ * the group and consumed outside it (or graph outputs). A tensor read
+ * by several ops of one group is counted once for that group.
+ *
+ * Every op must appear in exactly one group (checked).
+ */
+IntensityResult operationalIntensity(const DataflowGraph &graph,
+                                     const std::vector<FusionGroup> &groups);
+
+/** One group per op — the "No Fusion" row of Table I. */
+std::vector<FusionGroup> singleOpGroups(const DataflowGraph &graph);
+
+/** All ops in one group — the "Fully Spatially Fused" row. */
+std::vector<FusionGroup> singleGroup(const DataflowGraph &graph);
+
+} // namespace sn40l::graph
+
+#endif // SN40L_GRAPH_INTENSITY_H

@@ -1,0 +1,129 @@
+#include "graph/operator.h"
+
+#include "sim/log.h"
+
+namespace sn40l::graph {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Gemm: return "gemm";
+      case OpKind::BatchGemm: return "batch_gemm";
+      case OpKind::Add: return "add";
+      case OpKind::Sub: return "sub";
+      case OpKind::Mul: return "mul";
+      case OpKind::Div: return "div";
+      case OpKind::Scale: return "scale";
+      case OpKind::Exp: return "exp";
+      case OpKind::Silu: return "silu";
+      case OpKind::Gelu: return "gelu";
+      case OpKind::Relu: return "relu";
+      case OpKind::Softmax: return "softmax";
+      case OpKind::RmsNorm: return "rms_norm";
+      case OpKind::LayerNorm: return "layer_norm";
+      case OpKind::Rope: return "rope";
+      case OpKind::Reduce: return "reduce";
+      case OpKind::Cast: return "cast";
+      case OpKind::Transpose: return "transpose";
+      case OpKind::Reshape: return "reshape";
+      case OpKind::Concat: return "concat";
+      case OpKind::Split: return "split";
+      case OpKind::Copy: return "copy";
+      case OpKind::Embedding: return "embedding";
+      case OpKind::Gather: return "gather";
+      case OpKind::KvAppend: return "kv_append";
+      case OpKind::TopK: return "topk";
+      case OpKind::Sample: return "sample";
+      case OpKind::AllReduce: return "all_reduce";
+    }
+    sim::panic("opKindName: unknown kind");
+}
+
+OpClass
+opClass(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Gemm:
+      case OpKind::BatchGemm:
+        return OpClass::Systolic;
+
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Div:
+      case OpKind::Scale:
+      case OpKind::Exp:
+      case OpKind::Silu:
+      case OpKind::Gelu:
+      case OpKind::Relu:
+      case OpKind::Softmax:
+      case OpKind::RmsNorm:
+      case OpKind::LayerNorm:
+      case OpKind::Rope:
+      case OpKind::Reduce:
+      case OpKind::Cast:
+      case OpKind::TopK:
+      case OpKind::Sample:
+        return OpClass::Simd;
+
+      case OpKind::Transpose:
+      case OpKind::Reshape:
+      case OpKind::Concat:
+      case OpKind::Split:
+      case OpKind::Copy:
+      case OpKind::Embedding:
+      case OpKind::Gather:
+      case OpKind::KvAppend:
+        return OpClass::Memory;
+
+      case OpKind::AllReduce:
+        return OpClass::Collective;
+    }
+    sim::panic("opClass: unknown kind");
+}
+
+const char *
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::Systolic: return "systolic";
+      case OpClass::Simd: return "simd";
+      case OpClass::Memory: return "memory";
+      case OpClass::Collective: return "collective";
+    }
+    sim::panic("opClassName: unknown class");
+}
+
+bool
+isElementwise(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Add:
+      case OpKind::Sub:
+      case OpKind::Mul:
+      case OpKind::Div:
+      case OpKind::Scale:
+      case OpKind::Exp:
+      case OpKind::Silu:
+      case OpKind::Gelu:
+      case OpKind::Relu:
+      case OpKind::Cast:
+      case OpKind::Rope:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isGpuFusable(OpKind kind)
+{
+    // Conventional fusers (TensorRT / torch.compile class, Section
+    // III-A) absorb elementwise epilogues into a producing kernel but
+    // stop at layout changes, lookups, reductions with cross-thread
+    // reuse, and collectives.
+    return isElementwise(kind);
+}
+
+} // namespace sn40l::graph

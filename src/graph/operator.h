@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Operator kinds for the dataflow graph IR, with the classification
+ * used by the hardware cost models (systolic vs SIMD vs
+ * memory-movement vs collective).
+ */
+
+#ifndef SN40L_GRAPH_OPERATOR_H
+#define SN40L_GRAPH_OPERATOR_H
+
+#include <string>
+#include <vector>
+
+#include "graph/tensor.h"
+
+namespace sn40l::graph {
+
+enum class OpKind {
+    // Systolic (matrix) compute
+    Gemm,        ///< [M,K] x [K,N] -> [M,N]; weights usually operand 1
+    BatchGemm,   ///< [B,M,K] x [B,K,N] -> [B,M,N]
+
+    // Streaming SIMD compute
+    Add, Sub, Mul, Div,     ///< elementwise; second operand broadcastable
+    Scale,                  ///< multiply by a scalar constant
+    Exp, Silu, Gelu, Relu,  ///< activations / transcendental
+    Softmax,                ///< along innermost dim
+    RmsNorm, LayerNorm,     ///< normalizations (include their weights)
+    Rope,                   ///< rotary position embedding
+    Reduce,                 ///< sum/max along innermost dim
+    Cast,                   ///< dtype conversion
+
+    // Data movement / layout
+    Transpose,   ///< swap last two dims; pure access-pattern on SN40L
+    Reshape,     ///< metadata-only on SN40L, materializing on GPUs
+    Concat, Split,
+    Copy,
+    Embedding,   ///< table lookup (vocab rows)
+    Gather,      ///< generic indexed load
+    KvAppend,    ///< append current K/V to cache
+    TopK, Sample,///< decode-side selection ops (tiny)
+
+    // Collectives
+    AllReduce,   ///< tensor-parallel reduction across sockets
+};
+
+/** Compute-resource class an operator maps to. */
+enum class OpClass {
+    Systolic,  ///< PCU systolic array / GPU tensor cores
+    Simd,      ///< PCU SIMD pipeline / GPU CUDA cores
+    Memory,    ///< address-generation + data movement only
+    Collective,///< inter-socket communication
+};
+
+const char *opKindName(OpKind kind);
+OpClass opClass(OpKind kind);
+const char *opClassName(OpClass cls);
+
+/** @return true for pure element-wise kinds (fusable on GPUs too). */
+bool isElementwise(OpKind kind);
+
+/**
+ * @return true if a conventional (GPU-style) fuser may absorb this op
+ * into a preceding kernel. Streaming dataflow has no such restriction;
+ * this predicate encodes the Section III-A limitations: shuffles,
+ * transposes, reductions-with-reuse and collectives break GPU fusion.
+ */
+bool isGpuFusable(OpKind kind);
+
+struct Operator
+{
+    OpId id = kInvalidOp;
+    OpKind kind = OpKind::Add;
+    std::string name;
+    std::vector<TensorId> inputs;
+    std::vector<TensorId> outputs;
+
+    /** Weight sparsity in [0,1); scales FLOPs and weight traffic. */
+    double sparsity = 0.0;
+
+    OpClass cls() const { return opClass(kind); }
+};
+
+} // namespace sn40l::graph
+
+#endif // SN40L_GRAPH_OPERATOR_H

@@ -1,0 +1,91 @@
+#include "graph/tensor.h"
+
+#include "sim/log.h"
+
+namespace sn40l::graph {
+
+std::size_t
+dtypeBytes(DType dtype)
+{
+    switch (dtype) {
+      case DType::BF16: return 2;
+      case DType::FP16: return 2;
+      case DType::FP32: return 4;
+      case DType::INT32: return 4;
+      case DType::INT8: return 1;
+    }
+    sim::panic("dtypeBytes: unknown dtype");
+}
+
+const char *
+dtypeName(DType dtype)
+{
+    switch (dtype) {
+      case DType::BF16: return "bf16";
+      case DType::FP16: return "fp16";
+      case DType::FP32: return "fp32";
+      case DType::INT32: return "int32";
+      case DType::INT8: return "int8";
+    }
+    sim::panic("dtypeName: unknown dtype");
+}
+
+std::int64_t
+TensorShape::elems() const
+{
+    std::int64_t n = 1;
+    for (std::int64_t d : dims) {
+        if (d <= 0)
+            sim::panic("TensorShape: non-positive dimension " + str());
+        n *= d;
+    }
+    return n;
+}
+
+std::int64_t
+TensorShape::bytes(DType dtype) const
+{
+    return elems() * static_cast<std::int64_t>(dtypeBytes(dtype));
+}
+
+std::int64_t
+TensorShape::innermost() const
+{
+    return dims.empty() ? 1 : dims.back();
+}
+
+std::string
+TensorShape::str() const
+{
+    if (dims.empty())
+        return "scalar";
+    std::string out;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+        if (i > 0)
+            out += "x";
+        out += std::to_string(dims[i]);
+    }
+    return out;
+}
+
+const char *
+tensorKindName(TensorKind kind)
+{
+    switch (kind) {
+      case TensorKind::Input: return "input";
+      case TensorKind::Output: return "output";
+      case TensorKind::Weight: return "weight";
+      case TensorKind::Constant: return "constant";
+      case TensorKind::Activation: return "activation";
+      case TensorKind::KvCache: return "kv_cache";
+    }
+    sim::panic("tensorKindName: unknown kind");
+}
+
+bool
+isReadOnlyKind(TensorKind kind)
+{
+    return kind == TensorKind::Weight || kind == TensorKind::Constant;
+}
+
+} // namespace sn40l::graph

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tensor metadata for the dataflow graph IR: shapes, dtypes, and
+ * tensor roles. The simulator never materializes tensor *data*; it
+ * reasons about shapes, bytes, and data movement only.
+ */
+
+#ifndef SN40L_GRAPH_TENSOR_H
+#define SN40L_GRAPH_TENSOR_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sn40l::graph {
+
+using TensorId = std::int32_t;
+using OpId = std::int32_t;
+constexpr TensorId kInvalidTensor = -1;
+constexpr OpId kInvalidOp = -1;
+
+/** Element datatypes used by the workloads in the paper. */
+enum class DType { BF16, FP16, FP32, INT32, INT8 };
+
+std::size_t dtypeBytes(DType dtype);
+const char *dtypeName(DType dtype);
+
+/** Dense row-major tensor shape. An empty dim list denotes a scalar. */
+struct TensorShape
+{
+    std::vector<std::int64_t> dims;
+
+    TensorShape() = default;
+    TensorShape(std::initializer_list<std::int64_t> d) : dims(d) {}
+    explicit TensorShape(std::vector<std::int64_t> d) : dims(std::move(d)) {}
+
+    int rank() const { return static_cast<int>(dims.size()); }
+
+    /** Number of elements; 1 for a scalar. */
+    std::int64_t elems() const;
+
+    /** Size in bytes for the given element type. */
+    std::int64_t bytes(DType dtype) const;
+
+    /** Last dimension, or 1 for a scalar. */
+    std::int64_t innermost() const;
+
+    /** e.g. "128x1024". Scalars render as "scalar". */
+    std::string str() const;
+
+    bool operator==(const TensorShape &other) const = default;
+};
+
+/**
+ * The role a tensor plays in the program. Roles drive memory placement
+ * (weights stream from HBM/DDR; activations live in PMU SRAM inside a
+ * fused kernel) and the read-only skip-copyback optimization in the
+ * CoE runtime (Section V-B).
+ */
+enum class TensorKind {
+    Input,      ///< graph input (prompt activations, images, ...)
+    Output,     ///< graph output (logits, hidden states)
+    Weight,     ///< model parameter; read-only at inference
+    Constant,   ///< small read-only constant (scales, tables, twiddles)
+    Activation, ///< intermediate produced and consumed inside the graph
+    KvCache,    ///< persistent, mutable attention cache state
+};
+
+const char *tensorKindName(TensorKind kind);
+
+/** @return true for kinds that are never written at inference time. */
+bool isReadOnlyKind(TensorKind kind);
+
+struct Tensor
+{
+    TensorId id = kInvalidTensor;
+    std::string name;
+    TensorShape shape;
+    DType dtype = DType::BF16;
+    TensorKind kind = TensorKind::Activation;
+    OpId producer = kInvalidOp;
+    std::vector<OpId> consumers;
+
+    std::int64_t bytes() const { return shape.bytes(dtype); }
+};
+
+} // namespace sn40l::graph
+
+#endif // SN40L_GRAPH_TENSOR_H

@@ -1,0 +1,64 @@
+#include "mem/bandwidth_channel.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace sn40l::mem {
+
+BandwidthChannel::BandwidthChannel(sim::EventQueue &eq, std::string name,
+                                   double peak_bw, double efficiency,
+                                   sim::Tick latency)
+    : eq_(eq), name_(std::move(name)), peakBw_(peak_bw),
+      efficiency_(efficiency), latency_(latency), stats_(name_)
+{
+    if (peak_bw <= 0.0)
+        sim::fatal("BandwidthChannel " + name_ + ": non-positive bandwidth");
+    if (efficiency <= 0.0 || efficiency > 1.0)
+        sim::fatal("BandwidthChannel " + name_ + ": efficiency out of (0,1]");
+}
+
+void
+BandwidthChannel::setEfficiency(double efficiency)
+{
+    if (efficiency <= 0.0 || efficiency > 1.0)
+        sim::fatal("BandwidthChannel " + name_ + ": efficiency out of (0,1]");
+    efficiency_ = efficiency;
+}
+
+sim::Tick
+BandwidthChannel::estimate(double bytes) const
+{
+    return sim::transferTicks(bytes, effectiveBandwidth());
+}
+
+void
+BandwidthChannel::transfer(double bytes, Callback on_done)
+{
+    if (bytes < 0.0)
+        sim::panic("BandwidthChannel " + name_ + ": negative transfer");
+
+    sim::Tick start = std::max(eq_.now(), busyUntil_);
+    sim::Tick duration = estimate(bytes);
+    sim::Tick end = start + duration;
+    busyUntil_ = end;
+
+    stats_.inc("bytes", bytes);
+    stats_.inc("transfers");
+    stats_.inc("busy_ticks", static_cast<double>(duration));
+    stats_.inc("queue_ticks", static_cast<double>(start - eq_.now()));
+
+    if (!on_done)
+        return;
+    eq_.schedule(end + latency_, std::move(on_done),
+                 name_ + ".transfer_done");
+}
+
+void
+BandwidthChannel::recordUse(double bytes, sim::Tick busy_time)
+{
+    stats_.inc("bytes", bytes);
+    stats_.inc("busy_ticks", static_cast<double>(busy_time));
+}
+
+} // namespace sn40l::mem

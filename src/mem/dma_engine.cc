@@ -1,0 +1,36 @@
+#include "mem/dma_engine.h"
+
+#include <algorithm>
+
+namespace sn40l::mem {
+
+DmaEngine::DmaEngine(sim::EventQueue &eq, std::string name)
+    : eq_(eq), name_(std::move(name)), stats_(name_)
+{
+}
+
+void
+DmaEngine::copy(BandwidthChannel &src, BandwidthChannel &dst, double bytes,
+                Callback on_done)
+{
+    stats_.inc("copies");
+    stats_.inc("bytes", bytes);
+
+    // Join barrier: fire on_done once both endpoint transfers finish.
+    auto remaining = std::make_shared<int>(2);
+    auto join = [remaining, cb = std::move(on_done)]() {
+        if (--*remaining == 0 && cb)
+            cb();
+    };
+    src.transfer(bytes, join);
+    dst.transfer(bytes, join);
+}
+
+sim::Tick
+DmaEngine::estimate(const BandwidthChannel &src, const BandwidthChannel &dst,
+                    double bytes)
+{
+    return std::max(src.estimate(bytes), dst.estimate(bytes));
+}
+
+} // namespace sn40l::mem

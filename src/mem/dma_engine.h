@@ -1,0 +1,48 @@
+/**
+ * @file
+ * DMA engine moving data between two bandwidth channels (e.g. DDR to
+ * HBM for expert activation — Section V-B, or host DRAM to GPU HBM
+ * over PCIe for the DGX baseline). A copy occupies both endpoints and
+ * completes when the slower side finishes.
+ */
+
+#ifndef SN40L_MEM_DMA_ENGINE_H
+#define SN40L_MEM_DMA_ENGINE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "mem/bandwidth_channel.h"
+
+namespace sn40l::mem {
+
+class DmaEngine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    DmaEngine(sim::EventQueue &eq, std::string name);
+
+    /**
+     * Copy @p bytes from @p src to @p dst. @p on_done fires when both
+     * channels have drained the copy.
+     */
+    void copy(BandwidthChannel &src, BandwidthChannel &dst, double bytes,
+              Callback on_done);
+
+    /** Idle-channel estimate: bytes at the slower endpoint's rate. */
+    static sim::Tick estimate(const BandwidthChannel &src,
+                              const BandwidthChannel &dst, double bytes);
+
+    sim::StatSet &stats() { return stats_; }
+
+  private:
+    sim::EventQueue &eq_;
+    std::string name_;
+    sim::StatSet stats_;
+};
+
+} // namespace sn40l::mem
+
+#endif // SN40L_MEM_DMA_ENGINE_H

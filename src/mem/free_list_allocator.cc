@@ -1,0 +1,96 @@
+#include "mem/free_list_allocator.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace sn40l::mem {
+
+FreeListAllocator::FreeListAllocator(std::int64_t capacity,
+                                     std::int64_t alignment)
+    : capacity_(capacity), alignment_(alignment)
+{
+    if (capacity <= 0)
+        sim::fatal("FreeListAllocator: non-positive capacity");
+    if (alignment <= 0 || (alignment & (alignment - 1)) != 0)
+        sim::fatal("FreeListAllocator: alignment must be a power of two");
+    freeByOffset_[0] = capacity;
+}
+
+std::int64_t
+FreeListAllocator::align(std::int64_t bytes) const
+{
+    return (bytes + alignment_ - 1) & ~(alignment_ - 1);
+}
+
+std::optional<std::int64_t>
+FreeListAllocator::allocate(std::int64_t bytes)
+{
+    if (bytes <= 0)
+        sim::panic("FreeListAllocator: non-positive allocation");
+    std::int64_t need = align(bytes);
+
+    for (auto it = freeByOffset_.begin(); it != freeByOffset_.end(); ++it) {
+        if (it->second < need)
+            continue;
+        std::int64_t offset = it->first;
+        std::int64_t remainder = it->second - need;
+        freeByOffset_.erase(it);
+        if (remainder > 0)
+            freeByOffset_[offset + need] = remainder;
+        allocated_[offset] = need;
+        used_ += need;
+        return offset;
+    }
+    return std::nullopt;
+}
+
+void
+FreeListAllocator::free(std::int64_t offset)
+{
+    auto it = allocated_.find(offset);
+    if (it == allocated_.end())
+        sim::panic("FreeListAllocator: freeing unallocated offset " +
+                   std::to_string(offset));
+    std::int64_t size = it->second;
+    allocated_.erase(it);
+    used_ -= size;
+
+    // Insert and coalesce with neighbours.
+    auto inserted = freeByOffset_.emplace(offset, size).first;
+    if (inserted != freeByOffset_.begin()) {
+        auto prev = std::prev(inserted);
+        if (prev->first + prev->second == inserted->first) {
+            prev->second += inserted->second;
+            freeByOffset_.erase(inserted);
+            inserted = prev;
+        }
+    }
+    auto next = std::next(inserted);
+    if (next != freeByOffset_.end() &&
+        inserted->first + inserted->second == next->first) {
+        inserted->second += next->second;
+        freeByOffset_.erase(next);
+    }
+}
+
+std::int64_t
+FreeListAllocator::largestFreeBlock() const
+{
+    std::int64_t best = 0;
+    for (const auto &kv : freeByOffset_)
+        best = std::max(best, kv.second);
+    return best;
+}
+
+double
+FreeListAllocator::fragmentation() const
+{
+    std::int64_t free_total = freeBytes();
+    if (free_total <= 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(largestFreeBlock()) /
+                 static_cast<double>(free_total);
+}
+
+} // namespace sn40l::mem

@@ -1,0 +1,109 @@
+#include "mem/interleaved_memory.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace sn40l::mem {
+
+InterleavedMemory::InterleavedMemory(sim::EventQueue &eq, std::string name,
+                                     int channels, double per_channel_bw,
+                                     std::int64_t interleave_bytes,
+                                     double efficiency, sim::Tick latency)
+    : eq_(eq), name_(std::move(name)), interleaveBytes_(interleave_bytes),
+      stats_(name_)
+{
+    if (channels <= 0)
+        sim::fatal("InterleavedMemory " + name_ + ": need channels");
+    if (interleave_bytes <= 0)
+        sim::fatal("InterleavedMemory " + name_ + ": bad interleave");
+    for (int i = 0; i < channels; ++i) {
+        channels_.push_back(std::make_unique<BandwidthChannel>(
+            eq, name_ + ".ch" + std::to_string(i), per_channel_bw,
+            efficiency, latency));
+    }
+}
+
+double
+InterleavedMemory::aggregateBandwidth() const
+{
+    return static_cast<double>(channels_.size()) *
+           channels_.front()->effectiveBandwidth();
+}
+
+int
+InterleavedMemory::channelOf(std::int64_t addr) const
+{
+    if (addr < 0)
+        sim::panic("InterleavedMemory " + name_ + ": negative address");
+    return static_cast<int>((addr / interleaveBytes_) %
+                            static_cast<std::int64_t>(channels_.size()));
+}
+
+void
+InterleavedMemory::split(const std::vector<double> &per_channel,
+                         Callback on_done)
+{
+    int active = 0;
+    for (double b : per_channel) {
+        if (b > 0.0)
+            ++active;
+    }
+    if (active == 0) {
+        if (on_done)
+            eq_.scheduleIn(0, std::move(on_done), name_ + ".noop");
+        return;
+    }
+    auto remaining = std::make_shared<int>(active);
+    for (std::size_t i = 0; i < per_channel.size(); ++i) {
+        if (per_channel[i] <= 0.0)
+            continue;
+        channels_[i]->transfer(per_channel[i],
+                               [remaining, on_done]() {
+                                   if (--*remaining == 0 && on_done)
+                                       on_done();
+                               });
+    }
+}
+
+void
+InterleavedMemory::access(std::int64_t addr, double bytes, Callback on_done)
+{
+    if (bytes < 0.0)
+        sim::panic("InterleavedMemory " + name_ + ": negative access");
+    stats_.inc("accesses");
+    stats_.inc("bytes", bytes);
+
+    std::vector<double> per_channel(channels_.size(), 0.0);
+    std::int64_t remaining = static_cast<std::int64_t>(bytes);
+    std::int64_t cursor = addr;
+    while (remaining > 0) {
+        std::int64_t in_line =
+            interleaveBytes_ - (cursor % interleaveBytes_);
+        std::int64_t chunk = std::min(remaining, in_line);
+        per_channel[channelOf(cursor)] += static_cast<double>(chunk);
+        cursor += chunk;
+        remaining -= chunk;
+    }
+    split(per_channel, std::move(on_done));
+}
+
+void
+InterleavedMemory::accessStrided(std::int64_t base, std::int64_t stride,
+                                 std::int64_t count,
+                                 std::int64_t elem_bytes, Callback on_done)
+{
+    if (count <= 0 || elem_bytes <= 0)
+        sim::panic("InterleavedMemory " + name_ + ": bad strided access");
+    stats_.inc("accesses");
+    stats_.inc("bytes", static_cast<double>(count * elem_bytes));
+
+    std::vector<double> per_channel(channels_.size(), 0.0);
+    for (std::int64_t i = 0; i < count; ++i) {
+        std::int64_t addr = base + i * stride;
+        per_channel[channelOf(addr)] += static_cast<double>(elem_bytes);
+    }
+    split(per_channel, std::move(on_done));
+}
+
+} // namespace sn40l::mem

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Compile-time device memory planner implementing Section V-A:
+ *
+ *  1. Symbol lifetimes are known statically (no dynamic allocation or
+ *     pointer aliasing in the programming model), so symbols whose
+ *     lifetimes do not overlap may share device addresses
+ *     ("static garbage collection").
+ *  2. If the model still does not fit in HBM, symbols are spilled to
+ *     DDR in ascending order of their aggregate transfer footprint
+ *     (bandwidth demand), so the cheapest-to-spill symbols go first.
+ *     Weights naturally receive the highest priority to stay in HBM
+ *     because they are re-read on every token.
+ */
+
+#ifndef SN40L_MEM_STATIC_ALLOCATOR_H
+#define SN40L_MEM_STATIC_ALLOCATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sn40l::mem {
+
+/** Memory tier a symbol ends up in. */
+enum class Tier { HBM, DDR };
+
+const char *tierName(Tier tier);
+
+/** A compiler symbol: a tensor with a static lifetime. */
+struct Symbol
+{
+    std::string name;
+    std::int64_t bytes = 0;
+
+    /**
+     * Lifetime as an inclusive range of schedule steps (kernel
+     * indices). A weight used by kernels 3..17 has firstUse=3,
+     * lastUse=17; persistent symbols span the whole schedule.
+     */
+    int firstUse = 0;
+    int lastUse = 0;
+
+    /**
+     * Aggregate bytes this symbol moves over the whole application
+     * (reads + writes summed over all uses). The spill heuristic
+     * keeps high-footprint symbols in HBM.
+     */
+    double transferFootprint = 0.0;
+
+    bool readOnly = false;
+};
+
+struct Placement
+{
+    Tier tier = Tier::HBM;
+    std::int64_t offset = -1;  ///< valid for HBM placements
+};
+
+struct MemoryPlan
+{
+    std::vector<Placement> placements;  ///< parallel to input symbols
+    std::int64_t hbmPeakBytes = 0;      ///< peak concurrent HBM usage
+    std::int64_t ddrBytes = 0;          ///< total spilled bytes
+    std::int64_t hbmBytesNoReuse = 0;   ///< sum of all HBM symbol sizes
+    int spilledSymbols = 0;
+
+    /** Extra DDR traffic per execution caused by spilling. */
+    double spillTrafficBytes = 0.0;
+};
+
+/**
+ * Plan placements for @p symbols given @p hbm_capacity bytes of HBM.
+ *
+ * Throws FatalError if even the spilled plan cannot fit (a single
+ * symbol larger than HBM *and* larger than ddr_capacity).
+ */
+MemoryPlan planMemory(const std::vector<Symbol> &symbols,
+                      std::int64_t hbm_capacity,
+                      std::int64_t ddr_capacity);
+
+/**
+ * Lifetime-aware linear placement: assigns offsets such that symbols
+ * with overlapping lifetimes never overlap in address space, reusing
+ * addresses across disjoint lifetimes. @return peak bytes used, and
+ * offsets through @p offsets (parallel to @p symbols; -1 = not placed
+ * because include[i] was false).
+ */
+std::int64_t placeWithLifetimeReuse(const std::vector<Symbol> &symbols,
+                                    const std::vector<bool> &include,
+                                    std::vector<std::int64_t> &offsets);
+
+} // namespace sn40l::mem
+
+#endif // SN40L_MEM_STATIC_ALLOCATOR_H

@@ -1,0 +1,157 @@
+#include "models/fft_conv.h"
+
+#include "sim/log.h"
+
+namespace sn40l::models {
+
+using graph::DataflowGraph;
+using graph::DType;
+using graph::OpKind;
+using graph::TensorId;
+using graph::TensorKind;
+
+graph::DataflowGraph
+buildFig3Example()
+{
+    DataflowGraph g("monarch-fig3");
+    TensorId w0 = g.addTensor("W0", {1024, 128}, DType::BF16,
+                              TensorKind::Weight);
+    TensorId i0 = g.addTensor("I0", {128, 1024}, DType::BF16,
+                              TensorKind::Input);
+    TensorId s = g.addTensor("S", {1024, 1024});
+    TensorId scale = g.addTensor("Scale", {128, 1024}, DType::BF16,
+                                 TensorKind::Constant);
+    TensorId m = g.addTensor("M", {1024, 1024});
+    TensorId t = g.addTensor("T", {1024, 1024});
+    TensorId w1 = g.addTensor("W1", {128, 1024}, DType::BF16,
+                              TensorKind::Weight);
+    TensorId out = g.addTensor("Out", {128, 1024}, DType::BF16,
+                               TensorKind::Output);
+
+    g.addOp(OpKind::Gemm, "Gemm0", {w0, i0}, {s});
+    g.addOp(OpKind::Mul, "Mul", {s, scale}, {m});
+    g.addOp(OpKind::Transpose, "Transpose", {m}, {t});
+    g.addOp(OpKind::Gemm, "Gemm1", {w1, t}, {out});
+    g.validate();
+    return g;
+}
+
+void
+FftConvSpec::validate() const
+{
+    if (radices.empty())
+        sim::fatal("FftConvSpec: need at least one radix");
+    std::int64_t product = 1;
+    for (std::int64_t r : radices) {
+        if (r < 2)
+            sim::fatal("FftConvSpec: radix must be >= 2");
+        product *= r;
+    }
+    if (product != seqLen)
+        sim::fatal("FftConvSpec: radices must multiply to seqLen");
+    if (channels <= 0 || batch <= 0)
+        sim::fatal("FftConvSpec: bad channels/batch");
+}
+
+namespace {
+
+/**
+ * Emit one FFT direction: for each radix r, a batched [N/r x r] x
+ * [r x r] DFT matmul, a twiddle multiply between stages, and a
+ * transpose to expose the next radix. The inverse direction walks the
+ * radices in reverse so the data returns to its original layout.
+ */
+TensorId
+emitFftStages(DataflowGraph &g, const FftConvSpec &spec,
+              const std::vector<std::int64_t> &radices, TensorId x,
+              const std::string &prefix)
+{
+    std::int64_t bc = static_cast<std::int64_t>(spec.batch) * spec.channels;
+    std::int64_t n = spec.seqLen;
+
+    for (std::size_t i = 0; i < radices.size(); ++i) {
+        std::int64_t r = radices[i];
+        std::string p = prefix + ".s" + std::to_string(i);
+
+        TensorId dft = g.addTensor(p + ".dft", {r, r}, DType::BF16,
+                                   TensorKind::Constant);
+        TensorId y = g.addTensor(p + ".y", {bc, n / r, r}, DType::BF16,
+                                 TensorKind::Activation);
+        g.addOp(OpKind::BatchGemm, p + ".gemm", {x, dft}, {y});
+        x = y;
+
+        if (i + 1 < radices.size()) {
+            TensorId tw = g.addTensor(p + ".twiddle", {n / r, r},
+                                      DType::BF16, TensorKind::Constant);
+            TensorId m = g.addTensor(p + ".twout", {bc, n / r, r},
+                                     DType::BF16, TensorKind::Activation);
+            g.addOp(OpKind::Mul, p + ".twmul", {x, tw}, {m});
+
+            std::int64_t next_r = radices[i + 1];
+            TensorId t = g.addTensor(p + ".t", {bc, n / next_r, next_r},
+                                     DType::BF16, TensorKind::Activation);
+            g.addOp(OpKind::Transpose, p + ".transpose", {m}, {t});
+            x = t;
+        }
+    }
+    return x;
+}
+
+} // namespace
+
+graph::DataflowGraph
+buildFftConv(const FftConvSpec &spec)
+{
+    spec.validate();
+    DataflowGraph g("flashfftconv-" + std::to_string(spec.seqLen));
+
+    std::int64_t bc = static_cast<std::int64_t>(spec.batch) * spec.channels;
+    std::int64_t n = spec.seqLen;
+    std::int64_t r0 = spec.radices.front();
+
+    TensorId u = g.addTensor("u", {bc, n / r0, r0}, DType::BF16,
+                             TensorKind::Input);
+    TensorId x = u;
+
+    if (spec.gated) {
+        TensorId gate_in = g.addTensor("gate_in", {bc, n / r0, r0},
+                                       DType::BF16, TensorKind::Input);
+        TensorId gated = g.addTensor("u_gated", {bc, n / r0, r0},
+                                     DType::BF16, TensorKind::Activation);
+        g.addOp(OpKind::Mul, "gate_in.mul", {u, gate_in}, {gated});
+        x = gated;
+    }
+
+    x = emitFftStages(g, spec, spec.radices, x, "fwd");
+
+    // Frequency-domain pointwise filter (the convolution kernel).
+    std::int64_t last_r = spec.radices.back();
+    TensorId filt = g.addTensor("filter", {n / last_r, last_r},
+                                DType::BF16, TensorKind::Weight);
+    TensorId fx = g.addTensor("freq_prod", {bc, n / last_r, last_r},
+                              DType::BF16, TensorKind::Activation);
+    g.addOp(OpKind::Mul, "filter.mul", {x, filt}, {fx});
+
+    // Inverse walks the radices in reverse; the data lands back in
+    // the input layout [bc, n/r0, r0].
+    std::vector<std::int64_t> reversed(spec.radices.rbegin(),
+                                       spec.radices.rend());
+    x = emitFftStages(g, spec, reversed, fx, "inv");
+
+    if (spec.gated) {
+        TensorId gate_out = g.addTensor("gate_out", {bc, n / r0, r0},
+                                        DType::BF16, TensorKind::Input);
+        TensorId y = g.addTensor("y_gated", {bc, n / r0, r0},
+                                 DType::BF16, TensorKind::Activation);
+        g.addOp(OpKind::Mul, "gate_out.mul", {x, gate_out}, {y});
+        x = y;
+    }
+
+    TensorId out = g.addTensor("out", {bc, n / r0, r0}, DType::BF16,
+                               TensorKind::Output);
+    g.addOp(OpKind::Add, "residual", {x, u}, {out});
+    g.validate();
+    return g;
+}
+
+} // namespace sn40l::models

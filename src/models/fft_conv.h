@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Monarch FFT convolution graph builders (FlashFFTConv, paper Fig 3
+ * and the Table III "1M sequence" benchmark). The Monarch
+ * decomposition rewrites a length-N FFT as a chain of small batched
+ * matrix multiplies, twiddle multiplies, and transposes — the access
+ * patterns that defeat conventional GPU fusion (Section III-A).
+ */
+
+#ifndef SN40L_MODELS_FFT_CONV_H
+#define SN40L_MODELS_FFT_CONV_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dataflow_graph.h"
+
+namespace sn40l::models {
+
+/**
+ * The simplified Fig 3 example: Gemm0 -> Mul(Scale) -> Transpose ->
+ * Gemm1, with the paper's shapes. Used for Table I.
+ */
+graph::DataflowGraph buildFig3Example();
+
+struct FftConvSpec
+{
+    /** Sequence length; must equal the product of the radices. */
+    std::int64_t seqLen = 1LL << 20;
+
+    /** Monarch radices (decomposition order = radices.size()). */
+    std::vector<std::int64_t> radices = {128, 128, 64};
+
+    /** Model/channel dimension convolved independently. */
+    int channels = 64;
+
+    int batch = 1;
+
+    /** Emit the FlashFFTConv input/output elementwise gating. */
+    bool gated = true;
+
+    void validate() const;
+};
+
+/**
+ * Full FFT convolution: gate-in, forward Monarch FFT (one batched
+ * GEMM + twiddle + transpose per radix), frequency-domain filter
+ * multiply, inverse FFT, gate-out, residual.
+ */
+graph::DataflowGraph buildFftConv(const FftConvSpec &spec);
+
+} // namespace sn40l::models
+
+#endif // SN40L_MODELS_FFT_CONV_H

@@ -1,0 +1,232 @@
+#include "models/llm_config.h"
+
+#include "sim/log.h"
+
+namespace sn40l::models {
+
+void
+LlmConfig::validate() const
+{
+    if (numLayers <= 0 || dModel <= 0 || numHeads <= 0 || dFfn <= 0)
+        sim::fatal("LlmConfig " + name + ": non-positive dimension");
+    if (dModel % numHeads != 0)
+        sim::fatal("LlmConfig " + name + ": dModel % numHeads != 0");
+    if (numKvHeads <= 0 || numHeads % numKvHeads != 0)
+        sim::fatal("LlmConfig " + name + ": bad KV head count");
+    if (vocabSize <= 0)
+        sim::fatal("LlmConfig " + name + ": bad vocab");
+    if (weightSparsity < 0.0 || weightSparsity >= 1.0)
+        sim::fatal("LlmConfig " + name + ": sparsity out of [0,1)");
+}
+
+std::int64_t
+LlmConfig::paramCount() const
+{
+    std::int64_t d = dModel;
+    std::int64_t kv = kvDim();
+
+    // Attention: Q and O projections are d x d; K and V are d x kv.
+    std::int64_t attn = 2 * d * d + 2 * d * kv;
+
+    std::int64_t ffn_params = ffn == FfnKind::SwiGLU
+        ? 3LL * d * dFfn   // gate, up, down
+        : 2LL * d * dFfn;  // up, down
+
+    // Per-layer norms: two (pre-attn, pre-ffn), one for parallel
+    // blocks; LayerNorm carries a bias alongside the scale.
+    std::int64_t norm_width = norm == NormKind::LayerNorm ? 2 * d : d;
+    std::int64_t norms = (parallelBlocks ? 1 : 2) * norm_width;
+
+    std::int64_t per_layer = attn + ffn_params + norms;
+    std::int64_t total = per_layer * numLayers;
+
+    // Embeddings (+ untied LM head) + final norm.
+    total += vocabSize * d * (tiedEmbeddings ? 1 : 2);
+    total += norm_width;
+
+    if (vision) {
+        const VisionTowerConfig &v = *vision;
+        std::int64_t vd = v.dModel;
+        std::int64_t v_attn = 4 * vd * vd;
+        std::int64_t v_ffn = 2LL * vd * v.dFfn;
+        std::int64_t v_norms = 2 * (2 * vd); // ViT uses LayerNorm
+        total += (v_attn + v_ffn + v_norms) * v.numLayers;
+        total += static_cast<std::int64_t>(v.patchDim) * vd; // patch embed
+        total += vd * d * 2;                                 // 2-layer proj
+    }
+    return total;
+}
+
+double
+LlmConfig::weightBytes() const
+{
+    return static_cast<double>(paramCount()) *
+           static_cast<double>(graph::dtypeBytes(dtype)) *
+           (1.0 - weightSparsity);
+}
+
+std::int64_t
+LlmConfig::kvBytesPerToken() const
+{
+    return 2LL * numLayers * kvDim() *
+           static_cast<std::int64_t>(graph::dtypeBytes(dtype));
+}
+
+LlmConfig
+LlmConfig::llama2_7b()
+{
+    LlmConfig c;
+    c.name = "llama2-7b";
+    c.numLayers = 32;
+    c.dModel = 4096;
+    c.numHeads = 32;
+    c.numKvHeads = 32;
+    c.dFfn = 11008;
+    c.vocabSize = 32000;
+    c.validate();
+    return c;
+}
+
+LlmConfig
+LlmConfig::llama2_13b()
+{
+    LlmConfig c;
+    c.name = "llama2-13b";
+    c.numLayers = 40;
+    c.dModel = 5120;
+    c.numHeads = 40;
+    c.numKvHeads = 40;
+    c.dFfn = 13824;
+    c.vocabSize = 32000;
+    c.validate();
+    return c;
+}
+
+LlmConfig
+LlmConfig::sparseGpt13b()
+{
+    LlmConfig c = llama2_13b();
+    c.name = "sparseGPT-13b";
+    c.weightSparsity = 0.875;
+    c.validate();
+    return c;
+}
+
+LlmConfig
+LlmConfig::llama2_70b()
+{
+    LlmConfig c;
+    c.name = "llama2-70b";
+    c.numLayers = 80;
+    c.dModel = 8192;
+    c.numHeads = 64;
+    c.numKvHeads = 8;
+    c.dFfn = 28672;
+    c.vocabSize = 32000;
+    c.validate();
+    return c;
+}
+
+LlmConfig
+LlmConfig::llama31_8b()
+{
+    LlmConfig c;
+    c.name = "llama3.1-8b";
+    c.numLayers = 32;
+    c.dModel = 4096;
+    c.numHeads = 32;
+    c.numKvHeads = 8;
+    c.dFfn = 14336;
+    c.vocabSize = 128256;
+    c.validate();
+    return c;
+}
+
+LlmConfig
+LlmConfig::llama31_70b()
+{
+    LlmConfig c = llama2_70b();
+    c.name = "llama3.1-70b";
+    c.vocabSize = 128256;
+    c.validate();
+    return c;
+}
+
+LlmConfig
+LlmConfig::llama31_405b()
+{
+    LlmConfig c;
+    c.name = "llama3.1-405b";
+    c.numLayers = 126;
+    c.dModel = 16384;
+    c.numHeads = 128;
+    c.numKvHeads = 8;
+    c.dFfn = 53248;
+    c.vocabSize = 128256;
+    c.validate();
+    return c;
+}
+
+LlmConfig
+LlmConfig::mistral7b()
+{
+    LlmConfig c;
+    c.name = "mistral-7b";
+    c.numLayers = 32;
+    c.dModel = 4096;
+    c.numHeads = 32;
+    c.numKvHeads = 8;
+    c.dFfn = 14336;
+    c.vocabSize = 32000;
+    c.validate();
+    return c;
+}
+
+LlmConfig
+LlmConfig::falcon40b()
+{
+    LlmConfig c;
+    c.name = "falcon-40b";
+    c.numLayers = 60;
+    c.dModel = 8192;
+    c.numHeads = 128;
+    c.numKvHeads = 8;
+    c.dFfn = 32768;
+    c.vocabSize = 65024;
+    c.ffn = FfnKind::Mlp;
+    c.norm = NormKind::LayerNorm;
+    c.tiedEmbeddings = true;
+    c.parallelBlocks = true;
+    c.validate();
+    return c;
+}
+
+LlmConfig
+LlmConfig::bloom176b()
+{
+    LlmConfig c;
+    c.name = "bloom-176b";
+    c.numLayers = 70;
+    c.dModel = 14336;
+    c.numHeads = 112;
+    c.numKvHeads = 112;
+    c.dFfn = 57344;
+    c.vocabSize = 250880;
+    c.ffn = FfnKind::Mlp;
+    c.norm = NormKind::LayerNorm;
+    c.tiedEmbeddings = true;
+    c.validate();
+    return c;
+}
+
+LlmConfig
+LlmConfig::llava15_7b()
+{
+    LlmConfig c = llama2_7b();
+    c.name = "llava1.5-7b";
+    c.vision = VisionTowerConfig{};
+    c.validate();
+    return c;
+}
+
+} // namespace sn40l::models

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Architecture descriptors for every language model in the paper's
+ * evaluation (Table III, Table IV, Samba-CoE experts). Parameter
+ * counts derive from the architecture so weight-byte accounting is
+ * exact rather than quoted.
+ */
+
+#ifndef SN40L_MODELS_LLM_CONFIG_H
+#define SN40L_MODELS_LLM_CONFIG_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "graph/tensor.h"
+
+namespace sn40l::models {
+
+/** Feed-forward block flavor. */
+enum class FfnKind {
+    SwiGLU, ///< gate/up/down projections (Llama, Mistral)
+    Mlp,    ///< up/down with GELU (BLOOM, Falcon)
+};
+
+enum class NormKind { RmsNorm, LayerNorm };
+
+/** CLIP-style vision tower (LLaVA's encoder). */
+struct VisionTowerConfig
+{
+    int numLayers = 24;
+    int dModel = 1024;
+    int numHeads = 16;
+    int dFfn = 4096;
+    int numPatches = 576; ///< (336/14)^2 for ViT-L/14 at 336px
+    int patchDim = 588;   ///< 3 * 14 * 14 input channels per patch
+};
+
+struct LlmConfig
+{
+    std::string name;
+    int numLayers = 0;
+    int dModel = 0;
+    int numHeads = 0;
+    int numKvHeads = 0; ///< < numHeads for GQA/MQA models
+    int dFfn = 0;
+    std::int64_t vocabSize = 0;
+
+    FfnKind ffn = FfnKind::SwiGLU;
+    NormKind norm = NormKind::RmsNorm;
+    bool tiedEmbeddings = false;
+    bool parallelBlocks = false; ///< Falcon: attention and MLP in parallel
+    double weightSparsity = 0.0; ///< sparseGPT: 0.875
+    graph::DType dtype = graph::DType::BF16;
+
+    std::optional<VisionTowerConfig> vision;
+
+    int headDim() const { return dModel / numHeads; }
+    std::int64_t kvDim() const
+    {
+        return static_cast<std::int64_t>(numKvHeads) * headDim();
+    }
+
+    /** Exact parameter count from the architecture. */
+    std::int64_t paramCount() const;
+
+    /** Stored weight bytes (sparsity-compressed where applicable). */
+    double weightBytes() const;
+
+    /** KV-cache bytes appended per token per sequence. */
+    std::int64_t kvBytesPerToken() const;
+
+    /** Sanity checks; throws FatalError on inconsistent configs. */
+    void validate() const;
+
+    // ---- The paper's model zoo -----------------------------------
+    static LlmConfig llama2_7b();
+    static LlmConfig llama2_13b();   ///< sparseGPT base (dense)
+    static LlmConfig sparseGpt13b(); ///< 87.5% sparse variant
+    static LlmConfig llama2_70b();
+    static LlmConfig llama31_8b();
+    static LlmConfig llama31_70b();
+    static LlmConfig llama31_405b();
+    static LlmConfig mistral7b();
+    static LlmConfig falcon40b();
+    static LlmConfig bloom176b();
+    static LlmConfig llava15_7b();
+};
+
+} // namespace sn40l::models
+
+#endif // SN40L_MODELS_LLM_CONFIG_H

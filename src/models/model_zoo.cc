@@ -1,0 +1,101 @@
+#include "models/model_zoo.h"
+
+namespace sn40l::models {
+
+namespace {
+
+Benchmark
+llmBenchmark(const std::string &name, LlmConfig cfg, Phase phase,
+             int seq_len, int batch)
+{
+    WorkloadSpec spec;
+    spec.model = std::move(cfg);
+    spec.phase = phase;
+    spec.seqLen = seq_len;
+    spec.batch = batch;
+    spec.tensorParallel = 8;
+    return {name, 8, [spec]() { return buildTransformer(spec); }};
+}
+
+} // namespace
+
+std::vector<Benchmark>
+paperBenchmarks()
+{
+    std::vector<Benchmark> suite;
+
+    suite.push_back(llmBenchmark("llama7B-4k-prefill",
+                                 LlmConfig::llama2_7b(), Phase::Prefill,
+                                 4096, 1));
+    suite.push_back(llmBenchmark("llama7B-4k-decode",
+                                 LlmConfig::llama2_7b(), Phase::Decode,
+                                 4096, 1));
+    suite.push_back(llmBenchmark("sparseGPT-13B-train",
+                                 LlmConfig::sparseGpt13b(), Phase::Train,
+                                 2048, 4));
+    suite.push_back(llmBenchmark("llama70B-4k-prefill",
+                                 LlmConfig::llama2_70b(), Phase::Prefill,
+                                 4096, 1));
+    suite.push_back(llmBenchmark("llama70B-4k-decode",
+                                 LlmConfig::llama2_70b(), Phase::Decode,
+                                 4096, 1));
+    suite.push_back(llmBenchmark("llama7B-4k-train",
+                                 LlmConfig::llama2_7b(), Phase::Train,
+                                 4096, 4));
+    suite.push_back(llmBenchmark("bloom176B-8k-prefill",
+                                 LlmConfig::bloom176b(), Phase::Prefill,
+                                 8192, 1));
+    suite.push_back(llmBenchmark("bloom176B-8k-decode",
+                                 LlmConfig::bloom176b(), Phase::Decode,
+                                 8192, 1));
+    suite.push_back(llmBenchmark("mistral7B-2k-prefill",
+                                 LlmConfig::mistral7b(), Phase::Prefill,
+                                 2048, 1));
+    suite.push_back(llmBenchmark("mistral7B-2k-decode",
+                                 LlmConfig::mistral7b(), Phase::Decode,
+                                 2048, 1));
+    suite.push_back(llmBenchmark("mistral7B-4k-prefill",
+                                 LlmConfig::mistral7b(), Phase::Prefill,
+                                 4096, 1));
+    suite.push_back(llmBenchmark("mistral7B-4k-decode",
+                                 LlmConfig::mistral7b(), Phase::Decode,
+                                 4096, 1));
+    suite.push_back(llmBenchmark("falcon40B-2k-prefill",
+                                 LlmConfig::falcon40b(), Phase::Prefill,
+                                 2048, 1));
+    suite.push_back(llmBenchmark("falcon40B-2k-decode",
+                                 LlmConfig::falcon40b(), Phase::Decode,
+                                 2048, 1));
+    suite.push_back(llmBenchmark("llava1.5-llama7B-prefill",
+                                 LlmConfig::llava15_7b(), Phase::Prefill,
+                                 4096, 1));
+    suite.push_back(llmBenchmark("llava1.5-llama7B-decode",
+                                 LlmConfig::llava15_7b(), Phase::Decode,
+                                 4096, 1));
+
+    // FlashFFTConv is a single-kernel benchmark on one socket
+    // (Section VI-A setup).
+    FftConvSpec fft;
+    suite.push_back({"FlashFFTConv", 1,
+                     [fft]() { return buildFftConv(fft); }});
+    return suite;
+}
+
+std::vector<WorkloadSpec>
+llama31Specs()
+{
+    std::vector<WorkloadSpec> specs;
+    for (LlmConfig cfg : {LlmConfig::llama31_8b(), LlmConfig::llama31_70b(),
+                          LlmConfig::llama31_405b()}) {
+        WorkloadSpec spec;
+        spec.model = std::move(cfg);
+        spec.phase = Phase::Decode;
+        spec.batch = 1;
+        spec.seqLen = 8192;
+        spec.tensorParallel = 16;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+} // namespace sn40l::models

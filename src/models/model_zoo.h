@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The paper's benchmark suites: the Table III / Fig 10 operator-fusion
+ * workloads and the Table IV Llama 3.1 configurations.
+ */
+
+#ifndef SN40L_MODELS_MODEL_ZOO_H
+#define SN40L_MODELS_MODEL_ZOO_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "models/fft_conv.h"
+#include "models/transformer_builder.h"
+
+namespace sn40l::models {
+
+/** One Fig 10 benchmark: a named graph factory plus its scale-out. */
+struct Benchmark
+{
+    std::string name;          ///< paper's x-axis label
+    int sockets = 8;           ///< all run on 8 sockets except FFT (1)
+    std::function<graph::DataflowGraph()> build;
+};
+
+/**
+ * The seventeen Fig 10 / Fig 11 benchmarks, in the paper's order:
+ * llama2-7B (prefill/decode/train), sparseGPT-13B train, llama2-70B,
+ * bloom-176B, mistral-7B at 2K and 4K, falcon-40B, LLaVA-1.5, and
+ * FlashFFTConv at 1M sequence length.
+ */
+std::vector<Benchmark> paperBenchmarks();
+
+/** Table IV: Llama 3.1 8B / 70B / 405B decode at 8K on 16 sockets. */
+std::vector<WorkloadSpec> llama31Specs();
+
+} // namespace sn40l::models
+
+#endif // SN40L_MODELS_MODEL_ZOO_H

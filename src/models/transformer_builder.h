@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dataflow-graph builders for transformer workloads: prefill (first
+ * token, KV-cache construction), autoregressive decode (one token
+ * with KV-cache reuse), and training (forward + backward + update).
+ * The emitted graphs carry exact shapes, so all FLOP and byte
+ * accounting downstream is derived, not quoted.
+ */
+
+#ifndef SN40L_MODELS_TRANSFORMER_BUILDER_H
+#define SN40L_MODELS_TRANSFORMER_BUILDER_H
+
+#include <string>
+
+#include "graph/dataflow_graph.h"
+#include "models/llm_config.h"
+
+namespace sn40l::models {
+
+enum class Phase { Prefill, Decode, Train };
+
+const char *phaseName(Phase phase);
+
+struct WorkloadSpec
+{
+    LlmConfig model;
+    Phase phase = Phase::Prefill;
+    int batch = 1;
+
+    /** Prompt/sequence length (prefill, train) or context length
+     *  already in the KV cache (decode). */
+    int seqLen = 2048;
+
+    /** Tensor-parallel degree the workload runs at (sockets). */
+    int tensorParallel = 8;
+
+    std::string str() const;
+
+    /** Tokens processed by one forward pass. */
+    std::int64_t tokens() const
+    {
+        return phase == Phase::Decode
+            ? batch
+            : static_cast<std::int64_t>(batch) * seqLen;
+    }
+
+    /** Context length attention reads (decode includes the new token). */
+    std::int64_t contextLen() const
+    {
+        return phase == Phase::Decode ? seqLen + 1 : seqLen;
+    }
+};
+
+/**
+ * Build the dataflow graph for one forward pass (prefill/decode) or
+ * one training step (train). The graph is validated before return.
+ */
+graph::DataflowGraph buildTransformer(const WorkloadSpec &spec);
+
+} // namespace sn40l::models
+
+#endif // SN40L_MODELS_TRANSFORMER_BUILDER_H

@@ -1,0 +1,133 @@
+#include "runtime/executor.h"
+
+#include <memory>
+
+#include "sim/log.h"
+
+namespace sn40l::runtime {
+
+namespace {
+
+/** State machine walking the kernel schedule through the event queue. */
+struct Run : std::enable_shared_from_this<Run>
+{
+    RduNode &node;
+    const compiler::Program &program;
+    arch::Orchestration mode;
+    Executor::Callback onDone;
+    TraceWriter *trace = nullptr;
+
+    std::size_t kernelIdx = 0;
+    int launchIdx = 0;
+    sim::Tick startTick = 0;
+    sim::Tick prevExec = 0;
+    ExecutionResult result;
+
+    Run(RduNode &n, const compiler::Program &p, arch::Orchestration m,
+        Executor::Callback cb)
+        : node(n), program(p), mode(m), onDone(std::move(cb))
+    {
+    }
+
+    void
+    start()
+    {
+        startTick = node.eventQueue().now();
+        next();
+    }
+
+    void
+    next()
+    {
+        if (kernelIdx >= program.kernels.size()) {
+            finish();
+            return;
+        }
+        const compiler::KernelExec &ke = program.kernels[kernelIdx];
+
+        sim::Tick exec = ke.cost.totalTicks() /
+                         std::max(1, ke.kernel.launches);
+        sim::Tick overhead =
+            node.socket(0).agcu().launchGap(mode, prevExec);
+        prevExec = exec;
+        result.launchTicks += overhead;
+        result.execTicks += exec;
+        ++result.launches;
+
+        // Account channel usage on every socket (timing is captured
+        // by the cost model; channels record utilization). Bytes are
+        // split across this kernel's grid launches.
+        double launch_frac = 1.0 / std::max(1, ke.kernel.launches);
+        for (int s = 0; s < node.numSockets() &&
+                        s < program.tensorParallel; ++s) {
+            node.socket(s).hbm().recordUse(ke.cost.hbmBytes * launch_frac,
+                                           exec);
+            if (ke.cost.ddrBytes > 0.0) {
+                node.socket(s).ddr().recordUse(
+                    ke.cost.ddrBytes * launch_frac, exec);
+            }
+        }
+        if (ke.cost.p2pBytes > 0.0) {
+            node.p2p().recordUse(ke.cost.p2pBytes * launch_frac *
+                                 program.tensorParallel, exec);
+        }
+
+        if (trace) {
+            sim::Tick now = node.eventQueue().now();
+            if (overhead > 0) {
+                trace->record("orchestration",
+                              arch::orchestrationName(mode), now,
+                              overhead);
+            }
+            trace->record("kernels", ke.kernel.name, now + overhead,
+                          exec);
+        }
+
+        auto self = shared_from_this();
+        node.eventQueue().scheduleIn(overhead + exec, [self]() {
+            if (++self->launchIdx >=
+                self->program.kernels[self->kernelIdx].kernel.launches) {
+                self->launchIdx = 0;
+                ++self->kernelIdx;
+            }
+            self->next();
+        }, "kernel_launch");
+    }
+
+    void
+    finish()
+    {
+        result.totalTicks = node.eventQueue().now() - startTick;
+        if (onDone)
+            onDone(result);
+    }
+};
+
+} // namespace
+
+void
+Executor::runAsync(const compiler::Program &program,
+                   arch::Orchestration mode, Callback on_done)
+{
+    auto run = std::make_shared<Run>(node_, program, mode,
+                                     std::move(on_done));
+    run->trace = trace_;
+    run->start();
+}
+
+ExecutionResult
+Executor::run(const compiler::Program &program, arch::Orchestration mode)
+{
+    ExecutionResult result;
+    bool done = false;
+    runAsync(program, mode, [&](const ExecutionResult &r) {
+        result = r;
+        done = true;
+    });
+    node_.eventQueue().run();
+    if (!done)
+        sim::panic("Executor::run: program did not complete");
+    return result;
+}
+
+} // namespace sn40l::runtime

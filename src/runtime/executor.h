@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Executor: runs a compiled Program on an RduNode through the event
+ * queue, under software- or hardware-orchestrated kernel launching
+ * (Section IV-D). Produces the time breakdown the Fig 10 experiments
+ * report.
+ */
+
+#ifndef SN40L_RUNTIME_EXECUTOR_H
+#define SN40L_RUNTIME_EXECUTOR_H
+
+#include <functional>
+
+#include "arch/agcu.h"
+#include "compiler/compiler.h"
+#include "runtime/machine.h"
+#include "runtime/trace.h"
+
+namespace sn40l::runtime {
+
+struct ExecutionResult
+{
+    sim::Tick totalTicks = 0;
+    sim::Tick launchTicks = 0; ///< time spent in launch overhead
+    sim::Tick execTicks = 0;   ///< time spent executing kernels
+    std::int64_t launches = 0;
+
+    double seconds() const { return sim::toSeconds(totalTicks); }
+    double launchSeconds() const { return sim::toSeconds(launchTicks); }
+    double execSeconds() const { return sim::toSeconds(execTicks); }
+};
+
+class Executor
+{
+  public:
+    using Callback = std::function<void(const ExecutionResult &)>;
+
+    explicit Executor(RduNode &node) : node_(node) {}
+
+    /** Attach a timeline writer; kernel launches and executions are
+     *  recorded on per-resource lanes (not owned). */
+    void setTrace(TraceWriter *trace) { trace_ = trace; }
+
+    /**
+     * Run the program to completion (drains the event queue).
+     * Kernels launch back-to-back; each launch pays the orchestration
+     * overhead, then occupies the machine for its costed duration.
+     */
+    ExecutionResult run(const compiler::Program &program,
+                        arch::Orchestration mode);
+
+    /**
+     * Schedule the program asynchronously from the current simulated
+     * time; @p on_done fires at completion. Used by the CoE serving
+     * simulator to interleave programs with DMA traffic.
+     */
+    void runAsync(const compiler::Program &program,
+                  arch::Orchestration mode, Callback on_done);
+
+  private:
+    RduNode &node_;
+    TraceWriter *trace_ = nullptr;
+};
+
+} // namespace sn40l::runtime
+
+#endif // SN40L_RUNTIME_EXECUTOR_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Machine models: an SN40L socket (HBM + DDR channels + launch
+ * sequencer) and an SN40L node (eight sockets, P2P links, host PCIe).
+ * All timing flows through the shared event queue.
+ */
+
+#ifndef SN40L_RUNTIME_MACHINE_H
+#define SN40L_RUNTIME_MACHINE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/agcu.h"
+#include "arch/chip_config.h"
+#include "mem/bandwidth_channel.h"
+#include "mem/dma_engine.h"
+#include "sim/event_queue.h"
+
+namespace sn40l::runtime {
+
+class RduSocket
+{
+  public:
+    RduSocket(sim::EventQueue &eq, const arch::ChipConfig &cfg,
+              std::string name);
+
+    const std::string &name() const { return name_; }
+    const arch::ChipConfig &config() const { return cfg_; }
+
+    mem::BandwidthChannel &hbm() { return hbm_; }
+    mem::BandwidthChannel &ddr() { return ddr_; }
+    arch::Agcu &agcu() { return agcu_; }
+
+  private:
+    std::string name_;
+    const arch::ChipConfig &cfg_;
+    mem::BandwidthChannel hbm_;
+    mem::BandwidthChannel ddr_;
+    arch::Agcu agcu_;
+};
+
+class RduNode
+{
+  public:
+    using Callback = std::function<void()>;
+
+    RduNode(sim::EventQueue &eq, const arch::NodeConfig &cfg);
+
+    sim::EventQueue &eventQueue() { return eq_; }
+    const arch::NodeConfig &config() const { return cfg_; }
+    int numSockets() const { return static_cast<int>(sockets_.size()); }
+    RduSocket &socket(int i) { return *sockets_.at(i); }
+
+    mem::BandwidthChannel &pcie() { return pcie_; }
+    mem::BandwidthChannel &p2p() { return p2p_; }
+
+    /**
+     * Copy @p total_bytes from DDR to HBM, sharded across all sockets
+     * (each moves its tensor-parallel slice concurrently) — the CoE
+     * expert-switch path (Fig 9).
+     */
+    void copyDdrToHbm(double total_bytes, Callback on_done);
+
+    /** Copy from host DRAM to HBM over PCIe (the DGX-style path). */
+    void copyHostToHbm(double total_bytes, Callback on_done);
+
+    /** Idle-machine estimate of the DDR->HBM copy. */
+    sim::Tick estimateDdrToHbm(double total_bytes) const;
+
+  private:
+    sim::EventQueue &eq_;
+    arch::NodeConfig cfg_;
+    std::vector<std::unique_ptr<RduSocket>> sockets_;
+    mem::BandwidthChannel pcie_;
+    mem::BandwidthChannel p2p_;
+    mem::DmaEngine dma_;
+};
+
+} // namespace sn40l::runtime
+
+#endif // SN40L_RUNTIME_MACHINE_H

@@ -1,0 +1,34 @@
+#include "runtime/spec_decode.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+
+namespace sn40l::runtime {
+
+double
+SpecDecodeConfig::expectedTokensPerStep() const
+{
+    if (gamma <= 0)
+        return 1.0;
+    if (acceptRate <= 0.0)
+        return 1.0;
+    if (acceptRate >= 1.0)
+        return gamma + 1.0;
+    return (1.0 - std::pow(acceptRate, gamma + 1)) / (1.0 - acceptRate);
+}
+
+double
+specDecodeTokensPerSecond(const SpecDecodeConfig &cfg,
+                          double target_step_seconds,
+                          double draft_token_seconds)
+{
+    if (target_step_seconds <= 0.0)
+        sim::fatal("specDecode: non-positive target step time");
+    if (draft_token_seconds <= 0.0)
+        return 1.0 / target_step_seconds;
+    double step = target_step_seconds + cfg.gamma * draft_token_seconds;
+    return cfg.expectedTokensPerStep() / step;
+}
+
+} // namespace sn40l::runtime

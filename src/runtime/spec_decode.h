@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Speculative decoding throughput model (Table IV: Llama 3.1 70B and
+ * 405B use it). A draft model proposes gamma tokens; the target model
+ * verifies them in one forward pass. Expected accepted tokens per
+ * step follow the standard geometric formula from Leviathan et al.
+ */
+
+#ifndef SN40L_RUNTIME_SPEC_DECODE_H
+#define SN40L_RUNTIME_SPEC_DECODE_H
+
+namespace sn40l::runtime {
+
+struct SpecDecodeConfig
+{
+    int gamma = 5;             ///< draft tokens per verification step
+    double acceptRate = 0.93;  ///< per-token acceptance probability
+
+    /** E[tokens emitted per step] = (1 - a^(gamma+1)) / (1 - a). */
+    double expectedTokensPerStep() const;
+};
+
+/**
+ * Output tokens/second given the target model's per-step verification
+ * time and the draft model's per-token decode time (seconds). With
+ * draft_seconds <= 0 the model decodes autoregressively.
+ */
+double specDecodeTokensPerSecond(const SpecDecodeConfig &cfg,
+                                 double target_step_seconds,
+                                 double draft_token_seconds);
+
+} // namespace sn40l::runtime
+
+#endif // SN40L_RUNTIME_SPEC_DECODE_H

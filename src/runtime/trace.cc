@@ -1,0 +1,66 @@
+#include "runtime/trace.h"
+
+#include <map>
+
+namespace sn40l::runtime {
+
+void
+TraceWriter::record(const std::string &lane, const std::string &name,
+                    sim::Tick start, sim::Tick duration)
+{
+    events_.push_back({lane, name, start, duration});
+}
+
+namespace {
+
+/** Escape a string for JSON output. */
+std::string
+escape(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+TraceWriter::writeJson(std::ostream &os) const
+{
+    // Assign a stable tid per lane.
+    std::map<std::string, int> lane_tid;
+    for (const Event &e : events_) {
+        if (!lane_tid.count(e.lane)) {
+            int tid = static_cast<int>(lane_tid.size());
+            lane_tid[e.lane] = tid;
+        }
+    }
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &kv : lane_tid) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           << "\"tid\":" << kv.second << ",\"args\":{\"name\":\""
+           << escape(kv.first) << "\"}}";
+    }
+    for (const Event &e : events_) {
+        os << ",{\"name\":\"" << escape(e.name) << "\",\"ph\":\"X\","
+           << "\"pid\":1,\"tid\":" << lane_tid[e.lane]
+           << ",\"ts\":" << sim::toUs(e.start)
+           << ",\"dur\":" << sim::toUs(e.duration) << "}";
+    }
+    os << "]}";
+}
+
+} // namespace sn40l::runtime

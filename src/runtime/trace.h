@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Execution timeline tracing: collects kernel-launch and transfer
+ * events during simulation and emits Chrome trace-event JSON
+ * (chrome://tracing / Perfetto compatible), the tooling counterpart
+ * of the paper's performance-debugging workflow (Section VII).
+ */
+
+#ifndef SN40L_RUNTIME_TRACE_H
+#define SN40L_RUNTIME_TRACE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.h"
+
+namespace sn40l::runtime {
+
+class TraceWriter
+{
+  public:
+    /** Record a complete event on a named lane (e.g. "socket0.hbm"). */
+    void record(const std::string &lane, const std::string &name,
+                sim::Tick start, sim::Tick duration);
+
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** Emit Chrome trace-event JSON ("traceEvents" array form). */
+    void writeJson(std::ostream &os) const;
+
+    void clear() { events_.clear(); }
+
+  private:
+    struct Event
+    {
+        std::string lane;
+        std::string name;
+        sim::Tick start;
+        sim::Tick duration;
+    };
+    std::vector<Event> events_;
+};
+
+} // namespace sn40l::runtime
+
+#endif // SN40L_RUNTIME_TRACE_H

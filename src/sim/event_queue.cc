@@ -1,0 +1,134 @@
+#include "sim/event_queue.h"
+
+#include "sim/log.h"
+
+namespace sn40l::sim {
+
+struct EventQueue::Handle::State
+{
+    bool cancelled = false;
+    bool done = false;
+};
+
+bool
+EventQueue::Handle::cancel()
+{
+    if (!state_ || state_->done || state_->cancelled)
+        return false;
+    state_->cancelled = true;
+    return true;
+}
+
+bool
+EventQueue::Handle::pending() const
+{
+    return state_ && !state_->done && !state_->cancelled;
+}
+
+struct EventQueue::Entry
+{
+    Tick when;
+    std::uint64_t seq;
+    Callback cb;
+    std::string name;
+    std::shared_ptr<Handle::State> state;
+};
+
+bool
+EventQueue::EntryCompare::operator()(const std::shared_ptr<Entry> &a,
+                                     const std::shared_ptr<Entry> &b) const
+{
+    // priority_queue is a max-heap; invert for earliest-first, with the
+    // sequence number as a FIFO tie-break at equal ticks.
+    if (a->when != b->when)
+        return a->when > b->when;
+    return a->seq > b->seq;
+}
+
+EventQueue::Handle
+EventQueue::schedule(Tick when, Callback cb, std::string name)
+{
+    if (when < curTick_) {
+        panic("EventQueue: scheduling event '" + name + "' at tick " +
+              std::to_string(when) + " in the past (now " +
+              std::to_string(curTick_) + ")");
+    }
+    if (!cb)
+        panic("EventQueue: scheduling empty callback '" + name + "'");
+
+    auto entry = std::make_shared<Entry>();
+    entry->when = when;
+    entry->seq = nextSeq_++;
+    entry->cb = std::move(cb);
+    entry->name = std::move(name);
+    entry->state = std::make_shared<Handle::State>();
+    heap_.push(entry);
+    ++pendingCount_;
+    return Handle(entry->state);
+}
+
+EventQueue::Handle
+EventQueue::scheduleIn(Tick delta, Callback cb, std::string name)
+{
+    if (delta < 0)
+        panic("EventQueue: negative delta for event '" + name + "'");
+    return schedule(curTick_ + delta, std::move(cb), std::move(name));
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        auto entry = heap_.top();
+        heap_.pop();
+        --pendingCount_;
+        if (entry->state->cancelled) {
+            entry->state->done = true;
+            continue;
+        }
+        curTick_ = entry->when;
+        entry->state->done = true;
+        ++executedCount_;
+        entry->cb();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!heap_.empty()) {
+        // Peel cancelled entries first so the limit check below always
+        // sees a live event.
+        if (heap_.top()->state->cancelled) {
+            heap_.top()->state->done = true;
+            heap_.pop();
+            --pendingCount_;
+            continue;
+        }
+        if (heap_.top()->when > limit)
+            break;
+        if (step())
+            ++executed;
+    }
+    return executed;
+}
+
+bool
+EventQueue::empty() const
+{
+    return pendingCount_ == 0;
+}
+
+void
+EventQueue::reset()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    pendingCount_ = 0;
+    curTick_ = 0;
+}
+
+} // namespace sn40l::sim

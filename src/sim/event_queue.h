@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The EventQueue is the spine of the whole simulator: every hardware
+ * model (memory channels, DMA engines, kernel launches, RDN transfers)
+ * advances time exclusively by scheduling callbacks here. Events at
+ * the same tick execute in scheduling order (FIFO), which makes runs
+ * fully deterministic.
+ */
+
+#ifndef SN40L_SIM_EVENT_QUEUE_H
+#define SN40L_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.h"
+
+namespace sn40l::sim {
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Cancellation handle for a scheduled event. Handles are cheap to
+     * copy; cancelling an already-run or already-cancelled event is a
+     * harmless no-op.
+     */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        /** @return true if the event was pending and is now cancelled. */
+        bool cancel();
+
+        /** @return true if the event has not yet run nor been cancelled. */
+        bool pending() const;
+
+      private:
+        friend class EventQueue;
+        struct State;
+        explicit Handle(std::shared_ptr<State> state)
+            : state_(std::move(state)) {}
+        std::shared_ptr<State> state_;
+    };
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * Scheduling in the past is a simulator bug and panics.
+     */
+    Handle schedule(Tick when, Callback cb, std::string name = "");
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    Handle scheduleIn(Tick delta, Callback cb, std::string name = "");
+
+    /**
+     * Run events until the queue drains or the next event would be
+     * after @p limit (exclusive upper bound semantics: events at
+     * exactly @p limit still run).
+     *
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = kMaxTick);
+
+    /** Execute exactly one event if one is pending. @return executed? */
+    bool step();
+
+    bool empty() const;
+    std::size_t pendingCount() const { return pendingCount_; }
+    std::uint64_t executedCount() const { return executedCount_; }
+
+    /** Drop all pending events and rewind time to zero. */
+    void reset();
+
+  private:
+    struct Entry;
+    struct EntryCompare
+    {
+        bool operator()(const std::shared_ptr<Entry> &a,
+                        const std::shared_ptr<Entry> &b) const;
+    };
+
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executedCount_ = 0;
+    std::size_t pendingCount_ = 0;
+    std::priority_queue<std::shared_ptr<Entry>,
+                        std::vector<std::shared_ptr<Entry>>,
+                        EntryCompare> heap_;
+};
+
+} // namespace sn40l::sim
+
+#endif // SN40L_SIM_EVENT_QUEUE_H

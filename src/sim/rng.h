@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64 seeding a
+ * xoshiro256** core). Every stochastic model component owns its own
+ * Rng so simulations are reproducible regardless of call interleaving.
+ */
+
+#ifndef SN40L_SIM_RNG_H
+#define SN40L_SIM_RNG_H
+
+#include <cstdint>
+
+namespace sn40l::sim {
+
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+    {
+        // SplitMix64 expansion of the seed into xoshiro state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value (xoshiro256**). */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    uniformInt(std::uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace sn40l::sim
+
+#endif // SN40L_SIM_RNG_H

@@ -1,0 +1,60 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+
+namespace sn40l::sim {
+
+void
+StatSet::inc(const std::string &name, double delta)
+{
+    values_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    values_[name] = value;
+}
+
+void
+StatSet::max(const std::string &name, double value)
+{
+    auto it = values_.find(name);
+    if (it == values_.end() || it->second < value)
+        values_[name] = value;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::vector<std::string>
+StatSet::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &kv : values_)
+        out.push_back(kv.first);
+    return out;
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &kv : values_) {
+        if (!owner_.empty())
+            os << owner_ << ".";
+        os << kv.first << " " << kv.second << "\n";
+    }
+}
+
+} // namespace sn40l::sim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Lightweight named statistics, in the spirit of gem5's stats package.
+ *
+ * A StatSet is a flat registry of named doubles owned by a model
+ * component. Components expose their StatSet so tests and benches can
+ * assert on counters (bytes moved, conflicts, hits) without bespoke
+ * accessors for every quantity.
+ */
+
+#ifndef SN40L_SIM_STATS_H
+#define SN40L_SIM_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sn40l::sim {
+
+class StatSet
+{
+  public:
+    explicit StatSet(std::string owner = "") : owner_(std::move(owner)) {}
+
+    /** Add @p delta (default 1) to the named counter, creating it at 0. */
+    void inc(const std::string &name, double delta = 1.0);
+
+    /** Set the named stat to an absolute value. */
+    void set(const std::string &name, double value);
+
+    /** Track a running maximum under @p name. */
+    void max(const std::string &name, double value);
+
+    /** @return the stat value, or 0.0 if never touched. */
+    double get(const std::string &name) const;
+
+    /** @return true if the stat has ever been touched. */
+    bool has(const std::string &name) const;
+
+    const std::string &owner() const { return owner_; }
+
+    /** Stable (sorted) list of stat names. */
+    std::vector<std::string> names() const;
+
+    /** Print "owner.name value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    void clear() { values_.clear(); }
+
+  private:
+    std::string owner_;
+    std::map<std::string, double> values_;
+};
+
+} // namespace sn40l::sim
+
+#endif // SN40L_SIM_STATS_H

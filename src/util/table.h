@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal aligned-column table printer used by the benchmark harnesses
+ * to emit paper-style rows.
+ */
+
+#ifndef SN40L_UTIL_TABLE_H
+#define SN40L_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/units.h" // formatting helpers used alongside tables
+
+namespace sn40l::util {
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; it may have fewer cells than the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Print with column alignment and a header separator. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<bool> separators_;
+};
+
+} // namespace sn40l::util
+
+#endif // SN40L_UTIL_TABLE_H

@@ -1,0 +1,91 @@
+/** @file Tests for affine address patterns and AGCU coalescing. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/address_pattern.h"
+#include "arch/agcu.h"
+#include "arch/chip_config.h"
+#include "sim/log.h"
+
+using namespace sn40l;
+using arch::AddressPattern;
+
+TEST(AddressPattern, RowMajorIsContiguous)
+{
+    auto pat = AddressPattern::rowMajor(0, 4, 8, 2);
+    EXPECT_EQ(pat.count(), 32);
+    auto addrs = pat.generate();
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+        EXPECT_EQ(addrs[i], static_cast<std::int64_t>(i) * 2);
+}
+
+TEST(AddressPattern, ColMajorIsStrided)
+{
+    auto pat = AddressPattern::colMajor(0, 4, 8, 2);
+    EXPECT_EQ(pat.count(), 32);
+    auto addrs = pat.generate(4);
+    // First column: rows 0..3 of an 8-wide, 2-byte-element tile.
+    EXPECT_EQ(addrs, (std::vector<std::int64_t>{0, 16, 32, 48}));
+}
+
+TEST(AddressPattern, TransposedPatternsCoverSameAddresses)
+{
+    auto row = AddressPattern::rowMajor(128, 16, 32, 2).generate();
+    auto col = AddressPattern::colMajor(128, 16, 32, 2).generate();
+    std::sort(row.begin(), row.end());
+    std::sort(col.begin(), col.end());
+    EXPECT_EQ(row, col);
+}
+
+TEST(AddressPattern, BaseOffsetAndBoundsChecks)
+{
+    auto pat = AddressPattern::rowMajor(1000, 2, 2, 4);
+    EXPECT_EQ(pat.addressAt(0), 1000);
+    EXPECT_EQ(pat.addressAt(3), 1012);
+    EXPECT_THROW(pat.addressAt(4), sim::SimPanic);
+    EXPECT_THROW(pat.addressAt(-1), sim::SimPanic);
+}
+
+TEST(AddressPattern, RejectsNonPositiveExtent)
+{
+    EXPECT_THROW(AddressPattern(0, {{0, 4}}), sim::SimPanic);
+}
+
+TEST(Agcu, CoalescesContiguousAccesses)
+{
+    arch::ChipConfig cfg = arch::ChipConfig::sn40l();
+    arch::Agcu agcu(cfg, "agcu");
+    // 64 contiguous 4-byte accesses in 64-byte lines -> 4 requests.
+    auto pat = AddressPattern::rowMajor(0, 1, 64, 4);
+    EXPECT_EQ(agcu.coalesceRequests(pat, 64, 4), 4);
+    EXPECT_DOUBLE_EQ(agcu.burstEfficiency(pat, 64, 4), 1.0);
+}
+
+TEST(Agcu, StridedAccessWastesBandwidth)
+{
+    arch::ChipConfig cfg = arch::ChipConfig::sn40l();
+    arch::Agcu agcu(cfg, "agcu");
+    // 16 accesses of 4 bytes, each 256 bytes apart: one line each.
+    AddressPattern pat(0, {{16, 256}});
+    EXPECT_EQ(agcu.coalesceRequests(pat, 64, 4), 16);
+    EXPECT_DOUBLE_EQ(agcu.burstEfficiency(pat, 64, 4), 4.0 / 64.0);
+}
+
+TEST(Agcu, LaunchOverheads)
+{
+    arch::ChipConfig cfg = arch::ChipConfig::sn40l();
+    arch::Agcu agcu(cfg, "agcu");
+    EXPECT_GT(agcu.launchOverhead(arch::Orchestration::Software),
+              agcu.launchOverhead(arch::Orchestration::Hardware));
+    EXPECT_EQ(agcu.launchOverhead(arch::Orchestration::Software),
+              cfg.swLaunchOverhead);
+}
+
+TEST(Agcu, AllReduceTrafficFactor)
+{
+    EXPECT_DOUBLE_EQ(arch::Agcu::allReduceTrafficFactor(1), 0.0);
+    EXPECT_DOUBLE_EQ(arch::Agcu::allReduceTrafficFactor(2), 1.0);
+    EXPECT_DOUBLE_EQ(arch::Agcu::allReduceTrafficFactor(8), 1.75);
+}

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the free-list allocator (CoE runtime HBM region) and the
+ * static lifetime-reuse planner with DDR spilling (Section V-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/free_list_allocator.h"
+#include "mem/static_allocator.h"
+#include "sim/log.h"
+#include "sim/rng.h"
+
+using namespace sn40l;
+using mem::FreeListAllocator;
+using mem::MemoryPlan;
+using mem::Symbol;
+using mem::Tier;
+
+TEST(FreeListAllocator, BasicAllocFree)
+{
+    FreeListAllocator alloc(1024, 1);
+    auto a = alloc.allocate(256);
+    auto b = alloc.allocate(256);
+    ASSERT_TRUE(a && b);
+    EXPECT_NE(*a, *b);
+    EXPECT_EQ(alloc.usedBytes(), 512);
+    alloc.free(*a);
+    EXPECT_EQ(alloc.usedBytes(), 256);
+    alloc.free(*b);
+    EXPECT_EQ(alloc.usedBytes(), 0);
+    EXPECT_EQ(alloc.largestFreeBlock(), 1024);
+}
+
+TEST(FreeListAllocator, AlignmentRoundsUp)
+{
+    FreeListAllocator alloc(4096, 256);
+    auto a = alloc.allocate(1);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(alloc.usedBytes(), 256);
+    auto b = alloc.allocate(257);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(alloc.usedBytes(), 256 + 512);
+}
+
+TEST(FreeListAllocator, ExternalFragmentationIsModeled)
+{
+    FreeListAllocator alloc(1000, 1);
+    auto a = alloc.allocate(400);
+    auto b = alloc.allocate(200);
+    auto c = alloc.allocate(400);
+    ASSERT_TRUE(a && b && c);
+    alloc.free(*a);
+    alloc.free(*c);
+    // 800 bytes free but the largest hole is 400: a 500-byte request
+    // must fail.
+    EXPECT_EQ(alloc.freeBytes(), 800);
+    EXPECT_EQ(alloc.largestFreeBlock(), 400);
+    EXPECT_FALSE(alloc.allocate(500));
+    EXPECT_GT(alloc.fragmentation(), 0.0);
+}
+
+TEST(FreeListAllocator, CoalescesNeighbours)
+{
+    FreeListAllocator alloc(1000, 1);
+    auto a = alloc.allocate(400);
+    auto b = alloc.allocate(200);
+    auto c = alloc.allocate(400);
+    ASSERT_TRUE(a && b && c);
+    alloc.free(*a);
+    alloc.free(*c);
+    alloc.free(*b); // coalesces with both neighbours
+    EXPECT_EQ(alloc.freeBlocks(), 1u);
+    EXPECT_TRUE(alloc.allocate(1000));
+}
+
+TEST(FreeListAllocator, DoubleFreePanics)
+{
+    FreeListAllocator alloc(1024, 1);
+    auto a = alloc.allocate(64);
+    ASSERT_TRUE(a);
+    alloc.free(*a);
+    EXPECT_THROW(alloc.free(*a), sim::SimPanic);
+    EXPECT_THROW(alloc.free(999), sim::SimPanic);
+}
+
+TEST(FreeListAllocator, RandomizedInvariants)
+{
+    // Property test: used + free == capacity, allocations never
+    // overlap, frees always succeed for live blocks.
+    sim::Rng rng(123);
+    FreeListAllocator alloc(1 << 20, 64);
+    std::vector<std::pair<std::int64_t, std::int64_t>> live; // offset,size
+
+    for (int iter = 0; iter < 2000; ++iter) {
+        bool do_alloc = live.empty() || rng.uniformDouble() < 0.6;
+        if (do_alloc) {
+            std::int64_t size =
+                static_cast<std::int64_t>(rng.uniformInt(8192) + 1);
+            auto off = alloc.allocate(size);
+            if (off) {
+                for (const auto &blk : live) {
+                    bool overlap = *off < blk.first + blk.second &&
+                                   blk.first < *off + size;
+                    ASSERT_FALSE(overlap) << "allocation overlap";
+                }
+                live.emplace_back(*off, size);
+            }
+        } else {
+            std::size_t idx = rng.uniformInt(live.size());
+            alloc.free(live[idx].first);
+            live.erase(live.begin() + static_cast<long>(idx));
+        }
+        ASSERT_EQ(alloc.usedBytes() + alloc.freeBytes(), alloc.capacity());
+    }
+}
+
+namespace {
+
+/** Check no two HBM-resident symbols with overlapping lifetimes share
+ *  address space. */
+void
+expectNoOverlap(const std::vector<Symbol> &syms, const MemoryPlan &plan)
+{
+    for (std::size_t i = 0; i < syms.size(); ++i) {
+        if (plan.placements[i].tier != Tier::HBM)
+            continue;
+        for (std::size_t j = i + 1; j < syms.size(); ++j) {
+            if (plan.placements[j].tier != Tier::HBM)
+                continue;
+            bool life_overlap = !(syms[i].lastUse < syms[j].firstUse ||
+                                  syms[j].lastUse < syms[i].firstUse);
+            if (!life_overlap)
+                continue;
+            std::int64_t ai = plan.placements[i].offset;
+            std::int64_t bi = ai + syms[i].bytes;
+            std::int64_t aj = plan.placements[j].offset;
+            std::int64_t bj = aj + syms[j].bytes;
+            ASSERT_TRUE(bi <= aj || bj <= ai)
+                << syms[i].name << " overlaps " << syms[j].name;
+        }
+    }
+}
+
+} // namespace
+
+TEST(StaticAllocator, ReusesAddressesAcrossDisjointLifetimes)
+{
+    // Two 600-byte symbols with disjoint lifetimes fit in 1000 bytes.
+    std::vector<Symbol> syms = {
+        {"a", 600, 0, 1, 10.0, false},
+        {"b", 600, 2, 3, 10.0, false},
+    };
+    MemoryPlan plan = mem::planMemory(syms, 1000, 1 << 20);
+    EXPECT_EQ(plan.spilledSymbols, 0);
+    EXPECT_EQ(plan.hbmPeakBytes, 600);
+    EXPECT_EQ(plan.placements[0].offset, plan.placements[1].offset);
+    expectNoOverlap(syms, plan);
+}
+
+TEST(StaticAllocator, OverlappingLifetimesDoNotShare)
+{
+    std::vector<Symbol> syms = {
+        {"a", 600, 0, 5, 10.0, false},
+        {"b", 600, 2, 3, 10.0, false},
+    };
+    MemoryPlan plan = mem::planMemory(syms, 2000, 1 << 20);
+    EXPECT_EQ(plan.hbmPeakBytes, 1200);
+    expectNoOverlap(syms, plan);
+}
+
+TEST(StaticAllocator, SpillsLowestBandwidthSymbolsFirst)
+{
+    // HBM holds only 1000 bytes; the low-footprint activation spills,
+    // the high-footprint weight stays (Section V-A priority).
+    std::vector<Symbol> syms = {
+        {"weight", 800, 0, 9, 1e9, true},
+        {"activation", 800, 0, 9, 1e3, false},
+    };
+    MemoryPlan plan = mem::planMemory(syms, 1000, 1 << 20);
+    EXPECT_EQ(plan.spilledSymbols, 1);
+    EXPECT_EQ(plan.placements[0].tier, Tier::HBM);
+    EXPECT_EQ(plan.placements[1].tier, Tier::DDR);
+    EXPECT_DOUBLE_EQ(plan.spillTrafficBytes, 1e3);
+}
+
+TEST(StaticAllocator, FatalWhenNothingFits)
+{
+    std::vector<Symbol> syms = {{"huge", 4096, 0, 0, 1.0, false}};
+    EXPECT_THROW(mem::planMemory(syms, 1024, 2048), sim::FatalError);
+}
+
+TEST(StaticAllocator, RandomizedLifetimePlacementIsSound)
+{
+    sim::Rng rng(77);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<Symbol> syms;
+        int n = 30;
+        for (int i = 0; i < n; ++i) {
+            Symbol s;
+            s.name = "s" + std::to_string(i);
+            s.bytes = static_cast<std::int64_t>(rng.uniformInt(1000) + 1);
+            s.firstUse = static_cast<int>(rng.uniformInt(20));
+            s.lastUse = s.firstUse + static_cast<int>(rng.uniformInt(10));
+            s.transferFootprint = rng.uniformDouble() * 1e6;
+            syms.push_back(s);
+        }
+        MemoryPlan plan = mem::planMemory(syms, 8000, 1 << 20);
+        expectNoOverlap(syms, plan);
+        EXPECT_LE(plan.hbmPeakBytes, 8000);
+        // Reuse never exceeds the no-reuse upper bound.
+        EXPECT_LE(plan.hbmPeakBytes, plan.hbmBytesNoReuse);
+    }
+}

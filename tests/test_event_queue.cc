@@ -1,0 +1,165 @@
+/** @file Unit tests for the discrete-event simulation core. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/log.h"
+
+using namespace sn40l;
+using sim::EventQueue;
+using sim::Tick;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.run(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&]() { order.push_back(3); });
+    eq.schedule(10, [&]() { order.push_back(1); });
+    eq.schedule(20, [&]() { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() {
+        ++fired;
+        eq.scheduleIn(5, [&]() {
+            ++fired;
+            EXPECT_EQ(eq.now(), 15);
+        });
+    });
+    EXPECT_EQ(eq.run(), 2u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(5, []() {}), sim::SimPanic);
+    EXPECT_THROW(eq.scheduleIn(-1, []() {}), sim::SimPanic);
+}
+
+TEST(EventQueue, EmptyCallbackPanics)
+{
+    EventQueue eq;
+    EXPECT_THROW(eq.schedule(1, EventQueue::Callback()), sim::SimPanic);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(20, [&]() { ++fired; });
+    eq.schedule(30, [&]() { ++fired; });
+
+    // Events at exactly the limit still run.
+    EXPECT_EQ(eq.run(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20);
+    EXPECT_FALSE(eq.empty());
+
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto handle = eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(20, [&]() { ++fired; });
+
+    EXPECT_TRUE(handle.pending());
+    EXPECT_TRUE(handle.cancel());
+    EXPECT_FALSE(handle.pending());
+    EXPECT_FALSE(handle.cancel()); // double cancel is a no-op
+
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 20);
+}
+
+TEST(EventQueue, CancelledEventAtLimitBoundaryDoesNotLeakLaterEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto handle = eq.schedule(10, [&]() { ++fired; });
+    eq.schedule(50, [&]() { ++fired; });
+    handle.cancel();
+
+    // The cancelled tick-10 event must not let the tick-50 event run
+    // under a limit of 20.
+    EXPECT_EQ(eq.run(20), 0u);
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ResetClearsState)
+{
+    EventQueue eq;
+    eq.schedule(10, []() {});
+    eq.schedule(20, []() {});
+    eq.run(10);
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.run(), 0u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&]() { ++fired; });
+    eq.schedule(2, [&]() { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(Ticks, UnitConversionsRoundTrip)
+{
+    EXPECT_EQ(sim::fromUs(1.0), 1'000'000);
+    EXPECT_EQ(sim::fromMs(1.0), 1'000'000'000LL);
+    EXPECT_DOUBLE_EQ(sim::toMs(sim::fromMs(12.5)), 12.5);
+    EXPECT_DOUBLE_EQ(sim::toSeconds(sim::kTicksPerSec), 1.0);
+}
+
+TEST(Ticks, TransferTicksRoundsUpAndHandlesZero)
+{
+    EXPECT_EQ(sim::transferTicks(0.0, 1e9), 0);
+    EXPECT_EQ(sim::transferTicks(1e9, 1e9), sim::kTicksPerSec);
+    // One byte at huge bandwidth still takes at least one tick.
+    EXPECT_GE(sim::transferTicks(1.0, 1e15), 1);
+}

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Tests for graph partitioning (streaming-dataflow fusion, unfused
+ * baseline, GPU conventional fusion), traffic accounting, and the
+ * placer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "compiler/bandwidth_model.h"
+#include "compiler/fusion.h"
+#include "compiler/placer.h"
+#include "models/fft_conv.h"
+#include "models/transformer_builder.h"
+#include "sim/log.h"
+
+using namespace sn40l;
+using namespace sn40l::compiler;
+
+namespace {
+
+graph::DataflowGraph
+decodeGraph()
+{
+    models::WorkloadSpec spec;
+    spec.model = models::LlmConfig::llama2_7b();
+    spec.phase = models::Phase::Decode;
+    spec.seqLen = 2048;
+    spec.tensorParallel = 8;
+    return models::buildTransformer(spec);
+}
+
+/** Every op appears in exactly one kernel. */
+void
+expectExactPartition(const graph::DataflowGraph &g,
+                     const std::vector<Kernel> &kernels)
+{
+    std::set<graph::OpId> seen;
+    for (const Kernel &k : kernels) {
+        for (graph::OpId id : k.ops) {
+            EXPECT_TRUE(seen.insert(id).second) << "op in two kernels";
+        }
+    }
+    EXPECT_EQ(seen.size(), g.numOps());
+}
+
+} // namespace
+
+TEST(Fusion, UnfusedIsOneKernelPerOp)
+{
+    graph::DataflowGraph g = decodeGraph();
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+    FusionOptions opt;
+    opt.mode = ExecMode::RduUnfused;
+    opt.tensorParallel = 8;
+    auto kernels = partitionGraph(g, chip, opt);
+    EXPECT_EQ(kernels.size(), g.numOps());
+    expectExactPartition(g, kernels);
+}
+
+TEST(Fusion, FusedKernelsAreFarFewer)
+{
+    graph::DataflowGraph g = decodeGraph();
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+    FusionOptions opt;
+    opt.mode = ExecMode::RduFused;
+    opt.tensorParallel = 8;
+    auto kernels = partitionGraph(g, chip, opt);
+    expectExactPartition(g, kernels);
+    // Streaming dataflow fuses 20+ operators per kernel (Section
+    // VIII-3).
+    EXPECT_LT(kernels.size() * 20, g.numOps());
+}
+
+TEST(Fusion, FusedRespectsResourceCaps)
+{
+    graph::DataflowGraph g = decodeGraph();
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+    FusionOptions opt;
+    opt.mode = ExecMode::RduFused;
+    opt.tensorParallel = 8;
+    auto kernels = partitionGraph(g, chip, opt);
+
+    for (Kernel &k : kernels) {
+        placeKernel(g, chip, opt, k);
+        EXPECT_LE(k.pcusUsed,
+                  static_cast<int>(chip.pcuCount * chip.placeableFraction));
+        EXPECT_LE(k.pmusUsed,
+                  static_cast<int>(chip.pmuCount * chip.placeableFraction));
+        for (const StagePlacement &s : k.stages) {
+            const graph::Operator &op = g.op(s.op);
+            // Placement floors (smaller than the fusion granularity
+            // floors): every compute stage gets at least a few PCUs.
+            if (op.cls() == graph::OpClass::Systolic) {
+                EXPECT_GE(s.pcus, 4);
+            }
+            if (op.cls() == graph::OpClass::Simd) {
+                EXPECT_GE(s.pcus, 2);
+            }
+        }
+    }
+}
+
+TEST(Fusion, UnfusedSplitsLargeOps)
+{
+    models::WorkloadSpec spec;
+    spec.model = models::LlmConfig::llama2_70b();
+    spec.phase = models::Phase::Prefill;
+    spec.seqLen = 4096;
+    spec.tensorParallel = 8;
+    graph::DataflowGraph g = models::buildTransformer(spec);
+
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+    FusionOptions opt;
+    opt.mode = ExecMode::RduUnfused;
+    opt.tensorParallel = 8;
+    auto kernels = partitionGraph(g, chip, opt);
+    EXPECT_GT(totalLaunches(kernels),
+              static_cast<std::int64_t>(kernels.size()));
+}
+
+TEST(Fusion, FusionImprovesOperationalIntensity)
+{
+    graph::DataflowGraph g = decodeGraph();
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+    FusionOptions opt;
+    opt.tensorParallel = 8;
+
+    opt.mode = ExecMode::RduFused;
+    auto fused = partitionGraph(g, chip, opt);
+    opt.mode = ExecMode::RduUnfused;
+    auto unfused = partitionGraph(g, chip, opt);
+
+    auto oi = [&](const std::vector<Kernel> &ks) {
+        auto r = graph::operationalIntensity(g, toFusionGroups(ks));
+        return r.intensity();
+    };
+    EXPECT_GT(oi(fused), oi(unfused));
+}
+
+TEST(Fusion, TrafficClassification)
+{
+    graph::DataflowGraph g("tiny");
+    auto x = g.addTensor("x", {64, 64}, graph::DType::BF16,
+                         graph::TensorKind::Input);
+    auto w = g.addTensor("w", {64, 64}, graph::DType::BF16,
+                         graph::TensorKind::Weight);
+    auto h = g.addTensor("h", {64, 64});
+    auto cache = g.addTensor("kv", {64, 64}, graph::DType::BF16,
+                             graph::TensorKind::KvCache);
+    auto y = g.addTensor("y", {64, 64}, graph::DType::BF16,
+                         graph::TensorKind::Output);
+    g.addOp(graph::OpKind::Gemm, "g0", {x, w}, {h});
+    g.addOp(graph::OpKind::KvAppend, "kva", {h}, {cache});
+    g.addOp(graph::OpKind::Gemm, "g1", {h, cache}, {y});
+
+    Kernel k;
+    k.ops = {0, 1, 2};
+    accountKernelTraffic(g, k);
+
+    double t = 64 * 64 * 2;
+    EXPECT_DOUBLE_EQ(k.weightBytes, t);  // w
+    EXPECT_DOUBLE_EQ(k.inputBytes, t);   // x
+    EXPECT_DOUBLE_EQ(k.outputBytes, t);  // y
+    EXPECT_DOUBLE_EQ(k.kvReadBytes, t);  // cache read by g1
+    EXPECT_DOUBLE_EQ(k.kvWriteBytes, t); // appended rows
+    // h stays internal.
+    EXPECT_DOUBLE_EQ(k.flops, 2.0 * 2 * 64 * 64 * 64);
+}
+
+TEST(Fusion, AllReduceBytesTracked)
+{
+    graph::DataflowGraph g("ar");
+    auto x = g.addTensor("x", {128, 128}, graph::DType::BF16,
+                         graph::TensorKind::Input);
+    auto y = g.addTensor("y", {128, 128});
+    auto z = g.addTensor("z", {128, 128}, graph::DType::BF16,
+                         graph::TensorKind::Output);
+    g.addOp(graph::OpKind::Relu, "r", {x}, {y});
+    g.addOp(graph::OpKind::AllReduce, "ar", {y}, {z});
+
+    Kernel k;
+    k.ops = {0, 1};
+    accountKernelTraffic(g, k);
+    EXPECT_EQ(k.collectiveOps, 1);
+    EXPECT_DOUBLE_EQ(k.allReduceBytes, 128 * 128 * 2);
+}
+
+TEST(GpuFusion, BreaksAtTransposeAndSoftmax)
+{
+    graph::DataflowGraph g = models::buildFig3Example();
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+    FusionOptions opt;
+    opt.mode = ExecMode::GpuConventional;
+    auto kernels = partitionGraph(g, chip, opt);
+
+    // Gemm0+Mul fuse; Transpose stands alone; Gemm1 stands alone —
+    // exactly the Section III-A failure mode.
+    ASSERT_EQ(kernels.size(), 3u);
+    EXPECT_EQ(kernels[0].ops.size(), 2u);
+    EXPECT_EQ(kernels[1].ops.size(), 1u);
+    EXPECT_EQ(g.op(kernels[1].ops[0]).kind, graph::OpKind::Transpose);
+}
+
+TEST(GpuFusion, FlashAttentionPatternFusesWhenEnabled)
+{
+    graph::DataflowGraph g = decodeGraph();
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+    FusionOptions opt;
+    opt.mode = ExecMode::GpuConventional;
+
+    opt.gpuFlashAttention = true;
+    auto with_fa = partitionGraph(g, chip, opt);
+    opt.gpuFlashAttention = false;
+    auto without_fa = partitionGraph(g, chip, opt);
+
+    expectExactPartition(g, with_fa);
+    expectExactPartition(g, without_fa);
+    // FlashAttention merges 4 kernels into 1 per layer.
+    EXPECT_LT(with_fa.size() + 3u * 32, without_fa.size() + 10u);
+    // But GPUs still launch far more kernels than streaming dataflow.
+    opt.mode = ExecMode::RduFused;
+    opt.tensorParallel = 8;
+    auto rdu = partitionGraph(g, chip, opt);
+    EXPECT_GT(with_fa.size(), 5 * rdu.size());
+}
+
+TEST(CostModel, FusedKernelBottleneckIsMemoryForDecode)
+{
+    graph::DataflowGraph g = decodeGraph();
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+    FusionOptions opt;
+    opt.mode = ExecMode::RduFused;
+    opt.tensorParallel = 8;
+    auto kernels = partitionGraph(g, chip, opt);
+
+    double weight_bytes = 0.0;
+    double hbm_seconds = 0.0;
+    for (Kernel &k : kernels) {
+        placeKernel(g, chip, opt, k);
+        KernelCost cost = costKernel(chip, opt, k);
+        weight_bytes += k.weightBytes;
+        hbm_seconds += cost.hbmSeconds;
+        if (k.weightBytes > 1e9) {
+            EXPECT_STREQ(cost.bottleneck(), "hbm");
+        }
+    }
+    // Decode streams the full weights once per token — except the
+    // embedding table, which is gathered (only the looked-up rows
+    // move), so traffic is slightly below the raw weight bytes.
+    EXPECT_LT(weight_bytes, g.weightBytes());
+    EXPECT_GT(weight_bytes, g.weightBytes() * 0.95);
+    // ~13.5 GB over 8 sockets at ~1.5 TB/s effective: around a
+    // millisecond.
+    EXPECT_GT(hbm_seconds, 0.5e-3);
+    EXPECT_LT(hbm_seconds, 3e-3);
+}
+
+TEST(CostModel, UnfusedSmallOpsRunAtLowUtilization)
+{
+    graph::DataflowGraph g("small");
+    auto x = g.addTensor("x", {8, 64}, graph::DType::BF16,
+                         graph::TensorKind::Input);
+    auto w = g.addTensor("w", {64, 64}, graph::DType::BF16,
+                         graph::TensorKind::Weight);
+    auto y = g.addTensor("y", {8, 64}, graph::DType::BF16,
+                         graph::TensorKind::Output);
+    g.addOp(graph::OpKind::Gemm, "g", {x, w}, {y});
+
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+    FusionOptions opt;
+    opt.mode = ExecMode::RduUnfused;
+    auto kernels = partitionGraph(g, chip, opt);
+    KernelCost cost = costKernel(chip, opt, kernels[0]);
+
+    // At full utilization this GEMM would take ~flops/peak seconds;
+    // the small-op derate makes it far slower.
+    double ideal = kernels[0].flops /
+                   (chip.peakBf16Flops * chip.systolicEfficiency);
+    EXPECT_GT(cost.computeSeconds, 5.0 * ideal);
+}
+
+TEST(CostModel, TensorParallelScalesPerSocketWork)
+{
+    graph::DataflowGraph g = decodeGraph();
+    arch::ChipConfig chip = arch::ChipConfig::sn40l();
+    FusionOptions opt;
+    opt.mode = ExecMode::RduFused;
+
+    opt.tensorParallel = 1;
+    auto k1 = partitionGraph(g, chip, opt);
+    for (Kernel &k : k1)
+        placeKernel(g, chip, opt, k);
+    double t1 = 0.0;
+    for (const Kernel &k : k1)
+        t1 += costKernel(chip, opt, k).totalSeconds();
+
+    opt.tensorParallel = 8;
+    auto k8 = partitionGraph(g, chip, opt);
+    for (Kernel &k : k8)
+        placeKernel(g, chip, opt, k);
+    double t8 = 0.0;
+    for (const Kernel &k : k8)
+        t8 += costKernel(chip, opt, k).totalSeconds();
+
+    // Decode is bandwidth-bound: 8 sockets give near-linear speedup
+    // (minus collectives and fill).
+    EXPECT_GT(t1 / t8, 4.0);
+    EXPECT_LT(t1 / t8, 9.0);
+}

@@ -1,0 +1,101 @@
+/** @file Tests for the DGX A100/H100 baseline executor. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_executor.h"
+#include "models/transformer_builder.h"
+
+using namespace sn40l;
+using namespace sn40l::baseline;
+
+namespace {
+
+graph::DataflowGraph
+decodeGraph()
+{
+    models::WorkloadSpec spec;
+    spec.model = models::LlmConfig::llama2_7b();
+    spec.phase = models::Phase::Decode;
+    spec.seqLen = 2048;
+    spec.tensorParallel = 8;
+    return models::buildTransformer(spec);
+}
+
+} // namespace
+
+TEST(GpuConfig, PublishedSpecs)
+{
+    GpuConfig a100 = GpuConfig::a100();
+    EXPECT_DOUBLE_EQ(a100.peakBf16Flops, 312e12);
+    EXPECT_DOUBLE_EQ(a100.hbmBandwidth, 2.039e12);
+    GpuConfig h100 = GpuConfig::h100();
+    EXPECT_DOUBLE_EQ(h100.peakBf16Flops, 989e12);
+    EXPECT_DOUBLE_EQ(h100.hbmBandwidth, 3.35e12);
+
+    // Paper Section VI-C: 32 / 64 GB/s host-to-GPU.
+    EXPECT_DOUBLE_EQ(DgxConfig::dgxA100().hostToGpuBandwidth, 32e9);
+    EXPECT_DOUBLE_EQ(DgxConfig::dgxH100().hostToGpuBandwidth, 64e9);
+}
+
+TEST(GpuConfig, ExpertCapacityMatchesPaperOomPoint)
+{
+    // 150 Llama2-7B experts fit in host DRAM; 151+ do not (the
+    // paper's "DGXs run out of memory at 150 experts").
+    double expert = models::LlmConfig::llama2_7b().weightBytes();
+    DgxConfig dgx = DgxConfig::dgxA100();
+    EXPECT_GE(static_cast<double>(dgx.expertCapacityBytes()),
+              150 * expert);
+    EXPECT_LT(static_cast<double>(dgx.expertCapacityBytes()),
+              152 * expert);
+}
+
+TEST(GpuExecutor, DecodeIsBandwidthBound)
+{
+    graph::DataflowGraph g = decodeGraph();
+    GpuExecutor a100(DgxConfig::dgxA100());
+    GpuRunResult r = a100.run(g);
+
+    // Weight streaming alone: 13.48 GB / 8 GPUs at ~50% of 2 TB/s is
+    // ~1.65 ms; total includes launches and collectives.
+    EXPECT_GT(r.seconds, 1.6e-3);
+    EXPECT_LT(r.seconds, 8e-3);
+    EXPECT_GT(r.kernels, 300);
+    EXPECT_GT(r.launchSeconds, 0.0);
+}
+
+TEST(GpuExecutor, H100BeatsA100)
+{
+    graph::DataflowGraph g = decodeGraph();
+    double a = GpuExecutor(DgxConfig::dgxA100()).run(g).seconds;
+    double h = GpuExecutor(DgxConfig::dgxH100()).run(g).seconds;
+    EXPECT_LT(h, a);
+    EXPECT_GT(h, a / 3.0); // decode gains are bandwidth-ish, not 3x
+}
+
+TEST(GpuExecutor, FlashAttentionReducesKernels)
+{
+    graph::DataflowGraph g = decodeGraph();
+    GpuRunResult with_fa =
+        GpuExecutor(DgxConfig::dgxA100(), true).run(g);
+    GpuRunResult without_fa =
+        GpuExecutor(DgxConfig::dgxA100(), false).run(g);
+    EXPECT_LT(with_fa.kernels, without_fa.kernels);
+    EXPECT_LE(with_fa.seconds, without_fa.seconds);
+}
+
+TEST(GpuExecutor, PrefillIsComputeBoundAndScalesWithSeq)
+{
+    models::WorkloadSpec spec;
+    spec.model = models::LlmConfig::llama2_7b();
+    spec.phase = models::Phase::Prefill;
+    spec.tensorParallel = 8;
+
+    spec.seqLen = 1024;
+    double t1 = GpuExecutor(DgxConfig::dgxA100())
+                    .run(models::buildTransformer(spec)).seconds;
+    spec.seqLen = 4096;
+    double t4 = GpuExecutor(DgxConfig::dgxA100())
+                    .run(models::buildTransformer(spec)).seconds;
+    EXPECT_GT(t4, 3.0 * t1);
+    EXPECT_LT(t4, 6.0 * t1);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Operational-intensity tests, including the paper's Table I example
+ * (simplified Monarch FFT decomposition, Fig 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/intensity.h"
+#include "sim/log.h"
+
+using namespace sn40l;
+using namespace sn40l::graph;
+
+namespace {
+
+/**
+ * The Fig 3 graph: Gemm0 -> Mul(Scale) -> Transpose -> Gemm1 with the
+ * paper's shapes. See models/fft_conv.cc for the library builder; the
+ * test rebuilds it by hand to keep this test self-contained.
+ */
+struct Fig3
+{
+    DataflowGraph g{"fig3"};
+    OpId gemm0, mul, transpose, gemm1;
+
+    Fig3()
+    {
+        TensorId w0 = g.addTensor("W0", {1024, 128}, DType::BF16,
+                                  TensorKind::Weight);
+        TensorId i0 = g.addTensor("I0", {128, 1024}, DType::BF16,
+                                  TensorKind::Input);
+        TensorId s = g.addTensor("S", {1024, 1024});
+        TensorId scale = g.addTensor("Scale", {128, 1024}, DType::BF16,
+                                     TensorKind::Constant);
+        TensorId m = g.addTensor("M", {1024, 1024});
+        TensorId t = g.addTensor("T", {1024, 1024});
+        TensorId w1 = g.addTensor("W1", {128, 1024}, DType::BF16,
+                                  TensorKind::Weight);
+        TensorId out = g.addTensor("Out", {128, 1024}, DType::BF16,
+                                   TensorKind::Output);
+
+        gemm0 = g.addOp(OpKind::Gemm, "Gemm0", {w0, i0}, {s});
+        mul = g.addOp(OpKind::Mul, "Mul", {s, scale}, {m});
+        transpose = g.addOp(OpKind::Transpose, "Transpose", {m}, {t});
+        gemm1 = g.addOp(OpKind::Gemm, "Gemm1", {w1, t}, {out});
+    }
+};
+
+} // namespace
+
+TEST(Intensity, Fig3TotalFlops)
+{
+    Fig3 f;
+    // 2 * 1024*1024*128 per GEMM, 1 FLOP/elem for the Mul.
+    double expected = 2.0 * 268435456.0 + 1048576.0;
+    EXPECT_DOUBLE_EQ(f.g.totalFlops(), expected);
+}
+
+TEST(Intensity, TableOneNoFusion)
+{
+    Fig3 f;
+    auto r = operationalIntensity(f.g, singleOpGroups(f.g));
+    // Paper Table I: 39.5 FLOPs/byte. Our byte accounting charges
+    // every operand at fusion-group boundaries; see EXPERIMENTS.md.
+    EXPECT_NEAR(r.intensity(), 38.72, 0.05);
+}
+
+TEST(Intensity, TableOnePartialFusion)
+{
+    Fig3 f;
+    std::vector<FusionGroup> groups(2);
+    groups[0].ops = {f.gemm0, f.mul, f.transpose};
+    groups[1].ops = {f.gemm1};
+    auto r = operationalIntensity(f.g, groups);
+    // Paper Table I: 102.6 FLOPs/byte.
+    EXPECT_NEAR(r.intensity(), 97.71, 0.05);
+}
+
+TEST(Intensity, TableOneFullFusion)
+{
+    Fig3 f;
+    auto r = operationalIntensity(f.g, singleGroup(f.g));
+    // Paper Table I: 410.4 FLOPs/byte — exact match under our
+    // accounting: 537,919,488 FLOPs / 1,310,720 bytes.
+    EXPECT_NEAR(r.intensity(), 410.4, 0.05);
+    EXPECT_DOUBLE_EQ(r.bytes, 1310720.0);
+}
+
+TEST(Intensity, FusionMonotonicallyImprovesIntensity)
+{
+    Fig3 f;
+    auto unfused = operationalIntensity(f.g, singleOpGroups(f.g));
+    std::vector<FusionGroup> partial(2);
+    partial[0].ops = {f.gemm0, f.mul, f.transpose};
+    partial[1].ops = {f.gemm1};
+    auto mid = operationalIntensity(f.g, partial);
+    auto fused = operationalIntensity(f.g, singleGroup(f.g));
+
+    EXPECT_LT(unfused.intensity(), mid.intensity());
+    EXPECT_LT(mid.intensity(), fused.intensity());
+    // FLOPs do not change with fusion; only bytes do.
+    EXPECT_DOUBLE_EQ(unfused.flops, fused.flops);
+    EXPECT_GT(unfused.bytes, fused.bytes);
+}
+
+TEST(Intensity, PartitionMustBeExact)
+{
+    Fig3 f;
+    std::vector<FusionGroup> missing(1);
+    missing[0].ops = {f.gemm0, f.mul};
+    EXPECT_THROW(operationalIntensity(f.g, missing), sim::SimPanic);
+
+    std::vector<FusionGroup> dup(2);
+    dup[0].ops = {f.gemm0, f.mul, f.transpose, f.gemm1};
+    dup[1].ops = {f.gemm0};
+    EXPECT_THROW(operationalIntensity(f.g, dup), sim::SimPanic);
+}
+
+TEST(Intensity, WeightsReadOncePerGroup)
+{
+    // Two ops sharing one weight in one group: the weight is charged
+    // once; split across groups it is charged twice.
+    DataflowGraph g("shared");
+    TensorId x = g.addTensor("x", {64, 64}, DType::BF16, TensorKind::Input);
+    TensorId w = g.addTensor("w", {64, 64}, DType::BF16, TensorKind::Weight);
+    TensorId h = g.addTensor("h", {64, 64});
+    TensorId y = g.addTensor("y", {64, 64}, DType::BF16, TensorKind::Output);
+    OpId a = g.addOp(OpKind::Gemm, "a", {x, w}, {h});
+    OpId b = g.addOp(OpKind::Gemm, "b", {h, w}, {y});
+
+    auto fused = operationalIntensity(g, singleGroup(g));
+    std::vector<FusionGroup> split(2);
+    split[0].ops = {a};
+    split[1].ops = {b};
+    auto unfused = operationalIntensity(g, split);
+
+    double wbytes = 64 * 64 * 2;
+    // Unfused re-reads w and materializes h (read + write).
+    EXPECT_DOUBLE_EQ(unfused.bytes - fused.bytes, wbytes + 2 * wbytes);
+}

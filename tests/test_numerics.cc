@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the PCU tail-unit numerics: BF16 conversion with
+ * round-to-nearest-even and stochastic rounding, INT8 quantization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/numerics.h"
+
+using namespace sn40l;
+using namespace sn40l::arch;
+
+TEST(Numerics, Bf16RoundTripExactForRepresentableValues)
+{
+    // Values with <= 8 significand bits survive the round trip.
+    for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 96.0f, -0.15625f,
+                    1.5f, 255.0f}) {
+        EXPECT_EQ(quantizeBf16(v), v) << v;
+    }
+}
+
+TEST(Numerics, RneRoundsToNearest)
+{
+    // The midpoint between 1.0 and 1+2^-7 is 1+2^-8: values below it
+    // round down, values above round up.
+    float below_mid = 1.0f + 1.0f / 512.0f;
+    EXPECT_EQ(quantizeBf16(below_mid), 1.0f);
+
+    float above_mid = 1.0f + 3.0f / 512.0f;
+    EXPECT_EQ(quantizeBf16(above_mid), 1.0f + kBf16Epsilon);
+}
+
+TEST(Numerics, RneTiesGoToEven)
+{
+    // Exactly halfway between 1.0 (even significand) and 1+2^-7:
+    // rounds down to the even value.
+    float tie = 1.0f + 1.0f / 256.0f;
+    EXPECT_EQ(quantizeBf16(tie), 1.0f);
+
+    // Halfway between 1+2^-7 (odd significand) and 1+2^-6 (even):
+    // rounds up.
+    float odd_base = 1.0f + kBf16Epsilon;
+    float tie2 = odd_base + 1.0f / 256.0f;
+    EXPECT_EQ(quantizeBf16(tie2), 1.0f + 2 * kBf16Epsilon);
+}
+
+TEST(Numerics, SpecialValuesSurvive)
+{
+    float inf = std::numeric_limits<float>::infinity();
+    EXPECT_EQ(bf16ToFp32(fp32ToBf16Rne(inf)), inf);
+    EXPECT_EQ(bf16ToFp32(fp32ToBf16Rne(-inf)), -inf);
+    float nan = std::nanf("");
+    EXPECT_TRUE(std::isnan(bf16ToFp32(fp32ToBf16Rne(nan))));
+}
+
+TEST(Numerics, StochasticRoundingIsUnbiased)
+{
+    // E[rounded] should equal the input; RNE is deterministic and
+    // biased toward one neighbour for off-midpoint values.
+    sim::Rng rng(99);
+    float value = 1.0f + 0.3f * kBf16Epsilon; // 30% toward the upper
+    const int n = 40000;
+    double sum = 0.0;
+    int ups = 0;
+    for (int i = 0; i < n; ++i) {
+        float r = bf16ToFp32(fp32ToBf16Stochastic(value, rng));
+        sum += r;
+        if (r > 1.0f)
+            ++ups;
+    }
+    double mean = sum / n;
+    EXPECT_NEAR(mean, value, kBf16Epsilon * 0.02);
+    // Rounds up about 30% of the time.
+    EXPECT_NEAR(static_cast<double>(ups) / n, 0.3, 0.02);
+
+    // RNE always picks the same neighbour.
+    EXPECT_EQ(quantizeBf16(value), 1.0f);
+}
+
+TEST(Numerics, StochasticMatchesRneForExactValues)
+{
+    sim::Rng rng(5);
+    for (float v : {1.0f, -2.5f, 0.25f}) {
+        for (int i = 0; i < 10; ++i)
+            EXPECT_EQ(bf16ToFp32(fp32ToBf16Stochastic(v, rng)), v);
+    }
+}
+
+TEST(Numerics, Int8QuantizationClampsAndInverts)
+{
+    float scale = 0.1f;
+    EXPECT_EQ(quantizeInt8(1.0f, scale), 10);
+    EXPECT_EQ(quantizeInt8(-1.27f, scale), -13);
+    EXPECT_EQ(quantizeInt8(1000.0f, scale), 127);  // clamped
+    EXPECT_EQ(quantizeInt8(-1000.0f, scale), -127);
+    EXPECT_NEAR(dequantizeInt8(quantizeInt8(0.73f, scale), scale), 0.73f,
+                scale / 2);
+}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the RDN mesh: dimension-order routing, multicast trees,
+ * flow/congestion accounting, sequence-ID reordering, and credit-based
+ * flow control (Section IV-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/rdn.h"
+#include "sim/log.h"
+#include "sim/rng.h"
+
+using namespace sn40l;
+using arch::Coord;
+using arch::CreditLink;
+using arch::RdnMesh;
+using arch::ReorderBuffer;
+
+TEST(RdnMesh, DimensionOrderRouteXThenY)
+{
+    RdnMesh mesh(8, 8);
+    auto path = mesh.route({1, 1}, {4, 3});
+    ASSERT_EQ(path.size(), 6u); // 3 X hops + 2 Y hops + origin
+    EXPECT_EQ(path.front(), (Coord{1, 1}));
+    EXPECT_EQ(path[1], (Coord{2, 1}));
+    EXPECT_EQ(path[3], (Coord{4, 1})); // X resolved first
+    EXPECT_EQ(path.back(), (Coord{4, 3}));
+}
+
+TEST(RdnMesh, RouteToSelfIsJustTheNode)
+{
+    RdnMesh mesh(4, 4);
+    auto path = mesh.route({2, 2}, {2, 2});
+    EXPECT_EQ(path.size(), 1u);
+    EXPECT_TRUE(mesh.routeLinks({2, 2}, {2, 2}).empty());
+}
+
+TEST(RdnMesh, RouteLengthIsManhattanDistance)
+{
+    RdnMesh mesh(16, 16);
+    sim::Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        Coord a{static_cast<int>(rng.uniformInt(16)),
+                static_cast<int>(rng.uniformInt(16))};
+        Coord b{static_cast<int>(rng.uniformInt(16)),
+                static_cast<int>(rng.uniformInt(16))};
+        auto links = mesh.routeLinks(a, b);
+        int manhattan = std::abs(a.x - b.x) + std::abs(a.y - b.y);
+        EXPECT_EQ(static_cast<int>(links.size()), manhattan);
+    }
+}
+
+TEST(RdnMesh, OffMeshPanics)
+{
+    RdnMesh mesh(4, 4);
+    EXPECT_THROW(mesh.route({0, 0}, {4, 0}), sim::SimPanic);
+    EXPECT_THROW(mesh.route({-1, 0}, {0, 0}), sim::SimPanic);
+}
+
+TEST(RdnMesh, MulticastTreeSharesCommonPrefix)
+{
+    RdnMesh mesh(8, 8);
+    // Two destinations sharing the X leg from (0,0) to (4,0).
+    auto tree = mesh.multicastTree({0, 0}, {{4, 2}, {4, 5}});
+    auto to_a = mesh.routeLinks({0, 0}, {4, 2});
+    auto to_b = mesh.routeLinks({0, 0}, {4, 5});
+    // Tree is strictly smaller than two unicast routes.
+    EXPECT_LT(tree.size(), to_a.size() + to_b.size());
+    // Every unicast link is in the tree.
+    for (const auto &l : to_a)
+        EXPECT_TRUE(tree.count(l));
+    for (const auto &l : to_b)
+        EXPECT_TRUE(tree.count(l));
+}
+
+TEST(RdnMesh, FlowAccountingFindsHotLink)
+{
+    RdnMesh mesh(4, 1);
+    // Two flows crossing the same middle link.
+    mesh.addFlow({0, 0}, {3, 0}, 10e9);
+    mesh.addFlow({1, 0}, {3, 0}, 10e9);
+    EXPECT_DOUBLE_EQ(mesh.maxLinkLoad(), 20e9);
+    EXPECT_DOUBLE_EQ(mesh.congestionFactor(40e9), 1.0);
+    EXPECT_DOUBLE_EQ(mesh.congestionFactor(10e9), 2.0);
+    mesh.clearFlows();
+    EXPECT_DOUBLE_EQ(mesh.maxLinkLoad(), 0.0);
+}
+
+TEST(RdnMesh, MulticastFlowLoadsSharedLinksOnce)
+{
+    RdnMesh mesh(8, 8);
+    mesh.addMulticastFlow({0, 0}, {{4, 2}, {4, 5}}, 10e9);
+    // The shared X-leg link (1,0)->(2,0) carries the flow once.
+    EXPECT_DOUBLE_EQ(mesh.maxLinkLoad(), 10e9);
+}
+
+TEST(ReorderBuffer, InOrderStreamsPassThrough)
+{
+    ReorderBuffer rob;
+    rob.push(0);
+    EXPECT_EQ(rob.drain(), 1u);
+    rob.push(1);
+    rob.push(2);
+    EXPECT_EQ(rob.drain(), 2u);
+    EXPECT_EQ(rob.nextExpected(), 3u);
+}
+
+TEST(ReorderBuffer, OutOfOrderHeldUntilGapFills)
+{
+    ReorderBuffer rob;
+    rob.push(2);
+    rob.push(1);
+    EXPECT_EQ(rob.drain(), 0u);
+    EXPECT_EQ(rob.pendingOutOfOrder(), 2u);
+    rob.push(0);
+    EXPECT_EQ(rob.drain(), 3u);
+    EXPECT_EQ(rob.pendingOutOfOrder(), 0u);
+    EXPECT_EQ(rob.maxOccupancy(), 3u);
+}
+
+TEST(ReorderBuffer, DuplicateOrStaleSeqPanics)
+{
+    ReorderBuffer rob;
+    rob.push(0);
+    rob.drain();
+    EXPECT_THROW(rob.push(0), sim::SimPanic); // stale
+    rob.push(5);
+    EXPECT_THROW(rob.push(5), sim::SimPanic); // duplicate
+}
+
+TEST(ReorderBuffer, RandomPermutationAlwaysFullyDrains)
+{
+    sim::Rng rng(11);
+    for (int trial = 0; trial < 10; ++trial) {
+        std::vector<std::uint64_t> seq(64);
+        for (std::size_t i = 0; i < seq.size(); ++i)
+            seq[i] = i;
+        // Fisher-Yates shuffle.
+        for (std::size_t i = seq.size(); i > 1; --i)
+            std::swap(seq[i - 1], seq[rng.uniformInt(i)]);
+
+        ReorderBuffer rob;
+        std::size_t released = 0;
+        for (std::uint64_t s : seq) {
+            rob.push(s);
+            released += rob.drain();
+        }
+        EXPECT_EQ(released, seq.size());
+        EXPECT_EQ(rob.pendingOutOfOrder(), 0u);
+    }
+}
+
+TEST(CreditLink, DeliversInOrderWithSerialization)
+{
+    sim::EventQueue eq;
+    CreditLink link(eq, "link", 4, sim::fromNs(10), sim::fromNs(5));
+    std::vector<sim::Tick> delivered;
+    link.send(1, [&]() { delivered.push_back(eq.now()); });
+    link.send(1, [&]() { delivered.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_EQ(delivered[0], sim::fromNs(10));
+    EXPECT_EQ(delivered[1], sim::fromNs(20));
+}
+
+TEST(CreditLink, CreditExhaustionStallsSender)
+{
+    sim::EventQueue eq;
+    // One credit: each flit must wait for the previous credit return.
+    CreditLink link(eq, "link", 1, sim::fromNs(10), sim::fromNs(90));
+    std::vector<sim::Tick> delivered;
+    for (int i = 0; i < 3; ++i)
+        link.send(1, [&]() { delivered.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(delivered.size(), 3u);
+    EXPECT_EQ(delivered[0], sim::fromNs(10));
+    // Next flit waits for credit at t=10+90, delivers at 110.
+    EXPECT_EQ(delivered[1], sim::fromNs(110));
+    EXPECT_EQ(delivered[2], sim::fromNs(210));
+    EXPECT_GT(link.stats().get("credit_stalls"), 0.0);
+}
+
+TEST(CreditLink, MultiFlitMessageCompletesOnLastFlit)
+{
+    sim::EventQueue eq;
+    CreditLink link(eq, "link", 8, sim::fromNs(10), sim::fromNs(5));
+    sim::Tick done = -1;
+    link.send(4, [&]() { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, sim::fromNs(40));
+}
+
+TEST(CreditLink, ValidatesConfig)
+{
+    sim::EventQueue eq;
+    EXPECT_THROW(CreditLink(eq, "bad", 0, 1, 1), sim::FatalError);
+    EXPECT_THROW(CreditLink(eq, "bad", 1, 0, 1), sim::FatalError);
+    CreditLink link(eq, "ok", 1, 1, 1);
+    EXPECT_THROW(link.send(0, nullptr), sim::SimPanic);
+}

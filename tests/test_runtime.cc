@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the runtime: machine model, executor orchestration
+ * semantics, the runner harness, and speculative decoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/transformer_builder.h"
+#include "runtime/executor.h"
+#include "runtime/runner.h"
+#include "runtime/spec_decode.h"
+#include "sim/log.h"
+
+using namespace sn40l;
+using namespace sn40l::runtime;
+
+namespace {
+
+graph::DataflowGraph
+smallDecode()
+{
+    models::WorkloadSpec spec;
+    spec.model = models::LlmConfig::llama2_7b();
+    spec.phase = models::Phase::Decode;
+    spec.seqLen = 512;
+    spec.tensorParallel = 8;
+    return models::buildTransformer(spec);
+}
+
+} // namespace
+
+TEST(Machine, NodeAggregateDdrToHbmExceedsOneTerabytePerSecond)
+{
+    // Paper: "Models are loaded from DDR to HBM at over 1 TB/s in a
+    // single SN40L Node."
+    arch::NodeConfig cfg = arch::NodeConfig::sn40lNode(8);
+    sim::EventQueue eq;
+    RduNode node(eq, cfg);
+
+    double bytes = 13.48e9; // one Llama2-7B expert
+    sim::Tick est = node.estimateDdrToHbm(bytes);
+    double rate = bytes / sim::toSeconds(est);
+    EXPECT_GT(rate, 1e12);
+
+    // The DES copy agrees with the estimate.
+    sim::Tick done = -1;
+    node.copyDdrToHbm(bytes, [&]() { done = eq.now(); });
+    eq.run();
+    EXPECT_NEAR(static_cast<double>(done), static_cast<double>(est),
+                static_cast<double>(est) * 0.01 + 2e6);
+}
+
+TEST(Machine, HostPathIsMuchSlowerThanDdrPath)
+{
+    arch::NodeConfig cfg = arch::NodeConfig::sn40lNode(8);
+    sim::EventQueue eq;
+    RduNode node(eq, cfg);
+
+    double bytes = 13.48e9;
+    sim::Tick ddr_done = -1, host_done = -1;
+    node.copyDdrToHbm(bytes, [&]() { ddr_done = eq.now(); });
+    node.copyHostToHbm(bytes, [&]() { host_done = eq.now(); });
+    eq.run();
+    EXPECT_GT(host_done, 10 * ddr_done);
+}
+
+TEST(Executor, TimeIsLaunchPlusExec)
+{
+    graph::DataflowGraph g = smallDecode();
+    arch::NodeConfig cfg = arch::NodeConfig::sn40lNode(8);
+
+    compiler::CompileOptions options;
+    options.fusion.tensorParallel = 8;
+    options.fusion.mode = compiler::ExecMode::RduFused;
+    compiler::Program prog = compiler::compile(g, cfg.chip, options);
+
+    sim::EventQueue eq;
+    RduNode node(eq, cfg);
+    Executor executor(node);
+    ExecutionResult result =
+        executor.run(prog, arch::Orchestration::Software);
+
+    EXPECT_EQ(result.totalTicks, result.launchTicks + result.execTicks);
+    EXPECT_EQ(result.launches, prog.totalLaunches);
+    // SW orchestration serializes host sync + Program Load + Argument
+    // Load on every launch.
+    sim::Tick per_launch = cfg.chip.swLaunchOverhead +
+                           cfg.chip.programLoadOverhead +
+                           cfg.chip.argumentLoadOverhead;
+    EXPECT_EQ(result.launchTicks, prog.totalLaunches * per_launch);
+}
+
+TEST(Executor, HardwareOrchestrationOnlyCutsLaunchTime)
+{
+    graph::DataflowGraph g = smallDecode();
+    arch::NodeConfig cfg = arch::NodeConfig::sn40lNode(8);
+
+    compiler::CompileOptions options;
+    options.fusion.tensorParallel = 8;
+    compiler::Program prog = compiler::compile(g, cfg.chip, options);
+
+    sim::EventQueue eq1, eq2;
+    RduNode node_sw(eq1, cfg), node_hw(eq2, cfg);
+    ExecutionResult sw = Executor(node_sw).run(
+        prog, arch::Orchestration::Software);
+    ExecutionResult hw = Executor(node_hw).run(
+        prog, arch::Orchestration::Hardware);
+
+    EXPECT_EQ(sw.execTicks, hw.execTicks);
+    EXPECT_GT(sw.launchTicks, hw.launchTicks);
+    EXPECT_LT(hw.totalTicks, sw.totalTicks);
+}
+
+TEST(Executor, ChannelStatsAccumulateTraffic)
+{
+    graph::DataflowGraph g = smallDecode();
+    arch::NodeConfig cfg = arch::NodeConfig::sn40lNode(8);
+
+    compiler::CompileOptions options;
+    options.fusion.tensorParallel = 8;
+    compiler::Program prog = compiler::compile(g, cfg.chip, options);
+
+    sim::EventQueue eq;
+    RduNode node(eq, cfg);
+    Executor(node).run(prog, arch::Orchestration::Hardware);
+
+    // Each socket streams its weight shard (roughly weights/8 plus
+    // activations and KV).
+    double socket_bytes = node.socket(0).hbm().stats().get("bytes");
+    EXPECT_GT(socket_bytes, g.weightBytes() / 8 * 0.9);
+    EXPECT_LT(socket_bytes, g.weightBytes() / 8 * 1.6);
+}
+
+TEST(Runner, ConfigOrderingHoldsForDecode)
+{
+    graph::DataflowGraph g = smallDecode();
+    arch::NodeConfig cfg = arch::NodeConfig::sn40lNode(8);
+
+    double unfused =
+        runWorkload(g, cfg, 8, RunConfig::Unfused).seconds();
+    double so = runWorkload(g, cfg, 8, RunConfig::FusedSO).seconds();
+    double ho = runWorkload(g, cfg, 8, RunConfig::FusedHO).seconds();
+
+    EXPECT_GT(unfused, so);
+    EXPECT_GT(so, ho);
+}
+
+TEST(SpecDecode, ExpectedTokensFormula)
+{
+    SpecDecodeConfig cfg;
+    cfg.gamma = 5;
+    cfg.acceptRate = 0.0;
+    EXPECT_DOUBLE_EQ(cfg.expectedTokensPerStep(), 1.0);
+    cfg.acceptRate = 1.0;
+    EXPECT_DOUBLE_EQ(cfg.expectedTokensPerStep(), 6.0);
+    cfg.acceptRate = 0.5;
+    // (1 - 0.5^6) / 0.5 = 1.96875
+    EXPECT_NEAR(cfg.expectedTokensPerStep(), 1.96875, 1e-9);
+}
+
+TEST(SpecDecode, ThroughputBeatsAutoregressiveWhenDraftIsCheap)
+{
+    SpecDecodeConfig cfg;
+    double target = 10e-3;
+    double plain = specDecodeTokensPerSecond(cfg, target, 0.0);
+    EXPECT_DOUBLE_EQ(plain, 100.0);
+    double spec = specDecodeTokensPerSecond(cfg, target, 0.5e-3);
+    EXPECT_GT(spec, 2.0 * plain);
+
+    // An expensive draft can make speculation pointless.
+    double bad = specDecodeTokensPerSecond(cfg, target, 20e-3);
+    EXPECT_LT(bad, plain);
+}
+
+TEST(SpecDecode, RejectsBadTargetTime)
+{
+    SpecDecodeConfig cfg;
+    EXPECT_THROW(specDecodeTokensPerSecond(cfg, 0.0, 1e-3),
+                 sim::FatalError);
+}

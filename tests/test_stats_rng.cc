@@ -1,0 +1,89 @@
+/** @file Unit tests for the stats registry and deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+using namespace sn40l;
+
+TEST(StatSet, CountersAccumulate)
+{
+    sim::StatSet stats("unit");
+    EXPECT_FALSE(stats.has("bytes"));
+    EXPECT_DOUBLE_EQ(stats.get("bytes"), 0.0);
+    stats.inc("bytes", 100);
+    stats.inc("bytes", 28);
+    EXPECT_DOUBLE_EQ(stats.get("bytes"), 128.0);
+    EXPECT_TRUE(stats.has("bytes"));
+}
+
+TEST(StatSet, SetAndMax)
+{
+    sim::StatSet stats;
+    stats.set("x", 5);
+    stats.set("x", 3);
+    EXPECT_DOUBLE_EQ(stats.get("x"), 3.0);
+    stats.max("peak", 10);
+    stats.max("peak", 4);
+    stats.max("peak", 12);
+    EXPECT_DOUBLE_EQ(stats.get("peak"), 12.0);
+}
+
+TEST(StatSet, DumpIsSortedAndPrefixed)
+{
+    sim::StatSet stats("hbm");
+    stats.inc("zeta", 1);
+    stats.inc("alpha", 2);
+    std::ostringstream os;
+    stats.dump(os);
+    EXPECT_EQ(os.str(), "hbm.alpha 2\nhbm.zeta 1\n");
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    sim::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    sim::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformIntInBounds)
+{
+    sim::Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = rng.uniformInt(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    // All 10 values should appear in 1000 draws.
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    sim::Rng rng(9);
+    double sum = 0.0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.uniformDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}

@@ -1,0 +1,63 @@
+/** @file Unit tests for table printing and unit formatting helpers. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace sn40l;
+
+TEST(Units, Constants)
+{
+    EXPECT_EQ(GiB, 1073741824LL);
+    EXPECT_DOUBLE_EQ(GBps(200), 200e9);
+    EXPECT_DOUBLE_EQ(TFLOPS(638), 638e12);
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(util::formatBytes(13.48e9), "13.48 GB");
+    EXPECT_EQ(util::formatBytes(512), "512.00 B");
+    EXPECT_EQ(util::formatBytes(1.5e12), "1.50 TB");
+}
+
+TEST(Units, FormatBandwidthAndSeconds)
+{
+    EXPECT_EQ(util::formatBandwidth(1.8e12), "1.80 TB/s");
+    EXPECT_EQ(util::formatSeconds(0.0129), "12.900 ms");
+    EXPECT_EQ(util::formatSeconds(2.5), "2.500 s");
+    EXPECT_EQ(util::formatSeconds(3.2e-6), "3.200 us");
+}
+
+TEST(Table, AlignsColumns)
+{
+    util::Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("| name      | value |"), std::string::npos);
+    EXPECT_NE(out.find("| long-name | 22    |"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, HandlesShortRowsAndSeparators)
+{
+    util::Table t({"a", "b", "c"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2", "3", "4"});
+    std::ostringstream os;
+    t.print(os);
+    // Header separator + explicit separator.
+    std::string out = os.str();
+    std::size_t seps = 0;
+    for (std::size_t pos = out.find("|--"); pos != std::string::npos;
+         pos = out.find("|--", pos + 1)) {
+        ++seps;
+    }
+    EXPECT_GE(seps, 2u);
+}

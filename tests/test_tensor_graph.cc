@@ -1,0 +1,182 @@
+/** @file Unit tests for the dataflow graph IR. */
+
+#include <gtest/gtest.h>
+
+#include "graph/dataflow_graph.h"
+#include "sim/log.h"
+
+using namespace sn40l;
+using namespace sn40l::graph;
+
+TEST(TensorShape, ElemsAndBytes)
+{
+    TensorShape s{128, 1024};
+    EXPECT_EQ(s.elems(), 131072);
+    EXPECT_EQ(s.bytes(DType::BF16), 262144);
+    EXPECT_EQ(s.bytes(DType::FP32), 524288);
+    EXPECT_EQ(s.str(), "128x1024");
+
+    TensorShape scalar;
+    EXPECT_EQ(scalar.elems(), 1);
+    EXPECT_EQ(scalar.str(), "scalar");
+    EXPECT_EQ(scalar.innermost(), 1);
+}
+
+TEST(TensorShape, RejectsNonPositiveDims)
+{
+    TensorShape bad{4, 0};
+    EXPECT_THROW(bad.elems(), sim::SimPanic);
+}
+
+TEST(DType, SizesAndNames)
+{
+    EXPECT_EQ(dtypeBytes(DType::BF16), 2u);
+    EXPECT_EQ(dtypeBytes(DType::FP32), 4u);
+    EXPECT_EQ(dtypeBytes(DType::INT8), 1u);
+    EXPECT_STREQ(dtypeName(DType::BF16), "bf16");
+}
+
+TEST(OpKinds, Classification)
+{
+    EXPECT_EQ(opClass(OpKind::Gemm), OpClass::Systolic);
+    EXPECT_EQ(opClass(OpKind::Softmax), OpClass::Simd);
+    EXPECT_EQ(opClass(OpKind::Transpose), OpClass::Memory);
+    EXPECT_EQ(opClass(OpKind::AllReduce), OpClass::Collective);
+    EXPECT_TRUE(isElementwise(OpKind::Mul));
+    EXPECT_FALSE(isElementwise(OpKind::Softmax));
+    // Conventional fusers cannot absorb transposes or softmax.
+    EXPECT_FALSE(isGpuFusable(OpKind::Transpose));
+    EXPECT_FALSE(isGpuFusable(OpKind::Softmax));
+    EXPECT_TRUE(isGpuFusable(OpKind::Silu));
+}
+
+namespace {
+
+/** Small two-gemm pipeline used by several tests. */
+DataflowGraph
+makePipeline()
+{
+    DataflowGraph g("pipeline");
+    TensorId x = g.addTensor("x", {128, 256}, DType::BF16,
+                             TensorKind::Input);
+    TensorId w0 = g.addTensor("w0", {256, 512}, DType::BF16,
+                              TensorKind::Weight);
+    TensorId h = g.addTensor("h", {128, 512});
+    TensorId w1 = g.addTensor("w1", {512, 64}, DType::BF16,
+                              TensorKind::Weight);
+    TensorId y = g.addTensor("y", {128, 64}, DType::BF16,
+                             TensorKind::Output);
+    g.addOp(OpKind::Gemm, "g0", {x, w0}, {h});
+    g.addOp(OpKind::Gemm, "g1", {h, w1}, {y});
+    return g;
+}
+
+} // namespace
+
+TEST(DataflowGraph, BuildAndValidate)
+{
+    DataflowGraph g = makePipeline();
+    EXPECT_EQ(g.numOps(), 2u);
+    EXPECT_EQ(g.numTensors(), 5u);
+    EXPECT_NO_THROW(g.validate());
+
+    auto order = g.topoOrder();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(g.op(order[0]).name, "g0");
+    EXPECT_EQ(g.op(order[1]).name, "g1");
+}
+
+TEST(DataflowGraph, ProducerConsumerLinks)
+{
+    DataflowGraph g = makePipeline();
+    const Tensor &h = g.tensor(2);
+    EXPECT_EQ(h.name, "h");
+    EXPECT_EQ(g.op(h.producer).name, "g0");
+    ASSERT_EQ(h.consumers.size(), 1u);
+    EXPECT_EQ(g.op(h.consumers[0]).name, "g1");
+}
+
+TEST(DataflowGraph, GemmFlops)
+{
+    DataflowGraph g = makePipeline();
+    // g0: 2 * 128 * 512 * 256
+    EXPECT_DOUBLE_EQ(g.opFlops(0), 2.0 * 128 * 512 * 256);
+    // g1: 2 * 128 * 64 * 512
+    EXPECT_DOUBLE_EQ(g.opFlops(1), 2.0 * 128 * 64 * 512);
+    EXPECT_DOUBLE_EQ(g.totalFlops(), g.opFlops(0) + g.opFlops(1));
+}
+
+TEST(DataflowGraph, SparsityDiscountsFlopsAndWeights)
+{
+    DataflowGraph g("sparse");
+    TensorId x = g.addTensor("x", {64, 64}, DType::BF16, TensorKind::Input);
+    TensorId w = g.addTensor("w", {64, 64}, DType::BF16, TensorKind::Weight);
+    TensorId y = g.addTensor("y", {64, 64}, DType::BF16, TensorKind::Output);
+    g.addOp(OpKind::Gemm, "g", {x, w}, {y}, /*sparsity=*/0.875);
+
+    EXPECT_DOUBLE_EQ(g.opFlops(0), 2.0 * 64 * 64 * 64 * 0.125);
+    EXPECT_DOUBLE_EQ(g.weightBytes(), 64 * 64 * 2 * 0.125);
+    // Reads discount the sparse weight but not the dense input.
+    EXPECT_DOUBLE_EQ(g.opReadBytes(0), 64 * 64 * 2 + 64 * 64 * 2 * 0.125);
+}
+
+TEST(DataflowGraph, SimdFlopsUseOutputElements)
+{
+    DataflowGraph g("simd");
+    TensorId a = g.addTensor("a", {32, 32}, DType::BF16, TensorKind::Input);
+    TensorId b = g.addTensor("b", {32, 32});
+    TensorId c = g.addTensor("c", {32, 32}, DType::BF16, TensorKind::Output);
+    g.addOp(OpKind::Softmax, "sm", {a}, {b});
+    g.addOp(OpKind::Mul, "mul", {b, a}, {c});
+    EXPECT_DOUBLE_EQ(g.opFlops(0), 5.0 * 1024);
+    EXPECT_DOUBLE_EQ(g.opFlops(1), 1.0 * 1024);
+    // Memory-class ops execute zero FLOPs.
+    DataflowGraph g2("mem");
+    TensorId t0 = g2.addTensor("t0", {8, 8}, DType::BF16, TensorKind::Input);
+    TensorId t1 = g2.addTensor("t1", {8, 8}, DType::BF16,
+                               TensorKind::Output);
+    g2.addOp(OpKind::Transpose, "t", {t0}, {t1});
+    EXPECT_DOUBLE_EQ(g2.opFlops(0), 0.0);
+}
+
+TEST(DataflowGraph, DoubleProducerPanics)
+{
+    DataflowGraph g("bad");
+    TensorId x = g.addTensor("x", {4, 4}, DType::BF16, TensorKind::Input);
+    TensorId y = g.addTensor("y", {4, 4});
+    g.addOp(OpKind::Relu, "r1", {x}, {y});
+    EXPECT_THROW(g.addOp(OpKind::Relu, "r2", {x}, {y}), sim::SimPanic);
+}
+
+TEST(DataflowGraph, ValidateCatchesProducerlessActivation)
+{
+    DataflowGraph g("bad2");
+    TensorId x = g.addTensor("x", {4, 4}, DType::BF16, TensorKind::Input);
+    TensorId orphan = g.addTensor("orphan", {4, 4});
+    TensorId y = g.addTensor("y", {4, 4}, DType::BF16, TensorKind::Output);
+    g.addOp(OpKind::Relu, "r", {x, orphan}, {y});
+    EXPECT_THROW(g.validate(), sim::SimPanic);
+}
+
+TEST(DataflowGraph, KvCacheMayBeRewritten)
+{
+    DataflowGraph g("kv");
+    TensorId k = g.addTensor("k_new", {1, 128}, DType::BF16,
+                             TensorKind::Input);
+    TensorId cache = g.addTensor("kcache", {4096, 128}, DType::BF16,
+                                 TensorKind::KvCache);
+    g.addOp(OpKind::KvAppend, "append", {k}, {cache});
+    // Reading the cache back does not create a cycle.
+    TensorId out = g.addTensor("scores", {1, 4096}, DType::BF16,
+                               TensorKind::Output);
+    g.addOp(OpKind::BatchGemm, "qk", {k, cache}, {out});
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(DataflowGraph, InvalidIdsPanic)
+{
+    DataflowGraph g("bad3");
+    EXPECT_THROW(g.tensor(0), sim::SimPanic);
+    EXPECT_THROW(g.op(-1), sim::SimPanic);
+    EXPECT_THROW(g.addOp(OpKind::Relu, "r", {42}, {}), sim::SimPanic);
+}

@@ -1,0 +1,69 @@
+/** @file Tests for the Tile / RduChip structural models. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/tile.h"
+#include "sim/log.h"
+
+using namespace sn40l;
+using namespace sn40l::arch;
+
+TEST(Tile, ResourcePoolsMatchConfig)
+{
+    ChipConfig cfg = ChipConfig::sn40l();
+    Tile tile(cfg, "t0");
+    EXPECT_EQ(tile.numPcus(), 260);
+    EXPECT_EQ(tile.numPmus(), 260);
+    EXPECT_EQ(tile.sramBytes(), 260LL * 512 * 1024);
+    EXPECT_EQ(tile.mesh().cols(), cfg.meshCols);
+    EXPECT_EQ(tile.mesh().rows(), cfg.meshRows);
+}
+
+TEST(Tile, UnitCoordinatesAreOnMeshAndDistinct)
+{
+    ChipConfig cfg = ChipConfig::sn40l();
+    Tile tile(cfg, "t0");
+
+    std::set<std::pair<int, int>> pcu_coords;
+    for (int i = 0; i < tile.numPcus(); ++i) {
+        Coord c = tile.pcuCoord(i);
+        EXPECT_TRUE(tile.mesh().contains(c));
+        EXPECT_TRUE(pcu_coords.insert({c.x, c.y}).second);
+    }
+    EXPECT_THROW(tile.pcuCoord(tile.numPcus()), sim::SimPanic);
+    EXPECT_THROW(tile.pmuCoord(-1), sim::SimPanic);
+}
+
+TEST(Tile, MeshTooSmallIsFatal)
+{
+    ChipConfig cfg = ChipConfig::sn40l();
+    cfg.meshCols = 4;
+    cfg.meshRows = 4; // 16 < 260 PCUs
+    EXPECT_THROW(Tile(cfg, "bad"), sim::FatalError);
+}
+
+TEST(RduChip, AggregatesAndPlaceableFractions)
+{
+    ChipConfig cfg = ChipConfig::sn40l();
+    RduChip chip(cfg);
+    EXPECT_EQ(chip.numTiles(), 4);
+    EXPECT_EQ(chip.totalPcus(), 1040);
+    EXPECT_EQ(chip.placeablePcus(), 936); // 90% of 1040
+    EXPECT_EQ(chip.placeablePmus(), 936);
+    EXPECT_EQ(chip.placeableSramBytes(), 936LL * 512 * 1024);
+    EXPECT_EQ(chip.tile(0).numPcus() * chip.numTiles(),
+              chip.totalPcus());
+}
+
+TEST(RduChip, PcuModelAccessibleThroughTile)
+{
+    ChipConfig cfg = ChipConfig::sn40l();
+    RduChip chip(cfg);
+    Tile &tile = chip.tile(0);
+    // The systolic model should be consistent chip-wide.
+    EXPECT_GT(tile.pcuModel().systolicTileCycles(32, 6, 64), 64);
+    EXPECT_GT(tile.agcu().launchOverhead(Orchestration::Software),
+              tile.agcu().launchOverhead(Orchestration::Hardware));
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * sn40l_run: command-line driver for the simulator. Compiles and
+ * executes one workload and prints a report; optionally writes a
+ * Chrome trace-event timeline.
+ *
+ *   sn40l_run --model llama2-7b --phase decode --seq 2048 --tp 8 \
+ *             [--batch 1] [--config fused-ho|fused-so|unfused] \
+ *             [--sockets 8] [--trace out.json]
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "models/model_zoo.h"
+#include "runtime/runner.h"
+#include "runtime/trace.h"
+#include "util/table.h"
+
+using namespace sn40l;
+
+namespace {
+
+models::LlmConfig
+modelByName(const std::string &name)
+{
+    using models::LlmConfig;
+    static const std::map<std::string, LlmConfig (*)()> zoo = {
+        {"llama2-7b", &LlmConfig::llama2_7b},
+        {"llama2-13b", &LlmConfig::llama2_13b},
+        {"sparsegpt-13b", &LlmConfig::sparseGpt13b},
+        {"llama2-70b", &LlmConfig::llama2_70b},
+        {"llama3.1-8b", &LlmConfig::llama31_8b},
+        {"llama3.1-70b", &LlmConfig::llama31_70b},
+        {"llama3.1-405b", &LlmConfig::llama31_405b},
+        {"mistral-7b", &LlmConfig::mistral7b},
+        {"falcon-40b", &LlmConfig::falcon40b},
+        {"bloom-176b", &LlmConfig::bloom176b},
+        {"llava1.5-7b", &LlmConfig::llava15_7b},
+    };
+    auto it = zoo.find(name);
+    if (it == zoo.end()) {
+        std::cerr << "unknown model '" << name << "'. Available:\n";
+        for (const auto &kv : zoo)
+            std::cerr << "  " << kv.first << "\n";
+        std::exit(1);
+    }
+    return it->second();
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: sn40l_run --model NAME --phase "
+              << "prefill|decode|train [--seq N] [--batch N]\n"
+              << "       [--tp N] [--sockets N] [--config "
+              << "fused-ho|fused-so|unfused] [--trace FILE]\n";
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model_name = "llama2-7b";
+    std::string phase_name = "decode";
+    std::string config_name = "fused-ho";
+    std::string trace_path;
+    int seq = 2048, batch = 1, tp = 8, sockets = 8;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--model") model_name = next();
+        else if (arg == "--phase") phase_name = next();
+        else if (arg == "--seq") seq = std::stoi(next());
+        else if (arg == "--batch") batch = std::stoi(next());
+        else if (arg == "--tp") tp = std::stoi(next());
+        else if (arg == "--sockets") sockets = std::stoi(next());
+        else if (arg == "--config") config_name = next();
+        else if (arg == "--trace") trace_path = next();
+        else usage();
+    }
+
+    models::WorkloadSpec spec;
+    spec.model = modelByName(model_name);
+    spec.seqLen = seq;
+    spec.batch = batch;
+    spec.tensorParallel = tp;
+    if (phase_name == "prefill") spec.phase = models::Phase::Prefill;
+    else if (phase_name == "decode") spec.phase = models::Phase::Decode;
+    else if (phase_name == "train") spec.phase = models::Phase::Train;
+    else usage();
+
+    runtime::RunConfig config;
+    if (config_name == "fused-ho") config = runtime::RunConfig::FusedHO;
+    else if (config_name == "fused-so")
+        config = runtime::RunConfig::FusedSO;
+    else if (config_name == "unfused")
+        config = runtime::RunConfig::Unfused;
+    else usage();
+
+    graph::DataflowGraph g = models::buildTransformer(spec);
+    arch::NodeConfig node_cfg = arch::NodeConfig::sn40lNode(sockets);
+
+    // Compile + run (with optional tracing, mirroring runWorkload).
+    compiler::CompileOptions options;
+    options.fusion.tensorParallel = tp;
+    options.fusion.mode = config == runtime::RunConfig::Unfused
+        ? compiler::ExecMode::RduUnfused
+        : compiler::ExecMode::RduFused;
+    compiler::Program prog = compiler::compile(g, node_cfg.chip, options);
+
+    sim::EventQueue eq;
+    runtime::RduNode node(eq, node_cfg);
+    runtime::Executor executor(node);
+    runtime::TraceWriter trace;
+    if (!trace_path.empty())
+        executor.setTrace(&trace);
+    runtime::ExecutionResult result = executor.run(
+        prog, config == runtime::RunConfig::FusedHO
+                  ? arch::Orchestration::Hardware
+                  : arch::Orchestration::Software);
+
+    util::Table report({"Quantity", "Value"});
+    report.addRow({"Workload", spec.str()});
+    report.addRow({"Config", runtime::runConfigName(config)});
+    report.addRow({"Sockets", std::to_string(sockets) +
+                                  " (TP" + std::to_string(tp) + ")"});
+    report.addRow({"Graph ops", std::to_string(g.numOps())});
+    report.addRow({"FLOPs", util::formatDouble(g.totalFlops() / 1e12, 2) +
+                                " TFLOP"});
+    report.addRow({"Weights", util::formatBytes(g.weightBytes())});
+    report.addRow({"Kernels", std::to_string(prog.kernels.size())});
+    report.addRow({"Launches", std::to_string(prog.totalLaunches)});
+    report.addRow({"HBM resident/socket",
+                   util::formatBytes(prog.hbmResidentBytes)});
+    report.addRow({"DDR spill/socket",
+                   util::formatBytes(prog.ddrResidentBytes)});
+    report.addRow({"Total time", util::formatSeconds(result.seconds())});
+    report.addRow({"  launch overhead",
+                   util::formatSeconds(result.launchSeconds())});
+    report.addRow({"  execution",
+                   util::formatSeconds(result.execSeconds())});
+    if (spec.phase == models::Phase::Decode) {
+        report.addRow({"Tokens/s/user",
+                       util::formatDouble(1.0 / result.seconds(), 0)});
+    }
+    report.print(std::cout);
+
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        trace.writeJson(out);
+        std::cout << "\nwrote " << trace.eventCount()
+                  << " trace events to " << trace_path
+                  << " (open in chrome://tracing or Perfetto)\n";
+    }
+    return 0;
+}
