@@ -5,6 +5,11 @@
  * baselines, printing the per-request latency breakdown (the paper's
  * Fig 1 / Fig 9 flow).
  *
+ * Ends with the event-driven streaming mode (the `sn40l_run serve`
+ * subcommand): an open-loop Poisson request stream through the
+ * continuous-batching scheduler, reporting tail latency and
+ * sustained throughput under load.
+ *
  *   $ ./build/examples/coe_serving [num_experts] [batch] [tokens]
  */
 
@@ -74,5 +79,35 @@ main(int argc, char **argv)
                       << "node serves it from DDR.\n";
         }
     }
+
+    // Streaming mode: the same zoo under a live request stream (what
+    // `sn40l_run serve --arrival-rate=...` exposes on the CLI).
+    std::cout << "\nStreaming mode: open-loop Poisson arrivals at 16 "
+              << "req/s, Zipf routing,\ncontinuous batching on the "
+              << "SN40L node:\n\n";
+
+    util::Table stream({"Scheduler", "p50", "p95", "p99", "Throughput",
+                        "Miss rate"});
+    for (SchedulerPolicy policy :
+         {SchedulerPolicy::Fifo, SchedulerPolicy::ExpertAffinity}) {
+        ServingConfig scfg = cfg;
+        scfg.platform = Platform::Sn40l;
+        scfg.mode = ServingMode::EventDriven;
+        scfg.routing = RoutingDistribution::Zipf;
+        scfg.arrivalRatePerSec = 16.0;
+        scfg.streamRequests = 300;
+        scfg.scheduler = policy;
+
+        ServingResult r = ServingSimulator(scfg).run();
+        stream.addRow({schedulerPolicyName(policy),
+                       util::formatSeconds(r.stream.p50LatencySeconds),
+                       util::formatSeconds(r.stream.p95LatencySeconds),
+                       util::formatSeconds(r.stream.p99LatencySeconds),
+                       util::formatDouble(
+                           r.stream.throughputRequestsPerSec, 2) +
+                           " req/s",
+                       util::formatDouble(r.missRate * 100, 1) + "%"});
+    }
+    stream.print(std::cout);
     return 0;
 }

@@ -72,7 +72,7 @@ Pmu::accepts(std::int64_t addr) const
 }
 
 Pmu::AccessResult
-Pmu::access(std::span<const std::int64_t> addrs)
+Pmu::access(const std::vector<std::int64_t> &addrs)
 {
     std::vector<int> per_bank(cfg_.pmuBanks, 0);
     AccessResult result;

@@ -10,7 +10,6 @@
 #define SN40L_ARCH_PMU_H
 
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "arch/chip_config.h"
@@ -58,7 +57,7 @@ class Pmu
      * the same bank serialize; the access takes as many cycles as the
      * most-subscribed bank.
      */
-    AccessResult access(std::span<const std::int64_t> addrs);
+    AccessResult access(const std::vector<std::int64_t> &addrs);
 
     /**
      * Byte address of element (row, col) of a [rows x cols] tile under

@@ -29,7 +29,12 @@ struct Coord
 {
     int x = 0;
     int y = 0;
-    auto operator<=>(const Coord &) const = default;
+    bool operator==(const Coord &o) const { return x == o.x && y == o.y; }
+    bool operator!=(const Coord &o) const { return !(*this == o); }
+    bool operator<(const Coord &o) const
+    {
+        return x != o.x ? x < o.x : y < o.y;
+    }
 };
 
 /** Directed link between adjacent switches. */
@@ -37,7 +42,14 @@ struct Link
 {
     Coord from;
     Coord to;
-    auto operator<=>(const Link &) const = default;
+    bool operator==(const Link &o) const
+    {
+        return from == o.from && to == o.to;
+    }
+    bool operator<(const Link &o) const
+    {
+        return from != o.from ? from < o.from : to < o.to;
+    }
 };
 
 class RdnMesh

@@ -17,6 +17,19 @@ routingDistributionName(RoutingDistribution dist)
     sim::panic("routingDistributionName: unknown distribution");
 }
 
+RoutingDistribution
+routingDistributionFromName(const std::string &name)
+{
+    if (name == "uniform")
+        return RoutingDistribution::Uniform;
+    if (name == "zipf")
+        return RoutingDistribution::Zipf;
+    if (name == "round-robin" || name == "roundrobin")
+        return RoutingDistribution::RoundRobin;
+    sim::fatal("unknown routing distribution '" + name +
+               "' (expected uniform, zipf, or round-robin)");
+}
+
 Router::Router(int num_experts, RoutingDistribution dist,
                std::uint64_t seed, double zipf_s)
     : numExperts_(num_experts), dist_(dist), rng_(seed),

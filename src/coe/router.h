@@ -10,6 +10,7 @@
 #ifndef SN40L_COE_ROUTER_H
 #define SN40L_COE_ROUTER_H
 
+#include <string>
 #include <vector>
 
 #include "models/llm_config.h"
@@ -24,6 +25,13 @@ enum class RoutingDistribution {
 };
 
 const char *routingDistributionName(RoutingDistribution dist);
+
+/**
+ * Parse a distribution name ("uniform", "zipf", "round-robin") as
+ * printed by routingDistributionName(). Throws FatalError on unknown
+ * names, listing the accepted spellings.
+ */
+RoutingDistribution routingDistributionFromName(const std::string &name);
 
 class Router
 {

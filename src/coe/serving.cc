@@ -1,10 +1,16 @@
 #include "coe/serving.h"
 
 #include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
 
 #include "baseline/gpu_executor.h"
 #include "runtime/runner.h"
+#include "sim/event_queue.h"
 #include "sim/log.h"
+#include "sim/rng.h"
+#include "sim/ticks.h"
 
 namespace sn40l::coe {
 
@@ -19,10 +25,42 @@ platformName(Platform platform)
     sim::panic("platformName: unknown platform");
 }
 
+const char *
+schedulerPolicyName(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::Fifo: return "fifo";
+      case SchedulerPolicy::ExpertAffinity: return "affinity";
+    }
+    sim::panic("schedulerPolicyName: unknown policy");
+}
+
+SchedulerPolicy
+schedulerPolicyFromName(const std::string &name)
+{
+    if (name == "fifo")
+        return SchedulerPolicy::Fifo;
+    if (name == "affinity" || name == "expert-affinity")
+        return SchedulerPolicy::ExpertAffinity;
+    sim::fatal("unknown scheduler policy '" + name +
+               "' (expected fifo or affinity)");
+}
+
 ServingSimulator::ServingSimulator(ServingConfig cfg) : cfg_(std::move(cfg))
 {
     if (cfg_.numExperts <= 0 || cfg_.batch <= 0 || cfg_.requests <= 0)
         sim::fatal("ServingConfig: non-positive counts");
+    if (cfg_.mode == ServingMode::EventDriven) {
+        if (cfg_.streamRequests <= 0)
+            sim::fatal("ServingConfig: non-positive streamRequests");
+        if (cfg_.arrival == ArrivalProcess::Poisson &&
+            cfg_.arrivalRatePerSec <= 0.0)
+            sim::fatal("ServingConfig: non-positive arrival rate");
+        if (cfg_.arrival == ArrivalProcess::ClosedLoop && cfg_.clients <= 0)
+            sim::fatal("ServingConfig: non-positive client count");
+        if (cfg_.thinkSeconds < 0.0)
+            sim::fatal("ServingConfig: negative think time");
+    }
     computeCosts();
 }
 
@@ -106,6 +144,13 @@ ServingSimulator::computeCosts()
 ServingResult
 ServingSimulator::run()
 {
+    return cfg_.mode == ServingMode::EventDriven ? runEventDriven()
+                                                 : runAnalytic();
+}
+
+ServingResult
+ServingSimulator::runAnalytic()
+{
     ServingResult result;
 
     ExpertZoo zoo = ExpertZoo::uniform(cfg_.numExperts, cfg_.expertBase);
@@ -119,7 +164,7 @@ ServingSimulator::run()
     }
 
     CoeRuntime runtime(zoo, costs_.expertRegionBytes);
-    Router router(cfg_.numExperts, cfg_.routing, cfg_.seed);
+    Router router(cfg_.numExperts, cfg_.routing, cfg_.seed, cfg_.zipfS);
 
     double router_total = 0.0, switch_total = 0.0, exec_total = 0.0;
     std::int64_t prompts = 0, misses = 0;
@@ -159,6 +204,300 @@ ServingSimulator::run()
     result.perBatch.execSeconds = exec_total / batches;
     result.missRate =
         static_cast<double>(misses) / static_cast<double>(prompts);
+    result.expertSecondsPerPrompt = per_prompt_exec;
+    return result;
+}
+
+namespace {
+
+/** One in-flight prompt in the event-driven stream. */
+struct StreamRequest
+{
+    int id = 0;
+    sim::Tick arrival = 0;
+    int expert = 0;
+    /** Batches formed while this request sat queued (aging guard). */
+    int skips = 0;
+};
+
+} // namespace
+
+ServingResult
+ServingSimulator::runEventDriven()
+{
+    ServingResult result;
+
+    ExpertZoo zoo = ExpertZoo::uniform(cfg_.numExperts, cfg_.expertBase);
+    result.residentCapacityExperts = static_cast<int>(
+        static_cast<double>(costs_.expertRegionBytes) /
+        zoo.maxExpertBytes());
+
+    if (zoo.totalBytes() > costs_.capacityBytes) {
+        result.oom = true;
+        return result;
+    }
+
+    CoeRuntime runtime(zoo, costs_.expertRegionBytes);
+    Router router(cfg_.numExperts, cfg_.routing, cfg_.seed, cfg_.zipfS);
+    sim::Rng arrivals(cfg_.seed ^ 0xa55a5aa5a55a5aa5ULL);
+    sim::EventQueue eq;
+
+    latency_.clear();
+    stats_ = sim::StatSet("serving");
+
+    const double per_prompt_exec =
+        costs_.prefillSeconds +
+        cfg_.outputTokens * costs_.decodeSecondsPerToken;
+
+    std::deque<StreamRequest> queue;
+    bool busy = false;
+    int injected = 0;
+    std::int64_t completed = 0;
+    std::int64_t misses = 0;
+    double router_total = 0.0, switch_total = 0.0, exec_total = 0.0;
+    double occupancy_total = 0.0;
+    std::int64_t batches = 0;
+    sim::Tick first_arrival = -1, last_completion = 0;
+
+    // Time-weighted queue-depth integral.
+    sim::Tick depth_mark = 0;
+    double depth_integral = 0.0;
+    auto touch_depth = [&](std::size_t next_depth) {
+        depth_integral += static_cast<double>(queue.size()) *
+            sim::toSeconds(eq.now() - depth_mark);
+        depth_mark = eq.now();
+        stats_.max("queue_depth_max", static_cast<double>(next_depth));
+    };
+
+    /**
+     * Pick the expert the next batch serves (ExpertAffinity policy).
+     * Preference order: a starving request's expert, then the
+     * best-backed resident expert (no switch needed), then the
+     * most-queued expert overall. Ties break toward the oldest
+     * queued request so the policy stays deterministic.
+     */
+    auto pick_expert = [&]() -> int {
+        const StreamRequest *starving = nullptr;
+        for (const StreamRequest &r : queue) {
+            if (r.skips >= cfg_.affinityMaxSkips &&
+                (starving == nullptr || r.id < starving->id))
+                starving = &r;
+        }
+        if (starving != nullptr) {
+            stats_.inc("affinity_starvation_overrides");
+            return starving->expert;
+        }
+
+        struct Tally { int count = 0; int oldest = 0; };
+        std::map<int, Tally> tallies;
+        for (const StreamRequest &r : queue) {
+            auto [it, fresh] = tallies.try_emplace(r.expert);
+            if (fresh)
+                it->second.oldest = r.id;
+            ++it->second.count;
+            it->second.oldest = std::min(it->second.oldest, r.id);
+        }
+
+        int best = -1;
+        bool best_resident = false;
+        const Tally *best_tally = nullptr;
+        for (const auto &kv : tallies) {
+            bool res = runtime.resident(kv.first);
+            bool better;
+            if (best < 0) {
+                better = true;
+            } else if (res != best_resident) {
+                better = res;
+            } else if (kv.second.count != best_tally->count) {
+                better = kv.second.count > best_tally->count;
+            } else {
+                better = kv.second.oldest < best_tally->oldest;
+            }
+            if (better) {
+                best = kv.first;
+                best_resident = res;
+                best_tally = &kv.second;
+            }
+        }
+        return best;
+    };
+
+    // Forward declaration so completions can chain the next batch.
+    std::function<void()> form_batch;
+
+    // Runs inside an arrival event: admit request @p id to the queue
+    // and kick the scheduler if the pipeline is idle.
+    auto inject = [&](int id) {
+        touch_depth(queue.size() + 1);
+        StreamRequest req;
+        req.id = id;
+        req.arrival = eq.now();
+        req.expert = router.route();
+        if (first_arrival < 0)
+            first_arrival = eq.now();
+        queue.push_back(req);
+        if (!busy)
+            form_batch();
+    };
+
+    auto on_complete = [&](std::vector<StreamRequest> batch) {
+        last_completion = eq.now();
+        for (const StreamRequest &r : batch) {
+            latency_.record(sim::toSeconds(eq.now() - r.arrival));
+            ++completed;
+        }
+        busy = false;
+        if (cfg_.arrival == ArrivalProcess::ClosedLoop) {
+            // Each finished client thinks, then issues a new prompt.
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                if (injected >= cfg_.streamRequests)
+                    break;
+                int id = injected++;
+                eq.scheduleIn(sim::fromSeconds(cfg_.thinkSeconds),
+                              [&, id]() { inject(id); }, "coe.arrival");
+            }
+        }
+        if (!queue.empty())
+            form_batch();
+    };
+
+    form_batch = [&]() {
+        if (queue.empty() || busy)
+            return;
+        busy = true;
+        ++batches;
+        // Close the depth integral at the pre-batch depth before the
+        // batch drains the queue (no simulated time passes in here).
+        touch_depth(queue.size());
+
+        std::vector<StreamRequest> batch;
+        if (cfg_.scheduler == SchedulerPolicy::Fifo) {
+            while (!queue.empty() &&
+                   batch.size() < static_cast<std::size_t>(cfg_.batch)) {
+                batch.push_back(queue.front());
+                queue.pop_front();
+            }
+        } else {
+            // Take every queued request for the chosen expert, then
+            // backfill spare slots with requests whose experts are
+            // already resident (guaranteed-hit co-tenants), then with
+            // whatever is oldest so the batch never runs emptier than
+            // FIFO would.
+            int expert = pick_expert();
+            for (int pass = 0; pass < 3; ++pass) {
+                for (auto it = queue.begin();
+                     it != queue.end() &&
+                     batch.size() < static_cast<std::size_t>(cfg_.batch);) {
+                    bool take = pass == 0 ? it->expert == expert
+                        : pass == 1      ? runtime.resident(it->expert)
+                                         : true;
+                    if (take) {
+                        batch.push_back(*it);
+                        it = queue.erase(it);
+                    } else {
+                        ++it;
+                    }
+                }
+            }
+        }
+        depth_mark = eq.now();
+        for (StreamRequest &r : queue)
+            ++r.skips;
+        occupancy_total += static_cast<double>(batch.size());
+
+        // Charge the batch: router once, a switch per expert miss,
+        // then the batched expert execution.
+        double service = costs_.routerSeconds;
+        router_total += costs_.routerSeconds;
+        double prev_exec = 0.0;
+        for (const StreamRequest &r : batch) {
+            Activation act = runtime.activate(r.expert);
+            if (!act.hit) {
+                ++misses;
+                double bytes = act.bytesToLoad + act.bytesToWriteBack;
+                double copy = costs_.switchSeconds *
+                    (bytes / zoo.expert(r.expert).bytes);
+                if (cfg_.predictivePrefetch) {
+                    double hide = prev_exec == 0.0 ? costs_.routerSeconds
+                                                   : prev_exec;
+                    copy = std::max(0.0, copy - hide);
+                }
+                service += copy;
+                switch_total += copy;
+            }
+            service += per_prompt_exec;
+            exec_total += per_prompt_exec;
+            prev_exec = per_prompt_exec;
+        }
+
+        eq.scheduleIn(sim::fromSeconds(service),
+                      [&, batch = std::move(batch)]() mutable {
+                          on_complete(std::move(batch));
+                      },
+                      "coe.batch_done");
+    };
+
+    if (cfg_.arrival == ArrivalProcess::Poisson) {
+        // Open loop: pre-draw the whole arrival schedule (the process
+        // is independent of service), then let the queue play it out.
+        double t = 0.0;
+        for (int i = 0; i < cfg_.streamRequests; ++i) {
+            t += -std::log(1.0 - arrivals.uniformDouble()) /
+                cfg_.arrivalRatePerSec;
+            int id = injected++;
+            eq.schedule(sim::fromSeconds(t), [&, id]() { inject(id); },
+                        "coe.arrival");
+        }
+    } else {
+        int initial = std::min(cfg_.clients, cfg_.streamRequests);
+        for (int i = 0; i < initial; ++i) {
+            int id = injected++;
+            eq.schedule(0, [&, id]() { inject(id); }, "coe.arrival");
+        }
+    }
+
+    eq.run();
+    sim::simAssert(queue.empty() && !busy,
+                   "serving: event stream drained with work pending");
+    sim::simAssert(completed == cfg_.streamRequests,
+                   "serving: not every injected request completed");
+
+    double makespan =
+        sim::toSeconds(last_completion - std::max<sim::Tick>(first_arrival, 0));
+
+    StreamMetrics &m = result.stream;
+    m.p50LatencySeconds = latency_.quantile(0.50);
+    m.p95LatencySeconds = latency_.quantile(0.95);
+    m.p99LatencySeconds = latency_.quantile(0.99);
+    m.meanLatencySeconds = latency_.mean();
+    m.maxLatencySeconds = latency_.max();
+    m.completed = completed;
+    m.batches = batches;
+    m.meanBatchOccupancy = batches > 0
+        ? occupancy_total / static_cast<double>(batches)
+        : 0.0;
+    m.makespanSeconds = makespan;
+    if (makespan > 0.0) {
+        m.throughputRequestsPerSec =
+            static_cast<double>(completed) / makespan;
+        m.throughputTokensPerSec = m.throughputRequestsPerSec *
+            static_cast<double>(cfg_.outputTokens);
+        m.meanQueueDepth = depth_integral / makespan;
+    }
+    m.maxQueueDepth = stats_.get("queue_depth_max");
+
+    stats_.set("batches", static_cast<double>(batches));
+    stats_.set("completed", static_cast<double>(completed));
+    stats_.set("misses", static_cast<double>(misses));
+    stats_.set("hits", static_cast<double>(completed - misses));
+
+    double b = static_cast<double>(std::max<std::int64_t>(batches, 1));
+    result.perBatch.routerSeconds = router_total / b;
+    result.perBatch.switchSeconds = switch_total / b;
+    result.perBatch.execSeconds = exec_total / b;
+    result.missRate = completed > 0
+        ? static_cast<double>(misses) / static_cast<double>(completed)
+        : 0.0;
     result.expertSecondsPerPrompt = per_prompt_exec;
     return result;
 }

@@ -4,6 +4,20 @@
  * Figs 1, 9, 12): prompt -> router -> expert switch -> expert
  * execution, on an SN40L node (three-tier memory) or a DGX baseline
  * (HBM + host DRAM over the host link).
+ *
+ * Two modes:
+ *
+ *  - LegacyAnalytic: the paper-anchor closed-form averager. Every
+ *    batch is fully formed up front; the result is the mean latency
+ *    breakdown per batch (Figs 1, 12, Table V).
+ *
+ *  - EventDriven: a request-stream scheduler on sim::EventQueue.
+ *    Requests arrive via an open-loop Poisson process or a
+ *    closed-loop client pool, wait in an admission queue, and are
+ *    formed into continuous batches by a policy (FIFO or
+ *    expert-affinity) that plays against the live CoeRuntime LRU
+ *    state. This reports tail latency (p50/p95/p99), sustained
+ *    throughput, queue depth, and miss rate under load.
  */
 
 #ifndef SN40L_COE_SERVING_H
@@ -16,6 +30,7 @@
 #include "coe/coe_runtime.h"
 #include "coe/router.h"
 #include "models/transformer_builder.h"
+#include "sim/stats.h"
 
 namespace sn40l::coe {
 
@@ -23,17 +38,38 @@ enum class Platform { Sn40l, DgxA100, DgxH100 };
 
 const char *platformName(Platform platform);
 
+/** How the simulator advances time. */
+enum class ServingMode { LegacyAnalytic, EventDriven };
+
+/** How requests enter the system (EventDriven mode). */
+enum class ArrivalProcess {
+    Poisson,    ///< open loop: exponential inter-arrival times
+    ClosedLoop, ///< fixed client pool; a client re-issues after think time
+};
+
+/** How the admission queue is drained into batches (EventDriven). */
+enum class SchedulerPolicy {
+    Fifo,           ///< strict arrival order, experts as they come
+    ExpertAffinity, ///< group same-expert requests; prefer resident experts
+};
+
+const char *schedulerPolicyName(SchedulerPolicy policy);
+SchedulerPolicy schedulerPolicyFromName(const std::string &name);
+
 struct ServingConfig
 {
     Platform platform = Platform::Sn40l;
+
+    ServingMode mode = ServingMode::LegacyAnalytic;
 
     int numExperts = 150;
     int batch = 1;         ///< prompts per CoE batch (paper: 1 and 8)
     int outputTokens = 20; ///< paper: 20 (chat) and 200 (translation)
     int promptLen = 2048;
-    int requests = 64;     ///< batches to simulate
+    int requests = 64;     ///< LegacyAnalytic: batches to simulate
 
     RoutingDistribution routing = RoutingDistribution::Uniform;
+    double zipfS = 1.0;    ///< skew for RoutingDistribution::Zipf
     std::uint64_t seed = 1;
 
     /**
@@ -48,6 +84,28 @@ struct ServingConfig
 
     /** Tensor parallel degree (TP8 on every platform, Section VI-C). */
     int tensorParallel = 8;
+
+    // ----------------------- EventDriven-only parameters -----------
+
+    ArrivalProcess arrival = ArrivalProcess::Poisson;
+    SchedulerPolicy scheduler = SchedulerPolicy::Fifo;
+
+    /** Total requests injected before the stream drains. */
+    int streamRequests = 512;
+
+    /** Open-loop mean arrival rate (requests/second). */
+    double arrivalRatePerSec = 8.0;
+
+    /** Closed-loop client pool size and think time. */
+    int clients = 16;
+    double thinkSeconds = 0.0;
+
+    /**
+     * Expert-affinity starvation guard: a queued request whose expert
+     * has been passed over this many consecutive batches forces its
+     * expert to be scheduled next.
+     */
+    int affinityMaxSkips = 8;
 };
 
 struct LatencyBreakdown
@@ -71,6 +129,28 @@ struct LatencyBreakdown
     }
 };
 
+/** Load-dependent metrics produced by the EventDriven scheduler. */
+struct StreamMetrics
+{
+    double p50LatencySeconds = 0.0;
+    double p95LatencySeconds = 0.0;
+    double p99LatencySeconds = 0.0;
+    double meanLatencySeconds = 0.0;
+    double maxLatencySeconds = 0.0;
+
+    double throughputRequestsPerSec = 0.0;
+    double throughputTokensPerSec = 0.0;
+
+    double meanQueueDepth = 0.0; ///< time-weighted over the run
+    double maxQueueDepth = 0.0;
+
+    double meanBatchOccupancy = 0.0; ///< requests per formed batch
+    std::int64_t batches = 0;
+    std::int64_t completed = 0;
+
+    double makespanSeconds = 0.0; ///< first arrival to last completion
+};
+
 struct ServingResult
 {
     bool oom = false;          ///< experts exceed platform capacity
@@ -80,6 +160,9 @@ struct ServingResult
 
     /** Per-prompt expert execution time (no router/switch). */
     double expertSecondsPerPrompt = 0.0;
+
+    /** Filled only in ServingMode::EventDriven. */
+    StreamMetrics stream;
 };
 
 /** Platform-dependent primitive costs, exposed for tests/benches. */
@@ -100,14 +183,29 @@ class ServingSimulator
 
     const PhaseCosts &phaseCosts() const { return costs_; }
 
-    /** Simulate cfg.requests batches and return average behaviour. */
+    /**
+     * Run in cfg.mode. LegacyAnalytic simulates cfg.requests batches
+     * and returns average behaviour; EventDriven serves
+     * cfg.streamRequests arriving requests and additionally fills
+     * ServingResult::stream.
+     */
     ServingResult run();
+
+    /** Per-request latency samples from the last EventDriven run. */
+    const sim::Distribution &latencySamples() const { return latency_; }
+
+    /** Scheduler counters from the last EventDriven run. */
+    const sim::StatSet &stats() const { return stats_; }
 
   private:
     void computeCosts();
+    ServingResult runAnalytic();
+    ServingResult runEventDriven();
 
     ServingConfig cfg_;
     PhaseCosts costs_;
+    sim::Distribution latency_{"request_latency"};
+    sim::StatSet stats_{"serving"};
 };
 
 } // namespace sn40l::coe

@@ -49,7 +49,14 @@ struct TensorShape
     /** e.g. "128x1024". Scalars render as "scalar". */
     std::string str() const;
 
-    bool operator==(const TensorShape &other) const = default;
+    bool operator==(const TensorShape &other) const
+    {
+        return dims == other.dims;
+    }
+    bool operator!=(const TensorShape &other) const
+    {
+        return !(*this == other);
+    }
 };
 
 /**

@@ -5,6 +5,67 @@
 namespace sn40l::sim {
 
 void
+Distribution::record(double sample)
+{
+    samples_.push_back(sample);
+    sorted_.clear();
+    sum_ += sample;
+}
+
+double
+Distribution::mean() const
+{
+    return samples_.empty()
+        ? 0.0
+        : sum_ / static_cast<double>(samples_.size());
+}
+
+double
+Distribution::min() const
+{
+    return samples_.empty()
+        ? 0.0
+        : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Distribution::max() const
+{
+    return samples_.empty()
+        ? 0.0
+        : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+Distribution::quantile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (sorted_.size() != samples_.size()) {
+        sorted_ = samples_;
+        std::sort(sorted_.begin(), sorted_.end());
+    }
+    if (q <= 0.0)
+        return sorted_.front();
+    if (q >= 1.0)
+        return sorted_.back();
+    double rank = q * static_cast<double>(sorted_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted_.size())
+        return sorted_.back();
+    return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+void
+Distribution::clear()
+{
+    samples_.clear();
+    sorted_.clear();
+    sum_ = 0.0;
+}
+
+void
 StatSet::inc(const std::string &name, double delta)
 {
     values_[name] += delta;

@@ -19,6 +19,42 @@
 
 namespace sn40l::sim {
 
+/**
+ * A recorder for per-event samples (latencies, queue depths, batch
+ * sizes) that answers order statistics after the fact. Samples are
+ * kept verbatim; quantile() sorts lazily, so recording stays O(1).
+ */
+class Distribution
+{
+  public:
+    explicit Distribution(std::string name = "") : name_(std::move(name)) {}
+
+    void record(double sample);
+
+    std::size_t count() const { return samples_.size(); }
+    double sum() const { return sum_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * The @p q quantile (q in [0, 1]) by linear interpolation between
+     * closest ranks; 0.0 when no samples were recorded.
+     */
+    double quantile(double q) const;
+
+    const std::string &name() const { return name_; }
+    const std::vector<double> &samples() const { return samples_; }
+
+    void clear();
+
+  private:
+    std::string name_;
+    std::vector<double> samples_;
+    mutable std::vector<double> sorted_; ///< lazy cache for quantile()
+    double sum_ = 0.0;
+};
+
 class StatSet
 {
   public:

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the event-driven CoE request-stream scheduler: scheduler
+ * policies against the live LRU cache, latency-tail and saturation
+ * behaviour, the closed-loop arrival process, the Distribution sample
+ * recorder, and bit-exactness of the legacy analytic mode against
+ * values captured from the pre-refactor simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coe/serving.h"
+#include "sim/log.h"
+#include "sim/stats.h"
+
+using namespace sn40l;
+using namespace sn40l::coe;
+
+namespace {
+
+ServingConfig
+streamConfig()
+{
+    ServingConfig cfg;
+    cfg.mode = ServingMode::EventDriven;
+    cfg.platform = Platform::Sn40l;
+    cfg.numExperts = 150;
+    cfg.batch = 8;
+    cfg.streamRequests = 400;
+    cfg.routing = RoutingDistribution::Zipf;
+    cfg.arrivalRatePerSec = 60.0; // well past saturation: queue builds
+    cfg.seed = 11;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Distribution, QuantilesAndMoments)
+{
+    sim::Distribution d("lat");
+    EXPECT_EQ(d.quantile(0.5), 0.0);
+    for (int i = 1; i <= 100; ++i)
+        d.record(static_cast<double>(i));
+    EXPECT_EQ(d.count(), 100u);
+    EXPECT_DOUBLE_EQ(d.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 100.0);
+    EXPECT_NEAR(d.quantile(0.5), 50.5, 1e-12);
+    EXPECT_NEAR(d.quantile(0.99), 99.01, 1e-9);
+    // Recording after a quantile query invalidates the sorted cache.
+    d.record(1000.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 1000.0);
+    d.clear();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.sum(), 0.0);
+}
+
+TEST(SchedulerPolicy, NamesRoundTrip)
+{
+    EXPECT_EQ(schedulerPolicyFromName("fifo"), SchedulerPolicy::Fifo);
+    EXPECT_EQ(schedulerPolicyFromName("affinity"),
+              SchedulerPolicy::ExpertAffinity);
+    EXPECT_EQ(schedulerPolicyFromName("expert-affinity"),
+              SchedulerPolicy::ExpertAffinity);
+    EXPECT_THROW(schedulerPolicyFromName("lifo"), sim::FatalError);
+    EXPECT_STREQ(schedulerPolicyName(SchedulerPolicy::Fifo), "fifo");
+    EXPECT_STREQ(schedulerPolicyName(SchedulerPolicy::ExpertAffinity),
+                 "affinity");
+}
+
+TEST(StreamScheduler, DeterministicPerSeed)
+{
+    ServingConfig cfg = streamConfig();
+    ServingResult a = ServingSimulator(cfg).run();
+    ServingResult b = ServingSimulator(cfg).run();
+    EXPECT_DOUBLE_EQ(a.stream.p99LatencySeconds, b.stream.p99LatencySeconds);
+    EXPECT_DOUBLE_EQ(a.stream.throughputRequestsPerSec,
+                     b.stream.throughputRequestsPerSec);
+    EXPECT_DOUBLE_EQ(a.missRate, b.missRate);
+}
+
+TEST(StreamScheduler, AffinityBeatsFifoMissesOnSkewedRouting)
+{
+    ServingConfig cfg = streamConfig();
+
+    cfg.scheduler = SchedulerPolicy::Fifo;
+    ServingSimulator fifo(cfg);
+    ServingResult fifo_r = fifo.run();
+
+    cfg.scheduler = SchedulerPolicy::ExpertAffinity;
+    ServingSimulator affinity(cfg);
+    ServingResult affinity_r = affinity.run();
+
+    EXPECT_LT(affinity.stats().get("misses"), fifo.stats().get("misses"));
+    EXPECT_LT(affinity_r.missRate, fifo_r.missRate);
+    // Every request completes under both policies.
+    EXPECT_EQ(fifo_r.stream.completed, cfg.streamRequests);
+    EXPECT_EQ(affinity_r.stream.completed, cfg.streamRequests);
+}
+
+TEST(StreamScheduler, TailDominatesMedian)
+{
+    for (SchedulerPolicy policy :
+         {SchedulerPolicy::Fifo, SchedulerPolicy::ExpertAffinity}) {
+        ServingConfig cfg = streamConfig();
+        cfg.scheduler = policy;
+        ServingSimulator sim(cfg);
+        ServingResult r = sim.run();
+        EXPECT_GE(r.stream.p99LatencySeconds, r.stream.p95LatencySeconds);
+        EXPECT_GE(r.stream.p95LatencySeconds, r.stream.p50LatencySeconds);
+        EXPECT_GE(r.stream.maxLatencySeconds, r.stream.p99LatencySeconds);
+        EXPECT_EQ(sim.latencySamples().count(),
+                  static_cast<std::size_t>(cfg.streamRequests));
+    }
+}
+
+TEST(StreamScheduler, ThroughputSaturatesPastServiceRate)
+{
+    auto throughput = [](double rate) {
+        ServingConfig cfg = streamConfig();
+        cfg.routing = RoutingDistribution::Uniform;
+        cfg.arrivalRatePerSec = rate;
+        return ServingSimulator(cfg).run().stream.throughputRequestsPerSec;
+    };
+
+    double low = throughput(2.0);
+    double mid = throughput(64.0);
+    double high = throughput(256.0);
+
+    // Under light load throughput tracks the arrival rate...
+    EXPECT_NEAR(low, 2.0, 0.5);
+    // ...past saturation it clamps at the service rate: quadrupling
+    // the offered load moves sustained throughput by under 5%.
+    EXPECT_GT(mid, 4.0);
+    EXPECT_NEAR(high / mid, 1.0, 0.05);
+
+    // Queueing delay explodes across the saturation knee.
+    ServingConfig cfg = streamConfig();
+    cfg.routing = RoutingDistribution::Uniform;
+    cfg.arrivalRatePerSec = 2.0;
+    double p99_low = ServingSimulator(cfg).run().stream.p99LatencySeconds;
+    cfg.arrivalRatePerSec = 256.0;
+    double p99_high = ServingSimulator(cfg).run().stream.p99LatencySeconds;
+    EXPECT_GT(p99_high, 5.0 * p99_low);
+}
+
+TEST(StreamScheduler, ClosedLoopKeepsClientsInFlight)
+{
+    ServingConfig cfg = streamConfig();
+    cfg.arrival = ArrivalProcess::ClosedLoop;
+    cfg.clients = 8;
+    cfg.streamRequests = 96;
+    cfg.thinkSeconds = 0.05;
+
+    ServingResult r = ServingSimulator(cfg).run();
+    EXPECT_EQ(r.stream.completed, cfg.streamRequests);
+    // In-flight work can never exceed the client pool.
+    EXPECT_LE(r.stream.maxQueueDepth, static_cast<double>(cfg.clients));
+    EXPECT_GT(r.stream.throughputRequestsPerSec, 0.0);
+}
+
+TEST(StreamScheduler, AffinityStarvationGuardServesColdExperts)
+{
+    // Round-robin over many experts with a tiny aging limit: every
+    // expert, however cold, must still get served and the run drains.
+    ServingConfig cfg = streamConfig();
+    cfg.routing = RoutingDistribution::RoundRobin;
+    cfg.scheduler = SchedulerPolicy::ExpertAffinity;
+    cfg.affinityMaxSkips = 2;
+    cfg.streamRequests = 200;
+    ServingResult r = ServingSimulator(cfg).run();
+    EXPECT_EQ(r.stream.completed, cfg.streamRequests);
+}
+
+TEST(StreamScheduler, StreamMetricsAreConsistent)
+{
+    ServingConfig cfg = streamConfig();
+    ServingSimulator sim(cfg);
+    ServingResult r = sim.run();
+
+    EXPECT_EQ(r.stream.completed, cfg.streamRequests);
+    EXPECT_GT(r.stream.batches, 0);
+    EXPECT_LE(r.stream.meanBatchOccupancy,
+              static_cast<double>(cfg.batch));
+    EXPECT_NEAR(r.stream.throughputTokensPerSec,
+                r.stream.throughputRequestsPerSec * cfg.outputTokens,
+                1e-9);
+    EXPECT_DOUBLE_EQ(sim.stats().get("completed"),
+                     static_cast<double>(cfg.streamRequests));
+    EXPECT_DOUBLE_EQ(sim.stats().get("hits") + sim.stats().get("misses"),
+                     static_cast<double>(cfg.streamRequests));
+}
+
+/**
+ * Legacy analytic mode must reproduce the pre-refactor ServingResult
+ * bit for bit. The expected values below were captured from the seed
+ * simulator (before the event-driven refactor) at full precision.
+ */
+TEST(LegacyAnalytic, BitIdenticalToPreRefactorResults)
+{
+    struct Golden
+    {
+        Platform platform;
+        int experts, batch;
+        RoutingDistribution routing;
+        bool prefetch;
+        double router, switches, exec, miss;
+        int resident;
+        double perPrompt;
+    };
+    const Golden goldens[] = {
+        {Platform::Sn40l, 150, 8, RoutingDistribution::Uniform, false,
+         0.071381331986999946, 0.080990572306249856, 0.30353325061599906,
+         0.78125, 38, 0.037941656327000001},
+        {Platform::Sn40l, 150, 1, RoutingDistribution::Zipf, true,
+         0.0098736814430000052, 0.0017834058540937493,
+         0.037941656327000001, 0.578125, 38, 0.037941656327000001},
+        {Platform::DgxA100, 150, 8, RoutingDistribution::Uniform, false,
+         0.21529729404278214, 2.5005839200000244, 0.90381248913024981,
+         0.7421875, 45, 0.11297656114128235},
+        {Platform::DgxH100, 64, 4, RoutingDistribution::RoundRobin, false,
+         0.041411531070960489, 0.84230195200000557, 0.29321610899865513,
+         1.0, 45, 0.073304027249663811},
+    };
+
+    for (const Golden &g : goldens) {
+        ServingConfig cfg;
+        cfg.mode = ServingMode::LegacyAnalytic;
+        cfg.platform = g.platform;
+        cfg.numExperts = g.experts;
+        cfg.batch = g.batch;
+        cfg.routing = g.routing;
+        cfg.predictivePrefetch = g.prefetch;
+        cfg.requests = 64;
+        cfg.seed = 1;
+
+        ServingResult r = ServingSimulator(cfg).run();
+        EXPECT_FALSE(r.oom);
+        EXPECT_DOUBLE_EQ(r.perBatch.routerSeconds, g.router);
+        EXPECT_DOUBLE_EQ(r.perBatch.switchSeconds, g.switches);
+        EXPECT_DOUBLE_EQ(r.perBatch.execSeconds, g.exec);
+        EXPECT_DOUBLE_EQ(r.missRate, g.miss);
+        EXPECT_EQ(r.residentCapacityExperts, g.resident);
+        EXPECT_DOUBLE_EQ(r.expertSecondsPerPrompt, g.perPrompt);
+    }
+}
+
+TEST(StreamScheduler, RejectsBadStreamConfigs)
+{
+    ServingConfig cfg = streamConfig();
+    cfg.streamRequests = 0;
+    EXPECT_THROW(ServingSimulator{cfg}, sim::FatalError);
+
+    cfg = streamConfig();
+    cfg.arrivalRatePerSec = 0.0;
+    EXPECT_THROW(ServingSimulator{cfg}, sim::FatalError);
+
+    cfg = streamConfig();
+    cfg.arrival = ArrivalProcess::ClosedLoop;
+    cfg.clients = 0;
+    EXPECT_THROW(ServingSimulator{cfg}, sim::FatalError);
+
+    cfg = streamConfig();
+    cfg.arrival = ArrivalProcess::ClosedLoop;
+    cfg.thinkSeconds = -0.5;
+    EXPECT_THROW(ServingSimulator{cfg}, sim::FatalError);
+}

@@ -7,13 +7,25 @@
  *   sn40l_run --model llama2-7b --phase decode --seq 2048 --tp 8 \
  *             [--batch 1] [--config fused-ho|fused-so|unfused] \
  *             [--sockets 8] [--trace out.json]
+ *
+ * The `serve` subcommand drives the event-driven CoE request-stream
+ * scheduler instead and reports tail latency and throughput:
+ *
+ *   sn40l_run serve --arrival-rate=8 [--experts 150] [--batch 8] \
+ *             [--requests 512] [--scheduler fifo|affinity|both] \
+ *             [--routing uniform|zipf|round-robin] [--zipf-s 1.0] \
+ *             [--platform sn40l|dgx-a100|dgx-h100] [--closed-loop] \
+ *             [--clients 16] [--think 0.0] [--tokens 20] [--seed 1] \
+ *             [--prefetch]
  */
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <vector>
 
+#include "coe/serving.h"
 #include "models/model_zoo.h"
 #include "runtime/runner.h"
 #include "runtime/trace.h"
@@ -56,15 +68,144 @@ usage()
     std::cerr << "usage: sn40l_run --model NAME --phase "
               << "prefill|decode|train [--seq N] [--batch N]\n"
               << "       [--tp N] [--sockets N] [--config "
-              << "fused-ho|fused-so|unfused] [--trace FILE]\n";
+              << "fused-ho|fused-so|unfused] [--trace FILE]\n"
+              << "   or: sn40l_run serve --arrival-rate=R [--experts N]\n"
+              << "       [--batch N] [--requests N] [--tokens N]\n"
+              << "       [--scheduler fifo|affinity|both]\n"
+              << "       [--routing uniform|zipf|round-robin] [--zipf-s S]\n"
+              << "       [--platform sn40l|dgx-a100|dgx-h100]\n"
+              << "       [--closed-loop] [--clients N] [--think SEC]\n"
+              << "       [--seed N] [--prefetch]\n";
     std::exit(1);
+}
+
+/**
+ * Flatten "--flag=value" arguments into "--flag value" so both
+ * spellings parse through the same next()-style loop.
+ */
+std::vector<std::string>
+splitEqualsArgs(int argc, char **argv, int first)
+{
+    std::vector<std::string> out;
+    for (int i = first; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            out.push_back(arg.substr(0, eq));
+            out.push_back(arg.substr(eq + 1));
+        } else {
+            out.push_back(arg);
+        }
+    }
+    return out;
+}
+
+coe::Platform
+platformByName(const std::string &name)
+{
+    if (name == "sn40l") return coe::Platform::Sn40l;
+    if (name == "dgx-a100") return coe::Platform::DgxA100;
+    if (name == "dgx-h100") return coe::Platform::DgxH100;
+    std::cerr << "unknown platform '" << name
+              << "' (expected sn40l, dgx-a100, or dgx-h100)\n";
+    std::exit(1);
+}
+
+int
+runServe(int argc, char **argv)
+{
+    coe::ServingConfig cfg;
+    cfg.mode = coe::ServingMode::EventDriven;
+    cfg.batch = 8;
+    std::string scheduler_name = "both";
+
+    std::vector<std::string> args = splitEqualsArgs(argc, argv, 2);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= args.size())
+                usage();
+            return args[++i];
+        };
+        if (arg == "--platform") cfg.platform = platformByName(next());
+        else if (arg == "--experts") cfg.numExperts = std::stoi(next());
+        else if (arg == "--batch") cfg.batch = std::stoi(next());
+        else if (arg == "--tokens") cfg.outputTokens = std::stoi(next());
+        else if (arg == "--requests") cfg.streamRequests = std::stoi(next());
+        else if (arg == "--arrival-rate")
+            cfg.arrivalRatePerSec = std::stod(next());
+        else if (arg == "--closed-loop")
+            cfg.arrival = coe::ArrivalProcess::ClosedLoop;
+        else if (arg == "--clients") cfg.clients = std::stoi(next());
+        else if (arg == "--think") cfg.thinkSeconds = std::stod(next());
+        else if (arg == "--scheduler") scheduler_name = next();
+        else if (arg == "--routing")
+            cfg.routing = coe::routingDistributionFromName(next());
+        else if (arg == "--zipf-s") cfg.zipfS = std::stod(next());
+        else if (arg == "--seed") cfg.seed = std::stoull(next());
+        else if (arg == "--prefetch") cfg.predictivePrefetch = true;
+        else usage();
+    }
+
+    std::vector<coe::SchedulerPolicy> policies;
+    if (scheduler_name == "both") {
+        policies = {coe::SchedulerPolicy::Fifo,
+                    coe::SchedulerPolicy::ExpertAffinity};
+    } else {
+        policies = {coe::schedulerPolicyFromName(scheduler_name)};
+    }
+
+    std::cout << "CoE request stream on " << coe::platformName(cfg.platform)
+              << ": " << cfg.numExperts << " experts, "
+              << (cfg.arrival == coe::ArrivalProcess::Poisson
+                      ? "open-loop Poisson "
+                      : "closed-loop ")
+              << (cfg.arrival == coe::ArrivalProcess::Poisson
+                      ? util::formatDouble(cfg.arrivalRatePerSec, 1) +
+                            " req/s"
+                      : std::to_string(cfg.clients) + " clients")
+              << ", " << cfg.streamRequests << " requests, max batch "
+              << cfg.batch << ", "
+              << coe::routingDistributionName(cfg.routing)
+              << " routing\n\n";
+
+    util::Table table({"Scheduler", "p50", "p95", "p99", "Throughput",
+                       "Tokens/s", "Miss rate", "Queue depth",
+                       "Batch occupancy"});
+    for (coe::SchedulerPolicy policy : policies) {
+        cfg.scheduler = policy;
+        coe::ServingSimulator sim(cfg);
+        coe::ServingResult r = sim.run();
+        if (r.oom) {
+            table.addRow({coe::schedulerPolicyName(policy), "-", "-", "-",
+                          "OUT OF MEMORY"});
+            continue;
+        }
+        const coe::StreamMetrics &m = r.stream;
+        table.addRow({coe::schedulerPolicyName(policy),
+                      util::formatSeconds(m.p50LatencySeconds),
+                      util::formatSeconds(m.p95LatencySeconds),
+                      util::formatSeconds(m.p99LatencySeconds),
+                      util::formatDouble(m.throughputRequestsPerSec, 2) +
+                          " req/s",
+                      util::formatDouble(m.throughputTokensPerSec, 1),
+                      util::formatDouble(r.missRate * 100, 1) + "%",
+                      util::formatDouble(m.meanQueueDepth, 1) + " avg / " +
+                          util::formatDouble(m.maxQueueDepth, 0) + " max",
+                      util::formatDouble(m.meanBatchOccupancy, 2)});
+    }
+    table.print(std::cout);
+    return 0;
 }
 
 } // namespace
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+        return runServe(argc, argv);
+
     std::string model_name = "llama2-7b";
     std::string phase_name = "decode";
     std::string config_name = "fused-ho";
@@ -163,4 +304,17 @@ main(int argc, char **argv)
                   << " (open in chrome://tracing or Perfetto)\n";
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const std::invalid_argument &) {
+        std::cerr << "error: malformed numeric argument\n";
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+    }
+    return 1;
 }
