@@ -5,6 +5,11 @@
  * hypothetical SN40L without DDR whose experts spill to host DRAM
  * over PCIe, and (c) DGX baselines — isolating how much of the win
  * comes from the accelerator-local DDR tier (Section III-B).
+ *
+ * Part one is the closed-form per-batch accounting; part two serves a
+ * live request stream in EventDriven mode, where every expert switch
+ * is a real DMA transfer on the platform's MemorySystem and the
+ * backing-tier bandwidth decides how much of it the router hides.
  */
 
 #include <iostream>
@@ -16,6 +21,25 @@
 
 using namespace sn40l;
 using namespace sn40l::coe;
+
+namespace {
+
+/** The no-DDR SN40L: expert backing is host DRAM over the host link. */
+mem::MemorySystemConfig
+hostSpillMemory(const arch::NodeConfig &node, int dma_engines)
+{
+    mem::MemorySystemConfig m;
+    m.dmaEngines = dma_engines;
+    m.ddr.channels = 1;
+    m.ddr.perChannelBandwidth = node.chip.pcieBandwidth;
+    m.ddr.efficiency = 1.0;
+    m.hbm.channels = node.sockets;
+    m.hbm.perChannelBandwidth = node.chip.hbmBandwidth;
+    m.hbm.efficiency = node.chip.hbmEfficiency;
+    return m;
+}
+
+} // namespace
 
 int
 main()
@@ -75,5 +99,63 @@ main()
               << util::formatSeconds(pcie_switch)
               << " (host spill) — the DDR tier is what makes "
               << "switching cheap.\n";
+
+    // --------------------------------------------------------------
+    // Live request stream: the same tiers under EventDriven serving,
+    // where switches are DMA transfers that the router and decode
+    // traffic can (or cannot) hide.
+    std::cout << "\nEvent-driven stream (Zipf routing, batch 1, 6 req/s, "
+              << "300 requests):\nexpert loads are DMA-scheduled on each "
+              << "platform's memory system.\n\n";
+
+    ServingConfig scfg;
+    scfg.mode = ServingMode::EventDriven;
+    scfg.numExperts = 150;
+    scfg.batch = 1;
+    scfg.routing = RoutingDistribution::Zipf;
+    scfg.streamRequests = 300;
+    scfg.arrivalRatePerSec = 6.0;
+    scfg.seed = 5;
+
+    struct Variant
+    {
+        const char *name;
+        Platform platform;
+        bool hostSpill;
+    };
+    const Variant variants[] = {
+        {"SN40L three-tier", Platform::Sn40l, false},
+        {"SN40L w/o DDR (host spill)", Platform::Sn40l, true},
+        {"DGX A100", Platform::DgxA100, false},
+        {"DGX H100", Platform::DgxH100, false},
+    };
+
+    util::Table stream({"Configuration", "p50", "p95", "Throughput",
+                        "Miss-stall p95", "Miss rate"});
+    for (const Variant &v : variants) {
+        ServingConfig vcfg = scfg;
+        vcfg.platform = v.platform;
+        if (v.hostSpill)
+            vcfg.memoryOverride = hostSpillMemory(node, vcfg.dmaEngines);
+        ServingSimulator sim(vcfg);
+        ServingResult r = sim.run();
+        if (r.oom) {
+            stream.addRow({v.name, "-", "-", "OUT OF MEMORY", "-", "-"});
+            continue;
+        }
+        const StreamMetrics &m = r.stream;
+        stream.addRow(
+            {v.name, util::formatSeconds(m.p50LatencySeconds),
+             util::formatSeconds(m.p95LatencySeconds),
+             util::formatDouble(m.throughputRequestsPerSec, 2) + " req/s",
+             util::formatSeconds(m.p95SwitchStallSeconds),
+             util::formatDouble(r.missRate * 100, 1) + "%"});
+    }
+    stream.print(std::cout);
+
+    std::cout << "\nWith node DDR the per-expert copy nearly vanishes "
+              << "behind the router; over\nthe host link the same miss "
+              << "rate turns into hundreds of milliseconds of\nexposed "
+              << "stall per switch.\n";
     return 0;
 }

@@ -1,9 +1,21 @@
 /**
  * @file
- * Ablation A8: predictive expert prefetching (extension). Once the
- * router picks the batch's experts, their DDR->HBM copies can overlap
- * the router itself and earlier prompts' executions. Quantifies how
- * much of the (already small) SN40L switching cost this hides.
+ * Ablation A8: predictive expert prefetching. Two models of the same
+ * idea:
+ *
+ *  - Analytic (LegacyAnalytic mode): the closed-form overlap bound —
+ *    once the router picks the batch's experts, their DDR->HBM copies
+ *    hide behind the router and earlier prompts' executions, and only
+ *    the remainder is charged.
+ *
+ *  - Event-driven (EventDriven mode): real speculative prefetch. The
+ *    router's decision for queued-but-unscheduled requests enqueues
+ *    low-priority DDR->HBM DMA that contends with decode traffic on
+ *    the live memory system, is promoted to demand priority when the
+ *    batch actually needs it, and is cancelled under eviction
+ *    pressure. Reported: tail latency, the p95 *exposed* miss stall
+ *    (the part of expert streaming the batch waited on beyond the
+ *    router), queue depth, and miss rate.
  */
 
 #include <iostream>
@@ -17,7 +29,7 @@ using namespace sn40l::coe;
 namespace {
 
 ServingResult
-serve(int experts, int batch, bool prefetch)
+serveAnalytic(int experts, int batch, bool prefetch)
 {
     ServingConfig cfg;
     cfg.platform = Platform::Sn40l;
@@ -29,34 +41,94 @@ serve(int experts, int batch, bool prefetch)
     return ServingSimulator(cfg).run();
 }
 
+ServingConfig
+streamConfig(bool prefetch)
+{
+    ServingConfig cfg;
+    cfg.platform = Platform::Sn40l;
+    cfg.mode = ServingMode::EventDriven;
+    cfg.numExperts = 150;
+    cfg.batch = 1; // per-request batches: the switch is fully exposed
+    cfg.outputTokens = 20;
+    cfg.routing = RoutingDistribution::Zipf;
+    cfg.scheduler = SchedulerPolicy::Fifo;
+    cfg.streamRequests = 400;
+    cfg.arrivalRatePerSec = 24.0; // past saturation: queue stays deep
+    cfg.seed = 3;
+    cfg.predictivePrefetch = prefetch;
+    return cfg;
+}
+
 } // namespace
 
 int
 main()
 {
-    std::cout << "Ablation A8: predictive expert prefetch on the SN40L "
-              << "node (20 output tokens)\n\n";
+    std::cout << "Ablation A8: expert prefetch on the SN40L node "
+              << "(20 output tokens)\n\n"
+              << "Analytic bound (closed-form overlap with router and "
+              << "prior prompts):\n\n";
 
-    util::Table table({"Experts", "Batch", "Switch (no prefetch)",
-                       "Switch (prefetch)", "Total speedup"});
-
-    for (int experts : {50, 150, 400, 850}) {
+    util::Table analytic({"Experts", "Batch", "Switch (no prefetch)",
+                          "Switch (prefetch)", "Total speedup"});
+    for (int experts : {150, 850}) {
         for (int batch : {1, 8}) {
-            ServingResult off = serve(experts, batch, false);
-            ServingResult on = serve(experts, batch, true);
-            table.addRow({std::to_string(experts), std::to_string(batch),
-                          util::formatSeconds(off.perBatch.switchSeconds),
-                          util::formatSeconds(on.perBatch.switchSeconds),
-                          util::formatDouble(off.perBatch.total() /
-                                             on.perBatch.total(), 2) +
-                              "x"});
+            ServingResult off = serveAnalytic(experts, batch, false);
+            ServingResult on = serveAnalytic(experts, batch, true);
+            analytic.addRow(
+                {std::to_string(experts), std::to_string(batch),
+                 util::formatSeconds(off.perBatch.switchSeconds),
+                 util::formatSeconds(on.perBatch.switchSeconds),
+                 util::formatDouble(off.perBatch.total() /
+                                    on.perBatch.total(), 2) + "x"});
         }
     }
-    table.print(std::cout);
+    analytic.print(std::cout);
 
-    std::cout << "\nAt BS=8 every copy after the first hides behind the "
-              << "previous prompt's\nexecution; at BS=1 only the router "
-              << "offers overlap. Prefetching is the\nnatural next step "
-              << "the three-tier hierarchy enables.\n";
-    return 0;
+    std::cout << "\nEvent-driven speculative prefetch (150 experts, Zipf "
+              << "routing, batch 1,\nopen-loop 24 req/s — real DMA on the "
+              << "three-tier memory system):\n\n";
+
+    util::Table stream({"Prefetch", "p50", "p95", "p99", "Miss-stall p95",
+                        "Miss-stall mean", "Queue depth", "Miss rate",
+                        "Issued/Hit/Cancel"});
+    double p95_off = 0.0, p95_on = 0.0;
+    for (bool prefetch : {false, true}) {
+        ServingSimulator sim(streamConfig(prefetch));
+        ServingResult r = sim.run();
+        const StreamMetrics &m = r.stream;
+        (prefetch ? p95_on : p95_off) = m.p95LatencySeconds;
+        stream.addRow(
+            {prefetch ? "on" : "off",
+             util::formatSeconds(m.p50LatencySeconds),
+             util::formatSeconds(m.p95LatencySeconds),
+             util::formatSeconds(m.p99LatencySeconds),
+             util::formatSeconds(m.p95SwitchStallSeconds),
+             util::formatSeconds(m.meanSwitchStallSeconds),
+             util::formatDouble(m.meanQueueDepth, 1) + " avg / " +
+                 util::formatDouble(m.maxQueueDepth, 0) + " max",
+             util::formatDouble(r.missRate * 100, 1) + "%",
+             std::to_string(m.prefetchesIssued) + "/" +
+                 std::to_string(m.prefetchHits) + "/" +
+                 std::to_string(m.prefetchesCancelled)});
+    }
+    stream.print(std::cout);
+
+    if (p95_on < p95_off) {
+        std::cout << "\nSpeculative prefetch cuts p95 latency by "
+                  << util::formatDouble((1.0 - p95_on / p95_off) * 100.0,
+                                        1)
+                  << "%: queued requests' experts stream DDR->HBM behind "
+                  << "the executing batch's\ndecode traffic, so by "
+                  << "launch time the switch is already hidden.\n";
+    } else {
+        std::cout << "\nREGRESSION: speculative prefetch did NOT reduce "
+                  << "p95 latency ("
+                  << util::formatSeconds(p95_on) << " on vs "
+                  << util::formatSeconds(p95_off) << " off).\n";
+    }
+    std::cout << "The analytic rows are the paper-anchor upper bound; "
+              << "the event-driven rows\npay for DMA contention and "
+              << "imperfect speculation.\n";
+    return p95_on < p95_off ? 0 : 1;
 }

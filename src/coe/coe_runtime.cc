@@ -15,30 +15,119 @@ CoeRuntime::CoeRuntime(const ExpertZoo &zoo, std::int64_t hbm_region_bytes)
 bool
 CoeRuntime::resident(int expert_id) const
 {
-    return residentOffsets_.count(expert_id) > 0;
+    return resident_.count(expert_id) > 0;
+}
+
+bool
+CoeRuntime::loaded(int expert_id) const
+{
+    auto it = resident_.find(expert_id);
+    return it != resident_.end() && it->second.state == ExpertState::Loaded;
+}
+
+bool
+CoeRuntime::inFlight(int expert_id) const
+{
+    auto it = resident_.find(expert_id);
+    return it != resident_.end() && it->second.state != ExpertState::Loaded;
+}
+
+CoeRuntime::Resident &
+CoeRuntime::entry(int expert_id, const char *why)
+{
+    auto it = resident_.find(expert_id);
+    if (it == resident_.end())
+        sim::panic(std::string("CoeRuntime: ") + why +
+                   " on non-resident expert " + std::to_string(expert_id));
+    return it->second;
+}
+
+ExpertState
+CoeRuntime::state(int expert_id) const
+{
+    return const_cast<CoeRuntime *>(this)->entry(expert_id, "state").state;
+}
+
+int
+CoeRuntime::pinCount(int expert_id) const
+{
+    return const_cast<CoeRuntime *>(this)->entry(expert_id, "pinCount").pins;
 }
 
 void
-CoeRuntime::evictLru(Activation &activation)
+CoeRuntime::pin(int expert_id)
 {
-    if (lru_.empty())
-        sim::panic("CoeRuntime: nothing left to evict");
-    int victim = lru_.back();
-    lru_.pop_back();
+    ++entry(expert_id, "pin").pins;
+}
 
-    auto it = residentOffsets_.find(victim);
-    region_.free(it->second.second);
-    residentOffsets_.erase(it);
+void
+CoeRuntime::unpin(int expert_id)
+{
+    Resident &r = entry(expert_id, "unpin");
+    if (r.pins <= 0)
+        sim::panic("CoeRuntime: unpin of unpinned expert " +
+                   std::to_string(expert_id));
+    --r.pins;
+}
 
-    const ExpertModel &e = zoo_.expert(victim);
-    ++activation.evictions;
-    stats_.inc("evictions");
-    if (e.mutableBytes > 0.0) {
-        activation.bytesToWriteBack += e.mutableBytes;
-        stats_.inc("writeback_bytes", e.mutableBytes);
-    } else {
-        // Read-only weights: skip the copy-back (Section V-B).
-        stats_.inc("copyback_skipped");
+void
+CoeRuntime::dropEntry(std::map<int, Resident>::iterator it)
+{
+    region_.free(it->second.offset);
+    lru_.erase(it->second.lruIt);
+    resident_.erase(it);
+}
+
+std::int64_t
+CoeRuntime::allocateEvicting(std::int64_t need, int &evictions,
+                             double &bytes_to_write_back)
+{
+    for (;;) {
+        if (auto offset = region_.allocate(need))
+            return *offset;
+
+        // Walk victims least-recently-used first. Pinned and Loading
+        // experts are untouchable; prefetch reservations are asked to
+        // cancel; Loaded experts evict.
+        bool freed = false;
+        for (auto lru_it = lru_.rbegin(); lru_it != lru_.rend(); ++lru_it) {
+            auto it = resident_.find(*lru_it);
+            Resident &r = it->second;
+            if (r.pins > 0 || r.state == ExpertState::Loading)
+                continue;
+            if (r.state == ExpertState::PrefetchReserved) {
+                if (prefetchCancelHook_ && !prefetchCancelHook_(it->first)) {
+                    // The speculation already left the DMA queue; it
+                    // will land, so it is as untouchable as a demand
+                    // load.
+                    r.state = ExpertState::Loading;
+                    continue;
+                }
+                stats_.inc("prefetch_cancels");
+                dropEntry(it);
+                freed = true;
+                break;
+            }
+            const ExpertModel &e = zoo_.expert(it->first);
+            ++evictions;
+            stats_.inc("evictions");
+            if (e.mutableBytes > 0.0) {
+                bytes_to_write_back += e.mutableBytes;
+                stats_.inc("writeback_bytes", e.mutableBytes);
+            } else {
+                // Read-only weights: skip the copy-back (Section V-B).
+                stats_.inc("copyback_skipped");
+            }
+            if (evictionHook_)
+                evictionHook_(it->first);
+            dropEntry(it);
+            freed = true;
+            break;
+        }
+        if (!freed)
+            sim::fatal("CoeRuntime: expert region exhausted by pinned and "
+                       "in-flight experts (region too small for the "
+                       "concurrent working set)");
     }
 }
 
@@ -48,10 +137,15 @@ CoeRuntime::activate(int expert_id)
     Activation activation;
     const ExpertModel &expert = zoo_.expert(expert_id);
 
-    auto it = residentOffsets_.find(expert_id);
-    if (it != residentOffsets_.end()) {
+    auto it = resident_.find(expert_id);
+    if (it != resident_.end()) {
+        if (it->second.state != ExpertState::Loaded)
+            sim::panic("CoeRuntime: synchronous activate() on expert " +
+                       std::to_string(expert_id) +
+                       " with a transfer in flight (mixing the sync and "
+                       "async protocols)");
         // Hit: refresh LRU position.
-        lru_.splice(lru_.begin(), lru_, it->second.first);
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
         activation.hit = true;
         stats_.inc("hits");
         return activation;
@@ -59,20 +153,114 @@ CoeRuntime::activate(int expert_id)
 
     stats_.inc("misses");
     std::int64_t need = static_cast<std::int64_t>(expert.bytes);
-
-    std::optional<std::int64_t> offset;
-    for (;;) {
-        offset = region_.allocate(need);
-        if (offset)
-            break;
-        evictLru(activation);
-    }
+    std::int64_t offset = allocateEvicting(need, activation.evictions,
+                                           activation.bytesToWriteBack);
 
     lru_.push_front(expert_id);
-    residentOffsets_[expert_id] = {lru_.begin(), *offset};
+    Resident r;
+    r.lruIt = lru_.begin();
+    r.offset = offset;
+    r.state = ExpertState::Loaded;
+    resident_[expert_id] = r;
     activation.bytesToLoad = expert.bytes;
     stats_.inc("load_bytes", expert.bytes);
     return activation;
+}
+
+AsyncActivation
+CoeRuntime::activateAsync(int expert_id)
+{
+    AsyncActivation activation;
+    const ExpertModel &expert = zoo_.expert(expert_id);
+
+    auto it = resident_.find(expert_id);
+    if (it != resident_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        activation.hbmOffset = it->second.offset;
+        if (it->second.state == ExpertState::Loaded) {
+            activation.hit = true;
+            stats_.inc("hits");
+        } else {
+            // A demand load or speculation already owns the slot; the
+            // caller waits on (and may promote) that transfer.
+            activation.pending = true;
+            stats_.inc("pending_hits");
+        }
+        return activation;
+    }
+
+    stats_.inc("misses");
+    std::int64_t need = static_cast<std::int64_t>(expert.bytes);
+    std::int64_t offset = allocateEvicting(need, activation.evictions,
+                                           activation.bytesToWriteBack);
+
+    lru_.push_front(expert_id);
+    Resident r;
+    r.lruIt = lru_.begin();
+    r.offset = offset;
+    r.state = ExpertState::Loading;
+    resident_[expert_id] = r;
+    activation.bytesToLoad = expert.bytes;
+    activation.hbmOffset = offset;
+    stats_.inc("load_bytes", expert.bytes);
+    return activation;
+}
+
+std::optional<AsyncActivation>
+CoeRuntime::beginPrefetch(int expert_id)
+{
+    if (resident(expert_id))
+        return std::nullopt;
+
+    const ExpertModel &expert = zoo_.expert(expert_id);
+    std::int64_t need = static_cast<std::int64_t>(expert.bytes);
+    // Opportunistic: free space only, no eviction on speculation.
+    auto offset = region_.allocate(need);
+    if (!offset)
+        return std::nullopt;
+
+    // Speculations enter at the cold end of the LRU so they are the
+    // first reclaimed under pressure until a batch actually uses them.
+    lru_.push_back(expert_id);
+    Resident r;
+    r.lruIt = std::prev(lru_.end());
+    r.offset = *offset;
+    r.state = ExpertState::PrefetchReserved;
+    resident_[expert_id] = r;
+
+    AsyncActivation activation;
+    activation.pending = true;
+    activation.bytesToLoad = expert.bytes;
+    activation.hbmOffset = *offset;
+    stats_.inc("prefetch_reservations");
+    stats_.inc("prefetch_bytes", expert.bytes);
+    return activation;
+}
+
+void
+CoeRuntime::completeLoad(int expert_id)
+{
+    Resident &r = entry(expert_id, "completeLoad");
+    if (r.state == ExpertState::Loaded)
+        sim::panic("CoeRuntime: completeLoad on already-loaded expert " +
+                   std::to_string(expert_id));
+    r.state = ExpertState::Loaded;
+    stats_.inc("loads_completed");
+}
+
+void
+CoeRuntime::cancelPrefetch(int expert_id)
+{
+    auto it = resident_.find(expert_id);
+    if (it == resident_.end())
+        sim::panic("CoeRuntime: cancelPrefetch on non-resident expert " +
+                   std::to_string(expert_id));
+    if (it->second.state != ExpertState::PrefetchReserved ||
+        it->second.pins > 0)
+        sim::panic("CoeRuntime: cancelPrefetch on pinned or non-speculative "
+                   "expert " + std::to_string(expert_id));
+    stats_.inc("prefetch_cancels");
+    dropEntry(it);
 }
 
 } // namespace sn40l::coe

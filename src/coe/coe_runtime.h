@@ -5,6 +5,20 @@
  * demand by copying their memory segments from the backing tier, and
  * evicts with LRU. Read-only weight segments skip the copy-back on
  * eviction.
+ *
+ * Two protocols share the LRU state:
+ *
+ *  - Synchronous activate(): the legacy closed-form path. The caller
+ *    charges the returned byte counts through its own copy estimate.
+ *
+ *  - Asynchronous activateAsync() / beginPrefetch() / completeLoad():
+ *    the event-driven path. An activation reserves region space and
+ *    hands back the destination offset; the caller streams the bytes
+ *    through mem::MemorySystem and reports completion. Experts that
+ *    are loading or pinned by an executing batch are never evicted;
+ *    speculative prefetch reservations are cancelled under eviction
+ *    pressure (via the cancel hook) before any loaded expert is
+ *    dropped.
  */
 
 #ifndef SN40L_COE_COE_RUNTIME_H
@@ -13,6 +27,7 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <optional>
 
 #include "coe/expert.h"
 #include "mem/free_list_allocator.h"
@@ -21,8 +36,8 @@
 namespace sn40l::coe {
 
 /**
- * Result of an activation decision (the transfer itself is charged by
- * the caller through its platform's copy channel).
+ * Result of a synchronous activation decision (the transfer itself is
+ * charged by the caller through its platform's copy channel).
  */
 struct Activation
 {
@@ -30,6 +45,24 @@ struct Activation
     double bytesToLoad = 0.0;    ///< backing-tier -> HBM
     double bytesToWriteBack = 0.0; ///< evicted mutable state
     int evictions = 0;
+};
+
+/** Lifecycle of a resident expert on the async protocol. */
+enum class ExpertState {
+    Loaded,           ///< segments fully in HBM, runnable
+    Loading,          ///< demand DMA in flight; pinned against eviction
+    PrefetchReserved, ///< speculative reservation; cancellable
+};
+
+/** Result of an asynchronous activation or prefetch reservation. */
+struct AsyncActivation
+{
+    bool hit = false;     ///< already Loaded; nothing to stream
+    bool pending = false; ///< a transfer is already reserved/in flight
+    double bytesToLoad = 0.0;
+    double bytesToWriteBack = 0.0; ///< evicted mutable state
+    int evictions = 0;
+    std::int64_t hbmOffset = -1; ///< destination in the expert region
 };
 
 class CoeRuntime
@@ -40,6 +73,8 @@ class CoeRuntime
      *        (the "Expert Region" of Fig 9).
      */
     CoeRuntime(const ExpertZoo &zoo, std::int64_t hbm_region_bytes);
+
+    // ----------------------------------------- synchronous protocol
 
     /**
      * Request @p expert_id. On a hit the expert is refreshed in LRU
@@ -52,26 +87,106 @@ class CoeRuntime
      */
     Activation activate(int expert_id);
 
+    // ---------------------------------------- asynchronous protocol
+
+    /**
+     * Demand-activate @p expert_id without blocking. Outcomes:
+     *  - hit: Loaded already; refresh LRU and run.
+     *  - pending: a transfer (demand or speculative) already owns the
+     *    region slot; wait for its completion (promote it if queued).
+     *  - otherwise: space was reserved (evicting unpinned experts,
+     *    cancelling prefetch reservations under pressure) and the
+     *    expert is now Loading. Stream bytesToLoad + bytesToWriteBack
+     *    and call completeLoad() when the DMA finishes.
+     *
+     * Throws FatalError if space cannot be freed because everything
+     * else is pinned or loading.
+     */
+    AsyncActivation activateAsync(int expert_id);
+
+    /**
+     * Reserve space for a speculative DDR->HBM prefetch. Prefetch is
+     * opportunistic: it never evicts, so this returns std::nullopt
+     * when the expert is already resident or no free block fits.
+     */
+    std::optional<AsyncActivation> beginPrefetch(int expert_id);
+
+    /** The DMA for @p expert_id landed: mark it runnable. */
+    void completeLoad(int expert_id);
+
+    /**
+     * Drop an unissued prefetch reservation and free its bytes.
+     * Panics unless the expert is PrefetchReserved and unpinned.
+     */
+    void cancelPrefetch(int expert_id);
+
+    /**
+     * Pin @p expert_id for an executing batch: pinned experts are
+     * never evicted, whatever their LRU position. Pins nest.
+     */
+    void pin(int expert_id);
+    void unpin(int expert_id);
+
+    /**
+     * Called when eviction pressure wants to reclaim a prefetch
+     * reservation: must try to cancel the underlying transfer and
+     * return true on success (the reservation is then dropped) or
+     * false if the DMA already issued (the expert transitions to
+     * Loading and survives). Without a hook, reservations are
+     * reclaimed unconditionally.
+     */
+    void setPrefetchCancelHook(std::function<bool(int)> hook)
+    {
+        prefetchCancelHook_ = std::move(hook);
+    }
+
+    /** Observe LRU evictions of Loaded experts (bookkeeping hook). */
+    void setEvictionHook(std::function<void(int)> hook)
+    {
+        evictionHook_ = std::move(hook);
+    }
+
     bool resident(int expert_id) const;
+    /** Resident and fully loaded (state Loaded). */
+    bool loaded(int expert_id) const;
+    /** Resident with a transfer reserved or in flight. */
+    bool inFlight(int expert_id) const;
+    ExpertState state(int expert_id) const; ///< panics if not resident
+    int pinCount(int expert_id) const;
+
     int residentCount() const
     {
         return static_cast<int>(lru_.size());
     }
 
     std::int64_t regionBytes() const { return region_.capacity(); }
+    std::int64_t freeRegionBytes() const { return region_.freeBytes(); }
 
     sim::StatSet &stats() { return stats_; }
     const sim::StatSet &stats() const { return stats_; }
 
   private:
-    void evictLru(Activation &activation);
+    struct Resident
+    {
+        std::list<int>::iterator lruIt;
+        std::int64_t offset = 0;
+        ExpertState state = ExpertState::Loaded;
+        int pins = 0;
+    };
+
+    /** Evict (or cancel) entries until @p need bytes allocate. */
+    std::int64_t allocateEvicting(std::int64_t need, int &evictions,
+                                  double &bytes_to_write_back);
+    void dropEntry(std::map<int, Resident>::iterator it);
+    Resident &entry(int expert_id, const char *why);
 
     const ExpertZoo &zoo_;
     mem::FreeListAllocator region_;
     /** Most-recently-used at front. */
     std::list<int> lru_;
-    std::map<int, std::pair<std::list<int>::iterator, std::int64_t>>
-        residentOffsets_; ///< expert -> (lru iterator, region offset)
+    std::map<int, Resident> resident_;
+    std::function<bool(int)> prefetchCancelHook_;
+    std::function<void(int)> evictionHook_;
     sim::StatSet stats_;
 };
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <deque>
 #include <map>
+#include <memory>
+#include <set>
+#include <vector>
 
 #include "baseline/gpu_executor.h"
 #include "runtime/runner.h"
@@ -60,8 +63,16 @@ ServingSimulator::ServingSimulator(ServingConfig cfg) : cfg_(std::move(cfg))
             sim::fatal("ServingConfig: non-positive client count");
         if (cfg_.thinkSeconds < 0.0)
             sim::fatal("ServingConfig: negative think time");
+        if (cfg_.dmaEngines <= 0)
+            sim::fatal("ServingConfig: need at least one DMA engine");
+        if (cfg_.prefetchDepth < 0)
+            sim::fatal("ServingConfig: negative prefetch depth");
     }
+    if (cfg_.expertRegionBytes < 0)
+        sim::fatal("ServingConfig: negative expert region size");
     computeCosts();
+    if (cfg_.expertRegionBytes > 0)
+        costs_.expertRegionBytes = cfg_.expertRegionBytes;
 }
 
 void
@@ -140,6 +151,47 @@ ServingSimulator::computeCosts()
     costs_.capacityBytes =
         static_cast<double>(dgx.expertCapacityBytes());
 }
+
+namespace {
+
+/**
+ * Shape the three-tier memory system after the serving platform: the
+ * SN40L streams experts from node DDR (one DDR and one HBM channel
+ * group per socket), the DGX baselines from host DRAM over the single
+ * host link into the GPUs' pooled HBM.
+ */
+mem::MemorySystemConfig
+platformMemoryConfig(const ServingConfig &cfg)
+{
+    if (cfg.memoryOverride)
+        return *cfg.memoryOverride;
+
+    mem::MemorySystemConfig m;
+    m.dmaEngines = cfg.dmaEngines;
+    if (cfg.platform == Platform::Sn40l) {
+        arch::NodeConfig node =
+            arch::NodeConfig::sn40lNode(cfg.tensorParallel);
+        m.ddr.channels = node.sockets;
+        m.ddr.perChannelBandwidth = node.chip.ddrBandwidth;
+        m.ddr.efficiency = node.chip.ddrEfficiency;
+        m.hbm.channels = node.sockets;
+        m.hbm.perChannelBandwidth = node.chip.hbmBandwidth;
+        m.hbm.efficiency = node.chip.hbmEfficiency;
+    } else {
+        baseline::DgxConfig dgx = cfg.platform == Platform::DgxA100
+            ? baseline::DgxConfig::dgxA100()
+            : baseline::DgxConfig::dgxH100();
+        m.ddr.channels = 1; // the host link serializes every copy
+        m.ddr.perChannelBandwidth = dgx.hostToGpuBandwidth;
+        m.ddr.efficiency = 1.0;
+        m.hbm.channels = dgx.gpus;
+        m.hbm.perChannelBandwidth = dgx.gpu.hbmBandwidth;
+        m.hbm.efficiency = dgx.gpu.hbmEfficiency;
+    }
+    return m;
+}
+
+} // namespace
 
 ServingResult
 ServingSimulator::run()
@@ -237,17 +289,49 @@ ServingSimulator::runEventDriven()
         return result;
     }
 
+    // A batch pins its experts for the whole execution, and issued
+    // prefetches are unevictable while streaming; the region must be
+    // able to hold that concurrent working set or demand activation
+    // deadlocks.
+    int pinnable = cfg_.batch +
+        (cfg_.predictivePrefetch ? cfg_.dmaEngines : 0);
+    if (result.residentCapacityExperts < pinnable)
+        sim::fatal("ServingConfig: expert region holds " +
+                   std::to_string(result.residentCapacityExperts) +
+                   " experts but a batch can pin " +
+                   std::to_string(pinnable) +
+                   "; shrink --batch or grow --expert-region-gb");
+
     CoeRuntime runtime(zoo, costs_.expertRegionBytes);
     Router router(cfg_.numExperts, cfg_.routing, cfg_.seed, cfg_.zipfS);
     sim::Rng arrivals(cfg_.seed ^ 0xa55a5aa5a55a5aa5ULL);
     sim::EventQueue eq;
+    mem::MemorySystem memsys(eq, "memsys", platformMemoryConfig(cfg_));
 
     latency_.clear();
+    stalls_.clear();
     stats_ = sim::StatSet("serving");
 
     const double per_prompt_exec =
         costs_.prefillSeconds +
         cfg_.outputTokens * costs_.decodeSecondsPerToken;
+
+    // HBM bytes one prompt's execution streams through the working
+    // tier: the weights once for prefill, then once per decoded token
+    // — the traffic the expert DMA engines contend with.
+    const double traffic_bytes_per_prompt =
+        (1.0 + cfg_.outputTokens) * cfg_.expertBase.weightBytes();
+
+    // Backing-tier layout: experts packed contiguously in DDR.
+    std::vector<std::int64_t> ddr_offset(
+        static_cast<std::size_t>(zoo.size()), 0);
+    {
+        std::int64_t cursor = 0;
+        for (int e = 0; e < zoo.size(); ++e) {
+            ddr_offset[static_cast<std::size_t>(e)] = cursor;
+            cursor += static_cast<std::int64_t>(zoo.expert(e).bytes);
+        }
+    }
 
     std::deque<StreamRequest> queue;
     bool busy = false;
@@ -258,6 +342,20 @@ ServingSimulator::runEventDriven()
     double occupancy_total = 0.0;
     std::int64_t batches = 0;
     sim::Tick first_arrival = -1, last_completion = 0;
+
+    // ---- async expert-load state --------------------------------
+    // Outstanding DMA per expert (demand or speculative).
+    std::map<int, mem::TransferId> transfer_of;
+    std::set<int> prefetch_outstanding; ///< speculative subset
+    std::set<int> prefetch_ready; ///< landed speculations, unused yet
+    std::set<int> awaited;        ///< experts the formed batch waits on
+    int pending_loads = 0;
+    bool router_done = false;
+    sim::Tick batch_start = 0;
+    sim::Tick exec_start = 0;
+    std::size_t exec_index = 0;
+    std::vector<StreamRequest> cur_batch;
+    std::vector<int> cur_batch_experts; ///< pinned for the batch
 
     // Time-weighted queue-depth integral.
     sim::Tick depth_mark = 0;
@@ -322,8 +420,72 @@ ServingSimulator::runEventDriven()
         return best;
     };
 
-    // Forward declaration so completions can chain the next batch.
+    // Forward declarations: the pipeline stages chain through the
+    // event queue (arrival -> batch formation -> router + expert DMA
+    // -> execution -> completion), and speculation hooks in from
+    // several of them.
     std::function<void()> form_batch;
+    std::function<void()> maybe_launch;
+    std::function<void()> run_next_prompt;
+    std::function<void()> maybe_prefetch;
+    std::function<void(int)> on_load_done;
+
+    // Eviction pressure reclaims speculative reservations: cancel the
+    // queued DMA if it has not been issued yet.
+    runtime.setPrefetchCancelHook([&](int e) {
+        auto it = transfer_of.find(e);
+        if (it == transfer_of.end())
+            return true;
+        if (!memsys.cancel(it->second))
+            return false; // already streaming; it will land
+        transfer_of.erase(it);
+        prefetch_outstanding.erase(e);
+        stats_.inc("prefetches_cancelled");
+        return true;
+    });
+    runtime.setEvictionHook([&](int e) { prefetch_ready.erase(e); });
+
+    on_load_done = [&](int e) {
+        runtime.completeLoad(e);
+        transfer_of.erase(e);
+        if (awaited.erase(e) > 0) {
+            --pending_loads;
+            prefetch_outstanding.erase(e);
+            maybe_launch();
+            return;
+        }
+        if (prefetch_outstanding.erase(e) > 0)
+            prefetch_ready.insert(e);
+    };
+
+    /**
+     * Speculative prefetch (predictivePrefetch, EventDriven flavour):
+     * the router's decision for queued-but-unscheduled requests is
+     * already known, so stream their experts DDR->HBM at low priority
+     * while the current batch computes. Reservations never evict;
+     * demand pressure cancels them instead.
+     */
+    maybe_prefetch = [&]() {
+        if (!cfg_.predictivePrefetch)
+            return;
+        for (const StreamRequest &r : queue) {
+            if (static_cast<int>(prefetch_outstanding.size()) >=
+                cfg_.prefetchDepth)
+                break;
+            if (runtime.resident(r.expert))
+                continue;
+            auto act = runtime.beginPrefetch(r.expert);
+            if (!act)
+                break; // no free region block: stop speculating
+            stats_.inc("prefetches_issued");
+            int e = r.expert;
+            transfer_of[e] = memsys.load(
+                ddr_offset[static_cast<std::size_t>(e)], act->hbmOffset,
+                act->bytesToLoad, mem::TransferPriority::Prefetch,
+                [&, e]() { on_load_done(e); });
+            prefetch_outstanding.insert(e);
+        }
+    };
 
     // Runs inside an arrival event: admit request @p id to the queue
     // and kick the scheduler if the pipeline is idle.
@@ -338,18 +500,26 @@ ServingSimulator::runEventDriven()
         queue.push_back(req);
         if (!busy)
             form_batch();
+        else
+            maybe_prefetch();
     };
 
-    auto on_complete = [&](std::vector<StreamRequest> batch) {
+    auto finish_batch = [&]() {
+        for (int e : cur_batch_experts)
+            runtime.unpin(e);
+        cur_batch_experts.clear();
+
         last_completion = eq.now();
-        for (const StreamRequest &r : batch) {
+        for (const StreamRequest &r : cur_batch) {
             latency_.record(sim::toSeconds(eq.now() - r.arrival));
             ++completed;
         }
+        std::size_t finished = cur_batch.size();
+        cur_batch.clear();
         busy = false;
         if (cfg_.arrival == ArrivalProcess::ClosedLoop) {
             // Each finished client thinks, then issues a new prompt.
-            for (std::size_t i = 0; i < batch.size(); ++i) {
+            for (std::size_t i = 0; i < finished; ++i) {
                 if (injected >= cfg_.streamRequests)
                     break;
                 int id = injected++;
@@ -359,6 +529,46 @@ ServingSimulator::runEventDriven()
         }
         if (!queue.empty())
             form_batch();
+    };
+
+    /**
+     * Execute the batch's prompts back to back. Each prompt holds the
+     * pipeline for its modeled compute time AND until its HBM weight
+     * streaming drains — on a contended working tier (prefetch DMA
+     * writing behind it) the traffic side finishes later and the
+     * slowdown is real, not a closed-form adjustment.
+     */
+    run_next_prompt = [&]() {
+        if (exec_index >= cur_batch.size()) {
+            exec_total += sim::toSeconds(eq.now() - exec_start);
+            finish_batch();
+            return;
+        }
+        ++exec_index;
+        auto remaining = std::make_shared<int>(2);
+        auto join = [&, remaining]() {
+            if (--*remaining == 0)
+                run_next_prompt();
+        };
+        eq.scheduleIn(sim::fromSeconds(per_prompt_exec), join,
+                      "coe.prompt_exec");
+        memsys.traffic(traffic_bytes_per_prompt, join);
+    };
+
+    // Launch once the router has decided AND every non-resident
+    // expert's DMA has landed; the exposed remainder beyond the
+    // router is the batch's switch stall.
+    maybe_launch = [&]() {
+        if (!router_done || pending_loads > 0)
+            return;
+        double stall = std::max(
+            0.0, sim::toSeconds(eq.now() - batch_start) -
+                     costs_.routerSeconds);
+        stalls_.record(stall);
+        switch_total += stall;
+        exec_start = eq.now();
+        exec_index = 0;
+        run_next_prompt();
     };
 
     form_batch = [&]() {
@@ -405,36 +615,75 @@ ServingSimulator::runEventDriven()
             ++r.skips;
         occupancy_total += static_cast<double>(batch.size());
 
-        // Charge the batch: router once, a switch per expert miss,
-        // then the batched expert execution.
-        double service = costs_.routerSeconds;
-        router_total += costs_.routerSeconds;
-        double prev_exec = 0.0;
+        batch_start = eq.now();
+        router_done = false;
+        awaited.clear();
+        pending_loads = 0;
+
+        // Per-request accounting: the first request to touch a
+        // non-loaded expert is the miss; same-batch co-tenants ride
+        // along as hits (matching the synchronous LRU accounting).
+        std::set<int> experts;
         for (const StreamRequest &r : batch) {
-            Activation act = runtime.activate(r.expert);
-            if (!act.hit) {
+            if (!experts.insert(r.expert).second)
+                continue;
+            if (runtime.loaded(r.expert)) {
+                if (prefetch_ready.erase(r.expert) > 0)
+                    stats_.inc("prefetch_hits");
+            } else {
                 ++misses;
-                double bytes = act.bytesToLoad + act.bytesToWriteBack;
-                double copy = costs_.switchSeconds *
-                    (bytes / zoo.expert(r.expert).bytes);
-                if (cfg_.predictivePrefetch) {
-                    double hide = prev_exec == 0.0 ? costs_.routerSeconds
-                                                   : prev_exec;
-                    copy = std::max(0.0, copy - hide);
-                }
-                service += copy;
-                switch_total += copy;
+                if (runtime.inFlight(r.expert))
+                    stats_.inc("prefetch_partial_hits");
             }
-            service += per_prompt_exec;
-            exec_total += per_prompt_exec;
-            prev_exec = per_prompt_exec;
         }
 
-        eq.scheduleIn(sim::fromSeconds(service),
-                      [&, batch = std::move(batch)]() mutable {
-                          on_complete(std::move(batch));
+        // Pass 1: activate (LRU-refresh) and pin every
+        // already-resident expert. In-flight ones are promoted to
+        // demand priority and awaited; pinning first keeps pass 2's
+        // evictions away from this batch's experts.
+        for (int e : experts) {
+            if (!runtime.resident(e))
+                continue;
+            AsyncActivation act = runtime.activateAsync(e);
+            runtime.pin(e);
+            if (act.pending) {
+                auto it = transfer_of.find(e);
+                sim::simAssert(it != transfer_of.end(),
+                               "serving: in-flight expert has no transfer");
+                memsys.promote(it->second);
+                prefetch_outstanding.erase(e);
+                awaited.insert(e);
+                ++pending_loads;
+            }
+        }
+        // Pass 2: demand DMA for the absent experts. Activation may
+        // evict cold residents or cancel speculative reservations;
+        // pinned and Loading experts are never touched.
+        for (int e : experts) {
+            if (runtime.resident(e))
+                continue;
+            AsyncActivation act = runtime.activateAsync(e);
+            runtime.pin(e);
+            awaited.insert(e);
+            ++pending_loads;
+            transfer_of[e] = memsys.load(
+                ddr_offset[static_cast<std::size_t>(e)], act.hbmOffset,
+                act.bytesToLoad + act.bytesToWriteBack,
+                mem::TransferPriority::Demand,
+                [&, e]() { on_load_done(e); });
+        }
+
+        cur_batch = std::move(batch);
+        cur_batch_experts.assign(experts.begin(), experts.end());
+
+        router_total += costs_.routerSeconds;
+        eq.scheduleIn(sim::fromSeconds(costs_.routerSeconds),
+                      [&]() {
+                          router_done = true;
+                          maybe_launch();
                       },
-                      "coe.batch_done");
+                      "coe.router_done");
+        maybe_prefetch();
     };
 
     if (cfg_.arrival == ArrivalProcess::Poisson) {
@@ -461,6 +710,8 @@ ServingSimulator::runEventDriven()
                    "serving: event stream drained with work pending");
     sim::simAssert(completed == cfg_.streamRequests,
                    "serving: not every injected request completed");
+    sim::simAssert(memsys.queuedLoads() == 0 && memsys.loadsInFlight() == 0,
+                   "serving: DMA queue drained with transfers pending");
 
     double makespan =
         sim::toSeconds(last_completion - std::max<sim::Tick>(first_arrival, 0));
@@ -486,10 +737,21 @@ ServingSimulator::runEventDriven()
     }
     m.maxQueueDepth = stats_.get("queue_depth_max");
 
+    m.meanSwitchStallSeconds = stalls_.mean();
+    m.p95SwitchStallSeconds = stalls_.quantile(0.95);
+    m.prefetchesIssued =
+        static_cast<std::int64_t>(stats_.get("prefetches_issued"));
+    m.prefetchHits =
+        static_cast<std::int64_t>(stats_.get("prefetch_hits"));
+    m.prefetchesCancelled =
+        static_cast<std::int64_t>(stats_.get("prefetches_cancelled"));
+
     stats_.set("batches", static_cast<double>(batches));
     stats_.set("completed", static_cast<double>(completed));
     stats_.set("misses", static_cast<double>(misses));
     stats_.set("hits", static_cast<double>(completed - misses));
+    stats_.set("dma_loads_issued", memsys.stats().get("issued_loads"));
+    stats_.set("dma_load_bytes", memsys.stats().get("load_bytes"));
 
     double b = static_cast<double>(std::max<std::int64_t>(batches, 1));
     result.perBatch.routerSeconds = router_total / b;

@@ -23,12 +23,14 @@
 #ifndef SN40L_COE_SERVING_H
 #define SN40L_COE_SERVING_H
 
+#include <optional>
 #include <string>
 
 #include "arch/chip_config.h"
 #include "baseline/gpu_config.h"
 #include "coe/coe_runtime.h"
 #include "coe/router.h"
+#include "mem/memory_system.h"
 #include "models/transformer_builder.h"
 #include "sim/stats.h"
 
@@ -106,6 +108,39 @@ struct ServingConfig
      * expert to be scheduled next.
      */
     int affinityMaxSkips = 8;
+
+    // --------------------- EventDriven memory-system parameters ----
+
+    /**
+     * DMA engines streaming expert segments DDR -> HBM. More engines
+     * overlap more expert copies, but they share the same tier
+     * bandwidth channels.
+     */
+    int dmaEngines = 2;
+
+    /**
+     * Override the HBM expert-region size in bytes (0 keeps the
+     * platform default derived from node HBM minus the router/KV
+     * reserve).
+     */
+    std::int64_t expertRegionBytes = 0;
+
+    /**
+     * Maximum outstanding speculative prefetches when
+     * predictivePrefetch is set in EventDriven mode. Prefetches are
+     * issued for queued-but-unscheduled requests at low DMA priority
+     * and cancelled under eviction pressure.
+     */
+    int prefetchDepth = 4;
+
+    /**
+     * Replace the platform-derived memory-system shape (channel
+     * counts, bandwidths, interleave) — used by ablations to model
+     * e.g. an SN40L whose experts spill over the host link instead of
+     * node DDR. dmaEngines inside the override wins over the field
+     * above.
+     */
+    std::optional<mem::MemorySystemConfig> memoryOverride;
 };
 
 struct LatencyBreakdown
@@ -149,6 +184,18 @@ struct StreamMetrics
     std::int64_t completed = 0;
 
     double makespanSeconds = 0.0; ///< first arrival to last completion
+
+    /**
+     * Per-batch expert-load stall exposed beyond the router (the part
+     * of the DMA streaming the batch actually waited on).
+     */
+    double meanSwitchStallSeconds = 0.0;
+    double p95SwitchStallSeconds = 0.0;
+
+    /** Speculative-prefetch accounting (predictivePrefetch only). */
+    std::int64_t prefetchesIssued = 0;
+    std::int64_t prefetchHits = 0;
+    std::int64_t prefetchesCancelled = 0;
 };
 
 struct ServingResult
@@ -194,6 +241,9 @@ class ServingSimulator
     /** Per-request latency samples from the last EventDriven run. */
     const sim::Distribution &latencySamples() const { return latency_; }
 
+    /** Per-batch exposed expert-load stalls (EventDriven). */
+    const sim::Distribution &stallSamples() const { return stalls_; }
+
     /** Scheduler counters from the last EventDriven run. */
     const sim::StatSet &stats() const { return stats_; }
 
@@ -205,6 +255,7 @@ class ServingSimulator
     ServingConfig cfg_;
     PhaseCosts costs_;
     sim::Distribution latency_{"request_latency"};
+    sim::Distribution stalls_{"switch_stall"};
     sim::StatSet stats_{"serving"};
 };
 

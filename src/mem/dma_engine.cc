@@ -2,11 +2,24 @@
 
 #include <algorithm>
 
+#include "mem/interleaved_memory.h"
+
 namespace sn40l::mem {
 
 DmaEngine::DmaEngine(sim::EventQueue &eq, std::string name)
     : eq_(eq), name_(std::move(name)), stats_(name_)
 {
+}
+
+DmaEngine::Callback
+DmaEngine::wrapCompletion(Callback on_done)
+{
+    ++inFlight_;
+    return [this, cb = std::move(on_done)]() {
+        --inFlight_;
+        if (cb)
+            cb();
+    };
 }
 
 void
@@ -18,12 +31,29 @@ DmaEngine::copy(BandwidthChannel &src, BandwidthChannel &dst, double bytes,
 
     // Join barrier: fire on_done once both endpoint transfers finish.
     auto remaining = std::make_shared<int>(2);
-    auto join = [remaining, cb = std::move(on_done)]() {
+    auto join = [remaining, cb = wrapCompletion(std::move(on_done))]() {
         if (--*remaining == 0 && cb)
             cb();
     };
     src.transfer(bytes, join);
     dst.transfer(bytes, join);
+}
+
+void
+DmaEngine::copy(InterleavedMemory &src, std::int64_t src_addr,
+                InterleavedMemory &dst, std::int64_t dst_addr, double bytes,
+                Callback on_done)
+{
+    stats_.inc("copies");
+    stats_.inc("bytes", bytes);
+
+    auto remaining = std::make_shared<int>(2);
+    auto join = [remaining, cb = wrapCompletion(std::move(on_done))]() {
+        if (--*remaining == 0 && cb)
+            cb();
+    };
+    src.access(src_addr, bytes, join);
+    dst.access(dst_addr, bytes, join);
 }
 
 sim::Tick

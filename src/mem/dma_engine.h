@@ -4,6 +4,10 @@
  * HBM for expert activation — Section V-B, or host DRAM to GPU HBM
  * over PCIe for the DGX baseline). A copy occupies both endpoints and
  * completes when the slower side finishes.
+ *
+ * Engines also copy between whole InterleavedMemory tiers, spreading
+ * each endpoint's share across the tier's channels; MemorySystem pools
+ * several engines and schedules expert-streaming jobs onto them.
  */
 
 #ifndef SN40L_MEM_DMA_ENGINE_H
@@ -16,6 +20,8 @@
 #include "mem/bandwidth_channel.h"
 
 namespace sn40l::mem {
+
+class InterleavedMemory;
 
 class DmaEngine
 {
@@ -31,6 +37,20 @@ class DmaEngine
     void copy(BandwidthChannel &src, BandwidthChannel &dst, double bytes,
               Callback on_done);
 
+    /**
+     * Copy @p bytes between interleaved tiers: read @p src starting at
+     * @p src_addr, write @p dst starting at @p dst_addr. Each tier
+     * spreads its share over its channels; @p on_done fires when the
+     * slower tier finishes.
+     */
+    void copy(InterleavedMemory &src, std::int64_t src_addr,
+              InterleavedMemory &dst, std::int64_t dst_addr, double bytes,
+              Callback on_done);
+
+    /** Copies issued through this engine that have not completed. */
+    int inFlight() const { return inFlight_; }
+    bool busy() const { return inFlight_ > 0; }
+
     /** Idle-channel estimate: bytes at the slower endpoint's rate. */
     static sim::Tick estimate(const BandwidthChannel &src,
                               const BandwidthChannel &dst, double bytes);
@@ -38,8 +58,11 @@ class DmaEngine
     sim::StatSet &stats() { return stats_; }
 
   private:
+    Callback wrapCompletion(Callback on_done);
+
     sim::EventQueue &eq_;
     std::string name_;
+    int inFlight_ = 0;
     sim::StatSet stats_;
 };
 

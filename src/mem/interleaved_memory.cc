@@ -74,16 +74,33 @@ InterleavedMemory::access(std::int64_t addr, double bytes, Callback on_done)
     stats_.inc("accesses");
     stats_.inc("bytes", bytes);
 
+    // Closed-form split of the contiguous range: count whole
+    // interleave lines per channel over [first_line, last_line], then
+    // trim the truncated leading and trailing lines. O(channels)
+    // regardless of size — bulk streams (hundreds of GB of decode
+    // traffic per prompt) must not walk line by line.
     std::vector<double> per_channel(channels_.size(), 0.0);
-    std::int64_t remaining = static_cast<std::int64_t>(bytes);
-    std::int64_t cursor = addr;
-    while (remaining > 0) {
-        std::int64_t in_line =
-            interleaveBytes_ - (cursor % interleaveBytes_);
-        std::int64_t chunk = std::min(remaining, in_line);
-        per_channel[channelOf(cursor)] += static_cast<double>(chunk);
-        cursor += chunk;
-        remaining -= chunk;
+    std::int64_t total = static_cast<std::int64_t>(bytes);
+    if (total > 0) {
+        const std::int64_t line = interleaveBytes_;
+        const std::int64_t chans =
+            static_cast<std::int64_t>(channels_.size());
+        const std::int64_t last_addr = addr + total - 1;
+        const std::int64_t first_line = addr / line;
+        const std::int64_t last_line = last_addr / line;
+        for (std::int64_t c = 0; c < chans; ++c) {
+            std::int64_t first_k = first_line +
+                (((c - first_line % chans) % chans) + chans) % chans;
+            if (first_k > last_line)
+                continue;
+            std::int64_t lines = (last_line - first_k) / chans + 1;
+            per_channel[static_cast<std::size_t>(c)] =
+                static_cast<double>(lines * line);
+        }
+        per_channel[static_cast<std::size_t>(channelOf(addr))] -=
+            static_cast<double>(addr % line);
+        per_channel[static_cast<std::size_t>(channelOf(last_addr))] -=
+            static_cast<double>(line - 1 - last_addr % line);
     }
     split(per_channel, std::move(on_done));
 }
@@ -93,8 +110,25 @@ InterleavedMemory::accessStrided(std::int64_t base, std::int64_t stride,
                                  std::int64_t count,
                                  std::int64_t elem_bytes, Callback on_done)
 {
-    if (count <= 0 || elem_bytes <= 0)
-        sim::panic("InterleavedMemory " + name_ + ": bad strided access");
+    if (count < 0)
+        sim::fatal("InterleavedMemory " + name_ +
+                   ": negative strided element count");
+    if (elem_bytes <= 0)
+        sim::fatal("InterleavedMemory " + name_ +
+                   ": non-positive strided element size");
+    if (count == 0) {
+        // An empty access is a degenerate but legal request: complete
+        // asynchronously like any other zero-byte access.
+        if (on_done)
+            eq_.scheduleIn(0, std::move(on_done), name_ + ".noop");
+        return;
+    }
+    // Negative strides walk the address space downward; they are fine
+    // as long as no element lands below address zero.
+    std::int64_t lowest = stride < 0 ? base + (count - 1) * stride : base;
+    if (lowest < 0)
+        sim::fatal("InterleavedMemory " + name_ +
+                   ": strided access reaches negative addresses");
     stats_.inc("accesses");
     stats_.inc("bytes", static_cast<double>(count * elem_bytes));
 

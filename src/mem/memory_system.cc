@@ -1,0 +1,160 @@
+#include "mem/memory_system.h"
+
+#include <algorithm>
+
+#include "sim/log.h"
+
+namespace sn40l::mem {
+
+void
+MemorySystemConfig::validate() const
+{
+    if (ddr.channels <= 0 || hbm.channels <= 0)
+        sim::fatal("MemorySystemConfig: need at least one channel per tier");
+    if (ddr.perChannelBandwidth <= 0.0 || hbm.perChannelBandwidth <= 0.0)
+        sim::fatal("MemorySystemConfig: non-positive channel bandwidth");
+    if (ddr.interleaveBytes <= 0 || hbm.interleaveBytes <= 0)
+        sim::fatal("MemorySystemConfig: non-positive interleave");
+    if (dmaEngines <= 0)
+        sim::fatal("MemorySystemConfig: need at least one DMA engine");
+}
+
+MemorySystem::MemorySystem(sim::EventQueue &eq, std::string name,
+                           const MemorySystemConfig &cfg)
+    : eq_(eq), name_(std::move(name)), stats_(name_)
+{
+    cfg.validate();
+    ddr_ = std::make_unique<InterleavedMemory>(
+        eq, name_ + ".ddr", cfg.ddr.channels, cfg.ddr.perChannelBandwidth,
+        cfg.ddr.interleaveBytes, cfg.ddr.efficiency);
+    hbm_ = std::make_unique<InterleavedMemory>(
+        eq, name_ + ".hbm", cfg.hbm.channels, cfg.hbm.perChannelBandwidth,
+        cfg.hbm.interleaveBytes, cfg.hbm.efficiency);
+    for (int i = 0; i < cfg.dmaEngines; ++i) {
+        engines_.push_back(std::make_unique<DmaEngine>(
+            eq, name_ + ".dma" + std::to_string(i)));
+    }
+}
+
+TransferId
+MemorySystem::load(std::int64_t ddr_addr, std::int64_t hbm_addr,
+                   double bytes, TransferPriority priority,
+                   Callback on_done)
+{
+    if (bytes < 0.0)
+        sim::panic("MemorySystem " + name_ + ": negative load");
+
+    Job job;
+    job.id = nextId_++;
+    job.srcAddr = ddr_addr;
+    job.dstAddr = hbm_addr;
+    job.bytes = bytes;
+    job.priority = priority;
+    job.onDone = std::move(on_done);
+
+    if (priority == TransferPriority::Demand) {
+        stats_.inc("demand_loads");
+        demandQueue_.push_back(std::move(job));
+    } else {
+        stats_.inc("prefetch_loads");
+        prefetchQueue_.push_back(std::move(job));
+    }
+    TransferId id = nextId_ - 1;
+    pump();
+    return id;
+}
+
+bool
+MemorySystem::cancel(TransferId id)
+{
+    for (std::deque<Job> *queue : {&prefetchQueue_, &demandQueue_}) {
+        for (auto it = queue->begin(); it != queue->end(); ++it) {
+            if (it->id == id) {
+                queue->erase(it);
+                stats_.inc("cancelled_loads");
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+MemorySystem::promote(TransferId id)
+{
+    for (auto it = prefetchQueue_.begin(); it != prefetchQueue_.end(); ++it) {
+        if (it->id == id) {
+            Job job = std::move(*it);
+            job.priority = TransferPriority::Demand;
+            prefetchQueue_.erase(it);
+            demandQueue_.push_back(std::move(job));
+            stats_.inc("promoted_loads");
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MemorySystem::traffic(double bytes, Callback on_done)
+{
+    stats_.inc("traffic_bytes", bytes);
+    // Contiguous stream over the whole working set: spreads evenly
+    // across every HBM channel, queueing behind in-flight DMA writes.
+    hbm_->access(0, bytes, std::move(on_done));
+}
+
+sim::Tick
+MemorySystem::estimateLoad(double bytes) const
+{
+    return std::max(
+        sim::transferTicks(bytes, ddr_->aggregateBandwidth()),
+        sim::transferTicks(bytes, hbm_->aggregateBandwidth()));
+}
+
+void
+MemorySystem::pump()
+{
+    for (int i = 0; i < static_cast<int>(engines_.size()); ++i) {
+        if (engines_[i]->busy())
+            continue;
+        Job job;
+        if (!demandQueue_.empty()) {
+            job = std::move(demandQueue_.front());
+            demandQueue_.pop_front();
+        } else if (!prefetchQueue_.empty()) {
+            job = std::move(prefetchQueue_.front());
+            prefetchQueue_.pop_front();
+        } else {
+            return;
+        }
+        issue(i, std::move(job));
+    }
+}
+
+void
+MemorySystem::issue(int engine_idx, Job job)
+{
+    issued_.insert(job.id);
+    stats_.inc("issued_loads");
+    stats_.inc("load_bytes", job.bytes);
+    stats_.max("engines_busy_max", [this] {
+        int busy = 0;
+        for (const auto &e : engines_)
+            busy += e->busy() ? 1 : 0;
+        return static_cast<double>(busy + 1);
+    }());
+
+    TransferId id = job.id;
+    engines_[engine_idx]->copy(
+        *ddr_, job.srcAddr, *hbm_, job.dstAddr, job.bytes,
+        [this, id, cb = std::move(job.onDone)]() {
+            issued_.erase(id);
+            stats_.inc("completed_loads");
+            if (cb)
+                cb();
+            pump();
+        });
+}
+
+} // namespace sn40l::mem

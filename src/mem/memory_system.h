@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Three-tier memory facade (Section III-B / Fig 9): the DDR backing
+ * tier and the HBM working tier of one platform as InterleavedMemory
+ * instances, plus a pool of DMA engines that stream expert segments
+ * DDR -> HBM. Expert loads and execution-side HBM traffic share the
+ * same bandwidth channels, so decode weight streaming and expert
+ * switching genuinely contend instead of being charged as independent
+ * closed-form latency terms.
+ *
+ * Loads are queued jobs with two priorities: Demand (a batch is
+ * blocked on the expert) and Prefetch (speculative, router-driven).
+ * A free engine always drains the demand queue first. Queued jobs can
+ * be cancelled (speculation invalidated by eviction pressure) or
+ * promoted to demand priority (a speculated expert turned out to be
+ * needed now); once a job is issued on an engine it runs to
+ * completion.
+ */
+
+#ifndef SN40L_MEM_MEMORY_SYSTEM_H
+#define SN40L_MEM_MEMORY_SYSTEM_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mem/dma_engine.h"
+#include "mem/interleaved_memory.h"
+
+namespace sn40l::mem {
+
+enum class TransferPriority { Demand, Prefetch };
+
+/** Opaque id for a load in flight or queued; 0 is never assigned. */
+using TransferId = std::uint64_t;
+constexpr TransferId kInvalidTransfer = 0;
+
+struct TierConfig
+{
+    int channels = 1;
+    double perChannelBandwidth = 0.0; ///< bytes/sec peak per channel
+    double efficiency = 1.0;
+    std::int64_t interleaveBytes = 1 << 20;
+};
+
+struct MemorySystemConfig
+{
+    TierConfig ddr; ///< backing tier (node DDR, or host DRAM over PCIe)
+    TierConfig hbm; ///< working tier the experts execute from
+    int dmaEngines = 2;
+
+    /** Throws FatalError on non-positive channel/engine counts. */
+    void validate() const;
+};
+
+class MemorySystem
+{
+  public:
+    using Callback = std::function<void()>;
+
+    MemorySystem(sim::EventQueue &eq, std::string name,
+                 const MemorySystemConfig &cfg);
+
+    /**
+     * Queue an async DDR->HBM copy of @p bytes (reading the backing
+     * tier at @p ddr_addr, writing the working tier at @p hbm_addr)
+     * and return its id. @p on_done fires when the last byte lands.
+     */
+    TransferId load(std::int64_t ddr_addr, std::int64_t hbm_addr,
+                    double bytes, TransferPriority priority,
+                    Callback on_done);
+
+    /**
+     * Cancel a queued load. @return true iff the job had not been
+     * issued on an engine yet (its callback will never fire); false if
+     * it is already streaming (it will complete) or unknown.
+     */
+    bool cancel(TransferId id);
+
+    /**
+     * Move a queued prefetch to the back of the demand queue.
+     * @return true iff the job was found queued at prefetch priority.
+     */
+    bool promote(TransferId id);
+
+    /**
+     * Execution-side traffic on the working tier (decode weight
+     * streaming, KV reads): occupies the same HBM channels the DMA
+     * engines write through.
+     */
+    void traffic(double bytes, Callback on_done);
+
+    InterleavedMemory &ddr() { return *ddr_; }
+    InterleavedMemory &hbm() { return *hbm_; }
+    DmaEngine &engine(int i) { return *engines_.at(i); }
+
+    int dmaEngineCount() const { return static_cast<int>(engines_.size()); }
+    int queuedLoads() const
+    {
+        return static_cast<int>(demandQueue_.size() + prefetchQueue_.size());
+    }
+    int loadsInFlight() const { return static_cast<int>(issued_.size()); }
+
+    /** Idle-system estimate of one load: slower tier paces the copy. */
+    sim::Tick estimateLoad(double bytes) const;
+
+    sim::StatSet &stats() { return stats_; }
+    const sim::StatSet &stats() const { return stats_; }
+
+  private:
+    struct Job
+    {
+        TransferId id = kInvalidTransfer;
+        std::int64_t srcAddr = 0;
+        std::int64_t dstAddr = 0;
+        double bytes = 0.0;
+        TransferPriority priority = TransferPriority::Demand;
+        Callback onDone;
+    };
+
+    /** Issue queued jobs onto free engines, demand queue first. */
+    void pump();
+    void issue(int engine_idx, Job job);
+
+    sim::EventQueue &eq_;
+    std::string name_;
+    std::unique_ptr<InterleavedMemory> ddr_;
+    std::unique_ptr<InterleavedMemory> hbm_;
+    std::vector<std::unique_ptr<DmaEngine>> engines_;
+
+    TransferId nextId_ = 1;
+    std::deque<Job> demandQueue_;
+    std::deque<Job> prefetchQueue_;
+    std::set<TransferId> issued_; ///< on an engine, not yet complete
+
+    sim::StatSet stats_;
+};
+
+} // namespace sn40l::mem
+
+#endif // SN40L_MEM_MEMORY_SYSTEM_H

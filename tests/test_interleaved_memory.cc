@@ -69,6 +69,50 @@ TEST(InterleavedMemory, ChannelCampingStrideCollapsesToOneChannel)
                 8.0, 0.1);
 }
 
+TEST(InterleavedMemory, StridedCountZeroIsALegalNoOp)
+{
+    // Regression: count == 0 used to be rejected as an internal panic
+    // alongside genuinely invalid inputs. A zero-element access — even
+    // with a channel-camping stride of channels x interleave — must
+    // simply complete without moving a byte.
+    EventQueue eq;
+    mem::InterleavedMemory hbm(eq, "hbm", 8, 100e9, 256);
+    bool done = false;
+    hbm.accessStrided(0, 8 * 256, 0, 256, [&]() { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(eq.now(), 0);
+    EXPECT_DOUBLE_EQ(hbm.stats().get("bytes"), 0.0);
+}
+
+TEST(InterleavedMemory, NegativeStrideWalksChannelsDownward)
+{
+    // A negative stride is a legal descending walk while every
+    // element stays at a non-negative address.
+    EventQueue eq;
+    mem::InterleavedMemory hbm(eq, "hbm", 8, 100e9, 256);
+    Tick done = -1;
+    hbm.accessStrided(7 * 256, -256, 8, 256, [&]() { done = eq.now(); });
+    eq.run();
+    // One element per channel, all concurrent.
+    EXPECT_EQ(done, sim::transferTicks(256, 100e9));
+}
+
+TEST(InterleavedMemory, StridedGuardsRejectBadInputsWithFatalError)
+{
+    EventQueue eq;
+    mem::InterleavedMemory hbm(eq, "hbm", 8, 100e9, 256);
+    // Negative element count.
+    EXPECT_THROW(hbm.accessStrided(0, 256, -1, 256, nullptr),
+                 sim::FatalError);
+    // Non-positive element size.
+    EXPECT_THROW(hbm.accessStrided(0, 256, 4, 0, nullptr),
+                 sim::FatalError);
+    // Negative stride descending below address zero.
+    EXPECT_THROW(hbm.accessStrided(256, -256, 3, 256, nullptr),
+                 sim::FatalError);
+}
+
 TEST(InterleavedMemory, ZeroByteAccessCompletesImmediately)
 {
     EventQueue eq;

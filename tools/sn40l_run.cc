@@ -9,14 +9,19 @@
  *             [--sockets 8] [--trace out.json]
  *
  * The `serve` subcommand drives the event-driven CoE request-stream
- * scheduler instead and reports tail latency and throughput:
+ * scheduler instead and reports tail latency and throughput; expert
+ * switches are real DMA transfers on the platform's three-tier
+ * memory system:
  *
  *   sn40l_run serve --arrival-rate=8 [--experts 150] [--batch 8] \
  *             [--requests 512] [--scheduler fifo|affinity|both] \
  *             [--routing uniform|zipf|round-robin] [--zipf-s 1.0] \
  *             [--platform sn40l|dgx-a100|dgx-h100] [--closed-loop] \
  *             [--clients 16] [--think 0.0] [--tokens 20] [--seed 1] \
- *             [--prefetch]
+ *             [--prefetch] [--prefetch-depth 4] [--dma-engines 2] \
+ *             [--expert-region-gb 96]
+ *
+ * `sn40l_run serve --help` documents every serve flag.
  */
 
 #include <cstring>
@@ -62,6 +67,50 @@ modelByName(const std::string &name)
     return it->second();
 }
 
+void
+serveHelp(std::ostream &os)
+{
+    os << "usage: sn40l_run serve [flags]\n"
+       << "\n"
+       << "Event-driven CoE request-stream serving: requests arrive, are\n"
+       << "continuously batched against the live LRU expert cache, and\n"
+       << "every expert switch streams DDR->HBM through the platform's\n"
+       << "DMA engines, contending with decode traffic.\n"
+       << "\n"
+       << "Workload:\n"
+       << "  --platform P          sn40l | dgx-a100 | dgx-h100 "
+       << "(default sn40l)\n"
+       << "  --experts N           experts in the zoo (default 150)\n"
+       << "  --batch N             max prompts per batch (default 8)\n"
+       << "  --tokens N            output tokens per prompt (default 20)\n"
+       << "  --requests N          requests to stream (default 512)\n"
+       << "  --routing D           uniform | zipf | round-robin\n"
+       << "  --zipf-s S            Zipf skew (requires --routing zipf)\n"
+       << "  --seed N              RNG seed (default 1)\n"
+       << "\n"
+       << "Arrivals:\n"
+       << "  --arrival-rate R      open-loop Poisson rate, req/s "
+       << "(default 8)\n"
+       << "  --closed-loop         fixed client pool instead of Poisson\n"
+       << "  --clients N           pool size (requires --closed-loop)\n"
+       << "  --think SEC           client think time (requires "
+       << "--closed-loop)\n"
+       << "\n"
+       << "Scheduler:\n"
+       << "  --scheduler S         fifo | affinity | both (default both)\n"
+       << "\n"
+       << "Memory system:\n"
+       << "  --prefetch            speculative prefetch: queued requests'\n"
+       << "                        experts stream at low DMA priority\n"
+       << "  --prefetch-depth N    max outstanding prefetches (requires\n"
+       << "                        --prefetch; default 4)\n"
+       << "  --dma-engines N       DMA engines streaming experts "
+       << "(default 2)\n"
+       << "  --expert-region-gb G  HBM expert-region size in GB "
+       << "(default:\n"
+       << "                        platform HBM minus router/KV reserve)\n";
+}
+
 [[noreturn]] void
 usage()
 {
@@ -69,13 +118,16 @@ usage()
               << "prefill|decode|train [--seq N] [--batch N]\n"
               << "       [--tp N] [--sockets N] [--config "
               << "fused-ho|fused-so|unfused] [--trace FILE]\n"
-              << "   or: sn40l_run serve --arrival-rate=R [--experts N]\n"
-              << "       [--batch N] [--requests N] [--tokens N]\n"
-              << "       [--scheduler fifo|affinity|both]\n"
-              << "       [--routing uniform|zipf|round-robin] [--zipf-s S]\n"
-              << "       [--platform sn40l|dgx-a100|dgx-h100]\n"
-              << "       [--closed-loop] [--clients N] [--think SEC]\n"
-              << "       [--seed N] [--prefetch]\n";
+              << "   or: sn40l_run serve [flags]  "
+              << "(see `sn40l_run serve --help`)\n";
+    std::exit(1);
+}
+
+[[noreturn]] void
+serveError(const std::string &msg)
+{
+    std::cerr << "error: " << msg << "\n"
+              << "run `sn40l_run serve --help` for the flag reference\n";
     std::exit(1);
 }
 
@@ -119,33 +171,79 @@ runServe(int argc, char **argv)
     cfg.batch = 8;
     std::string scheduler_name = "both";
 
+    bool set_arrival_rate = false, set_clients = false, set_think = false;
+    bool set_zipf_s = false, set_prefetch_depth = false;
+
     std::vector<std::string> args = splitEqualsArgs(argc, argv, 2);
     for (std::size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= args.size())
-                usage();
+                serveError("flag " + arg + " expects a value");
             return args[++i];
         };
-        if (arg == "--platform") cfg.platform = platformByName(next());
+        if (arg == "--help" || arg == "-h") {
+            serveHelp(std::cout);
+            return 0;
+        }
+        else if (arg == "--platform") cfg.platform = platformByName(next());
         else if (arg == "--experts") cfg.numExperts = std::stoi(next());
         else if (arg == "--batch") cfg.batch = std::stoi(next());
         else if (arg == "--tokens") cfg.outputTokens = std::stoi(next());
         else if (arg == "--requests") cfg.streamRequests = std::stoi(next());
-        else if (arg == "--arrival-rate")
+        else if (arg == "--arrival-rate") {
             cfg.arrivalRatePerSec = std::stod(next());
+            set_arrival_rate = true;
+        }
         else if (arg == "--closed-loop")
             cfg.arrival = coe::ArrivalProcess::ClosedLoop;
-        else if (arg == "--clients") cfg.clients = std::stoi(next());
-        else if (arg == "--think") cfg.thinkSeconds = std::stod(next());
+        else if (arg == "--clients") {
+            cfg.clients = std::stoi(next());
+            set_clients = true;
+        }
+        else if (arg == "--think") {
+            cfg.thinkSeconds = std::stod(next());
+            set_think = true;
+        }
         else if (arg == "--scheduler") scheduler_name = next();
         else if (arg == "--routing")
             cfg.routing = coe::routingDistributionFromName(next());
-        else if (arg == "--zipf-s") cfg.zipfS = std::stod(next());
+        else if (arg == "--zipf-s") {
+            cfg.zipfS = std::stod(next());
+            set_zipf_s = true;
+        }
         else if (arg == "--seed") cfg.seed = std::stoull(next());
         else if (arg == "--prefetch") cfg.predictivePrefetch = true;
-        else usage();
+        else if (arg == "--prefetch-depth") {
+            cfg.prefetchDepth = std::stoi(next());
+            set_prefetch_depth = true;
+        }
+        else if (arg == "--dma-engines") cfg.dmaEngines = std::stoi(next());
+        else if (arg == "--expert-region-gb") {
+            double gb = std::stod(next());
+            if (gb <= 0.0)
+                serveError("--expert-region-gb must be positive");
+            cfg.expertRegionBytes = static_cast<std::int64_t>(gb * 1e9);
+        }
+        else serveError("unknown serve flag '" + arg + "'");
     }
+
+    // Reject contradictory combinations instead of silently ignoring
+    // half of them.
+    if (cfg.arrival == coe::ArrivalProcess::ClosedLoop && set_arrival_rate)
+        serveError("--arrival-rate is an open-loop parameter; it cannot "
+                   "be combined with --closed-loop");
+    if (cfg.arrival != coe::ArrivalProcess::ClosedLoop &&
+        (set_clients || set_think))
+        serveError("--clients/--think only apply to --closed-loop runs");
+    if (set_zipf_s && cfg.routing != coe::RoutingDistribution::Zipf)
+        serveError("--zipf-s requires --routing zipf");
+    if (set_prefetch_depth && !cfg.predictivePrefetch)
+        serveError("--prefetch-depth requires --prefetch");
+    if (cfg.dmaEngines <= 0)
+        serveError("--dma-engines must be at least 1");
+    if (cfg.prefetchDepth < 0)
+        serveError("--prefetch-depth must be non-negative");
 
     std::vector<coe::SchedulerPolicy> policies;
     if (scheduler_name == "both") {
@@ -170,8 +268,9 @@ runServe(int argc, char **argv)
               << " routing\n\n";
 
     util::Table table({"Scheduler", "p50", "p95", "p99", "Throughput",
-                       "Tokens/s", "Miss rate", "Queue depth",
-                       "Batch occupancy"});
+                       "Tokens/s", "Miss rate", "Miss-stall p95",
+                       "Queue depth", "Batch occupancy"});
+    std::vector<std::string> prefetch_lines;
     for (coe::SchedulerPolicy policy : policies) {
         cfg.scheduler = policy;
         coe::ServingSimulator sim(cfg);
@@ -182,6 +281,14 @@ runServe(int argc, char **argv)
             continue;
         }
         const coe::StreamMetrics &m = r.stream;
+        if (cfg.predictivePrefetch) {
+            prefetch_lines.push_back(
+                std::string(coe::schedulerPolicyName(policy)) + ": " +
+                std::to_string(m.prefetchesIssued) + " issued, " +
+                std::to_string(m.prefetchHits) + " hit by a batch, " +
+                std::to_string(m.prefetchesCancelled) +
+                " cancelled under eviction pressure");
+        }
         table.addRow({coe::schedulerPolicyName(policy),
                       util::formatSeconds(m.p50LatencySeconds),
                       util::formatSeconds(m.p95LatencySeconds),
@@ -190,11 +297,17 @@ runServe(int argc, char **argv)
                           " req/s",
                       util::formatDouble(m.throughputTokensPerSec, 1),
                       util::formatDouble(r.missRate * 100, 1) + "%",
+                      util::formatSeconds(m.p95SwitchStallSeconds),
                       util::formatDouble(m.meanQueueDepth, 1) + " avg / " +
                           util::formatDouble(m.maxQueueDepth, 0) + " max",
                       util::formatDouble(m.meanBatchOccupancy, 2)});
     }
     table.print(std::cout);
+    if (!prefetch_lines.empty()) {
+        std::cout << "\nSpeculative prefetch:\n";
+        for (const std::string &line : prefetch_lines)
+            std::cout << "  " << line << "\n";
+    }
     return 0;
 }
 
