@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Simulation-engine performance harness (not a paper figure): measures
+ * how fast the simulator itself runs, so engine regressions are caught
+ * the way model regressions are.
+ *
+ * Two measurements:
+ *
+ *  - core: a raw EventQueue schedule/fire/cancel loop (no model code),
+ *    isolating the slab-pooled event core.
+ *
+ *  - serving: a full `serve`-equivalent EventDriven run (Zipf routing,
+ *    Poisson arrivals, live DMA memory system), reporting simulator
+ *    events/sec, requests/sec, and peak RSS.
+ *
+ * Emits BENCH_serving.json. With --floor FILE, exits non-zero if
+ * serving events/sec falls below 80% of the checked-in floor — the CI
+ * regression gate (the floor is set far enough below a healthy run to
+ * absorb shared-runner noise; see bench/perf_serving_floor.json).
+ *
+ *   perf_serving [--smoke] [--requests N] [--json FILE] [--floor FILE]
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "coe/serving.h"
+#include "sim/event_queue.h"
+
+using namespace sn40l;
+
+namespace {
+
+double
+wallSeconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+std::int64_t
+peakRssBytes()
+{
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return static_cast<std::int64_t>(usage.ru_maxrss) * 1024; // Linux: KiB
+}
+
+/**
+ * Raw event-core throughput: K concurrent self-rescheduling chains
+ * plus one cancelled event per fire, the schedule/fire/cancel mix the
+ * serving loop produces.
+ */
+double
+coreEventsPerSec(std::uint64_t events)
+{
+    sim::EventQueue eq;
+    constexpr int kChains = 64;
+    std::uint64_t fired = 0;
+    std::function<void(int)> chain = [&](int c) {
+        ++fired;
+        if (eq.executedCount() >= events)
+            return;
+        auto doomed = eq.scheduleIn(2, []() {}, "perf.cancelled");
+        doomed.cancel();
+        eq.scheduleIn(1, [&chain, c]() { chain(c); }, "perf.chain");
+    };
+    auto start = std::chrono::steady_clock::now();
+    for (int c = 0; c < kChains; ++c)
+        eq.scheduleIn(1, [&chain, c]() { chain(c); }, "perf.chain");
+    eq.run();
+    double wall = wallSeconds(start);
+    return wall > 0.0 ? static_cast<double>(fired) / wall : 0.0;
+}
+
+/** Minimal parse of "key": value out of a small JSON file. */
+double
+jsonNumber(const std::string &path, const std::string &key)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "perf_serving: cannot read " << path << "\n";
+        std::exit(1);
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    std::string needle = "\"" + key + "\"";
+    auto pos = text.find(needle);
+    if (pos == std::string::npos) {
+        std::cerr << "perf_serving: no \"" << key << "\" in " << path
+                  << "\n";
+        std::exit(1);
+    }
+    pos = text.find(':', pos);
+    return std::stod(text.substr(pos + 1));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    int requests = 1'000'000;
+    bool requests_set = false;
+    std::string json_path = "BENCH_serving.json";
+    std::string floor_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "perf_serving: " << arg << " expects a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--smoke") smoke = true;
+        else if (arg == "--requests") {
+            requests = std::stoi(next());
+            requests_set = true;
+        }
+        else if (arg == "--json") json_path = next();
+        else if (arg == "--floor") floor_path = next();
+        else {
+            std::cerr << "usage: perf_serving [--smoke] [--requests N] "
+                      << "[--json FILE] [--floor FILE]\n";
+            return 1;
+        }
+    }
+    if (smoke && !requests_set)
+        requests = 20'000;
+
+    // ---- raw event core -----------------------------------------
+    std::uint64_t core_events = smoke ? 500'000 : 5'000'000;
+    double core_eps = coreEventsPerSec(core_events);
+    std::cout << "event core: "
+              << static_cast<std::uint64_t>(core_eps)
+              << " events/s (schedule/fire/cancel mix)\n";
+
+    // ---- full serving run ---------------------------------------
+    // Arrival rate near saturation keeps a live queue without letting
+    // it grow unbounded; Zipf routing exercises the LRU + DMA path.
+    coe::ServingConfig cfg;
+    cfg.mode = coe::ServingMode::EventDriven;
+    cfg.batch = 8;
+    cfg.streamRequests = requests;
+    cfg.arrivalRatePerSec = 16.0;
+    cfg.routing = coe::RoutingDistribution::Zipf;
+    cfg.zipfS = 1.0;
+    cfg.scheduler = coe::SchedulerPolicy::ExpertAffinity;
+    cfg.seed = 1;
+
+    coe::ServingSimulator sim(cfg);
+    auto start = std::chrono::steady_clock::now();
+    coe::ServingResult result = sim.run();
+    double wall = wallSeconds(start);
+
+    if (result.oom || result.stream.completed != requests) {
+        std::cerr << "perf_serving: serving run did not complete\n";
+        return 1;
+    }
+
+    double events_per_sec = wall > 0.0
+        ? static_cast<double>(result.stream.eventsExecuted) / wall
+        : 0.0;
+    double requests_per_sec =
+        wall > 0.0 ? static_cast<double>(requests) / wall : 0.0;
+    std::int64_t rss = peakRssBytes();
+
+    std::cout << "serving: " << requests << " requests, "
+              << result.stream.eventsExecuted << " events in " << wall
+              << " s\n"
+              << "  " << static_cast<std::uint64_t>(events_per_sec)
+              << " events/s, "
+              << static_cast<std::uint64_t>(requests_per_sec)
+              << " requests/s, peak RSS " << rss / (1 << 20) << " MiB\n";
+
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"perf_serving\",\n"
+        << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+        << "  \"requests\": " << requests << ",\n"
+        << "  \"wall_seconds\": " << wall << ",\n"
+        << "  \"events_executed\": " << result.stream.eventsExecuted
+        << ",\n"
+        << "  \"events_per_sec\": " << events_per_sec << ",\n"
+        << "  \"requests_per_sec\": " << requests_per_sec << ",\n"
+        << "  \"core_events_per_sec\": " << core_eps << ",\n"
+        << "  \"peak_rss_bytes\": " << rss << "\n"
+        << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+
+    if (!floor_path.empty()) {
+        double floor = jsonNumber(floor_path, "events_per_sec");
+        double gate = 0.8 * floor; // fail on >20% regression vs floor
+        if (events_per_sec < gate) {
+            std::cerr << "perf_serving: REGRESSION: " << events_per_sec
+                      << " events/s < gate " << gate << " (floor " << floor
+                      << " from " << floor_path << ")\n";
+            return 1;
+        }
+        std::cout << "floor check passed: " << events_per_sec
+                  << " events/s >= gate " << gate << "\n";
+    }
+    return 0;
+}

@@ -124,7 +124,9 @@ ReorderBuffer::drain()
 
 CreditLink::CreditLink(sim::EventQueue &eq, std::string name, int credits,
                        sim::Tick flit_time, sim::Tick credit_latency)
-    : eq_(eq), name_(std::move(name)), credits_(credits),
+    : eq_(eq), name_(std::move(name)),
+      flitLabel_(name_ + ".flit_delivered"),
+      creditLabel_(name_ + ".credit_return"), credits_(credits),
       maxCredits_(credits), flitTime_(flit_time),
       creditLatency_(credit_latency), stats_(name_)
 {
@@ -177,8 +179,8 @@ CreditLink::trySend()
                 if (credits_ < maxCredits_)
                     ++credits_;
                 trySend();
-            }, name_ + ".credit_return");
-        }, name_ + ".flit_delivered");
+            }, creditLabel_.c_str());
+        }, flitLabel_.c_str());
     }
 }
 

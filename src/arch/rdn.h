@@ -174,6 +174,8 @@ class CreditLink
 
     sim::EventQueue &eq_;
     std::string name_;
+    std::string flitLabel_;   ///< precomputed event names: schedule()
+    std::string creditLabel_; ///< keeps a pointer, not a copy
     int credits_;
     int maxCredits_;
     sim::Tick flitTime_;

@@ -1,0 +1,107 @@
+#include "coe/cost_cache.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sn40l::coe {
+
+namespace {
+
+/**
+ * Exact textual encoding of a double: std::to_string truncates to six
+ * decimals, which would collide distinct sparsities onto one key.
+ */
+std::string
+exactDouble(double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    char buf[2 + 16 + 1];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+} // namespace
+
+CostModelCache &
+CostModelCache::instance()
+{
+    static CostModelCache cache;
+    return cache;
+}
+
+double
+CostModelCache::seconds(const std::string &key,
+                        const std::function<double()> &compute)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (const double *hit = lru_.find(key))
+            return *hit;
+    }
+    // Compute outside the lock: pricing a shape can take milliseconds
+    // and must not serialize sweep workers pricing different shapes.
+    double value = compute();
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.insert(key, value);
+    return value;
+}
+
+std::uint64_t
+CostModelCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.hits();
+}
+
+std::uint64_t
+CostModelCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_.misses();
+}
+
+void
+CostModelCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+}
+
+std::string
+workloadCostKey(const std::string &context, const models::WorkloadSpec &spec)
+{
+    const models::LlmConfig &m = spec.model;
+    std::string key = context;
+    key += '|';
+    key += spec.str(); // model name, seq, phase, batch
+    // The name alone does not pin the architecture (ablations mutate
+    // configs in place); append every dimension the graphs depend on.
+    key += "|tp" + std::to_string(spec.tensorParallel);
+    key += "|L" + std::to_string(m.numLayers);
+    key += "|d" + std::to_string(m.dModel);
+    key += "|h" + std::to_string(m.numHeads);
+    key += "|kv" + std::to_string(m.numKvHeads);
+    key += "|f" + std::to_string(m.dFfn);
+    key += "|v" + std::to_string(m.vocabSize);
+    key += "|ffn" + std::to_string(static_cast<int>(m.ffn));
+    key += "|n" + std::to_string(static_cast<int>(m.norm));
+    key += "|t" + std::to_string(m.tiedEmbeddings ? 1 : 0);
+    key += "|p" + std::to_string(m.parallelBlocks ? 1 : 0);
+    key += "|s" + exactDouble(m.weightSparsity);
+    key += "|dt" + std::to_string(static_cast<int>(m.dtype));
+    if (m.vision) {
+        const models::VisionTowerConfig &v = *m.vision;
+        key += "|visL" + std::to_string(v.numLayers);
+        key += "|visd" + std::to_string(v.dModel);
+        key += "|vish" + std::to_string(v.numHeads);
+        key += "|visf" + std::to_string(v.dFfn);
+        key += "|visp" + std::to_string(v.numPatches);
+        key += "|visc" + std::to_string(v.patchDim);
+    }
+    return key;
+}
+
+} // namespace sn40l::coe

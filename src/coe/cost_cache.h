@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Process-wide memo for batch-shape pricing.
+ *
+ * Serving sweeps price the same handful of dataflow-graph shapes
+ * (expert prefill, per-token decode, router at each batch size) for
+ * every (seed, arrival rate, expert count) point, and each pricing
+ * walks graph construction, compilation, and the event-driven machine
+ * model — milliseconds per point that dwarf the actual request-stream
+ * simulation of small points. The cache keys on everything the price
+ * depends on (platform, tensor parallelism, full model architecture,
+ * phase, batch, sequence length) and returns the previously computed
+ * seconds.
+ *
+ * Thread-safe: sweep workers share the cache across threads. A miss
+ * computes outside the lock, so two threads racing on the same fresh
+ * key may both compute — the computation is deterministic, so they
+ * insert the same value and the cache stays consistent.
+ */
+
+#ifndef SN40L_COE_COST_CACHE_H
+#define SN40L_COE_COST_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "models/transformer_builder.h"
+#include "util/lru_cache.h"
+
+namespace sn40l::coe {
+
+class CostModelCache
+{
+  public:
+    static constexpr std::size_t kCapacity = 1024;
+
+    static CostModelCache &instance();
+
+    /**
+     * @return the seconds memoized under @p key, calling @p compute
+     * (and caching its result) on a miss.
+     */
+    double seconds(const std::string &key,
+                   const std::function<double()> &compute);
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    void clear();
+
+  private:
+    CostModelCache() : lru_(kCapacity) {}
+
+    mutable std::mutex mu_;
+    util::LruCache<std::string, double> lru_;
+};
+
+/**
+ * Cache key covering every architectural parameter a workload's price
+ * depends on. @p context distinguishes the executor (platform name,
+ * sockets/TP, run config) and is prepended verbatim.
+ */
+std::string workloadCostKey(const std::string &context,
+                            const models::WorkloadSpec &spec);
+
+} // namespace sn40l::coe
+
+#endif // SN40L_COE_COST_CACHE_H

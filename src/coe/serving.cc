@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <map>
 #include <memory>
 #include <set>
 #include <vector>
 
 #include "baseline/gpu_executor.h"
+#include "coe/cost_cache.h"
 #include "runtime/runner.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
@@ -67,6 +67,8 @@ ServingSimulator::ServingSimulator(ServingConfig cfg) : cfg_(std::move(cfg))
             sim::fatal("ServingConfig: need at least one DMA engine");
         if (cfg_.prefetchDepth < 0)
             sim::fatal("ServingConfig: negative prefetch depth");
+        if (cfg_.prefetchWindow < 0)
+            sim::fatal("ServingConfig: negative prefetch window");
     }
     if (cfg_.expertRegionBytes < 0)
         sim::fatal("ServingConfig: negative expert region size");
@@ -98,25 +100,30 @@ ServingSimulator::computeCosts()
     WorkloadSpec router_decode = decode;
     router_decode.batch = cfg_.batch;
 
-    graph::DataflowGraph g_prefill = buildTransformer(prefill);
-    graph::DataflowGraph g_decode = buildTransformer(decode);
-    graph::DataflowGraph g_router_p = buildTransformer(router_prefill);
-    graph::DataflowGraph g_router_d = buildTransformer(router_decode);
-
     double expert_bytes = cfg_.expertBase.weightBytes();
 
     if (cfg_.platform == Platform::Sn40l) {
         arch::NodeConfig node =
             arch::NodeConfig::sn40lNode(cfg_.tensorParallel);
 
-        auto seconds = [&](const graph::DataflowGraph &g) {
-            return runtime::runWorkload(g, node, cfg_.tensorParallel,
-                                        runtime::RunConfig::FusedHO)
-                .seconds();
+        // Priced through the process-wide memo: a sweep re-prices the
+        // same four graph shapes for every (seed, rate, experts)
+        // point, and graph build + compile + machine walk is the
+        // expensive part. Cache misses build the graph lazily.
+        auto seconds = [&](const WorkloadSpec &spec) {
+            return CostModelCache::instance().seconds(
+                workloadCostKey("sn40l", spec), [&]() {
+                    graph::DataflowGraph g = buildTransformer(spec);
+                    return runtime::runWorkload(g, node,
+                                                cfg_.tensorParallel,
+                                                runtime::RunConfig::FusedHO)
+                        .seconds();
+                });
         };
-        costs_.prefillSeconds = seconds(g_prefill);
-        costs_.decodeSecondsPerToken = seconds(g_decode);
-        costs_.routerSeconds = seconds(g_router_p) + seconds(g_router_d);
+        costs_.prefillSeconds = seconds(prefill);
+        costs_.decodeSecondsPerToken = seconds(decode);
+        costs_.routerSeconds =
+            seconds(router_prefill) + seconds(router_decode);
 
         sim::EventQueue eq;
         runtime::RduNode machine(eq, node);
@@ -140,10 +147,17 @@ ServingSimulator::computeCosts()
         : baseline::DgxConfig::dgxH100();
     baseline::GpuExecutor executor(dgx);
 
-    costs_.prefillSeconds = executor.run(g_prefill).seconds;
-    costs_.decodeSecondsPerToken = executor.run(g_decode).seconds;
-    costs_.routerSeconds = executor.run(g_router_p).seconds +
-                           executor.run(g_router_d).seconds;
+    // GpuExecutor::run memoizes on the graph fingerprint; the outer
+    // memo additionally skips rebuilding the graph on repeat shapes.
+    auto seconds = [&](const WorkloadSpec &spec) {
+        return CostModelCache::instance().seconds(
+            workloadCostKey(platformName(cfg_.platform), spec), [&]() {
+                return executor.run(buildTransformer(spec)).seconds;
+            });
+    };
+    costs_.prefillSeconds = seconds(prefill);
+    costs_.decodeSecondsPerToken = seconds(decode);
+    costs_.routerSeconds = seconds(router_prefill) + seconds(router_decode);
 
     // Expert switch: host DRAM -> GPU HBM over the host link.
     costs_.switchSeconds = expert_bytes / dgx.hostToGpuBandwidth;
@@ -268,8 +282,14 @@ struct StreamRequest
     int id = 0;
     sim::Tick arrival = 0;
     int expert = 0;
-    /** Batches formed while this request sat queued (aging guard). */
-    int skips = 0;
+    /**
+     * Batch-formation count at enqueue time. A request's age in
+     * batches (the affinity starvation guard) is derived as
+     * "formations completed since" instead of bumping a counter on
+     * every queued request per batch — the bump was O(queue) per
+     * batch and made overloaded runs quadratic.
+     */
+    std::int64_t enqueuedAtBatch = 0;
 };
 
 } // namespace
@@ -333,7 +353,14 @@ ServingSimulator::runEventDriven()
         }
     }
 
-    std::deque<StreamRequest> queue;
+    // ---- admission queue ----------------------------------------
+    // Request ids are assigned in arrival order, so an id-ordered map
+    // IS the FIFO view: begin() is the oldest queued request, erase
+    // from any position is O(log queue), and iteration walks arrival
+    // order. Batch formation removes from arbitrary positions, so a
+    // plain deque (with O(queue) mid-erase, plus the old per-batch
+    // aging walk) made overloaded runs quadratic.
+    std::map<int, StreamRequest> queued;
     bool busy = false;
     int injected = 0;
     std::int64_t completed = 0;
@@ -342,6 +369,24 @@ ServingSimulator::runEventDriven()
     double occupancy_total = 0.0;
     std::int64_t batches = 0;
     sim::Tick first_arrival = -1, last_completion = 0;
+
+    // Per-expert view of the queue (ExpertAffinity only): ordered ids
+    // of queued requests, maintained on enqueue/dequeue so batch
+    // formation inspects O(distinct experts) instead of walking the
+    // whole queue per batch.
+    const bool affinity =
+        cfg_.scheduler == SchedulerPolicy::ExpertAffinity;
+    std::map<int, std::set<int>> queued_by_expert;
+
+    auto erase_request = [&](int id, int expert) {
+        queued.erase(id);
+        if (affinity) {
+            auto it = queued_by_expert.find(expert);
+            it->second.erase(id);
+            if (it->second.empty())
+                queued_by_expert.erase(it);
+        }
+    };
 
     // ---- async expert-load state --------------------------------
     // Outstanding DMA per expert (demand or speculative).
@@ -360,11 +405,13 @@ ServingSimulator::runEventDriven()
     // Time-weighted queue-depth integral.
     sim::Tick depth_mark = 0;
     double depth_integral = 0.0;
+    double queue_depth_max = 0.0;
     auto touch_depth = [&](std::size_t next_depth) {
-        depth_integral += static_cast<double>(queue.size()) *
+        depth_integral += static_cast<double>(queued.size()) *
             sim::toSeconds(eq.now() - depth_mark);
         depth_mark = eq.now();
-        stats_.max("queue_depth_max", static_cast<double>(next_depth));
+        queue_depth_max =
+            std::max(queue_depth_max, static_cast<double>(next_depth));
     };
 
     /**
@@ -373,48 +420,47 @@ ServingSimulator::runEventDriven()
      * best-backed resident expert (no switch needed), then the
      * most-queued expert overall. Ties break toward the oldest
      * queued request so the policy stays deterministic.
+     *
+     * Called mid-formation, after `batches` was bumped for the batch
+     * being formed, so a queued request's age is (batches - 1) minus
+     * its enqueue mark. The queue is FIFO-ordered by id (requests
+     * only leave from arbitrary positions, never reorder), so the
+     * front request is simultaneously the oldest and the lowest id:
+     * if anyone has aged past the guard, the front has, and it is the
+     * one the old linear scan would have picked.
      */
     auto pick_expert = [&]() -> int {
-        const StreamRequest *starving = nullptr;
-        for (const StreamRequest &r : queue) {
-            if (r.skips >= cfg_.affinityMaxSkips &&
-                (starving == nullptr || r.id < starving->id))
-                starving = &r;
-        }
-        if (starving != nullptr) {
+        const StreamRequest &front = queued.begin()->second;
+        if (batches - 1 - front.enqueuedAtBatch >= cfg_.affinityMaxSkips) {
             stats_.inc("affinity_starvation_overrides");
-            return starving->expert;
-        }
-
-        struct Tally { int count = 0; int oldest = 0; };
-        std::map<int, Tally> tallies;
-        for (const StreamRequest &r : queue) {
-            auto [it, fresh] = tallies.try_emplace(r.expert);
-            if (fresh)
-                it->second.oldest = r.id;
-            ++it->second.count;
-            it->second.oldest = std::min(it->second.oldest, r.id);
+            return front.expert;
         }
 
         int best = -1;
         bool best_resident = false;
-        const Tally *best_tally = nullptr;
-        for (const auto &kv : tallies) {
+        int best_count = 0;
+        int best_oldest = 0;
+        for (const auto &kv : queued_by_expert) {
+            int count = static_cast<int>(kv.second.size());
+            if (count == 0)
+                continue;
+            int oldest = *kv.second.begin();
             bool res = runtime.resident(kv.first);
             bool better;
             if (best < 0) {
                 better = true;
             } else if (res != best_resident) {
                 better = res;
-            } else if (kv.second.count != best_tally->count) {
-                better = kv.second.count > best_tally->count;
+            } else if (count != best_count) {
+                better = count > best_count;
             } else {
-                better = kv.second.oldest < best_tally->oldest;
+                better = oldest < best_oldest;
             }
             if (better) {
                 best = kv.first;
                 best_resident = res;
-                best_tally = &kv.second;
+                best_count = count;
+                best_oldest = oldest;
             }
         }
         return best;
@@ -468,7 +514,18 @@ ServingSimulator::runEventDriven()
     maybe_prefetch = [&]() {
         if (!cfg_.predictivePrefetch)
             return;
-        for (const StreamRequest &r : queue) {
+        // Optional speculation window (cfg.prefetchWindow > 0):
+        // inspect at most that many queued requests from the front.
+        // The default full walk matches the historical behaviour but
+        // is O(queue) per arrival when the head of a deep queue is
+        // all resident experts; overloaded prefetch sweeps should
+        // bound it.
+        int inspected = 0;
+        for (const auto &kv : queued) {
+            if (cfg_.prefetchWindow > 0 &&
+                ++inspected > cfg_.prefetchWindow)
+                break;
+            const StreamRequest &r = kv.second;
             if (static_cast<int>(prefetch_outstanding.size()) >=
                 cfg_.prefetchDepth)
                 break;
@@ -490,14 +547,17 @@ ServingSimulator::runEventDriven()
     // Runs inside an arrival event: admit request @p id to the queue
     // and kick the scheduler if the pipeline is idle.
     auto inject = [&](int id) {
-        touch_depth(queue.size() + 1);
+        touch_depth(queued.size() + 1);
         StreamRequest req;
         req.id = id;
         req.arrival = eq.now();
         req.expert = router.route();
+        req.enqueuedAtBatch = batches;
         if (first_arrival < 0)
             first_arrival = eq.now();
-        queue.push_back(req);
+        if (affinity)
+            queued_by_expert[req.expert].insert(req.id);
+        queued.emplace(id, req);
         if (!busy)
             form_batch();
         else
@@ -527,7 +587,7 @@ ServingSimulator::runEventDriven()
                               [&, id]() { inject(id); }, "coe.arrival");
             }
         }
-        if (!queue.empty())
+        if (!queued.empty())
             form_batch();
     };
 
@@ -538,6 +598,14 @@ ServingSimulator::runEventDriven()
      * writing behind it) the traffic side finishes later and the
      * slowdown is real, not a closed-form adjustment.
      */
+    // Join counter for the in-flight prompt's (compute, HBM-traffic)
+    // pair. Prompts execute strictly one at a time, so a single
+    // counter replaces a per-prompt heap-allocated control block.
+    int prompt_join_pending = 0;
+    auto prompt_join = [&]() {
+        if (--prompt_join_pending == 0)
+            run_next_prompt();
+    };
     run_next_prompt = [&]() {
         if (exec_index >= cur_batch.size()) {
             exec_total += sim::toSeconds(eq.now() - exec_start);
@@ -545,14 +613,10 @@ ServingSimulator::runEventDriven()
             return;
         }
         ++exec_index;
-        auto remaining = std::make_shared<int>(2);
-        auto join = [&, remaining]() {
-            if (--*remaining == 0)
-                run_next_prompt();
-        };
-        eq.scheduleIn(sim::fromSeconds(per_prompt_exec), join,
+        prompt_join_pending = 2;
+        eq.scheduleIn(sim::fromSeconds(per_prompt_exec), prompt_join,
                       "coe.prompt_exec");
-        memsys.traffic(traffic_bytes_per_prompt, join);
+        memsys.traffic(traffic_bytes_per_prompt, prompt_join);
     };
 
     // Launch once the router has decided AND every non-resident
@@ -572,47 +636,65 @@ ServingSimulator::runEventDriven()
     };
 
     form_batch = [&]() {
-        if (queue.empty() || busy)
+        if (queued.empty() || busy)
             return;
         busy = true;
         ++batches;
         // Close the depth integral at the pre-batch depth before the
         // batch drains the queue (no simulated time passes in here).
-        touch_depth(queue.size());
+        touch_depth(queued.size());
 
+        const std::size_t cap = static_cast<std::size_t>(cfg_.batch);
         std::vector<StreamRequest> batch;
-        if (cfg_.scheduler == SchedulerPolicy::Fifo) {
-            while (!queue.empty() &&
-                   batch.size() < static_cast<std::size_t>(cfg_.batch)) {
-                batch.push_back(queue.front());
-                queue.pop_front();
-            }
+        auto take_id = [&](int id) {
+            const StreamRequest &r = queued.at(id);
+            batch.push_back(r);
+            erase_request(id, r.expert);
+        };
+        if (!affinity) {
+            while (!queued.empty() && batch.size() < cap)
+                take_id(queued.begin()->first);
         } else {
             // Take every queued request for the chosen expert, then
             // backfill spare slots with requests whose experts are
             // already resident (guaranteed-hit co-tenants), then with
             // whatever is oldest so the batch never runs emptier than
-            // FIFO would.
+            // FIFO would. Each pass selects oldest-first (ids are
+            // arrival-ordered), exactly as the historical FIFO walk
+            // did, but through the per-expert index so formation cost
+            // scales with distinct experts, not queue depth.
             int expert = pick_expert();
-            for (int pass = 0; pass < 3; ++pass) {
-                for (auto it = queue.begin();
-                     it != queue.end() &&
-                     batch.size() < static_cast<std::size_t>(cfg_.batch);) {
-                    bool take = pass == 0 ? it->expert == expert
-                        : pass == 1      ? runtime.resident(it->expert)
-                                         : true;
-                    if (take) {
-                        batch.push_back(*it);
-                        it = queue.erase(it);
-                    } else {
-                        ++it;
-                    }
-                }
+            while (batch.size() < cap) {
+                // Re-find per take: erase_request drops the expert's
+                // entry (invalidating iterators) once its last queued
+                // request is taken.
+                auto it = queued_by_expert.find(expert);
+                if (it == queued_by_expert.end())
+                    break;
+                take_id(*it->second.begin());
             }
+            // Pass 2: oldest requests across resident experts. The
+            // resident set cannot change mid-formation, so repeatedly
+            // taking the minimum id over resident experts' ordered id
+            // sets reproduces the old front-to-back resident scan.
+            while (batch.size() < cap) {
+                int best_id = -1;
+                for (const auto &kv : queued_by_expert) {
+                    if (!runtime.resident(kv.first))
+                        continue;
+                    int oldest = *kv.second.begin();
+                    if (best_id < 0 || oldest < best_id)
+                        best_id = oldest;
+                }
+                if (best_id < 0)
+                    break;
+                take_id(best_id);
+            }
+            // Pass 3: whatever is oldest overall.
+            while (!queued.empty() && batch.size() < cap)
+                take_id(queued.begin()->first);
         }
         depth_mark = eq.now();
-        for (StreamRequest &r : queue)
-            ++r.skips;
         occupancy_total += static_cast<double>(batch.size());
 
         batch_start = eq.now();
@@ -686,17 +768,30 @@ ServingSimulator::runEventDriven()
         maybe_prefetch();
     };
 
+    // Open loop: each arrival draws the next inter-arrival gap and
+    // schedules its successor, so only one arrival event is ever
+    // pending — a million-request run does not pre-materialize a
+    // million event-queue entries. The draw order matches the old
+    // pre-drawn schedule exactly (the arrivals Rng feeds nothing
+    // else), so arrival times are bit-identical.
+    std::function<void()> next_arrival;
+    double arrival_t = 0.0;
+    next_arrival = [&]() {
+        if (injected >= cfg_.streamRequests)
+            return;
+        arrival_t += -std::log(1.0 - arrivals.uniformDouble()) /
+            cfg_.arrivalRatePerSec;
+        int id = injected++;
+        eq.schedule(sim::fromSeconds(arrival_t),
+                    [&, id]() {
+                        next_arrival();
+                        inject(id);
+                    },
+                    "coe.arrival");
+    };
+
     if (cfg_.arrival == ArrivalProcess::Poisson) {
-        // Open loop: pre-draw the whole arrival schedule (the process
-        // is independent of service), then let the queue play it out.
-        double t = 0.0;
-        for (int i = 0; i < cfg_.streamRequests; ++i) {
-            t += -std::log(1.0 - arrivals.uniformDouble()) /
-                cfg_.arrivalRatePerSec;
-            int id = injected++;
-            eq.schedule(sim::fromSeconds(t), [&, id]() { inject(id); },
-                        "coe.arrival");
-        }
+        next_arrival();
     } else {
         int initial = std::min(cfg_.clients, cfg_.streamRequests);
         for (int i = 0; i < initial; ++i) {
@@ -706,7 +801,7 @@ ServingSimulator::runEventDriven()
     }
 
     eq.run();
-    sim::simAssert(queue.empty() && !busy,
+    sim::simAssert(queued.empty() && !busy,
                    "serving: event stream drained with work pending");
     sim::simAssert(completed == cfg_.streamRequests,
                    "serving: not every injected request completed");
@@ -735,7 +830,8 @@ ServingSimulator::runEventDriven()
             static_cast<double>(cfg_.outputTokens);
         m.meanQueueDepth = depth_integral / makespan;
     }
-    m.maxQueueDepth = stats_.get("queue_depth_max");
+    m.maxQueueDepth = queue_depth_max;
+    m.eventsExecuted = eq.executedCount();
 
     m.meanSwitchStallSeconds = stalls_.mean();
     m.p95SwitchStallSeconds = stalls_.quantile(0.95);
@@ -746,6 +842,9 @@ ServingSimulator::runEventDriven()
     m.prefetchesCancelled =
         static_cast<std::int64_t>(stats_.get("prefetches_cancelled"));
 
+    stats_.set("queue_depth_max", queue_depth_max);
+    stats_.set("events_executed",
+               static_cast<double>(eq.executedCount()));
     stats_.set("batches", static_cast<double>(batches));
     stats_.set("completed", static_cast<double>(completed));
     stats_.set("misses", static_cast<double>(misses));

@@ -134,6 +134,16 @@ struct ServingConfig
     int prefetchDepth = 4;
 
     /**
+     * Speculation window: how many queued requests the prefetcher
+     * inspects from the front of the queue per scheduling decision.
+     * 0 (default) scans the whole queue — the exact historical
+     * behaviour — which is O(queue) per arrival when the head of a
+     * deep queue is all resident experts; overloaded sweeps with
+     * prefetch on should bound it (e.g. 64) to stay linear.
+     */
+    int prefetchWindow = 0;
+
+    /**
      * Replace the platform-derived memory-system shape (channel
      * counts, bandwidths, interleave) — used by ablations to model
      * e.g. an SN40L whose experts spill over the host link instead of
@@ -196,6 +206,10 @@ struct StreamMetrics
     std::int64_t prefetchesIssued = 0;
     std::int64_t prefetchHits = 0;
     std::int64_t prefetchesCancelled = 0;
+
+    /** Simulator events the run executed (perf accounting, not a
+     *  modeled quantity — see bench/perf_serving). */
+    std::uint64_t eventsExecuted = 0;
 };
 
 struct ServingResult

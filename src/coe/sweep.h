@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parallel sweep runner for the CoE serving simulator.
+ *
+ * The paper's serving results (Table 5, Fig 12) and everything the
+ * roadmap builds on them are sweep-shaped: many expert counts x
+ * arrival rates x batch sizes x seeds. Every sweep point is an
+ * independent deterministic simulation with its own EventQueue, RNGs,
+ * and runtime state, so points shard trivially across a thread pool —
+ * the only shared state is the process-wide cost-model memo, which is
+ * thread-safe and value-deterministic. A parallel sweep therefore
+ * produces bit-identical per-point results to a sequential one, in
+ * grid order, regardless of completion order.
+ */
+
+#ifndef SN40L_COE_SWEEP_H
+#define SN40L_COE_SWEEP_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coe/serving.h"
+
+namespace sn40l::coe {
+
+/** One grid point: a fully resolved serving configuration. */
+struct SweepPoint
+{
+    ServingConfig cfg;
+    int index = 0; ///< position in grid order
+    std::string label;
+};
+
+/**
+ * Cartesian sweep specification. Empty axes inherit the base config's
+ * value; points are emitted in nested order with seeds innermost:
+ * experts > rates > batches > policies > seeds.
+ */
+struct SweepGrid
+{
+    ServingConfig base;
+    std::vector<int> expertCounts;
+    std::vector<double> arrivalRates;
+    std::vector<int> batchSizes;
+    std::vector<SchedulerPolicy> policies;
+    std::vector<std::uint64_t> seeds;
+
+    std::vector<SweepPoint> points() const;
+};
+
+struct SweepPointResult
+{
+    SweepPoint point;
+    ServingResult result;
+    double wallSeconds = 0.0;          ///< host time for this point
+    std::uint64_t eventsExecuted = 0;  ///< simulator events it ran
+};
+
+/**
+ * Run every point and return results in point order. @p jobs > 1
+ * shards points across that many worker threads (each point runs on
+ * one thread with its own EventQueue); @p jobs <= 1 runs sequentially.
+ * The first exception raised by any point is rethrown after all
+ * workers drain.
+ */
+std::vector<SweepPointResult> runSweep(const std::vector<SweepPoint> &points,
+                                       int jobs);
+
+} // namespace sn40l::coe
+
+#endif // SN40L_COE_SWEEP_H

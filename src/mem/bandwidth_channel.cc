@@ -9,8 +9,12 @@ namespace sn40l::mem {
 BandwidthChannel::BandwidthChannel(sim::EventQueue &eq, std::string name,
                                    double peak_bw, double efficiency,
                                    sim::Tick latency)
-    : eq_(eq), name_(std::move(name)), peakBw_(peak_bw),
-      efficiency_(efficiency), latency_(latency), stats_(name_)
+    : eq_(eq), name_(std::move(name)), doneLabel_(name_ + ".transfer_done"),
+      peakBw_(peak_bw), efficiency_(efficiency), latency_(latency),
+      stats_(name_), bytesStat_(stats_.counter("bytes")),
+      transfersStat_(stats_.counter("transfers")),
+      busyTicksStat_(stats_.counter("busy_ticks")),
+      queueTicksStat_(stats_.counter("queue_ticks"))
 {
     if (peak_bw <= 0.0)
         sim::fatal("BandwidthChannel " + name_ + ": non-positive bandwidth");
@@ -32,8 +36,8 @@ BandwidthChannel::estimate(double bytes) const
     return sim::transferTicks(bytes, effectiveBandwidth());
 }
 
-void
-BandwidthChannel::transfer(double bytes, Callback on_done)
+sim::Tick
+BandwidthChannel::book(double bytes)
 {
     if (bytes < 0.0)
         sim::panic("BandwidthChannel " + name_ + ": negative transfer");
@@ -43,22 +47,27 @@ BandwidthChannel::transfer(double bytes, Callback on_done)
     sim::Tick end = start + duration;
     busyUntil_ = end;
 
-    stats_.inc("bytes", bytes);
-    stats_.inc("transfers");
-    stats_.inc("busy_ticks", static_cast<double>(duration));
-    stats_.inc("queue_ticks", static_cast<double>(start - eq_.now()));
+    bytesStat_ += bytes;
+    transfersStat_ += 1.0;
+    busyTicksStat_ += static_cast<double>(duration);
+    queueTicksStat_ += static_cast<double>(start - eq_.now());
+    return end + latency_;
+}
 
+void
+BandwidthChannel::transfer(double bytes, Callback on_done)
+{
+    sim::Tick done = book(bytes);
     if (!on_done)
         return;
-    eq_.schedule(end + latency_, std::move(on_done),
-                 name_ + ".transfer_done");
+    eq_.schedule(done, std::move(on_done), doneLabel_.c_str());
 }
 
 void
 BandwidthChannel::recordUse(double bytes, sim::Tick busy_time)
 {
-    stats_.inc("bytes", bytes);
-    stats_.inc("busy_ticks", static_cast<double>(busy_time));
+    bytesStat_ += bytes;
+    busyTicksStat_ += static_cast<double>(busy_time);
 }
 
 } // namespace sn40l::mem

@@ -13,7 +13,6 @@
 #ifndef SN40L_MEM_BANDWIDTH_CHANNEL_H
 #define SN40L_MEM_BANDWIDTH_CHANNEL_H
 
-#include <functional>
 #include <string>
 
 #include "sim/event_queue.h"
@@ -25,7 +24,7 @@ namespace sn40l::mem {
 class BandwidthChannel
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = sim::EventQueue::Callback;
 
     /**
      * @param peak_bw    peak bandwidth in bytes/second
@@ -50,6 +49,18 @@ class BandwidthChannel
      */
     void transfer(double bytes, Callback on_done);
 
+    /**
+     * Book a transfer of @p bytes without scheduling any event: the
+     * channel's busy window advances exactly as transfer() would, and
+     * the tick at which the last byte lands (including the fixed
+     * access latency) is returned. Because transfers serialize FIFO at
+     * a fixed effective bandwidth, completion time is known in closed
+     * form at issue — callers aggregating several channels (an
+     * interleaved tier, a DMA join) book every leg and schedule one
+     * completion event at the max instead of one event per channel.
+     */
+    sim::Tick book(double bytes);
+
     /** Pure time estimate for @p bytes on an idle channel (no latency). */
     sim::Tick estimate(double bytes) const;
 
@@ -69,11 +80,18 @@ class BandwidthChannel
   private:
     sim::EventQueue &eq_;
     std::string name_;
+    std::string doneLabel_; ///< precomputed event name (no per-event alloc)
     double peakBw_;
     double efficiency_;
     sim::Tick latency_;
     sim::Tick busyUntil_ = 0;
     sim::StatSet stats_;
+    // Hot counters resolved once; StatSet map lookups stay off the
+    // per-transfer path.
+    double &bytesStat_;
+    double &transfersStat_;
+    double &busyTicksStat_;
+    double &queueTicksStat_;
 };
 
 } // namespace sn40l::mem

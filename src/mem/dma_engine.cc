@@ -1,42 +1,54 @@
 #include "mem/dma_engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "mem/interleaved_memory.h"
 
 namespace sn40l::mem {
 
 DmaEngine::DmaEngine(sim::EventQueue &eq, std::string name)
-    : eq_(eq), name_(std::move(name)), stats_(name_)
+    : eq_(eq), name_(std::move(name)), doneLabel_(name_ + ".copy_done"),
+      stats_(name_), copiesStat_(stats_.counter("copies")),
+      bytesStat_(stats_.counter("bytes"))
 {
 }
 
-DmaEngine::Callback
-DmaEngine::wrapCompletion(Callback on_done)
+void
+DmaEngine::scheduleCompletion(sim::Tick done, Callback on_done)
 {
     ++inFlight_;
-    return [this, cb = std::move(on_done)]() {
-        --inFlight_;
-        if (cb)
-            cb();
-    };
+    std::uint32_t slot;
+    if (!cbFree_.empty()) {
+        slot = cbFree_.back();
+        cbFree_.pop_back();
+        cbPool_[slot] = std::move(on_done);
+    } else {
+        slot = static_cast<std::uint32_t>(cbPool_.size());
+        cbPool_.push_back(std::move(on_done));
+    }
+    eq_.schedule(done,
+                 [this, slot]() {
+                     --inFlight_;
+                     // Free the slot before invoking: the callback may
+                     // issue another copy, which can reuse (or grow
+                     // past) it.
+                     Callback cb = std::move(cbPool_[slot]);
+                     cbFree_.push_back(slot);
+                     if (cb)
+                         cb();
+                 },
+                 doneLabel_.c_str());
 }
 
 void
 DmaEngine::copy(BandwidthChannel &src, BandwidthChannel &dst, double bytes,
                 Callback on_done)
 {
-    stats_.inc("copies");
-    stats_.inc("bytes", bytes);
-
-    // Join barrier: fire on_done once both endpoint transfers finish.
-    auto remaining = std::make_shared<int>(2);
-    auto join = [remaining, cb = wrapCompletion(std::move(on_done))]() {
-        if (--*remaining == 0 && cb)
-            cb();
-    };
-    src.transfer(bytes, join);
-    dst.transfer(bytes, join);
+    copiesStat_ += 1.0;
+    bytesStat_ += bytes;
+    sim::Tick done = std::max(src.book(bytes), dst.book(bytes));
+    scheduleCompletion(done, std::move(on_done));
 }
 
 void
@@ -44,16 +56,11 @@ DmaEngine::copy(InterleavedMemory &src, std::int64_t src_addr,
                 InterleavedMemory &dst, std::int64_t dst_addr, double bytes,
                 Callback on_done)
 {
-    stats_.inc("copies");
-    stats_.inc("bytes", bytes);
-
-    auto remaining = std::make_shared<int>(2);
-    auto join = [remaining, cb = wrapCompletion(std::move(on_done))]() {
-        if (--*remaining == 0 && cb)
-            cb();
-    };
-    src.access(src_addr, bytes, join);
-    dst.access(dst_addr, bytes, join);
+    copiesStat_ += 1.0;
+    bytesStat_ += bytes;
+    sim::Tick done = std::max(src.bookAccess(src_addr, bytes),
+                              dst.bookAccess(dst_addr, bytes));
+    scheduleCompletion(done, std::move(on_done));
 }
 
 sim::Tick

@@ -8,14 +8,19 @@
  * Engines also copy between whole InterleavedMemory tiers, spreading
  * each endpoint's share across the tier's channels; MemorySystem pools
  * several engines and schedules expert-streaming jobs onto them.
+ *
+ * Copies book both endpoints in closed form and schedule a single
+ * completion event at the slower endpoint's finish tick, so an
+ * N-channel tier-to-tier copy costs one event instead of a per-channel
+ * join fan-in.
  */
 
 #ifndef SN40L_MEM_DMA_ENGINE_H
 #define SN40L_MEM_DMA_ENGINE_H
 
-#include <functional>
-#include <memory>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mem/bandwidth_channel.h"
 
@@ -26,7 +31,7 @@ class InterleavedMemory;
 class DmaEngine
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = BandwidthChannel::Callback;
 
     DmaEngine(sim::EventQueue &eq, std::string name);
 
@@ -58,12 +63,24 @@ class DmaEngine
     sim::StatSet &stats() { return stats_; }
 
   private:
-    Callback wrapCompletion(Callback on_done);
+    void scheduleCompletion(sim::Tick done, Callback on_done);
 
     sim::EventQueue &eq_;
     std::string name_;
+    std::string doneLabel_;
     int inFlight_ = 0;
+    /**
+     * Parked completion callbacks, indexed by slot. The completion
+     * event captures only {engine, slot} (16 bytes, fits the inline
+     * callback buffer); capturing the callback itself would nest one
+     * InlineCallback inside another and spill to the heap on every
+     * copy.
+     */
+    std::vector<Callback> cbPool_;
+    std::vector<std::uint32_t> cbFree_;
     sim::StatSet stats_;
+    double &copiesStat_;
+    double &bytesStat_;
 };
 
 } // namespace sn40l::mem

@@ -10,8 +10,10 @@ InterleavedMemory::InterleavedMemory(sim::EventQueue &eq, std::string name,
                                      int channels, double per_channel_bw,
                                      std::int64_t interleave_bytes,
                                      double efficiency, sim::Tick latency)
-    : eq_(eq), name_(std::move(name)), interleaveBytes_(interleave_bytes),
-      stats_(name_)
+    : eq_(eq), name_(std::move(name)), doneLabel_(name_ + ".access_done"),
+      interleaveBytes_(interleave_bytes), stats_(name_),
+      accessesStat_(stats_.counter("accesses")),
+      bytesStat_(stats_.counter("bytes"))
 {
     if (channels <= 0)
         sim::fatal("InterleavedMemory " + name_ + ": need channels");
@@ -22,6 +24,7 @@ InterleavedMemory::InterleavedMemory(sim::EventQueue &eq, std::string name,
             eq, name_ + ".ch" + std::to_string(i), per_channel_bw,
             efficiency, latency));
     }
+    scratch_.assign(channels_.size(), 0.0);
 }
 
 double
@@ -40,46 +43,32 @@ InterleavedMemory::channelOf(std::int64_t addr) const
                             static_cast<std::int64_t>(channels_.size()));
 }
 
-void
-InterleavedMemory::split(const std::vector<double> &per_channel,
-                         Callback on_done)
+sim::Tick
+InterleavedMemory::bookScratch()
 {
-    int active = 0;
-    for (double b : per_channel) {
-        if (b > 0.0)
-            ++active;
-    }
-    if (active == 0) {
-        if (on_done)
-            eq_.scheduleIn(0, std::move(on_done), name_ + ".noop");
-        return;
-    }
-    auto remaining = std::make_shared<int>(active);
-    for (std::size_t i = 0; i < per_channel.size(); ++i) {
-        if (per_channel[i] <= 0.0)
+    sim::Tick done = eq_.now();
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+        if (scratch_[i] <= 0.0)
             continue;
-        channels_[i]->transfer(per_channel[i],
-                               [remaining, on_done]() {
-                                   if (--*remaining == 0 && on_done)
-                                       on_done();
-                               });
+        done = std::max(done, channels_[i]->book(scratch_[i]));
     }
+    return done;
 }
 
-void
-InterleavedMemory::access(std::int64_t addr, double bytes, Callback on_done)
+sim::Tick
+InterleavedMemory::bookAccess(std::int64_t addr, double bytes)
 {
     if (bytes < 0.0)
         sim::panic("InterleavedMemory " + name_ + ": negative access");
-    stats_.inc("accesses");
-    stats_.inc("bytes", bytes);
+    accessesStat_ += 1.0;
+    bytesStat_ += bytes;
 
     // Closed-form split of the contiguous range: count whole
     // interleave lines per channel over [first_line, last_line], then
     // trim the truncated leading and trailing lines. O(channels)
     // regardless of size — bulk streams (hundreds of GB of decode
     // traffic per prompt) must not walk line by line.
-    std::vector<double> per_channel(channels_.size(), 0.0);
+    std::fill(scratch_.begin(), scratch_.end(), 0.0);
     std::int64_t total = static_cast<std::int64_t>(bytes);
     if (total > 0) {
         const std::int64_t line = interleaveBytes_;
@@ -94,15 +83,23 @@ InterleavedMemory::access(std::int64_t addr, double bytes, Callback on_done)
             if (first_k > last_line)
                 continue;
             std::int64_t lines = (last_line - first_k) / chans + 1;
-            per_channel[static_cast<std::size_t>(c)] =
+            scratch_[static_cast<std::size_t>(c)] =
                 static_cast<double>(lines * line);
         }
-        per_channel[static_cast<std::size_t>(channelOf(addr))] -=
+        scratch_[static_cast<std::size_t>(channelOf(addr))] -=
             static_cast<double>(addr % line);
-        per_channel[static_cast<std::size_t>(channelOf(last_addr))] -=
+        scratch_[static_cast<std::size_t>(channelOf(last_addr))] -=
             static_cast<double>(line - 1 - last_addr % line);
     }
-    split(per_channel, std::move(on_done));
+    return bookScratch();
+}
+
+void
+InterleavedMemory::access(std::int64_t addr, double bytes, Callback on_done)
+{
+    sim::Tick done = bookAccess(addr, bytes);
+    if (on_done)
+        eq_.schedule(done, std::move(on_done), doneLabel_.c_str());
 }
 
 void
@@ -120,7 +117,7 @@ InterleavedMemory::accessStrided(std::int64_t base, std::int64_t stride,
         // An empty access is a degenerate but legal request: complete
         // asynchronously like any other zero-byte access.
         if (on_done)
-            eq_.scheduleIn(0, std::move(on_done), name_ + ".noop");
+            eq_.scheduleIn(0, std::move(on_done), doneLabel_.c_str());
         return;
     }
     // Negative strides walk the address space downward; they are fine
@@ -129,15 +126,17 @@ InterleavedMemory::accessStrided(std::int64_t base, std::int64_t stride,
     if (lowest < 0)
         sim::fatal("InterleavedMemory " + name_ +
                    ": strided access reaches negative addresses");
-    stats_.inc("accesses");
-    stats_.inc("bytes", static_cast<double>(count * elem_bytes));
+    accessesStat_ += 1.0;
+    bytesStat_ += static_cast<double>(count * elem_bytes);
 
-    std::vector<double> per_channel(channels_.size(), 0.0);
+    std::fill(scratch_.begin(), scratch_.end(), 0.0);
     for (std::int64_t i = 0; i < count; ++i) {
         std::int64_t addr = base + i * stride;
-        per_channel[channelOf(addr)] += static_cast<double>(elem_bytes);
+        scratch_[channelOf(addr)] += static_cast<double>(elem_bytes);
     }
-    split(per_channel, std::move(on_done));
+    sim::Tick done = bookScratch();
+    if (on_done)
+        eq_.schedule(done, std::move(on_done), doneLabel_.c_str());
 }
 
 } // namespace sn40l::mem

@@ -23,7 +23,7 @@ namespace sn40l::mem {
 class InterleavedMemory
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = BandwidthChannel::Callback;
 
     /**
      * @param channels          number of independent channels
@@ -52,6 +52,16 @@ class InterleavedMemory
     void access(std::int64_t addr, double bytes, Callback on_done);
 
     /**
+     * Book a contiguous access on every channel without scheduling a
+     * completion event; @return the tick at which the slowest channel
+     * delivers its last byte (never before now). Channel completion
+     * is closed-form at issue (FIFO serialization per channel), so an
+     * N-channel access needs no join machinery — callers schedule one
+     * event at the returned tick, or fold it into a larger join.
+     */
+    sim::Tick bookAccess(std::int64_t addr, double bytes);
+
+    /**
      * Issue a strided access: @p count elements of @p elem_bytes, with
      * byte stride @p stride from @p base. Strides that are multiples
      * of channels x interleave camp on one channel.
@@ -63,13 +73,18 @@ class InterleavedMemory
     sim::StatSet &stats() { return stats_; }
 
   private:
-    void split(const std::vector<double> &per_channel, Callback on_done);
+    /** Book the per-channel byte shares in scratch_. @return done tick. */
+    sim::Tick bookScratch();
 
     sim::EventQueue &eq_;
     std::string name_;
+    std::string doneLabel_;
     std::int64_t interleaveBytes_;
     std::vector<std::unique_ptr<BandwidthChannel>> channels_;
+    std::vector<double> scratch_; ///< per-channel split, reused per access
     sim::StatSet stats_;
+    double &accessesStat_;
+    double &bytesStat_;
 };
 
 } // namespace sn40l::mem

@@ -135,7 +135,6 @@ MemorySystem::pump()
 void
 MemorySystem::issue(int engine_idx, Job job)
 {
-    issued_.insert(job.id);
     stats_.inc("issued_loads");
     stats_.inc("load_bytes", job.bytes);
     stats_.max("engines_busy_max", [this] {
@@ -146,15 +145,22 @@ MemorySystem::issue(int engine_idx, Job job)
     }());
 
     TransferId id = job.id;
-    engines_[engine_idx]->copy(
-        *ddr_, job.srcAddr, *hbm_, job.dstAddr, job.bytes,
-        [this, id, cb = std::move(job.onDone)]() {
-            issued_.erase(id);
-            stats_.inc("completed_loads");
-            if (cb)
-                cb();
-            pump();
-        });
+    inFlight_.emplace(id, std::move(job.onDone));
+    engines_[engine_idx]->copy(*ddr_, job.srcAddr, *hbm_, job.dstAddr,
+                               job.bytes,
+                               [this, id]() { completeLoad(id); });
+}
+
+void
+MemorySystem::completeLoad(TransferId id)
+{
+    auto it = inFlight_.find(id);
+    Callback cb = std::move(it->second);
+    inFlight_.erase(it);
+    stats_.inc("completed_loads");
+    if (cb)
+        cb();
+    pump();
 }
 
 } // namespace sn40l::mem

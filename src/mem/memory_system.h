@@ -22,8 +22,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -59,7 +59,7 @@ struct MemorySystemConfig
 class MemorySystem
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = DmaEngine::Callback;
 
     MemorySystem(sim::EventQueue &eq, std::string name,
                  const MemorySystemConfig &cfg);
@@ -102,7 +102,7 @@ class MemorySystem
     {
         return static_cast<int>(demandQueue_.size() + prefetchQueue_.size());
     }
-    int loadsInFlight() const { return static_cast<int>(issued_.size()); }
+    int loadsInFlight() const { return static_cast<int>(inFlight_.size()); }
 
     /** Idle-system estimate of one load: slower tier paces the copy. */
     sim::Tick estimateLoad(double bytes) const;
@@ -124,6 +124,7 @@ class MemorySystem
     /** Issue queued jobs onto free engines, demand queue first. */
     void pump();
     void issue(int engine_idx, Job job);
+    void completeLoad(TransferId id);
 
     sim::EventQueue &eq_;
     std::string name_;
@@ -134,7 +135,12 @@ class MemorySystem
     TransferId nextId_ = 1;
     std::deque<Job> demandQueue_;
     std::deque<Job> prefetchQueue_;
-    std::set<TransferId> issued_; ///< on an engine, not yet complete
+    /**
+     * Loads streaming on an engine, with their completion callbacks
+     * parked here so the engine-side completion captures only
+     * {system, id} and stays within the inline callback buffer.
+     */
+    std::map<TransferId, Callback> inFlight_;
 
     sim::StatSet stats_;
 };

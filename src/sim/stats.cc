@@ -2,59 +2,101 @@
 
 #include <algorithm>
 
+#include "sim/log.h"
+
 namespace sn40l::sim {
+
+namespace {
+
+/**
+ * Fixed seed for every reservoir: sub-sampling must be reproducible
+ * run to run, and independent of how many distributions a simulation
+ * happens to construct.
+ */
+constexpr std::uint64_t kReservoirSeed = 0x5eed0fD157ULL;
+
+} // namespace
+
+Distribution::Distribution(std::string name, std::size_t max_exact_samples)
+    : name_(std::move(name)), maxExact_(max_exact_samples),
+      reservoirRng_(kReservoirSeed)
+{
+    if (maxExact_ == 0)
+        fatal("Distribution " + name_ +
+              ": max_exact_samples must be positive");
+}
 
 void
 Distribution::record(double sample)
 {
-    samples_.push_back(sample);
-    sorted_.clear();
+    if (count_ < maxExact_) {
+        samples_.push_back(sample);
+        sortedValid_ = false;
+    } else {
+        // Algorithm R: the n-th sample replaces a uniformly random
+        // reservoir slot with probability maxExact_/n, keeping the
+        // buffer a uniform sample of everything recorded so far.
+        std::uint64_t j = reservoirRng_.uniformInt(count_ + 1);
+        if (j < maxExact_) {
+            samples_[static_cast<std::size_t>(j)] = sample;
+            sortedValid_ = false;
+        }
+    }
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
     sum_ += sample;
 }
 
 double
 Distribution::mean() const
 {
-    return samples_.empty()
-        ? 0.0
-        : sum_ / static_cast<double>(samples_.size());
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 double
 Distribution::min() const
 {
-    return samples_.empty()
-        ? 0.0
-        : *std::min_element(samples_.begin(), samples_.end());
+    return count_ == 0 ? 0.0 : min_;
 }
 
 double
 Distribution::max() const
 {
-    return samples_.empty()
-        ? 0.0
-        : *std::max_element(samples_.begin(), samples_.end());
+    return count_ == 0 ? 0.0 : max_;
 }
 
 double
 Distribution::quantile(double q) const
 {
-    if (samples_.empty())
+    if (q < 0.0 || q > 1.0)
+        fatal("Distribution " + name_ + ": quantile " + std::to_string(q) +
+              " outside [0, 1]");
+    if (count_ == 0)
         return 0.0;
-    if (sorted_.size() != samples_.size()) {
+    if (!sortedValid_) {
         sorted_ = samples_;
         std::sort(sorted_.begin(), sorted_.end());
+        sortedValid_ = true;
     }
     if (q <= 0.0)
-        return sorted_.front();
+        return min();
     if (q >= 1.0)
-        return sorted_.back();
+        return max();
     double rank = q * static_cast<double>(sorted_.size() - 1);
     std::size_t lo = static_cast<std::size_t>(rank);
     double frac = rank - static_cast<double>(lo);
-    if (lo + 1 >= sorted_.size())
-        return sorted_.back();
-    return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+    double value = lo + 1 >= sorted_.size()
+        ? sorted_.back()
+        : sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+    // In reservoir mode the sample can miss the true extremes; the
+    // exact running bounds are always authoritative.
+    return std::clamp(value, min(), max());
 }
 
 void
@@ -62,7 +104,12 @@ Distribution::clear()
 {
     samples_.clear();
     sorted_.clear();
+    sortedValid_ = false;
+    count_ = 0;
     sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    reservoirRng_ = Rng(kReservoirSeed);
 }
 
 void

@@ -17,42 +17,82 @@
 #include <string>
 #include <vector>
 
+#include "sim/rng.h"
+
 namespace sn40l::sim {
 
 /**
  * A recorder for per-event samples (latencies, queue depths, batch
- * sizes) that answers order statistics after the fact. Samples are
- * kept verbatim; quantile() sorts lazily, so recording stays O(1).
+ * sizes) that answers order statistics after the fact.
+ *
+ * Storage is two-mode so million-sample runs stay memory-bounded:
+ *
+ *  - Exact (up to @p max_exact_samples, default 64Ki): every sample is
+ *    kept verbatim and quantile() interpolates between closest ranks,
+ *    exactly as a full sort would. Runs below the threshold are
+ *    bit-identical to the historical all-samples behaviour.
+ *
+ *  - Reservoir (beyond the threshold): the sample buffer becomes a
+ *    fixed-size uniform reservoir (Vitter's Algorithm R, driven by a
+ *    private deterministic Rng) and quantile() answers from it, while
+ *    count/sum/mean/min/max stay exact via running accumulators.
+ *    Memory is O(max_exact_samples) regardless of how many samples
+ *    are recorded.
+ *
+ * Recording is O(1); min()/max()/mean() are O(1); quantile() sorts
+ * lazily and caches the sorted view until the next record().
  */
 class Distribution
 {
   public:
-    explicit Distribution(std::string name = "") : name_(std::move(name)) {}
+    /** Sample count beyond which storage switches to the reservoir. */
+    static constexpr std::size_t kDefaultMaxExactSamples = 65536;
+
+    explicit Distribution(std::string name = "",
+                          std::size_t max_exact_samples =
+                              kDefaultMaxExactSamples);
 
     void record(double sample);
 
-    std::size_t count() const { return samples_.size(); }
+    std::uint64_t count() const { return count_; }
     double sum() const { return sum_; }
     double mean() const;
-    double min() const;
-    double max() const;
+    double min() const; ///< exact running minimum, O(1)
+    double max() const; ///< exact running maximum, O(1)
 
     /**
-     * The @p q quantile (q in [0, 1]) by linear interpolation between
-     * closest ranks; 0.0 when no samples were recorded.
+     * The @p q quantile by linear interpolation between closest ranks;
+     * 0.0 when no samples were recorded. In reservoir mode the result
+     * is an estimate from the uniform sample (clamped to the exact
+     * [min, max]). @p q outside [0, 1] is a caller bug: FatalError.
      */
     double quantile(double q) const;
 
+    /** @return true while every sample is still stored verbatim. */
+    bool exact() const { return count_ <= maxExact_; }
+
     const std::string &name() const { return name_; }
+
+    /**
+     * The stored sample buffer: all samples in exact mode, the
+     * uniform reservoir afterwards. Use count() — not samples().size()
+     * — for the number of recorded samples.
+     */
     const std::vector<double> &samples() const { return samples_; }
 
     void clear();
 
   private:
     std::string name_;
+    std::size_t maxExact_;
     std::vector<double> samples_;
     mutable std::vector<double> sorted_; ///< lazy cache for quantile()
+    mutable bool sortedValid_ = false;
+    std::uint64_t count_ = 0;
     double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    Rng reservoirRng_;
 };
 
 class StatSet
@@ -74,6 +114,16 @@ class StatSet
 
     /** @return true if the stat has ever been touched. */
     bool has(const std::string &name) const;
+
+    /**
+     * Stable reference to the named stat (created at 0). Hot-path
+     * components resolve their counters once at construction and
+     * accumulate through the reference, keeping the map lookup off the
+     * per-event path. References stay valid for the StatSet's lifetime
+     * (clear() empties the map, so don't mix clear() with cached
+     * references).
+     */
+    double &counter(const std::string &name) { return values_[name]; }
 
     const std::string &owner() const { return owner_; }
 

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Small intrusive-list LRU cache used to memoize deterministic but
+ * expensive computations (cost-model pricing of a dataflow-graph
+ * shape). Lookup and insert are O(1) amortized; capacity is fixed and
+ * the least-recently-used entry is evicted on overflow.
+ *
+ * Not thread-safe by itself — wrap with a mutex where callers share an
+ * instance across threads (see coe::CostModelCache).
+ */
+
+#ifndef SN40L_UTIL_LRU_CACHE_H
+#define SN40L_UTIL_LRU_CACHE_H
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace sn40l::util {
+
+template <typename Key, typename Value>
+class LruCache
+{
+  public:
+    explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * @return pointer to the cached value (refreshed to
+     * most-recently-used), or nullptr on miss. The pointer stays valid
+     * until the next insert() or clear().
+     */
+    Value *
+    find(const Key &key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end()) {
+            ++misses_;
+            return nullptr;
+        }
+        ++hits_;
+        order_.splice(order_.begin(), order_, it->second);
+        return &it->second->second;
+    }
+
+    /** Insert (or overwrite) @p key, evicting the LRU entry if full. */
+    void
+    insert(Key key, Value value)
+    {
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            it->second->second = std::move(value);
+            order_.splice(order_.begin(), order_, it->second);
+            return;
+        }
+        if (order_.size() >= capacity_ && capacity_ > 0) {
+            index_.erase(order_.back().first);
+            order_.pop_back();
+        }
+        order_.emplace_front(std::move(key), std::move(value));
+        index_[order_.front().first] = order_.begin();
+    }
+
+    std::size_t size() const { return order_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    void
+    clear()
+    {
+        order_.clear();
+        index_.clear();
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::list<std::pair<Key, Value>> order_; ///< MRU at front
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+        index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace sn40l::util
+
+#endif // SN40L_UTIL_LRU_CACHE_H

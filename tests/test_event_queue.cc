@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -146,6 +147,100 @@ TEST(EventQueue, StepExecutesExactlyOne)
     EXPECT_TRUE(eq.step());
     EXPECT_EQ(fired, 2);
     EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, StaleHandleAfterSlotReuseIsInert)
+{
+    EventQueue eq;
+    int fired_a = 0, fired_b = 0;
+    auto stale = eq.schedule(10, [&]() { ++fired_a; });
+    eq.run();
+    EXPECT_EQ(fired_a, 1);
+    EXPECT_FALSE(stale.pending());
+
+    // The slot is recycled by the next event; the stale handle's
+    // generation no longer matches, so cancelling it must be a no-op
+    // that leaves the new occupant untouched.
+    eq.schedule(20, [&]() { ++fired_b; });
+    EXPECT_FALSE(stale.cancel());
+    EXPECT_FALSE(stale.pending());
+    eq.run();
+    EXPECT_EQ(fired_b, 1);
+}
+
+TEST(EventQueue, StaleHandleAfterCancelledSlotReuseIsInert)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto stale = eq.schedule(10, [&]() { ++fired; });
+    EXPECT_TRUE(stale.cancel());
+    eq.run(); // reaps the cancelled entry, freeing the slot
+
+    eq.schedule(20, [&]() { ++fired; });
+    EXPECT_FALSE(stale.cancel());
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, SameTickFifoSurvivesSlotRecycling)
+{
+    // Scramble the free list with interleaved schedule/cancel/run
+    // cycles, then check that a burst of same-tick events still fires
+    // in scheduling order even though their pooled slots are reused
+    // out of order.
+    EventQueue eq;
+    std::vector<EventQueue::Handle> handles;
+    for (int i = 0; i < 32; ++i)
+        handles.push_back(eq.schedule(5, []() {}));
+    for (int i = 0; i < 32; i += 2)
+        handles[i].cancel();
+    eq.run();
+
+    std::vector<int> order;
+    for (int i = 0; i < 64; ++i)
+        eq.schedule(100, [&order, i]() { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, SlotRecyclingKeepsSlabBounded)
+{
+    // 10k sequential schedule/fire cycles with at most 4 events
+    // pending must not grow the slab past the concurrent working set.
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 10'000; ++i) {
+        for (int j = 0; j < 4; ++j)
+            eq.scheduleIn(j + 1, [&]() { ++fired; });
+        eq.run();
+    }
+    EXPECT_EQ(fired, 40'000u);
+    EXPECT_LE(eq.slabSlots(), 8u);
+}
+
+TEST(EventQueue, CancelReleasesCallbackResources)
+{
+    // A cancelled event's callback is destroyed at cancel time, not
+    // when the tombstone is reaped from the heap.
+    EventQueue eq;
+    auto token = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = token;
+    auto handle = eq.schedule(10, [token]() {});
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+    EXPECT_TRUE(handle.cancel());
+    EXPECT_TRUE(watch.expired());
+    eq.schedule(20, []() {});
+    eq.run();
+}
+
+TEST(EventQueue, DefaultHandleIsInert)
+{
+    EventQueue::Handle h;
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(h.cancel());
 }
 
 TEST(Ticks, UnitConversionsRoundTrip)

@@ -247,6 +247,94 @@ TEST(LegacyAnalytic, BitIdenticalToPreRefactorResults)
     }
 }
 
+/**
+ * The event-driven scheduler must also stay bit-identical across
+ * engine work. These values were captured at full precision from the
+ * engine as of PR 2 (shared_ptr-heap EventQueue, pre-drawn arrival
+ * schedule, O(queue) batch formation); the pooled EventQueue,
+ * closed-form channel booking, chained arrivals, indexed affinity
+ * formation, and cost-model memoization all reproduce them exactly.
+ * Run sizes sit below Distribution's reservoir threshold so quantiles
+ * take the exact path.
+ */
+TEST(StreamScheduler, EventDrivenBitIdenticalToPr2Engine)
+{
+    ServingConfig base;
+    base.mode = ServingMode::EventDriven;
+    base.batch = 8;
+    base.streamRequests = 384;
+    base.arrivalRatePerSec = 16.0;
+    base.routing = RoutingDistribution::Zipf;
+    base.zipfS = 1.2;
+    base.seed = 7;
+
+    {
+        ServingConfig cfg = base;
+        cfg.scheduler = SchedulerPolicy::Fifo;
+        ServingResult r = ServingSimulator(cfg).run();
+        const StreamMetrics &m = r.stream;
+        EXPECT_DOUBLE_EQ(m.p50LatencySeconds, 0.35731539149050001);
+        EXPECT_DOUBLE_EQ(m.p95LatencySeconds, 0.64836733127539981);
+        EXPECT_DOUBLE_EQ(m.p99LatencySeconds, 0.74342659457905025);
+        EXPECT_DOUBLE_EQ(m.meanLatencySeconds, 0.37360555277126578);
+        EXPECT_DOUBLE_EQ(m.maxLatencySeconds, 0.82763664012899996);
+        EXPECT_DOUBLE_EQ(m.throughputRequestsPerSec, 16.516006801146176);
+        EXPECT_DOUBLE_EQ(m.meanQueueDepth, 2.0606680190790523);
+        EXPECT_DOUBLE_EQ(m.meanBatchOccupancy, 3.3684210526315788);
+        EXPECT_DOUBLE_EQ(m.makespanSeconds, 23.250172067824);
+        EXPECT_DOUBLE_EQ(r.missRate, 0.27083333333333331);
+        EXPECT_EQ(m.batches, 114);
+    }
+    {
+        ServingConfig cfg = base;
+        cfg.scheduler = SchedulerPolicy::ExpertAffinity;
+        ServingResult r = ServingSimulator(cfg).run();
+        const StreamMetrics &m = r.stream;
+        EXPECT_DOUBLE_EQ(m.p50LatencySeconds, 0.35731539149050001);
+        EXPECT_DOUBLE_EQ(m.p99LatencySeconds, 0.75591874410116133);
+        EXPECT_DOUBLE_EQ(m.maxLatencySeconds, 0.992359273323);
+        EXPECT_DOUBLE_EQ(m.throughputRequestsPerSec, 16.516006801146176);
+        EXPECT_DOUBLE_EQ(r.missRate, 0.27083333333333331);
+        EXPECT_EQ(m.batches, 114);
+    }
+    {
+        ServingConfig cfg = base;
+        cfg.scheduler = SchedulerPolicy::ExpertAffinity;
+        cfg.predictivePrefetch = true;
+        cfg.prefetchDepth = 4;
+        ServingResult r = ServingSimulator(cfg).run();
+        EXPECT_DOUBLE_EQ(r.stream.p99LatencySeconds,
+                         0.75591874410116133);
+        EXPECT_DOUBLE_EQ(r.missRate, 0.19270833333333334);
+        EXPECT_EQ(r.stream.batches, 114);
+    }
+    {
+        ServingConfig cfg;
+        cfg.mode = ServingMode::EventDriven;
+        cfg.batch = 4;
+        cfg.streamRequests = 256;
+        cfg.arrival = ArrivalProcess::ClosedLoop;
+        cfg.clients = 24;
+        cfg.thinkSeconds = 0.25;
+        cfg.routing = RoutingDistribution::Uniform;
+        cfg.seed = 11;
+        cfg.scheduler = SchedulerPolicy::ExpertAffinity;
+        ServingResult r = ServingSimulator(cfg).run();
+        const StreamMetrics &m = r.stream;
+        EXPECT_DOUBLE_EQ(m.p50LatencySeconds, 1.0710945877325);
+        EXPECT_DOUBLE_EQ(m.p95LatencySeconds, 1.2831636038100001);
+        EXPECT_DOUBLE_EQ(m.p99LatencySeconds, 1.4539057563269999);
+        EXPECT_DOUBLE_EQ(m.meanLatencySeconds, 0.87119944718866449);
+        EXPECT_DOUBLE_EQ(m.throughputRequestsPerSec, 20.957721919665659);
+        EXPECT_DOUBLE_EQ(m.meanQueueDepth, 14.288624085649671);
+        EXPECT_DOUBLE_EQ(m.meanSwitchStallSeconds,
+                         0.0040944381822615381);
+        EXPECT_DOUBLE_EQ(m.p95SwitchStallSeconds, 0.017442405190399999);
+        EXPECT_DOUBLE_EQ(r.missRate, 0.65625);
+        EXPECT_EQ(m.batches, 65);
+    }
+}
+
 TEST(StreamScheduler, RejectsBadStreamConfigs)
 {
     ServingConfig cfg = streamConfig();

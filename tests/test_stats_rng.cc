@@ -2,13 +2,49 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
+#include "sim/log.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 
 using namespace sn40l;
+
+namespace {
+
+/** Deterministic standard normal via Box-Muller on sim::Rng. */
+class NormalDraws
+{
+  public:
+    explicit NormalDraws(std::uint64_t seed) : rng_(seed) {}
+
+    double
+    next()
+    {
+        if (have_) {
+            have_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        while (u1 == 0.0)
+            u1 = rng_.uniformDouble();
+        double u2 = rng_.uniformDouble();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        spare_ = r * std::sin(2.0 * M_PI * u2);
+        have_ = true;
+        return r * std::cos(2.0 * M_PI * u2);
+    }
+
+  private:
+    sim::Rng rng_;
+    double spare_ = 0.0;
+    bool have_ = false;
+};
+
+} // namespace
 
 TEST(StatSet, CountersAccumulate)
 {
@@ -41,6 +77,139 @@ TEST(StatSet, DumpIsSortedAndPrefixed)
     std::ostringstream os;
     stats.dump(os);
     EXPECT_EQ(os.str(), "hbm.alpha 2\nhbm.zeta 1\n");
+}
+
+TEST(Distribution, RunningMinMaxAreExact)
+{
+    sim::Distribution d("lat");
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+    d.record(5.0);
+    d.record(-3.0);
+    d.record(7.5);
+    d.record(1.0);
+    EXPECT_DOUBLE_EQ(d.min(), -3.0);
+    EXPECT_DOUBLE_EQ(d.max(), 7.5);
+    d.clear();
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    d.record(2.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 2.0);
+}
+
+TEST(Distribution, QuantileOutsideUnitIntervalIsFatal)
+{
+    sim::Distribution d("lat");
+    d.record(1.0);
+    d.record(2.0);
+    EXPECT_THROW(d.quantile(-0.01), sim::FatalError);
+    EXPECT_THROW(d.quantile(1.01), sim::FatalError);
+    EXPECT_THROW(d.quantile(2.0), sim::FatalError);
+    // The boundaries themselves stay legal.
+    EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(d.quantile(1.0), 2.0);
+}
+
+TEST(Distribution, ExactModeMatchesUnboundedBelowThreshold)
+{
+    // Below the threshold the bounded distribution must be bit-
+    // identical to one that never switches to the reservoir.
+    sim::Distribution bounded("b", 1024);
+    sim::Distribution unbounded(
+        "u", std::numeric_limits<std::size_t>::max());
+    sim::Rng rng(99);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniformDouble() * 42.0;
+        bounded.record(v);
+        unbounded.record(v);
+    }
+    EXPECT_TRUE(bounded.exact());
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(bounded.quantile(q), unbounded.quantile(q));
+    EXPECT_DOUBLE_EQ(bounded.mean(), unbounded.mean());
+    EXPECT_DOUBLE_EQ(bounded.min(), unbounded.min());
+    EXPECT_DOUBLE_EQ(bounded.max(), unbounded.max());
+}
+
+TEST(Distribution, ReservoirQuantilesTrackLognormalWithinOnePercent)
+{
+    // Latency-like heavy-tailed distribution: lognormal(mu=-1.5,
+    // sigma=0.6). 400k samples through the default 64Ki reservoir vs
+    // the exact path; quantile estimates must stay within 1% relative
+    // error (the draw is deterministic, so this is a regression bound
+    // on sampling quality, not a flaky statistical assertion).
+    const int n = 400'000;
+    sim::Distribution bounded("b");
+    sim::Distribution exact("e",
+                            std::numeric_limits<std::size_t>::max());
+    NormalDraws normal(2024);
+    for (int i = 0; i < n; ++i) {
+        double v = std::exp(-1.5 + 0.6 * normal.next());
+        bounded.record(v);
+        exact.record(v);
+    }
+    EXPECT_FALSE(bounded.exact());
+    EXPECT_EQ(bounded.count(), static_cast<std::uint64_t>(n));
+    EXPECT_LE(bounded.samples().size(),
+              sim::Distribution::kDefaultMaxExactSamples);
+    // Mean/min/max/count stay exact regardless of mode.
+    EXPECT_DOUBLE_EQ(bounded.mean(), exact.mean());
+    EXPECT_DOUBLE_EQ(bounded.min(), exact.min());
+    EXPECT_DOUBLE_EQ(bounded.max(), exact.max());
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        double est = bounded.quantile(q);
+        double ref = exact.quantile(q);
+        EXPECT_NEAR(est, ref, 0.01 * ref)
+            << "q=" << q << " est=" << est << " ref=" << ref;
+    }
+}
+
+TEST(Distribution, ReservoirQuantilesTrackBimodalWithinOnePercent)
+{
+    // Bimodal mix (cache hit vs miss latencies): 80% around 10ms, 20%
+    // around 250ms.
+    const int n = 300'000;
+    sim::Distribution bounded("b", 32768);
+    sim::Distribution exact("e",
+                            std::numeric_limits<std::size_t>::max());
+    NormalDraws normal(77);
+    sim::Rng pick(42);
+    for (int i = 0; i < n; ++i) {
+        double v = pick.uniformDouble() < 0.8
+            ? 0.010 + 0.001 * normal.next()
+            : 0.250 + 0.020 * normal.next();
+        bounded.record(v);
+        exact.record(v);
+    }
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        double est = bounded.quantile(q);
+        double ref = exact.quantile(q);
+        EXPECT_NEAR(est, ref, 0.01 * std::abs(ref))
+            << "q=" << q << " est=" << est << " ref=" << ref;
+    }
+}
+
+TEST(Distribution, ReservoirIsDeterministic)
+{
+    sim::Distribution a("a", 256), b("b", 256);
+    sim::Rng ra(5), rb(5);
+    for (int i = 0; i < 10'000; ++i) {
+        a.record(ra.uniformDouble());
+        b.record(rb.uniformDouble());
+    }
+    for (double q : {0.5, 0.95, 0.99})
+        EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q));
+}
+
+TEST(StatSet, CounterReferenceIsStable)
+{
+    sim::StatSet stats("hot");
+    double &bytes = stats.counter("bytes");
+    bytes += 128;
+    stats.inc("other", 1); // map growth must not invalidate the ref
+    bytes += 72;
+    EXPECT_DOUBLE_EQ(stats.get("bytes"), 200.0);
+    EXPECT_TRUE(stats.has("bytes"));
 }
 
 TEST(Rng, DeterministicForSameSeed)

@@ -24,13 +24,18 @@
  * `sn40l_run serve --help` documents every serve flag.
  */
 
+#include <chrono>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
+#include <thread>
 #include <vector>
 
 #include "coe/serving.h"
+#include "coe/sweep.h"
 #include "models/model_zoo.h"
 #include "runtime/runner.h"
 #include "runtime/trace.h"
@@ -104,11 +109,52 @@ serveHelp(std::ostream &os)
        << "                        experts stream at low DMA priority\n"
        << "  --prefetch-depth N    max outstanding prefetches (requires\n"
        << "                        --prefetch; default 4)\n"
+       << "  --prefetch-window N   queued requests the prefetcher\n"
+       << "                        inspects per decision (0 = whole\n"
+       << "                        queue, the default; bound it for\n"
+       << "                        overloaded runs)\n"
        << "  --dma-engines N       DMA engines streaming experts "
        << "(default 2)\n"
        << "  --expert-region-gb G  HBM expert-region size in GB "
        << "(default:\n"
        << "                        platform HBM minus router/KV reserve)\n";
+}
+
+void
+sweepHelp(std::ostream &os)
+{
+    os << "usage: sn40l_run sweep [flags]\n"
+       << "\n"
+       << "Cartesian sweep of event-driven serving points (experts x\n"
+       << "arrival rates x batch sizes x schedulers x seeds), sharded\n"
+       << "across a thread pool. Every point is an independent\n"
+       << "deterministic simulation with its own event queue, so\n"
+       << "`-j N` produces bit-identical per-point results to `-j 1`.\n"
+       << "\n"
+       << "Axes (comma-separated lists):\n"
+       << "  --experts LIST        e.g. 50,100,150 (default 150)\n"
+       << "  --arrival-rate LIST   req/s, e.g. 8,16,24 (default 8)\n"
+       << "  --batch LIST          max prompts per batch (default 8)\n"
+       << "  --scheduler S         fifo | affinity | both (default both)\n"
+       << "  --seeds LIST          RNG seeds, e.g. 1,2,3 (default 1)\n"
+       << "\n"
+       << "Per-point workload (same meaning as `serve`):\n"
+       << "  --platform P          sn40l | dgx-a100 | dgx-h100\n"
+       << "  --requests N          requests per point (default 512)\n"
+       << "  --tokens N            output tokens per prompt\n"
+       << "  --routing D           uniform | zipf | round-robin\n"
+       << "  --zipf-s S            Zipf skew (requires --routing zipf)\n"
+       << "  --prefetch            speculative prefetch\n"
+       << "  --prefetch-depth N    max outstanding prefetches\n"
+       << "  --prefetch-window N   prefetcher inspection window\n"
+       << "                        (0 = whole queue)\n"
+       << "  --dma-engines N       DMA engines per point\n"
+       << "  --expert-region-gb G  HBM expert-region size in GB\n"
+       << "\n"
+       << "Execution:\n"
+       << "  -j N / --jobs N       worker threads (default: hardware\n"
+       << "                        concurrency)\n"
+       << "  --json FILE           write per-point metrics as JSON\n";
 }
 
 [[noreturn]] void
@@ -119,16 +165,31 @@ usage()
               << "       [--tp N] [--sockets N] [--config "
               << "fused-ho|fused-so|unfused] [--trace FILE]\n"
               << "   or: sn40l_run serve [flags]  "
-              << "(see `sn40l_run serve --help`)\n";
+              << "(see `sn40l_run serve --help`)\n"
+              << "   or: sn40l_run sweep [flags]  "
+              << "(see `sn40l_run sweep --help`)\n";
+    std::exit(1);
+}
+
+[[noreturn]] void
+subcommandError(const std::string &msg, const char *subcommand)
+{
+    std::cerr << "error: " << msg << "\n"
+              << "run `sn40l_run " << subcommand
+              << " --help` for the flag reference\n";
     std::exit(1);
 }
 
 [[noreturn]] void
 serveError(const std::string &msg)
 {
-    std::cerr << "error: " << msg << "\n"
-              << "run `sn40l_run serve --help` for the flag reference\n";
-    std::exit(1);
+    subcommandError(msg, "serve");
+}
+
+[[noreturn]] void
+sweepError(const std::string &msg)
+{
+    subcommandError(msg, "sweep");
 }
 
 /**
@@ -173,6 +234,7 @@ runServe(int argc, char **argv)
 
     bool set_arrival_rate = false, set_clients = false, set_think = false;
     bool set_zipf_s = false, set_prefetch_depth = false;
+    bool set_prefetch_window = false;
 
     std::vector<std::string> args = splitEqualsArgs(argc, argv, 2);
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -218,6 +280,10 @@ runServe(int argc, char **argv)
             cfg.prefetchDepth = std::stoi(next());
             set_prefetch_depth = true;
         }
+        else if (arg == "--prefetch-window") {
+            cfg.prefetchWindow = std::stoi(next());
+            set_prefetch_window = true;
+        }
         else if (arg == "--dma-engines") cfg.dmaEngines = std::stoi(next());
         else if (arg == "--expert-region-gb") {
             double gb = std::stod(next());
@@ -240,6 +306,10 @@ runServe(int argc, char **argv)
         serveError("--zipf-s requires --routing zipf");
     if (set_prefetch_depth && !cfg.predictivePrefetch)
         serveError("--prefetch-depth requires --prefetch");
+    if (set_prefetch_window && !cfg.predictivePrefetch)
+        serveError("--prefetch-window requires --prefetch");
+    if (cfg.prefetchWindow < 0)
+        serveError("--prefetch-window must be non-negative");
     if (cfg.dmaEngines <= 0)
         serveError("--dma-engines must be at least 1");
     if (cfg.prefetchDepth < 0)
@@ -311,6 +381,205 @@ runServe(int argc, char **argv)
     return 0;
 }
 
+template <typename T>
+std::vector<T>
+parseList(const std::string &csv, T (*parse)(const std::string &))
+{
+    std::vector<T> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            sweepError("empty element in list '" + csv + "'");
+        out.push_back(parse(item));
+    }
+    if (out.empty())
+        sweepError("empty list argument");
+    return out;
+}
+
+int
+runSweepCmd(int argc, char **argv)
+{
+    coe::SweepGrid grid;
+    grid.base.mode = coe::ServingMode::EventDriven;
+    grid.base.batch = 8;
+    grid.base.arrivalRatePerSec = 8.0;
+    std::string scheduler_name = "both";
+    std::string json_path;
+    int jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0)
+        jobs = 1;
+    bool set_zipf_s = false, set_prefetch_depth = false;
+    bool set_prefetch_window = false;
+
+    std::vector<std::string> args = splitEqualsArgs(argc, argv, 2);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= args.size())
+                sweepError("flag " + arg + " expects a value");
+            return args[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            sweepHelp(std::cout);
+            return 0;
+        }
+        else if (arg == "--platform")
+            grid.base.platform = platformByName(next());
+        else if (arg == "--experts") {
+            grid.expertCounts = parseList<int>(
+                next(), +[](const std::string &s) { return std::stoi(s); });
+        }
+        else if (arg == "--arrival-rate") {
+            grid.arrivalRates = parseList<double>(
+                next(), +[](const std::string &s) { return std::stod(s); });
+        }
+        else if (arg == "--batch") {
+            grid.batchSizes = parseList<int>(
+                next(), +[](const std::string &s) { return std::stoi(s); });
+        }
+        else if (arg == "--seeds") {
+            grid.seeds = parseList<std::uint64_t>(
+                next(), +[](const std::string &s) {
+                    return static_cast<std::uint64_t>(std::stoull(s));
+                });
+        }
+        else if (arg == "--scheduler") scheduler_name = next();
+        else if (arg == "--requests")
+            grid.base.streamRequests = std::stoi(next());
+        else if (arg == "--tokens") grid.base.outputTokens = std::stoi(next());
+        else if (arg == "--routing")
+            grid.base.routing = coe::routingDistributionFromName(next());
+        else if (arg == "--zipf-s") {
+            grid.base.zipfS = std::stod(next());
+            set_zipf_s = true;
+        }
+        else if (arg == "--prefetch") grid.base.predictivePrefetch = true;
+        else if (arg == "--prefetch-depth") {
+            grid.base.prefetchDepth = std::stoi(next());
+            set_prefetch_depth = true;
+        }
+        else if (arg == "--prefetch-window") {
+            grid.base.prefetchWindow = std::stoi(next());
+            set_prefetch_window = true;
+        }
+        else if (arg == "--dma-engines")
+            grid.base.dmaEngines = std::stoi(next());
+        else if (arg == "--expert-region-gb") {
+            double gb = std::stod(next());
+            if (gb <= 0.0)
+                sweepError("--expert-region-gb must be positive");
+            grid.base.expertRegionBytes =
+                static_cast<std::int64_t>(gb * 1e9);
+        }
+        else if (arg == "-j" || arg == "--jobs") jobs = std::stoi(next());
+        else if (arg == "--json") json_path = next();
+        else sweepError("unknown sweep flag '" + arg + "'");
+    }
+
+    if (set_zipf_s && grid.base.routing != coe::RoutingDistribution::Zipf)
+        sweepError("--zipf-s requires --routing zipf");
+    if (set_prefetch_depth && !grid.base.predictivePrefetch)
+        sweepError("--prefetch-depth requires --prefetch");
+    if (set_prefetch_window && !grid.base.predictivePrefetch)
+        sweepError("--prefetch-window requires --prefetch");
+    if (grid.base.prefetchWindow < 0)
+        sweepError("--prefetch-window must be non-negative");
+    if (jobs <= 0)
+        sweepError("--jobs must be at least 1");
+
+    if (scheduler_name == "both") {
+        grid.policies = {coe::SchedulerPolicy::Fifo,
+                         coe::SchedulerPolicy::ExpertAffinity};
+    } else {
+        grid.policies = {coe::schedulerPolicyFromName(scheduler_name)};
+    }
+
+    std::vector<coe::SweepPoint> points = grid.points();
+    std::cout << "CoE sweep on " << coe::platformName(grid.base.platform)
+              << ": " << points.size() << " points x "
+              << grid.base.streamRequests << " requests, " << jobs
+              << " worker thread" << (jobs == 1 ? "" : "s") << "\n\n";
+
+    auto start = std::chrono::steady_clock::now();
+    std::vector<coe::SweepPointResult> results =
+        coe::runSweep(points, jobs);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    util::Table table({"Experts", "Rate", "Batch", "Sched", "Seed", "p50",
+                       "p95", "p99", "Throughput", "Miss rate", "Events"});
+    std::uint64_t total_events = 0;
+    for (const coe::SweepPointResult &r : results) {
+        const coe::ServingConfig &cfg = r.point.cfg;
+        if (r.result.oom) {
+            table.addRow({std::to_string(cfg.numExperts),
+                          util::formatDouble(cfg.arrivalRatePerSec, 1),
+                          std::to_string(cfg.batch),
+                          coe::schedulerPolicyName(cfg.scheduler),
+                          std::to_string(cfg.seed), "-", "-", "-",
+                          "OUT OF MEMORY", "-", "-"});
+            continue;
+        }
+        const coe::StreamMetrics &m = r.result.stream;
+        total_events += r.eventsExecuted;
+        table.addRow({std::to_string(cfg.numExperts),
+                      util::formatDouble(cfg.arrivalRatePerSec, 1),
+                      std::to_string(cfg.batch),
+                      coe::schedulerPolicyName(cfg.scheduler),
+                      std::to_string(cfg.seed),
+                      util::formatSeconds(m.p50LatencySeconds),
+                      util::formatSeconds(m.p95LatencySeconds),
+                      util::formatSeconds(m.p99LatencySeconds),
+                      util::formatDouble(m.throughputRequestsPerSec, 2) +
+                          " req/s",
+                      util::formatDouble(r.result.missRate * 100, 1) + "%",
+                      std::to_string(r.eventsExecuted)});
+    }
+    table.print(std::cout);
+    std::cout << "\n" << points.size() << " points, " << total_events
+              << " simulator events in " << util::formatDouble(wall, 2)
+              << " s ("
+              << util::formatDouble(
+                     wall > 0.0 ? static_cast<double>(total_events) / wall
+                                : 0.0,
+                     0)
+              << " events/s across " << jobs << " threads)\n";
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            sweepError("cannot write " + json_path);
+        out << "{\n  \"points\": [\n";
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const coe::SweepPointResult &r = results[i];
+            const coe::ServingConfig &cfg = r.point.cfg;
+            const coe::StreamMetrics &m = r.result.stream;
+            out << "    {\"experts\": " << cfg.numExperts
+                << ", \"arrival_rate\": " << cfg.arrivalRatePerSec
+                << ", \"batch\": " << cfg.batch << ", \"scheduler\": \""
+                << coe::schedulerPolicyName(cfg.scheduler)
+                << "\", \"seed\": " << cfg.seed
+                << ", \"oom\": " << (r.result.oom ? "true" : "false")
+                << ", \"p50_s\": " << m.p50LatencySeconds
+                << ", \"p95_s\": " << m.p95LatencySeconds
+                << ", \"p99_s\": " << m.p99LatencySeconds
+                << ", \"mean_s\": " << m.meanLatencySeconds
+                << ", \"throughput_rps\": " << m.throughputRequestsPerSec
+                << ", \"miss_rate\": " << r.result.missRate
+                << ", \"events\": " << r.eventsExecuted
+                << ", \"wall_s\": " << r.wallSeconds << "}"
+                << (i + 1 < results.size() ? "," : "") << "\n";
+        }
+        out << "  ],\n  \"jobs\": " << jobs
+            << ",\n  \"wall_s\": " << wall << "\n}\n";
+        std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -318,6 +587,8 @@ run(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
         return runServe(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
+        return runSweepCmd(argc, argv);
 
     std::string model_name = "llama2-7b";
     std::string phase_name = "decode";
