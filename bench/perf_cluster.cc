@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cluster-simulation performance harness (not a paper figure):
+ * measures how fast the multi-node ClusterSimulator runs, mirroring
+ * bench/perf_serving for the single-node engine. Cluster runs put N
+ * per-node serving stacks on ONE shared EventQueue, so this is the
+ * regression gate for the dispatch layer and the shared-queue
+ * scalability of the engine.
+ *
+ * Workload: 4 SN40L nodes, Zipf(1.0) over 150 experts, replicate-hot
+ * placement, least-outstanding dispatch, near-saturation open-loop
+ * arrivals — the configuration cluster studies sweep.
+ *
+ * Emits BENCH_cluster.json. With --floor FILE, exits non-zero if
+ * cluster events/sec falls below 80% of the checked-in floor — the CI
+ * regression gate (see bench/perf_cluster_floor.json).
+ *
+ *   perf_cluster [--smoke] [--requests N] [--nodes N] [--json FILE]
+ *                [--floor FILE]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "coe/cluster.h"
+#include "perf_common.h"
+
+using namespace sn40l;
+using bench::jsonNumber;
+using bench::peakRssBytes;
+using bench::wallSeconds;
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    int requests = 400'000;
+    bool requests_set = false;
+    int nodes = 4;
+    std::string json_path = "BENCH_cluster.json";
+    std::string floor_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "perf_cluster: " << arg << " expects a value\n";
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--smoke") smoke = true;
+        else if (arg == "--requests") {
+            requests = std::stoi(next());
+            requests_set = true;
+        }
+        else if (arg == "--nodes") nodes = std::stoi(next());
+        else if (arg == "--json") json_path = next();
+        else if (arg == "--floor") floor_path = next();
+        else {
+            std::cerr << "usage: perf_cluster [--smoke] [--requests N] "
+                      << "[--nodes N] [--json FILE] [--floor FILE]\n";
+            return 1;
+        }
+    }
+    if (smoke && !requests_set)
+        requests = 20'000;
+
+    coe::ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.placement = coe::PlacementPolicy::ReplicateHotPartitionCold;
+    cfg.dispatch = coe::DispatchPolicy::LeastOutstanding;
+    cfg.hotExperts = 15;
+    cfg.node.mode = coe::ServingMode::EventDriven;
+    cfg.node.numExperts = 150;
+    cfg.node.batch = 8;
+    cfg.node.streamRequests = requests;
+    // Near saturation per node so queues stay live without growing
+    // unbounded; Zipf routing exercises LRU + dispatch eligibility.
+    cfg.node.arrivalRatePerSec = 16.0 * nodes;
+    cfg.node.routing = coe::RoutingDistribution::Zipf;
+    cfg.node.zipfS = 1.0;
+    cfg.node.scheduler = coe::SchedulerPolicy::ExpertAffinity;
+    cfg.node.seed = 1;
+
+    coe::ClusterSimulator sim(cfg);
+    auto start = std::chrono::steady_clock::now();
+    coe::ClusterResult result = sim.run();
+    double wall = wallSeconds(start);
+
+    if (result.oom || result.stream.completed != requests) {
+        std::cerr << "perf_cluster: cluster run did not complete\n";
+        return 1;
+    }
+
+    double events_per_sec = wall > 0.0
+        ? static_cast<double>(result.stream.eventsExecuted) / wall
+        : 0.0;
+    double requests_per_sec =
+        wall > 0.0 ? static_cast<double>(requests) / wall : 0.0;
+    std::int64_t rss = peakRssBytes();
+
+    std::cout << "cluster: " << nodes << " nodes, " << requests
+              << " requests, " << result.stream.eventsExecuted
+              << " events in " << wall << " s\n"
+              << "  " << static_cast<std::uint64_t>(events_per_sec)
+              << " events/s, "
+              << static_cast<std::uint64_t>(requests_per_sec)
+              << " requests/s, peak RSS " << rss / (1 << 20)
+              << " MiB, imbalance " << result.loadImbalance << "\n";
+
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"perf_cluster\",\n"
+        << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+        << "  \"nodes\": " << nodes << ",\n"
+        << "  \"requests\": " << requests << ",\n"
+        << "  \"wall_seconds\": " << wall << ",\n"
+        << "  \"events_executed\": " << result.stream.eventsExecuted
+        << ",\n"
+        << "  \"events_per_sec\": " << events_per_sec << ",\n"
+        << "  \"requests_per_sec\": " << requests_per_sec << ",\n"
+        << "  \"load_imbalance\": " << result.loadImbalance << ",\n"
+        << "  \"peak_rss_bytes\": " << rss << "\n"
+        << "}\n";
+    std::cout << "wrote " << json_path << "\n";
+
+    if (!floor_path.empty()) {
+        double floor =
+            jsonNumber("perf_cluster", floor_path, "events_per_sec");
+        double gate = 0.8 * floor; // fail on >20% regression vs floor
+        if (events_per_sec < gate) {
+            std::cerr << "perf_cluster: REGRESSION: " << events_per_sec
+                      << " events/s < gate " << gate << " (floor " << floor
+                      << " from " << floor_path << ")\n";
+            return 1;
+        }
+        std::cout << "floor check passed: " << events_per_sec
+                  << " events/s >= gate " << gate << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Helpers shared by the perf harnesses (perf_serving, perf_cluster):
+ * wall-clock timing, peak-RSS readout, and the minimal JSON number
+ * extraction the CI floor gates use. One copy, so portability fixes
+ * (e.g. ru_maxrss units) and parser hardening apply to every gate.
+ */
+
+#ifndef SN40L_BENCH_PERF_COMMON_H
+#define SN40L_BENCH_PERF_COMMON_H
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sn40l::bench {
+
+inline double
+wallSeconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+inline std::int64_t
+peakRssBytes()
+{
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return static_cast<std::int64_t>(usage.ru_maxrss) * 1024; // Linux: KiB
+}
+
+/** Minimal parse of "key": value out of a small JSON file. */
+inline double
+jsonNumber(const char *prog, const std::string &path,
+           const std::string &key)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << prog << ": cannot read " << path << "\n";
+        std::exit(1);
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    std::string needle = "\"" + key + "\"";
+    auto pos = text.find(needle);
+    if (pos == std::string::npos) {
+        std::cerr << prog << ": no \"" << key << "\" in " << path << "\n";
+        std::exit(1);
+    }
+    pos = text.find(':', pos);
+    return std::stod(text.substr(pos + 1));
+}
+
+} // namespace sn40l::bench
+
+#endif // SN40L_BENCH_PERF_COMMON_H

@@ -21,39 +21,23 @@
  *   perf_serving [--smoke] [--requests N] [--json FILE] [--floor FILE]
  */
 
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <functional>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "coe/serving.h"
+#include "perf_common.h"
 #include "sim/event_queue.h"
 
 using namespace sn40l;
+using bench::jsonNumber;
+using bench::peakRssBytes;
+using bench::wallSeconds;
 
 namespace {
-
-double
-wallSeconds(std::chrono::steady_clock::time_point start)
-{
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
-}
-
-std::int64_t
-peakRssBytes()
-{
-    struct rusage usage;
-    if (getrusage(RUSAGE_SELF, &usage) != 0)
-        return 0;
-    return static_cast<std::int64_t>(usage.ru_maxrss) * 1024; // Linux: KiB
-}
 
 /**
  * Raw event-core throughput: K concurrent self-rescheduling chains
@@ -80,29 +64,6 @@ coreEventsPerSec(std::uint64_t events)
     eq.run();
     double wall = wallSeconds(start);
     return wall > 0.0 ? static_cast<double>(fired) / wall : 0.0;
-}
-
-/** Minimal parse of "key": value out of a small JSON file. */
-double
-jsonNumber(const std::string &path, const std::string &key)
-{
-    std::ifstream in(path);
-    if (!in) {
-        std::cerr << "perf_serving: cannot read " << path << "\n";
-        std::exit(1);
-    }
-    std::stringstream ss;
-    ss << in.rdbuf();
-    std::string text = ss.str();
-    std::string needle = "\"" + key + "\"";
-    auto pos = text.find(needle);
-    if (pos == std::string::npos) {
-        std::cerr << "perf_serving: no \"" << key << "\" in " << path
-                  << "\n";
-        std::exit(1);
-    }
-    pos = text.find(':', pos);
-    return std::stod(text.substr(pos + 1));
 }
 
 } // namespace
@@ -202,7 +163,8 @@ main(int argc, char **argv)
     std::cout << "wrote " << json_path << "\n";
 
     if (!floor_path.empty()) {
-        double floor = jsonNumber(floor_path, "events_per_sec");
+        double floor =
+            jsonNumber("perf_serving", floor_path, "events_per_sec");
         double gate = 0.8 * floor; // fail on >20% regression vs floor
         if (events_per_sec < gate) {
             std::cerr << "perf_serving: REGRESSION: " << events_per_sec

@@ -1,0 +1,549 @@
+#include "coe/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "coe/serving_engine.h"
+#include "sim/log.h"
+#include "sim/rng.h"
+#include "sim/ticks.h"
+
+namespace sn40l::coe {
+
+const char *
+dispatchPolicyName(DispatchPolicy policy)
+{
+    switch (policy) {
+      case DispatchPolicy::RoundRobin: return "round-robin";
+      case DispatchPolicy::LeastOutstanding: return "least-outstanding";
+      case DispatchPolicy::ExpertAffinity: return "expert-affinity";
+    }
+    sim::panic("dispatchPolicyName: unknown policy");
+}
+
+DispatchPolicy
+dispatchPolicyFromName(const std::string &name)
+{
+    if (name == "round-robin" || name == "rr")
+        return DispatchPolicy::RoundRobin;
+    if (name == "least-outstanding" || name == "least")
+        return DispatchPolicy::LeastOutstanding;
+    if (name == "expert-affinity" || name == "affinity")
+        return DispatchPolicy::ExpertAffinity;
+    sim::fatal("unknown dispatch policy '" + name +
+               "' (expected round-robin, least-outstanding, or "
+               "expert-affinity)");
+}
+
+const char *
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::FullReplication: return "replication";
+      case PlacementPolicy::ReplicateHotPartitionCold:
+          return "replicate-hot";
+      case PlacementPolicy::BalancedPartition: return "partition";
+    }
+    sim::panic("placementPolicyName: unknown policy");
+}
+
+PlacementPolicy
+placementPolicyFromName(const std::string &name)
+{
+    if (name == "replication" || name == "full-replication")
+        return PlacementPolicy::FullReplication;
+    if (name == "replicate-hot" || name == "hot")
+        return PlacementPolicy::ReplicateHotPartitionCold;
+    if (name == "partition" || name == "balanced-partition")
+        return PlacementPolicy::BalancedPartition;
+    sim::fatal("unknown placement policy '" + name +
+               "' (expected replication, replicate-hot, or partition)");
+}
+
+ExpertPlacement
+makePlacement(PlacementPolicy policy, int experts, int nodes,
+              int hot_experts)
+{
+    if (experts <= 0 || nodes <= 0)
+        sim::fatal("makePlacement: non-positive expert or node count");
+    ExpertPlacement p;
+    p.hostsOfExpert.resize(static_cast<std::size_t>(experts));
+    p.expertsOfNode.resize(static_cast<std::size_t>(nodes));
+    auto place = [&p](int e, int n) {
+        p.hostsOfExpert[static_cast<std::size_t>(e)].push_back(n);
+        p.expertsOfNode[static_cast<std::size_t>(n)].push_back(e);
+        ++p.replicas;
+    };
+    switch (policy) {
+      case PlacementPolicy::FullReplication:
+        for (int e = 0; e < experts; ++e)
+            for (int n = 0; n < nodes; ++n)
+                place(e, n);
+        break;
+      case PlacementPolicy::BalancedPartition:
+        for (int e = 0; e < experts; ++e)
+            place(e, e % nodes);
+        break;
+      case PlacementPolicy::ReplicateHotPartitionCold: {
+        int hot = hot_experts > 0 ? std::min(hot_experts, experts)
+                                  : std::max(1, experts / 10);
+        for (int e = 0; e < hot; ++e)
+            for (int n = 0; n < nodes; ++n)
+                place(e, n);
+        // Cold tail sharded round-robin; id order is popularity order
+        // under Zipf routing, so the shards stay load-balanced.
+        for (int e = hot; e < experts; ++e)
+            place(e, e % nodes);
+        break;
+      }
+    }
+    return p;
+}
+
+namespace {
+
+/** SplitMix64 finalizer — the consistent-hash ring's hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Consistent-hash ring over the node set. Every node contributes
+ * kVirtualPoints points; an expert hashes to a ring position and
+ * walks clockwise to the first eligible node. Because the ring is
+ * built once over ALL nodes, removing a node (drain) only moves the
+ * experts that lived on it — everyone else keeps their home node.
+ */
+class HashRing
+{
+  public:
+    explicit HashRing(int nodes)
+    {
+        constexpr int kVirtualPoints = 16;
+        points_.reserve(static_cast<std::size_t>(nodes) * kVirtualPoints);
+        for (int n = 0; n < nodes; ++n)
+            for (int v = 0; v < kVirtualPoints; ++v)
+                points_.emplace_back(
+                    mix64((static_cast<std::uint64_t>(n) << 32) |
+                          static_cast<std::uint64_t>(v)),
+                    n);
+        std::sort(points_.begin(), points_.end());
+    }
+
+    /** First eligible node clockwise of @p expert's hash, or -1. */
+    int
+    lookup(int expert, const std::vector<char> &eligible) const
+    {
+        std::uint64_t h =
+            mix64(0xc0e5e4f1ull ^ static_cast<std::uint64_t>(expert));
+        auto it = std::lower_bound(
+            points_.begin(), points_.end(),
+            std::make_pair(h, -1));
+        for (std::size_t walked = 0; walked < points_.size(); ++walked) {
+            if (it == points_.end())
+                it = points_.begin();
+            if (eligible[static_cast<std::size_t>(it->second)])
+                return it->second;
+            ++it;
+        }
+        return -1;
+    }
+
+  private:
+    std::vector<std::pair<std::uint64_t, int>> points_;
+};
+
+} // namespace
+
+ClusterSimulator::ClusterSimulator(ClusterConfig cfg) : cfg_(std::move(cfg))
+{
+    cfg_.node.mode = ServingMode::EventDriven;
+    validateServingConfig(cfg_.node);
+
+    if (cfg_.nodes <= 0)
+        sim::fatal("ClusterConfig: need at least one node");
+    if (cfg_.hotExperts < 0)
+        sim::fatal("ClusterConfig: negative hotExperts");
+    if (cfg_.hotExperts > cfg_.node.numExperts)
+        sim::fatal("ClusterConfig: hotExperts exceeds the expert count");
+    if (cfg_.drainAtSeconds < 0.0 || cfg_.rejoinAtSeconds < 0.0)
+        sim::fatal("ClusterConfig: negative drain/rejoin time");
+    if (cfg_.drainAtSeconds > 0.0) {
+        if (cfg_.nodes < 2)
+            sim::fatal("ClusterConfig: draining needs at least 2 nodes "
+                       "(requests must have somewhere to go)");
+        if (cfg_.drainNode < 0 || cfg_.drainNode >= cfg_.nodes)
+            sim::fatal("ClusterConfig: drainNode out of range");
+        if (cfg_.rejoinAtSeconds > 0.0 &&
+            cfg_.rejoinAtSeconds <= cfg_.drainAtSeconds)
+            sim::fatal("ClusterConfig: rejoin must come after the drain");
+    } else if (cfg_.rejoinAtSeconds > 0.0) {
+        sim::fatal("ClusterConfig: rejoin without a drain");
+    }
+    if (cfg_.diurnalAmplitude < 0.0 || cfg_.diurnalAmplitude >= 1.0)
+        sim::fatal("ClusterConfig: diurnal amplitude must be in [0, 1)");
+    if (cfg_.diurnalAmplitude > 0.0) {
+        if (cfg_.node.arrival != ArrivalProcess::Poisson)
+            sim::fatal("ClusterConfig: diurnal ramp modulates the "
+                       "open-loop Poisson rate; it cannot be combined "
+                       "with a closed loop");
+        if (cfg_.diurnalPeriodSeconds <= 0.0)
+            sim::fatal("ClusterConfig: non-positive diurnal period");
+    }
+    for (const ClusterNodeOverride &o : cfg_.overrides) {
+        if (o.node < 0 || o.node >= cfg_.nodes)
+            sim::fatal("ClusterConfig: override for out-of-range node " +
+                       std::to_string(o.node));
+        if (o.dmaEngines < 0 || o.expertRegionBytes < 0)
+            sim::fatal("ClusterConfig: negative override value");
+    }
+
+    costs_ = computePhaseCosts(cfg_.node);
+    if (cfg_.node.expertRegionBytes > 0)
+        costs_.expertRegionBytes = cfg_.node.expertRegionBytes;
+}
+
+ClusterResult
+ClusterSimulator::run()
+{
+    ClusterResult result;
+    const ServingConfig &base = cfg_.node;
+    const int N = cfg_.nodes;
+
+    ExpertPlacement placement = makePlacement(
+        cfg_.placement, base.numExperts, N, cfg_.hotExperts);
+
+    // Per-node configs and costs with heterogeneous overrides applied.
+    std::vector<ServingConfig> nodeCfg(static_cast<std::size_t>(N), base);
+    std::vector<PhaseCosts> nodeCosts(static_cast<std::size_t>(N), costs_);
+    for (const ClusterNodeOverride &o : cfg_.overrides) {
+        auto n = static_cast<std::size_t>(o.node);
+        if (o.dmaEngines > 0)
+            nodeCfg[n].dmaEngines = o.dmaEngines;
+        if (o.expertRegionBytes > 0)
+            nodeCosts[n].expertRegionBytes = o.expertRegionBytes;
+    }
+
+    // Placement feasibility: every node's placed experts must fit its
+    // DDR backing tier (the single-node OOM check, per shard).
+    ExpertZoo zoo = ExpertZoo::uniform(base.numExperts, base.expertBase);
+    std::vector<double> placedBytes(static_cast<std::size_t>(N), 0.0);
+    for (int n = 0; n < N; ++n) {
+        for (int e : placement.expertsOfNode[static_cast<std::size_t>(n)])
+            placedBytes[static_cast<std::size_t>(n)] +=
+                zoo.expert(e).bytes;
+        if (placedBytes[static_cast<std::size_t>(n)] >
+            nodeCosts[static_cast<std::size_t>(n)].capacityBytes) {
+            result.oom = true;
+            return result;
+        }
+    }
+
+    latency_.clear();
+    stalls_.clear();
+    stats_ = sim::StatSet("cluster");
+
+    sim::EventQueue eq;
+    Router router(base.numExperts, base.routing, base.seed, base.zipfS);
+    sim::Rng arrivals(base.seed ^ 0xa55a5aa5a55a5aa5ULL);
+
+    std::vector<std::unique_ptr<ServingEngine>> engines;
+    engines.reserve(static_cast<std::size_t>(N));
+    for (int n = 0; n < N; ++n) {
+        engines.push_back(std::make_unique<ServingEngine>(
+            eq, nodeCfg[static_cast<std::size_t>(n)],
+            nodeCosts[static_cast<std::size_t>(n)],
+            ExpertZoo::uniform(base.numExperts, base.expertBase)));
+        engines.back()->setMirrors(&latency_, &stalls_);
+    }
+
+    // ---- cluster dispatch ---------------------------------------
+    std::vector<char> live(static_cast<std::size_t>(N), 1);
+    std::vector<char> isCandidate(static_cast<std::size_t>(N), 0);
+    std::vector<std::int64_t> dispatchedTo(static_cast<std::size_t>(N), 0);
+    std::vector<std::int64_t> redispatchedFrom(
+        static_cast<std::size_t>(N), 0);
+    std::int64_t redispatchedTotal = 0;
+    bool nodeWasDrained = false;
+    HashRing ring(N);
+    std::size_t rrCursor = 0;
+    std::vector<int> candidates;
+    candidates.reserve(static_cast<std::size_t>(N));
+
+    auto pickNode = [&](int expert) -> int {
+        candidates.clear();
+        for (int n :
+             placement.hostsOfExpert[static_cast<std::size_t>(expert)])
+            if (live[static_cast<std::size_t>(n)])
+                candidates.push_back(n);
+        if (candidates.empty()) {
+            // Every host of this expert is draining: fall back to any
+            // live node, which demand-streams the expert from its own
+            // DDR copy of the zoo. Counted so studies can see it.
+            stats_.inc("dispatch_fallbacks");
+            for (int n = 0; n < N; ++n)
+                if (live[static_cast<std::size_t>(n)])
+                    candidates.push_back(n);
+        }
+        if (candidates.empty())
+            sim::panic("cluster: no live node to dispatch to");
+        switch (cfg_.dispatch) {
+          case DispatchPolicy::RoundRobin:
+            return candidates[rrCursor++ % candidates.size()];
+          case DispatchPolicy::LeastOutstanding: {
+            int best = candidates.front();
+            std::int64_t best_out =
+                engines[static_cast<std::size_t>(best)]->outstanding();
+            for (std::size_t i = 1; i < candidates.size(); ++i) {
+                int n = candidates[i];
+                std::int64_t out =
+                    engines[static_cast<std::size_t>(n)]->outstanding();
+                if (out < best_out) { // ties keep the lowest node id
+                    best = n;
+                    best_out = out;
+                }
+            }
+            return best;
+          }
+          case DispatchPolicy::ExpertAffinity: {
+            for (int n : candidates)
+                isCandidate[static_cast<std::size_t>(n)] = 1;
+            int n = ring.lookup(expert, isCandidate);
+            for (int c : candidates)
+                isCandidate[static_cast<std::size_t>(c)] = 0;
+            sim::simAssert(n >= 0, "cluster: ring lookup failed");
+            return n;
+          }
+        }
+        sim::panic("cluster: unknown dispatch policy");
+    };
+
+    int injected = 0;
+    sim::Tick firstArrival = -1;
+
+    auto dispatch = [&](int id, int expert, sim::Tick arrival) {
+        int n = pickNode(expert);
+        ++dispatchedTo[static_cast<std::size_t>(n)];
+        engines[static_cast<std::size_t>(n)]->injectAt(id, expert,
+                                                       arrival);
+    };
+    auto injectNew = [&](int id) {
+        if (firstArrival < 0)
+            firstArrival = eq.now();
+        dispatch(id, router.route(), eq.now());
+    };
+
+    // Closed-loop clients are cluster-wide: whichever node finishes a
+    // batch frees that many clients to think and re-issue.
+    for (int n = 0; n < N; ++n) {
+        engines[static_cast<std::size_t>(n)]->setOnBatchComplete(
+            [&](int finished) {
+                if (base.arrival != ArrivalProcess::ClosedLoop)
+                    return;
+                for (int i = 0; i < finished; ++i) {
+                    if (injected >= base.streamRequests)
+                        break;
+                    int id = injected++;
+                    eq.scheduleIn(sim::fromSeconds(base.thinkSeconds),
+                                  [&, id]() { injectNew(id); },
+                                  "coe.arrival");
+                }
+            });
+    }
+
+    // ---- drain / rejoin -----------------------------------------
+    if (cfg_.drainAtSeconds > 0.0) {
+        int d = cfg_.drainNode;
+        eq.schedule(
+            sim::fromSeconds(cfg_.drainAtSeconds),
+            [&, d]() {
+                live[static_cast<std::size_t>(d)] = 0;
+                nodeWasDrained = true;
+                stats_.inc("drain_events");
+                // The executing batch finishes on the draining node;
+                // everything still queued re-dispatches, keeping its
+                // original arrival timestamp so tail latency tells the
+                // truth about the disruption.
+                std::vector<EngineRequest> moved =
+                    engines[static_cast<std::size_t>(d)]->extractQueued();
+                redispatchedFrom[static_cast<std::size_t>(d)] +=
+                    static_cast<std::int64_t>(moved.size());
+                redispatchedTotal +=
+                    static_cast<std::int64_t>(moved.size());
+                for (const EngineRequest &r : moved)
+                    dispatch(r.id, r.expert, r.arrival);
+            },
+            "cluster.drain");
+        if (cfg_.rejoinAtSeconds > 0.0) {
+            eq.schedule(
+                sim::fromSeconds(cfg_.rejoinAtSeconds),
+                [&, d]() {
+                    // Cold rejoin: the resident set is flushed and
+                    // re-warms from live traffic.
+                    engines[static_cast<std::size_t>(d)]->flushResident();
+                    live[static_cast<std::size_t>(d)] = 1;
+                    stats_.inc("rejoin_events");
+                },
+                "cluster.rejoin");
+        }
+    }
+
+    // ---- arrivals -----------------------------------------------
+    // Open loop: chained draws, optionally with a diurnal ramp. With
+    // amplitude 0 the gap sequence is bit-identical to the
+    // single-node simulator's Poisson chain (same Rng, same draws).
+    std::function<void()> next_arrival;
+    double arrival_t = 0.0;
+    next_arrival = [&]() {
+        if (injected >= base.streamRequests)
+            return;
+        double rate = base.arrivalRatePerSec;
+        if (cfg_.diurnalAmplitude > 0.0) {
+            constexpr double kTwoPi = 6.283185307179586476925286766559;
+            rate *= 1.0 + cfg_.diurnalAmplitude *
+                std::sin(kTwoPi * arrival_t /
+                         cfg_.diurnalPeriodSeconds);
+        }
+        arrival_t += -std::log(1.0 - arrivals.uniformDouble()) / rate;
+        int id = injected++;
+        eq.schedule(sim::fromSeconds(arrival_t),
+                    [&, id]() {
+                        next_arrival();
+                        injectNew(id);
+                    },
+                    "coe.arrival");
+    };
+
+    if (base.arrival == ArrivalProcess::Poisson) {
+        next_arrival();
+    } else {
+        int initial = std::min(base.clients, base.streamRequests);
+        for (int i = 0; i < initial; ++i) {
+            int id = injected++;
+            eq.schedule(0, [&, id]() { injectNew(id); }, "coe.arrival");
+        }
+    }
+
+    eq.run();
+
+    std::int64_t completed = 0, batches = 0, misses = 0;
+    double occupancyTotal = 0.0, depthIntegral = 0.0;
+    sim::Tick lastCompletion = 0;
+    for (int n = 0; n < N; ++n) {
+        ServingEngine &e = *engines[static_cast<std::size_t>(n)];
+        sim::simAssert(e.queueDepth() == 0 && !e.busy(),
+                       "cluster: event stream drained with work pending");
+        sim::simAssert(e.memorySystem().queuedLoads() == 0 &&
+                           e.memorySystem().loadsInFlight() == 0,
+                       "cluster: DMA queue drained with transfers pending");
+        completed += e.completedCount();
+        batches += e.batchCount();
+        misses += e.missCount();
+        occupancyTotal += e.occupancyTotal();
+        depthIntegral += e.depthIntegral();
+        lastCompletion = std::max(lastCompletion, e.lastCompletion());
+    }
+    sim::simAssert(completed == base.streamRequests,
+                   "cluster: not every injected request completed");
+
+    double makespan = sim::toSeconds(
+        lastCompletion - std::max<sim::Tick>(firstArrival, 0));
+
+    StreamMetrics &m = result.stream;
+    m.p50LatencySeconds = latency_.quantile(0.50);
+    m.p95LatencySeconds = latency_.quantile(0.95);
+    m.p99LatencySeconds = latency_.quantile(0.99);
+    m.meanLatencySeconds = latency_.mean();
+    m.maxLatencySeconds = latency_.max();
+    m.completed = completed;
+    m.batches = batches;
+    m.meanBatchOccupancy = batches > 0
+        ? occupancyTotal / static_cast<double>(batches)
+        : 0.0;
+    m.makespanSeconds = makespan;
+    if (makespan > 0.0) {
+        m.throughputRequestsPerSec =
+            static_cast<double>(completed) / makespan;
+        m.throughputTokensPerSec = m.throughputRequestsPerSec *
+            static_cast<double>(base.outputTokens);
+        m.meanQueueDepth = depthIntegral / makespan;
+    }
+    m.meanSwitchStallSeconds = stalls_.mean();
+    m.p95SwitchStallSeconds = stalls_.quantile(0.95);
+    m.eventsExecuted = eq.executedCount();
+
+    result.missRate = completed > 0
+        ? static_cast<double>(misses) / static_cast<double>(completed)
+        : 0.0;
+
+    std::int64_t maxCompleted = 0;
+    result.nodes.resize(static_cast<std::size_t>(N));
+    for (int n = 0; n < N; ++n) {
+        ServingEngine &e = *engines[static_cast<std::size_t>(n)];
+        ClusterNodeMetrics &nm =
+            result.nodes[static_cast<std::size_t>(n)];
+        nm.node = n;
+        nm.drained = cfg_.drainAtSeconds > 0.0 && n == cfg_.drainNode &&
+            nodeWasDrained;
+        nm.dispatched = dispatchedTo[static_cast<std::size_t>(n)];
+        nm.redispatched = redispatchedFrom[static_cast<std::size_t>(n)];
+        nm.completed = e.completedCount();
+        nm.batches = e.batchCount();
+        nm.misses = e.missCount();
+        nm.missRate = nm.completed > 0
+            ? static_cast<double>(nm.misses) /
+                static_cast<double>(nm.completed)
+            : 0.0;
+        nm.p50LatencySeconds = e.latency().quantile(0.50);
+        nm.p95LatencySeconds = e.latency().quantile(0.95);
+        nm.meanQueueDepth = makespan > 0.0
+            ? e.depthIntegral() / makespan
+            : 0.0;
+        nm.maxQueueDepth = e.queueDepthMax();
+        nm.placedExperts = static_cast<int>(
+            placement.expertsOfNode[static_cast<std::size_t>(n)].size());
+        nm.placedBytes = placedBytes[static_cast<std::size_t>(n)];
+        nm.peakResidentBytes = e.peakResidentBytes();
+
+        m.maxQueueDepth = std::max(m.maxQueueDepth, e.queueDepthMax());
+        m.prefetchesIssued += static_cast<std::int64_t>(
+            e.stats().get("prefetches_issued"));
+        m.prefetchHits += static_cast<std::int64_t>(
+            e.stats().get("prefetch_hits"));
+        m.prefetchesCancelled += static_cast<std::int64_t>(
+            e.stats().get("prefetches_cancelled"));
+
+        maxCompleted = std::max(maxCompleted, nm.completed);
+        result.placedBytesTotal += nm.placedBytes;
+        result.peakResidentBytesTotal += nm.peakResidentBytes;
+    }
+    double meanCompleted =
+        static_cast<double>(completed) / static_cast<double>(N);
+    result.loadImbalance = meanCompleted > 0.0
+        ? static_cast<double>(maxCompleted) / meanCompleted
+        : 1.0;
+    result.expertReplicas = placement.replicas;
+    result.redispatched = redispatchedTotal;
+
+    stats_.set("completed", static_cast<double>(completed));
+    stats_.set("batches", static_cast<double>(batches));
+    stats_.set("misses", static_cast<double>(misses));
+    stats_.set("redispatched", static_cast<double>(redispatchedTotal));
+    stats_.set("events_executed",
+               static_cast<double>(eq.executedCount()));
+    stats_.set("load_imbalance", result.loadImbalance);
+    stats_.set("expert_replicas",
+               static_cast<double>(placement.replicas));
+
+    return result;
+}
+
+} // namespace sn40l::coe

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Multi-node CoE serving cluster: N per-node serving stacks (each a
+ * ServingEngine with its own CoeRuntime and mem::MemorySystem) on one
+ * shared sim::EventQueue, fronted by a cluster router.
+ *
+ * The paper serves 150 experts from one 8-socket SN40L node; scaling
+ * to "millions of users" means sharding the expert pool across many
+ * nodes, which splits the serving problem into two pluggable
+ * decisions, the regime CoServe (arXiv:2503.02354) studies:
+ *
+ *  - expert *placement*: which nodes may serve which experts. Full
+ *    replication burns HBM on every node but lets any node serve any
+ *    prompt; balanced partition minimizes footprint but funnels each
+ *    expert's traffic to a single node; Zipf-aware replicate-hot /
+ *    partition-cold replicates the head of the popularity curve and
+ *    shards the tail.
+ *
+ *  - request *dispatch*: which hosting node a prompt goes to.
+ *    Round-robin, least-outstanding, or expert-affinity via
+ *    consistent hashing (an expert sticks to its "home" node until
+ *    the node set changes).
+ *
+ * Scenario diversity on top: a node can drain mid-run (its queued
+ * requests re-dispatch to surviving nodes, losing nothing) and rejoin
+ * cold (its resident set flushed, re-warmed from live traffic),
+ * per-node heterogeneous configs, and a diurnal sinusoidal ramp on
+ * the open-loop arrival rate.
+ *
+ * A 1-node cluster with full replication reproduces the single-node
+ * ServingSimulator EventDriven metrics bit-identically — the cluster
+ * is the same engine behind a dispatch layer, not a second simulator.
+ */
+
+#ifndef SN40L_COE_CLUSTER_H
+#define SN40L_COE_CLUSTER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coe/serving.h"
+
+namespace sn40l::coe {
+
+/** How the cluster router picks a hosting node for a prompt. */
+enum class DispatchPolicy {
+    RoundRobin,       ///< cycle through the expert's eligible hosts
+    LeastOutstanding, ///< eligible host with fewest in-flight requests
+    ExpertAffinity,   ///< consistent hashing: stable expert -> node map
+};
+
+const char *dispatchPolicyName(DispatchPolicy policy);
+DispatchPolicy dispatchPolicyFromName(const std::string &name);
+
+/** Which nodes hold (and may serve) each expert. */
+enum class PlacementPolicy {
+    FullReplication,          ///< every expert on every node
+    ReplicateHotPartitionCold, ///< hot head replicated, cold tail sharded
+    BalancedPartition,        ///< every expert on exactly one node
+};
+
+const char *placementPolicyName(PlacementPolicy policy);
+PlacementPolicy placementPolicyFromName(const std::string &name);
+
+/** Per-node overrides for heterogeneous clusters (0 keeps the base). */
+struct ClusterNodeOverride
+{
+    int node = -1;
+    int dmaEngines = 0;
+    std::int64_t expertRegionBytes = 0;
+};
+
+struct ClusterConfig
+{
+    /**
+     * The per-node serving stack (platform, experts, batch, scheduler,
+     * prefetch, arrivals). mode is forced to EventDriven; streamRequests,
+     * routing, and the arrival process are cluster-wide.
+     */
+    ServingConfig node;
+
+    int nodes = 1;
+    DispatchPolicy dispatch = DispatchPolicy::RoundRobin;
+    PlacementPolicy placement = PlacementPolicy::FullReplication;
+
+    /**
+     * Experts replicated on every node under ReplicateHotPartitionCold
+     * (the head of the popularity order); 0 derives numExperts / 10
+     * (at least 1).
+     */
+    int hotExperts = 0;
+
+    /**
+     * Drain scenario: at drainAtSeconds (> 0 enables) drainNode stops
+     * accepting dispatches and its queued requests re-dispatch to the
+     * surviving nodes; at rejoinAtSeconds (> drainAt, 0 = never) it
+     * rejoins cold (resident set flushed). Requires nodes >= 2.
+     */
+    double drainAtSeconds = 0.0;
+    double rejoinAtSeconds = 0.0;
+    int drainNode = 0;
+
+    /**
+     * Diurnal ramp (Poisson arrivals only): the instantaneous rate is
+     * arrivalRatePerSec * (1 + amplitude * sin(2*pi*t / period)).
+     * amplitude in [0, 1); 0 disables.
+     */
+    double diurnalAmplitude = 0.0;
+    double diurnalPeriodSeconds = 86400.0;
+
+    std::vector<ClusterNodeOverride> overrides;
+};
+
+/** Static expert-to-node placement map. */
+struct ExpertPlacement
+{
+    std::vector<std::vector<int>> hostsOfExpert; ///< expert -> node ids
+    std::vector<std::vector<int>> expertsOfNode; ///< node -> expert ids
+    int replicas = 0; ///< total (expert, node) pairs
+};
+
+/**
+ * Build the placement for @p experts experts over @p nodes nodes.
+ * Expert ids are popularity order (Zipf routing makes id 0 hottest);
+ * @p hot_experts only matters for ReplicateHotPartitionCold.
+ */
+ExpertPlacement makePlacement(PlacementPolicy policy, int experts,
+                              int nodes, int hot_experts);
+
+struct ClusterNodeMetrics
+{
+    int node = 0;
+    bool drained = false;       ///< was drained at some point
+    std::int64_t dispatched = 0; ///< requests routed to this node
+    std::int64_t redispatched = 0; ///< drained away before forming
+    std::int64_t completed = 0;
+    std::int64_t batches = 0;
+    std::int64_t misses = 0;
+    double missRate = 0.0;
+    double p50LatencySeconds = 0.0;
+    double p95LatencySeconds = 0.0;
+    double meanQueueDepth = 0.0;
+    double maxQueueDepth = 0.0;
+    int placedExperts = 0;
+    double placedBytes = 0.0;       ///< expert bytes placed on the node
+    std::int64_t peakResidentBytes = 0; ///< HBM high-water mark
+};
+
+struct ClusterResult
+{
+    bool oom = false; ///< some node's placed experts exceed its DDR
+    StreamMetrics stream; ///< cluster-wide (exact merged distributions)
+    double missRate = 0.0;
+    std::vector<ClusterNodeMetrics> nodes;
+
+    /** max / mean completed requests per node (1.0 = perfectly even). */
+    double loadImbalance = 1.0;
+
+    int expertReplicas = 0;       ///< total placed (expert, node) pairs
+    double placedBytesTotal = 0.0; ///< HBM the placement asks for
+    std::int64_t peakResidentBytesTotal = 0; ///< measured HBM high-water
+    std::int64_t redispatched = 0; ///< requests moved by the drain
+};
+
+class ClusterSimulator
+{
+  public:
+    /** Validates the config (FatalError on contradictions). */
+    explicit ClusterSimulator(ClusterConfig cfg);
+
+    ClusterResult run();
+
+    const PhaseCosts &phaseCosts() const { return costs_; }
+
+    /** Cluster-wide per-request latency samples from the last run. */
+    const sim::Distribution &latencySamples() const { return latency_; }
+
+    /** Cluster-wide counters from the last run. */
+    const sim::StatSet &stats() const { return stats_; }
+
+  private:
+    ClusterConfig cfg_;
+    PhaseCosts costs_;
+    sim::Distribution latency_{"cluster_latency"};
+    sim::Distribution stalls_{"cluster_stall"};
+    sim::StatSet stats_{"cluster"};
+};
+
+} // namespace sn40l::coe
+
+#endif // SN40L_COE_CLUSTER_H

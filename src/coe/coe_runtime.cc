@@ -248,6 +248,24 @@ CoeRuntime::completeLoad(int expert_id)
     stats_.inc("loads_completed");
 }
 
+int
+CoeRuntime::flushUnpinned()
+{
+    int dropped = 0;
+    for (auto it = resident_.begin(); it != resident_.end();) {
+        auto cur = it++;
+        if (cur->second.state != ExpertState::Loaded ||
+            cur->second.pins > 0)
+            continue;
+        if (evictionHook_)
+            evictionHook_(cur->first);
+        stats_.inc("flushes");
+        dropEntry(cur);
+        ++dropped;
+    }
+    return dropped;
+}
+
 void
 CoeRuntime::cancelPrefetch(int expert_id)
 {

@@ -121,6 +121,15 @@ class CoeRuntime
     void cancelPrefetch(int expert_id);
 
     /**
+     * Drop every Loaded, unpinned expert (a cold restart: a cluster
+     * node rejoining after a drain re-warms from live traffic).
+     * Loading and PrefetchReserved entries survive — their DMA will
+     * land — as do pinned experts. Fires the eviction hook per drop.
+     * @return the number of experts flushed.
+     */
+    int flushUnpinned();
+
+    /**
      * Pin @p expert_id for an executing batch: pinned experts are
      * never evicted, whatever their LRU position. Pins nest.
      */

@@ -2,13 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <memory>
-#include <set>
-#include <vector>
+#include <functional>
 
 #include "baseline/gpu_executor.h"
 #include "coe/cost_cache.h"
+#include "coe/serving_engine.h"
 #include "runtime/runner.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
@@ -49,46 +47,54 @@ schedulerPolicyFromName(const std::string &name)
                "' (expected fifo or affinity)");
 }
 
-ServingSimulator::ServingSimulator(ServingConfig cfg) : cfg_(std::move(cfg))
+void
+validateServingConfig(const ServingConfig &cfg)
 {
-    if (cfg_.numExperts <= 0 || cfg_.batch <= 0 || cfg_.requests <= 0)
+    if (cfg.numExperts <= 0 || cfg.batch <= 0 || cfg.requests <= 0)
         sim::fatal("ServingConfig: non-positive counts");
-    if (cfg_.mode == ServingMode::EventDriven) {
-        if (cfg_.streamRequests <= 0)
+    if (cfg.mode == ServingMode::EventDriven) {
+        if (cfg.streamRequests <= 0)
             sim::fatal("ServingConfig: non-positive streamRequests");
-        if (cfg_.arrival == ArrivalProcess::Poisson &&
-            cfg_.arrivalRatePerSec <= 0.0)
+        if (cfg.arrival == ArrivalProcess::Poisson &&
+            cfg.arrivalRatePerSec <= 0.0)
             sim::fatal("ServingConfig: non-positive arrival rate");
-        if (cfg_.arrival == ArrivalProcess::ClosedLoop && cfg_.clients <= 0)
+        if (cfg.arrival == ArrivalProcess::ClosedLoop && cfg.clients <= 0)
             sim::fatal("ServingConfig: non-positive client count");
-        if (cfg_.thinkSeconds < 0.0)
+        if (cfg.thinkSeconds < 0.0)
             sim::fatal("ServingConfig: negative think time");
-        if (cfg_.dmaEngines <= 0)
+        if (cfg.dmaEngines <= 0)
             sim::fatal("ServingConfig: need at least one DMA engine");
-        if (cfg_.prefetchDepth < 0)
+        if (cfg.prefetchDepth < 0)
             sim::fatal("ServingConfig: negative prefetch depth");
-        if (cfg_.prefetchWindow < 0)
+        if (cfg.prefetchWindow < 0)
             sim::fatal("ServingConfig: negative prefetch window");
     }
-    if (cfg_.expertRegionBytes < 0)
+    if (cfg.expertRegionBytes < 0)
         sim::fatal("ServingConfig: negative expert region size");
+}
+
+ServingSimulator::ServingSimulator(ServingConfig cfg) : cfg_(std::move(cfg))
+{
+    validateServingConfig(cfg_);
     computeCosts();
     if (cfg_.expertRegionBytes > 0)
         costs_.expertRegionBytes = cfg_.expertRegionBytes;
 }
 
-void
-ServingSimulator::computeCosts()
+PhaseCosts
+computePhaseCosts(const ServingConfig &cfg)
 {
     using models::Phase;
     using models::WorkloadSpec;
 
+    PhaseCosts costs;
+
     WorkloadSpec prefill;
-    prefill.model = cfg_.expertBase;
+    prefill.model = cfg.expertBase;
     prefill.phase = Phase::Prefill;
     prefill.batch = 1;
-    prefill.seqLen = cfg_.promptLen;
-    prefill.tensorParallel = cfg_.tensorParallel;
+    prefill.seqLen = cfg.promptLen;
+    prefill.tensorParallel = cfg.tensorParallel;
 
     WorkloadSpec decode = prefill;
     decode.phase = Phase::Decode;
@@ -96,15 +102,15 @@ ServingSimulator::computeCosts()
     // The router is a 7B specialist: one batched prefill plus one
     // decode step to emit the expert choice.
     WorkloadSpec router_prefill = prefill;
-    router_prefill.batch = cfg_.batch;
+    router_prefill.batch = cfg.batch;
     WorkloadSpec router_decode = decode;
-    router_decode.batch = cfg_.batch;
+    router_decode.batch = cfg.batch;
 
-    double expert_bytes = cfg_.expertBase.weightBytes();
+    double expert_bytes = cfg.expertBase.weightBytes();
 
-    if (cfg_.platform == Platform::Sn40l) {
+    if (cfg.platform == Platform::Sn40l) {
         arch::NodeConfig node =
-            arch::NodeConfig::sn40lNode(cfg_.tensorParallel);
+            arch::NodeConfig::sn40lNode(cfg.tensorParallel);
 
         // Priced through the process-wide memo: a sweep re-prices the
         // same four graph shapes for every (seed, rate, experts)
@@ -115,34 +121,34 @@ ServingSimulator::computeCosts()
                 workloadCostKey("sn40l", spec), [&]() {
                     graph::DataflowGraph g = buildTransformer(spec);
                     return runtime::runWorkload(g, node,
-                                                cfg_.tensorParallel,
+                                                cfg.tensorParallel,
                                                 runtime::RunConfig::FusedHO)
                         .seconds();
                 });
         };
-        costs_.prefillSeconds = seconds(prefill);
-        costs_.decodeSecondsPerToken = seconds(decode);
-        costs_.routerSeconds =
+        costs.prefillSeconds = seconds(prefill);
+        costs.decodeSecondsPerToken = seconds(decode);
+        costs.routerSeconds =
             seconds(router_prefill) + seconds(router_decode);
 
         sim::EventQueue eq;
         runtime::RduNode machine(eq, node);
-        costs_.switchSeconds =
+        costs.switchSeconds =
             sim::toSeconds(machine.estimateDdrToHbm(expert_bytes));
 
         // HBM region for experts: node HBM minus the router's weights
         // and a KV/activation reserve (Fig 9's "Router Region").
-        double reserve = cfg_.expertBase.weightBytes() + 16e9;
-        costs_.expertRegionBytes = static_cast<std::int64_t>(
+        double reserve = cfg.expertBase.weightBytes() + 16e9;
+        costs.expertRegionBytes = static_cast<std::int64_t>(
             static_cast<double>(node.totalHbmBytes()) - reserve);
 
         // Backing capacity: node DDR minus a runtime reserve.
-        costs_.capacityBytes =
+        costs.capacityBytes =
             static_cast<double>(node.totalDdrBytes()) - 256e9;
-        return;
+        return costs;
     }
 
-    baseline::DgxConfig dgx = cfg_.platform == Platform::DgxA100
+    baseline::DgxConfig dgx = cfg.platform == Platform::DgxA100
         ? baseline::DgxConfig::dgxA100()
         : baseline::DgxConfig::dgxH100();
     baseline::GpuExecutor executor(dgx);
@@ -151,29 +157,28 @@ ServingSimulator::computeCosts()
     // memo additionally skips rebuilding the graph on repeat shapes.
     auto seconds = [&](const WorkloadSpec &spec) {
         return CostModelCache::instance().seconds(
-            workloadCostKey(platformName(cfg_.platform), spec), [&]() {
+            workloadCostKey(platformName(cfg.platform), spec), [&]() {
                 return executor.run(buildTransformer(spec)).seconds;
             });
     };
-    costs_.prefillSeconds = seconds(prefill);
-    costs_.decodeSecondsPerToken = seconds(decode);
-    costs_.routerSeconds = seconds(router_prefill) + seconds(router_decode);
+    costs.prefillSeconds = seconds(prefill);
+    costs.decodeSecondsPerToken = seconds(decode);
+    costs.routerSeconds = seconds(router_prefill) + seconds(router_decode);
 
     // Expert switch: host DRAM -> GPU HBM over the host link.
-    costs_.switchSeconds = expert_bytes / dgx.hostToGpuBandwidth;
-    costs_.expertRegionBytes = dgx.usableHbmBytes();
-    costs_.capacityBytes =
+    costs.switchSeconds = expert_bytes / dgx.hostToGpuBandwidth;
+    costs.expertRegionBytes = dgx.usableHbmBytes();
+    costs.capacityBytes =
         static_cast<double>(dgx.expertCapacityBytes());
+    return costs;
 }
 
-namespace {
+void
+ServingSimulator::computeCosts()
+{
+    costs_ = computePhaseCosts(cfg_);
+}
 
-/**
- * Shape the three-tier memory system after the serving platform: the
- * SN40L streams experts from node DDR (one DDR and one HBM channel
- * group per socket), the DGX baselines from host DRAM over the single
- * host link into the GPUs' pooled HBM.
- */
 mem::MemorySystemConfig
 platformMemoryConfig(const ServingConfig &cfg)
 {
@@ -204,8 +209,6 @@ platformMemoryConfig(const ServingConfig &cfg)
     }
     return m;
 }
-
-} // namespace
 
 ServingResult
 ServingSimulator::run()
@@ -274,26 +277,6 @@ ServingSimulator::runAnalytic()
     return result;
 }
 
-namespace {
-
-/** One in-flight prompt in the event-driven stream. */
-struct StreamRequest
-{
-    int id = 0;
-    sim::Tick arrival = 0;
-    int expert = 0;
-    /**
-     * Batch-formation count at enqueue time. A request's age in
-     * batches (the affinity starvation guard) is derived as
-     * "formations completed since" instead of bumping a counter on
-     * every queued request per batch — the bump was O(queue) per
-     * batch and made overloaded runs quadratic.
-     */
-    std::int64_t enqueuedAtBatch = 0;
-};
-
-} // namespace
-
 ServingResult
 ServingSimulator::runEventDriven()
 {
@@ -309,464 +292,30 @@ ServingSimulator::runEventDriven()
         return result;
     }
 
-    // A batch pins its experts for the whole execution, and issued
-    // prefetches are unevictable while streaming; the region must be
-    // able to hold that concurrent working set or demand activation
-    // deadlocks.
-    int pinnable = cfg_.batch +
-        (cfg_.predictivePrefetch ? cfg_.dmaEngines : 0);
-    if (result.residentCapacityExperts < pinnable)
-        sim::fatal("ServingConfig: expert region holds " +
-                   std::to_string(result.residentCapacityExperts) +
-                   " experts but a batch can pin " +
-                   std::to_string(pinnable) +
-                   "; shrink --batch or grow --expert-region-gb");
-
-    CoeRuntime runtime(zoo, costs_.expertRegionBytes);
     Router router(cfg_.numExperts, cfg_.routing, cfg_.seed, cfg_.zipfS);
     sim::Rng arrivals(cfg_.seed ^ 0xa55a5aa5a55a5aa5ULL);
     sim::EventQueue eq;
-    mem::MemorySystem memsys(eq, "memsys", platformMemoryConfig(cfg_));
 
-    latency_.clear();
-    stalls_.clear();
-    stats_ = sim::StatSet("serving");
+    // The node serving stack itself (admission queue, continuous
+    // batching, expert DMA, speculative prefetch) lives in
+    // ServingEngine so a cluster can run many of them on one queue;
+    // this driver owns the arrival process and the routing decisions.
+    ServingEngine engine(eq, cfg_, costs_, std::move(zoo));
 
-    const double per_prompt_exec =
-        costs_.prefillSeconds +
-        cfg_.outputTokens * costs_.decodeSecondsPerToken;
-
-    // HBM bytes one prompt's execution streams through the working
-    // tier: the weights once for prefill, then once per decoded token
-    // — the traffic the expert DMA engines contend with.
-    const double traffic_bytes_per_prompt =
-        (1.0 + cfg_.outputTokens) * cfg_.expertBase.weightBytes();
-
-    // Backing-tier layout: experts packed contiguously in DDR.
-    std::vector<std::int64_t> ddr_offset(
-        static_cast<std::size_t>(zoo.size()), 0);
-    {
-        std::int64_t cursor = 0;
-        for (int e = 0; e < zoo.size(); ++e) {
-            ddr_offset[static_cast<std::size_t>(e)] = cursor;
-            cursor += static_cast<std::int64_t>(zoo.expert(e).bytes);
-        }
-    }
-
-    // ---- admission queue ----------------------------------------
-    // Request ids are assigned in arrival order, so an id-ordered map
-    // IS the FIFO view: begin() is the oldest queued request, erase
-    // from any position is O(log queue), and iteration walks arrival
-    // order. Batch formation removes from arbitrary positions, so a
-    // plain deque (with O(queue) mid-erase, plus the old per-batch
-    // aging walk) made overloaded runs quadratic.
-    std::map<int, StreamRequest> queued;
-    bool busy = false;
     int injected = 0;
-    std::int64_t completed = 0;
-    std::int64_t misses = 0;
-    double router_total = 0.0, switch_total = 0.0, exec_total = 0.0;
-    double occupancy_total = 0.0;
-    std::int64_t batches = 0;
-    sim::Tick first_arrival = -1, last_completion = 0;
-
-    // Per-expert view of the queue (ExpertAffinity only): ordered ids
-    // of queued requests, maintained on enqueue/dequeue so batch
-    // formation inspects O(distinct experts) instead of walking the
-    // whole queue per batch.
-    const bool affinity =
-        cfg_.scheduler == SchedulerPolicy::ExpertAffinity;
-    std::map<int, std::set<int>> queued_by_expert;
-
-    auto erase_request = [&](int id, int expert) {
-        queued.erase(id);
-        if (affinity) {
-            auto it = queued_by_expert.find(expert);
-            it->second.erase(id);
-            if (it->second.empty())
-                queued_by_expert.erase(it);
+    engine.setOnBatchComplete([&](int finished) {
+        if (cfg_.arrival != ArrivalProcess::ClosedLoop)
+            return;
+        // Each finished client thinks, then issues a new prompt.
+        for (int i = 0; i < finished; ++i) {
+            if (injected >= cfg_.streamRequests)
+                break;
+            int id = injected++;
+            eq.scheduleIn(sim::fromSeconds(cfg_.thinkSeconds),
+                          [&, id]() { engine.inject(id, router.route()); },
+                          "coe.arrival");
         }
-    };
-
-    // ---- async expert-load state --------------------------------
-    // Outstanding DMA per expert (demand or speculative).
-    std::map<int, mem::TransferId> transfer_of;
-    std::set<int> prefetch_outstanding; ///< speculative subset
-    std::set<int> prefetch_ready; ///< landed speculations, unused yet
-    std::set<int> awaited;        ///< experts the formed batch waits on
-    int pending_loads = 0;
-    bool router_done = false;
-    sim::Tick batch_start = 0;
-    sim::Tick exec_start = 0;
-    std::size_t exec_index = 0;
-    std::vector<StreamRequest> cur_batch;
-    std::vector<int> cur_batch_experts; ///< pinned for the batch
-
-    // Time-weighted queue-depth integral.
-    sim::Tick depth_mark = 0;
-    double depth_integral = 0.0;
-    double queue_depth_max = 0.0;
-    auto touch_depth = [&](std::size_t next_depth) {
-        depth_integral += static_cast<double>(queued.size()) *
-            sim::toSeconds(eq.now() - depth_mark);
-        depth_mark = eq.now();
-        queue_depth_max =
-            std::max(queue_depth_max, static_cast<double>(next_depth));
-    };
-
-    /**
-     * Pick the expert the next batch serves (ExpertAffinity policy).
-     * Preference order: a starving request's expert, then the
-     * best-backed resident expert (no switch needed), then the
-     * most-queued expert overall. Ties break toward the oldest
-     * queued request so the policy stays deterministic.
-     *
-     * Called mid-formation, after `batches` was bumped for the batch
-     * being formed, so a queued request's age is (batches - 1) minus
-     * its enqueue mark. The queue is FIFO-ordered by id (requests
-     * only leave from arbitrary positions, never reorder), so the
-     * front request is simultaneously the oldest and the lowest id:
-     * if anyone has aged past the guard, the front has, and it is the
-     * one the old linear scan would have picked.
-     */
-    auto pick_expert = [&]() -> int {
-        const StreamRequest &front = queued.begin()->second;
-        if (batches - 1 - front.enqueuedAtBatch >= cfg_.affinityMaxSkips) {
-            stats_.inc("affinity_starvation_overrides");
-            return front.expert;
-        }
-
-        int best = -1;
-        bool best_resident = false;
-        int best_count = 0;
-        int best_oldest = 0;
-        for (const auto &kv : queued_by_expert) {
-            int count = static_cast<int>(kv.second.size());
-            if (count == 0)
-                continue;
-            int oldest = *kv.second.begin();
-            bool res = runtime.resident(kv.first);
-            bool better;
-            if (best < 0) {
-                better = true;
-            } else if (res != best_resident) {
-                better = res;
-            } else if (count != best_count) {
-                better = count > best_count;
-            } else {
-                better = oldest < best_oldest;
-            }
-            if (better) {
-                best = kv.first;
-                best_resident = res;
-                best_count = count;
-                best_oldest = oldest;
-            }
-        }
-        return best;
-    };
-
-    // Forward declarations: the pipeline stages chain through the
-    // event queue (arrival -> batch formation -> router + expert DMA
-    // -> execution -> completion), and speculation hooks in from
-    // several of them.
-    std::function<void()> form_batch;
-    std::function<void()> maybe_launch;
-    std::function<void()> run_next_prompt;
-    std::function<void()> maybe_prefetch;
-    std::function<void(int)> on_load_done;
-
-    // Eviction pressure reclaims speculative reservations: cancel the
-    // queued DMA if it has not been issued yet.
-    runtime.setPrefetchCancelHook([&](int e) {
-        auto it = transfer_of.find(e);
-        if (it == transfer_of.end())
-            return true;
-        if (!memsys.cancel(it->second))
-            return false; // already streaming; it will land
-        transfer_of.erase(it);
-        prefetch_outstanding.erase(e);
-        stats_.inc("prefetches_cancelled");
-        return true;
     });
-    runtime.setEvictionHook([&](int e) { prefetch_ready.erase(e); });
-
-    on_load_done = [&](int e) {
-        runtime.completeLoad(e);
-        transfer_of.erase(e);
-        if (awaited.erase(e) > 0) {
-            --pending_loads;
-            prefetch_outstanding.erase(e);
-            maybe_launch();
-            return;
-        }
-        if (prefetch_outstanding.erase(e) > 0)
-            prefetch_ready.insert(e);
-    };
-
-    /**
-     * Speculative prefetch (predictivePrefetch, EventDriven flavour):
-     * the router's decision for queued-but-unscheduled requests is
-     * already known, so stream their experts DDR->HBM at low priority
-     * while the current batch computes. Reservations never evict;
-     * demand pressure cancels them instead.
-     */
-    maybe_prefetch = [&]() {
-        if (!cfg_.predictivePrefetch)
-            return;
-        // Optional speculation window (cfg.prefetchWindow > 0):
-        // inspect at most that many queued requests from the front.
-        // The default full walk matches the historical behaviour but
-        // is O(queue) per arrival when the head of a deep queue is
-        // all resident experts; overloaded prefetch sweeps should
-        // bound it.
-        int inspected = 0;
-        for (const auto &kv : queued) {
-            if (cfg_.prefetchWindow > 0 &&
-                ++inspected > cfg_.prefetchWindow)
-                break;
-            const StreamRequest &r = kv.second;
-            if (static_cast<int>(prefetch_outstanding.size()) >=
-                cfg_.prefetchDepth)
-                break;
-            if (runtime.resident(r.expert))
-                continue;
-            auto act = runtime.beginPrefetch(r.expert);
-            if (!act)
-                break; // no free region block: stop speculating
-            stats_.inc("prefetches_issued");
-            int e = r.expert;
-            transfer_of[e] = memsys.load(
-                ddr_offset[static_cast<std::size_t>(e)], act->hbmOffset,
-                act->bytesToLoad, mem::TransferPriority::Prefetch,
-                [&, e]() { on_load_done(e); });
-            prefetch_outstanding.insert(e);
-        }
-    };
-
-    // Runs inside an arrival event: admit request @p id to the queue
-    // and kick the scheduler if the pipeline is idle.
-    auto inject = [&](int id) {
-        touch_depth(queued.size() + 1);
-        StreamRequest req;
-        req.id = id;
-        req.arrival = eq.now();
-        req.expert = router.route();
-        req.enqueuedAtBatch = batches;
-        if (first_arrival < 0)
-            first_arrival = eq.now();
-        if (affinity)
-            queued_by_expert[req.expert].insert(req.id);
-        queued.emplace(id, req);
-        if (!busy)
-            form_batch();
-        else
-            maybe_prefetch();
-    };
-
-    auto finish_batch = [&]() {
-        for (int e : cur_batch_experts)
-            runtime.unpin(e);
-        cur_batch_experts.clear();
-
-        last_completion = eq.now();
-        for (const StreamRequest &r : cur_batch) {
-            latency_.record(sim::toSeconds(eq.now() - r.arrival));
-            ++completed;
-        }
-        std::size_t finished = cur_batch.size();
-        cur_batch.clear();
-        busy = false;
-        if (cfg_.arrival == ArrivalProcess::ClosedLoop) {
-            // Each finished client thinks, then issues a new prompt.
-            for (std::size_t i = 0; i < finished; ++i) {
-                if (injected >= cfg_.streamRequests)
-                    break;
-                int id = injected++;
-                eq.scheduleIn(sim::fromSeconds(cfg_.thinkSeconds),
-                              [&, id]() { inject(id); }, "coe.arrival");
-            }
-        }
-        if (!queued.empty())
-            form_batch();
-    };
-
-    /**
-     * Execute the batch's prompts back to back. Each prompt holds the
-     * pipeline for its modeled compute time AND until its HBM weight
-     * streaming drains — on a contended working tier (prefetch DMA
-     * writing behind it) the traffic side finishes later and the
-     * slowdown is real, not a closed-form adjustment.
-     */
-    // Join counter for the in-flight prompt's (compute, HBM-traffic)
-    // pair. Prompts execute strictly one at a time, so a single
-    // counter replaces a per-prompt heap-allocated control block.
-    int prompt_join_pending = 0;
-    auto prompt_join = [&]() {
-        if (--prompt_join_pending == 0)
-            run_next_prompt();
-    };
-    run_next_prompt = [&]() {
-        if (exec_index >= cur_batch.size()) {
-            exec_total += sim::toSeconds(eq.now() - exec_start);
-            finish_batch();
-            return;
-        }
-        ++exec_index;
-        prompt_join_pending = 2;
-        eq.scheduleIn(sim::fromSeconds(per_prompt_exec), prompt_join,
-                      "coe.prompt_exec");
-        memsys.traffic(traffic_bytes_per_prompt, prompt_join);
-    };
-
-    // Launch once the router has decided AND every non-resident
-    // expert's DMA has landed; the exposed remainder beyond the
-    // router is the batch's switch stall.
-    maybe_launch = [&]() {
-        if (!router_done || pending_loads > 0)
-            return;
-        double stall = std::max(
-            0.0, sim::toSeconds(eq.now() - batch_start) -
-                     costs_.routerSeconds);
-        stalls_.record(stall);
-        switch_total += stall;
-        exec_start = eq.now();
-        exec_index = 0;
-        run_next_prompt();
-    };
-
-    form_batch = [&]() {
-        if (queued.empty() || busy)
-            return;
-        busy = true;
-        ++batches;
-        // Close the depth integral at the pre-batch depth before the
-        // batch drains the queue (no simulated time passes in here).
-        touch_depth(queued.size());
-
-        const std::size_t cap = static_cast<std::size_t>(cfg_.batch);
-        std::vector<StreamRequest> batch;
-        auto take_id = [&](int id) {
-            const StreamRequest &r = queued.at(id);
-            batch.push_back(r);
-            erase_request(id, r.expert);
-        };
-        if (!affinity) {
-            while (!queued.empty() && batch.size() < cap)
-                take_id(queued.begin()->first);
-        } else {
-            // Take every queued request for the chosen expert, then
-            // backfill spare slots with requests whose experts are
-            // already resident (guaranteed-hit co-tenants), then with
-            // whatever is oldest so the batch never runs emptier than
-            // FIFO would. Each pass selects oldest-first (ids are
-            // arrival-ordered), exactly as the historical FIFO walk
-            // did, but through the per-expert index so formation cost
-            // scales with distinct experts, not queue depth.
-            int expert = pick_expert();
-            while (batch.size() < cap) {
-                // Re-find per take: erase_request drops the expert's
-                // entry (invalidating iterators) once its last queued
-                // request is taken.
-                auto it = queued_by_expert.find(expert);
-                if (it == queued_by_expert.end())
-                    break;
-                take_id(*it->second.begin());
-            }
-            // Pass 2: oldest requests across resident experts. The
-            // resident set cannot change mid-formation, so repeatedly
-            // taking the minimum id over resident experts' ordered id
-            // sets reproduces the old front-to-back resident scan.
-            while (batch.size() < cap) {
-                int best_id = -1;
-                for (const auto &kv : queued_by_expert) {
-                    if (!runtime.resident(kv.first))
-                        continue;
-                    int oldest = *kv.second.begin();
-                    if (best_id < 0 || oldest < best_id)
-                        best_id = oldest;
-                }
-                if (best_id < 0)
-                    break;
-                take_id(best_id);
-            }
-            // Pass 3: whatever is oldest overall.
-            while (!queued.empty() && batch.size() < cap)
-                take_id(queued.begin()->first);
-        }
-        depth_mark = eq.now();
-        occupancy_total += static_cast<double>(batch.size());
-
-        batch_start = eq.now();
-        router_done = false;
-        awaited.clear();
-        pending_loads = 0;
-
-        // Per-request accounting: the first request to touch a
-        // non-loaded expert is the miss; same-batch co-tenants ride
-        // along as hits (matching the synchronous LRU accounting).
-        std::set<int> experts;
-        for (const StreamRequest &r : batch) {
-            if (!experts.insert(r.expert).second)
-                continue;
-            if (runtime.loaded(r.expert)) {
-                if (prefetch_ready.erase(r.expert) > 0)
-                    stats_.inc("prefetch_hits");
-            } else {
-                ++misses;
-                if (runtime.inFlight(r.expert))
-                    stats_.inc("prefetch_partial_hits");
-            }
-        }
-
-        // Pass 1: activate (LRU-refresh) and pin every
-        // already-resident expert. In-flight ones are promoted to
-        // demand priority and awaited; pinning first keeps pass 2's
-        // evictions away from this batch's experts.
-        for (int e : experts) {
-            if (!runtime.resident(e))
-                continue;
-            AsyncActivation act = runtime.activateAsync(e);
-            runtime.pin(e);
-            if (act.pending) {
-                auto it = transfer_of.find(e);
-                sim::simAssert(it != transfer_of.end(),
-                               "serving: in-flight expert has no transfer");
-                memsys.promote(it->second);
-                prefetch_outstanding.erase(e);
-                awaited.insert(e);
-                ++pending_loads;
-            }
-        }
-        // Pass 2: demand DMA for the absent experts. Activation may
-        // evict cold residents or cancel speculative reservations;
-        // pinned and Loading experts are never touched.
-        for (int e : experts) {
-            if (runtime.resident(e))
-                continue;
-            AsyncActivation act = runtime.activateAsync(e);
-            runtime.pin(e);
-            awaited.insert(e);
-            ++pending_loads;
-            transfer_of[e] = memsys.load(
-                ddr_offset[static_cast<std::size_t>(e)], act.hbmOffset,
-                act.bytesToLoad + act.bytesToWriteBack,
-                mem::TransferPriority::Demand,
-                [&, e]() { on_load_done(e); });
-        }
-
-        cur_batch = std::move(batch);
-        cur_batch_experts.assign(experts.begin(), experts.end());
-
-        router_total += costs_.routerSeconds;
-        eq.scheduleIn(sim::fromSeconds(costs_.routerSeconds),
-                      [&]() {
-                          router_done = true;
-                          maybe_launch();
-                      },
-                      "coe.router_done");
-        maybe_prefetch();
-    };
 
     // Open loop: each arrival draws the next inter-arrival gap and
     // schedules its successor, so only one arrival event is ever
@@ -785,7 +334,7 @@ ServingSimulator::runEventDriven()
         eq.schedule(sim::fromSeconds(arrival_t),
                     [&, id]() {
                         next_arrival();
-                        inject(id);
+                        engine.inject(id, router.route());
                     },
                     "coe.arrival");
     };
@@ -796,20 +345,30 @@ ServingSimulator::runEventDriven()
         int initial = std::min(cfg_.clients, cfg_.streamRequests);
         for (int i = 0; i < initial; ++i) {
             int id = injected++;
-            eq.schedule(0, [&, id]() { inject(id); }, "coe.arrival");
+            eq.schedule(0, [&, id]() { engine.inject(id, router.route()); },
+                        "coe.arrival");
         }
     }
 
     eq.run();
-    sim::simAssert(queued.empty() && !busy,
+    sim::simAssert(engine.queueDepth() == 0 && !engine.busy(),
                    "serving: event stream drained with work pending");
-    sim::simAssert(completed == cfg_.streamRequests,
+    sim::simAssert(engine.completedCount() == cfg_.streamRequests,
                    "serving: not every injected request completed");
-    sim::simAssert(memsys.queuedLoads() == 0 && memsys.loadsInFlight() == 0,
+    sim::simAssert(engine.memorySystem().queuedLoads() == 0 &&
+                       engine.memorySystem().loadsInFlight() == 0,
                    "serving: DMA queue drained with transfers pending");
 
-    double makespan =
-        sim::toSeconds(last_completion - std::max<sim::Tick>(first_arrival, 0));
+    latency_ = engine.latency();
+    stalls_ = engine.stalls();
+    stats_ = engine.stats();
+
+    std::int64_t completed = engine.completedCount();
+    std::int64_t batches = engine.batchCount();
+    std::int64_t misses = engine.missCount();
+    double makespan = sim::toSeconds(
+        engine.lastCompletion() -
+        std::max<sim::Tick>(engine.firstArrival(), 0));
 
     StreamMetrics &m = result.stream;
     m.p50LatencySeconds = latency_.quantile(0.50);
@@ -820,7 +379,7 @@ ServingSimulator::runEventDriven()
     m.completed = completed;
     m.batches = batches;
     m.meanBatchOccupancy = batches > 0
-        ? occupancy_total / static_cast<double>(batches)
+        ? engine.occupancyTotal() / static_cast<double>(batches)
         : 0.0;
     m.makespanSeconds = makespan;
     if (makespan > 0.0) {
@@ -828,9 +387,9 @@ ServingSimulator::runEventDriven()
             static_cast<double>(completed) / makespan;
         m.throughputTokensPerSec = m.throughputRequestsPerSec *
             static_cast<double>(cfg_.outputTokens);
-        m.meanQueueDepth = depth_integral / makespan;
+        m.meanQueueDepth = engine.depthIntegral() / makespan;
     }
-    m.maxQueueDepth = queue_depth_max;
+    m.maxQueueDepth = engine.queueDepthMax();
     m.eventsExecuted = eq.executedCount();
 
     m.meanSwitchStallSeconds = stalls_.mean();
@@ -842,24 +401,28 @@ ServingSimulator::runEventDriven()
     m.prefetchesCancelled =
         static_cast<std::int64_t>(stats_.get("prefetches_cancelled"));
 
-    stats_.set("queue_depth_max", queue_depth_max);
+    stats_.set("queue_depth_max", engine.queueDepthMax());
     stats_.set("events_executed",
                static_cast<double>(eq.executedCount()));
     stats_.set("batches", static_cast<double>(batches));
     stats_.set("completed", static_cast<double>(completed));
     stats_.set("misses", static_cast<double>(misses));
     stats_.set("hits", static_cast<double>(completed - misses));
-    stats_.set("dma_loads_issued", memsys.stats().get("issued_loads"));
-    stats_.set("dma_load_bytes", memsys.stats().get("load_bytes"));
+    stats_.set("dma_loads_issued",
+               engine.memorySystem().stats().get("issued_loads"));
+    stats_.set("dma_load_bytes",
+               engine.memorySystem().stats().get("load_bytes"));
 
     double b = static_cast<double>(std::max<std::int64_t>(batches, 1));
-    result.perBatch.routerSeconds = router_total / b;
-    result.perBatch.switchSeconds = switch_total / b;
-    result.perBatch.execSeconds = exec_total / b;
+    result.perBatch.routerSeconds = engine.routerSecondsTotal() / b;
+    result.perBatch.switchSeconds = engine.switchSecondsTotal() / b;
+    result.perBatch.execSeconds = engine.execSecondsTotal() / b;
     result.missRate = completed > 0
         ? static_cast<double>(misses) / static_cast<double>(completed)
         : 0.0;
-    result.expertSecondsPerPrompt = per_prompt_exec;
+    result.expertSecondsPerPrompt =
+        costs_.prefillSeconds +
+        cfg_.outputTokens * costs_.decodeSecondsPerToken;
     return result;
 }
 

@@ -237,6 +237,31 @@ struct PhaseCosts
     double capacityBytes = 0.0;          ///< total expert capacity
 };
 
+/**
+ * Price the platform's serving primitives (router, prefill, decode,
+ * expert switch) for @p cfg through the process-wide cost memo. The
+ * returned expertRegionBytes is the platform default; callers apply
+ * cfg.expertRegionBytes overrides themselves. Shared by the
+ * single-node ServingSimulator and the ClusterSimulator, so every
+ * node of a heterogeneous cluster prices its graphs exactly once.
+ */
+PhaseCosts computePhaseCosts(const ServingConfig &cfg);
+
+/**
+ * Reject invalid or contradictory ServingConfig fields with a
+ * FatalError. Shared by ServingSimulator and ClusterSimulator.
+ */
+void validateServingConfig(const ServingConfig &cfg);
+
+/**
+ * Shape the three-tier memory system after the serving platform: the
+ * SN40L streams experts from node DDR (one DDR and one HBM channel
+ * group per socket), the DGX baselines from host DRAM over the single
+ * host link into the GPUs' pooled HBM. Honors cfg.memoryOverride and
+ * cfg.dmaEngines.
+ */
+mem::MemorySystemConfig platformMemoryConfig(const ServingConfig &cfg);
+
 class ServingSimulator
 {
   public:

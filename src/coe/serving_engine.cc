@@ -1,0 +1,464 @@
+#include "coe/serving_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "sim/log.h"
+#include "sim/ticks.h"
+
+namespace sn40l::coe {
+
+ServingEngine::ServingEngine(sim::EventQueue &eq, const ServingConfig &cfg,
+                             const PhaseCosts &costs, ExpertZoo zoo)
+    : eq_(eq), cfg_(cfg), costs_(costs), zoo_(std::move(zoo)),
+      runtime_(zoo_, costs_.expertRegionBytes),
+      memsys_(eq, "memsys", platformMemoryConfig(cfg_))
+{
+    residentCapacity_ = static_cast<int>(
+        static_cast<double>(costs_.expertRegionBytes) /
+        zoo_.maxExpertBytes());
+
+    // A batch pins its experts for the whole execution, and issued
+    // prefetches are unevictable while streaming; the region must be
+    // able to hold that concurrent working set or demand activation
+    // deadlocks.
+    int pinnable = cfg_.batch +
+        (cfg_.predictivePrefetch ? cfg_.dmaEngines : 0);
+    if (residentCapacity_ < pinnable)
+        sim::fatal("ServingConfig: expert region holds " +
+                   std::to_string(residentCapacity_) +
+                   " experts but a batch can pin " +
+                   std::to_string(pinnable) +
+                   "; shrink --batch or grow --expert-region-gb");
+
+    affinity_ = cfg_.scheduler == SchedulerPolicy::ExpertAffinity;
+
+    perPromptExec_ = costs_.prefillSeconds +
+        cfg_.outputTokens * costs_.decodeSecondsPerToken;
+
+    // HBM bytes one prompt's execution streams through the working
+    // tier: the weights once for prefill, then once per decoded token
+    // — the traffic the expert DMA engines contend with.
+    trafficBytesPerPrompt_ =
+        (1.0 + cfg_.outputTokens) * cfg_.expertBase.weightBytes();
+
+    ddrOffset_.resize(static_cast<std::size_t>(zoo_.size()), 0);
+    std::int64_t cursor = 0;
+    for (int e = 0; e < zoo_.size(); ++e) {
+        ddrOffset_[static_cast<std::size_t>(e)] = cursor;
+        cursor += static_cast<std::int64_t>(zoo_.expert(e).bytes);
+    }
+
+    // Eviction pressure reclaims speculative reservations: cancel the
+    // queued DMA if it has not been issued yet.
+    runtime_.setPrefetchCancelHook([this](int e) {
+        auto it = transferOf_.find(e);
+        if (it == transferOf_.end())
+            return true;
+        if (!memsys_.cancel(it->second))
+            return false; // already streaming; it will land
+        transferOf_.erase(it);
+        prefetchOutstanding_.erase(e);
+        stats_.inc("prefetches_cancelled");
+        return true;
+    });
+    runtime_.setEvictionHook([this](int e) { prefetchReady_.erase(e); });
+}
+
+void
+ServingEngine::touchDepth(std::size_t next_depth)
+{
+    depthIntegral_ += static_cast<double>(queued_.size()) *
+        sim::toSeconds(eq_.now() - depthMark_);
+    depthMark_ = eq_.now();
+    queueDepthMax_ =
+        std::max(queueDepthMax_, static_cast<double>(next_depth));
+}
+
+/**
+ * Pick the expert the next batch serves (ExpertAffinity policy).
+ * Preference order: a starving request's expert, then the best-backed
+ * resident expert (no switch needed), then the most-queued expert
+ * overall. Ties break toward the oldest queued request so the policy
+ * stays deterministic.
+ *
+ * Called mid-formation, after batchCount_ was bumped for the batch
+ * being formed, so a queued request's age is (batchCount_ - 1) minus
+ * its enqueue mark. The queue is FIFO-ordered by id (requests only
+ * leave from arbitrary positions, never reorder), so the front
+ * request is simultaneously the oldest and the lowest id: if anyone
+ * has aged past the guard, the front has, and it is the one the old
+ * linear scan would have picked.
+ */
+int
+ServingEngine::pickExpert()
+{
+    const EngineRequest &front = queued_.begin()->second;
+    if (batchCount_ - 1 - front.enqueuedAtBatch >= cfg_.affinityMaxSkips) {
+        stats_.inc("affinity_starvation_overrides");
+        return front.expert;
+    }
+
+    int best = -1;
+    bool best_resident = false;
+    int best_count = 0;
+    int best_oldest = 0;
+    for (const auto &kv : queuedByExpert_) {
+        int count = static_cast<int>(kv.second.size());
+        if (count == 0)
+            continue;
+        int oldest = *kv.second.begin();
+        bool res = runtime_.resident(kv.first);
+        bool better;
+        if (best < 0) {
+            better = true;
+        } else if (res != best_resident) {
+            better = res;
+        } else if (count != best_count) {
+            better = count > best_count;
+        } else {
+            better = oldest < best_oldest;
+        }
+        if (better) {
+            best = kv.first;
+            best_resident = res;
+            best_count = count;
+            best_oldest = oldest;
+        }
+    }
+    return best;
+}
+
+void
+ServingEngine::onLoadDone(int e)
+{
+    runtime_.completeLoad(e);
+    transferOf_.erase(e);
+    if (awaited_.erase(e) > 0) {
+        --pendingLoads_;
+        prefetchOutstanding_.erase(e);
+        maybeLaunch();
+        return;
+    }
+    if (prefetchOutstanding_.erase(e) > 0)
+        prefetchReady_.insert(e);
+}
+
+/**
+ * Speculative prefetch (predictivePrefetch, EventDriven flavour): the
+ * router's decision for queued-but-unscheduled requests is already
+ * known, so stream their experts DDR->HBM at low priority while the
+ * current batch computes. Reservations never evict; demand pressure
+ * cancels them instead.
+ */
+void
+ServingEngine::maybePrefetch()
+{
+    if (!cfg_.predictivePrefetch)
+        return;
+    // Optional speculation window (cfg.prefetchWindow > 0): inspect at
+    // most that many queued requests from the front. The default full
+    // walk matches the historical behaviour but is O(queue) per
+    // arrival when the head of a deep queue is all resident experts;
+    // overloaded prefetch sweeps should bound it.
+    int inspected = 0;
+    for (const auto &kv : queued_) {
+        if (cfg_.prefetchWindow > 0 && ++inspected > cfg_.prefetchWindow)
+            break;
+        const EngineRequest &r = kv.second;
+        if (static_cast<int>(prefetchOutstanding_.size()) >=
+            cfg_.prefetchDepth)
+            break;
+        if (runtime_.resident(r.expert))
+            continue;
+        auto act = runtime_.beginPrefetch(r.expert);
+        if (!act)
+            break; // no free region block: stop speculating
+        stats_.inc("prefetches_issued");
+        int e = r.expert;
+        transferOf_[e] = memsys_.load(
+            ddrOffset_[static_cast<std::size_t>(e)], act->hbmOffset,
+            act->bytesToLoad, mem::TransferPriority::Prefetch,
+            [this, e]() { onLoadDone(e); });
+        prefetchOutstanding_.insert(e);
+    }
+    samplePeakResident();
+}
+
+void
+ServingEngine::samplePeakResident()
+{
+    peakResidentBytes_ = std::max(
+        peakResidentBytes_,
+        runtime_.regionBytes() - runtime_.freeRegionBytes());
+}
+
+void
+ServingEngine::inject(int id, int expert)
+{
+    injectAt(id, expert, eq_.now());
+}
+
+void
+ServingEngine::injectAt(int id, int expert, sim::Tick arrival)
+{
+    touchDepth(queued_.size() + 1);
+    EngineRequest req;
+    req.id = id;
+    req.arrival = arrival;
+    req.expert = expert;
+    req.enqueuedAtBatch = batchCount_;
+    if (firstArrival_ < 0)
+        firstArrival_ = arrival;
+    if (affinity_)
+        queuedByExpert_[req.expert].insert(req.id);
+    queued_.emplace(id, req);
+    ++injectedCount_;
+    if (!busy_)
+        formBatch();
+    else
+        maybePrefetch();
+}
+
+std::vector<EngineRequest>
+ServingEngine::extractQueued()
+{
+    touchDepth(0);
+    std::vector<EngineRequest> out;
+    out.reserve(queued_.size());
+    for (const auto &kv : queued_)
+        out.push_back(kv.second);
+    queued_.clear();
+    queuedByExpert_.clear();
+    // The extracted requests complete elsewhere; they no longer count
+    // against this engine's in-flight work.
+    injectedCount_ -= static_cast<std::int64_t>(out.size());
+    return out;
+}
+
+void
+ServingEngine::eraseRequest(int id, int expert)
+{
+    queued_.erase(id);
+    if (affinity_) {
+        auto it = queuedByExpert_.find(expert);
+        it->second.erase(id);
+        if (it->second.empty())
+            queuedByExpert_.erase(it);
+    }
+}
+
+void
+ServingEngine::finishBatch()
+{
+    for (int e : curBatchExperts_)
+        runtime_.unpin(e);
+    curBatchExperts_.clear();
+
+    lastCompletion_ = eq_.now();
+    for (const EngineRequest &r : curBatch_) {
+        double seconds = sim::toSeconds(eq_.now() - r.arrival);
+        latency_.record(seconds);
+        if (latencyMirror_)
+            latencyMirror_->record(seconds);
+        ++completedCount_;
+    }
+    std::size_t finished = curBatch_.size();
+    curBatch_.clear();
+    busy_ = false;
+    if (onBatchComplete_)
+        onBatchComplete_(static_cast<int>(finished));
+    if (!queued_.empty())
+        formBatch();
+}
+
+/**
+ * Execute the batch's prompts back to back. Each prompt holds the
+ * pipeline for its modeled compute time AND until its HBM weight
+ * streaming drains — on a contended working tier (prefetch DMA
+ * writing behind it) the traffic side finishes later and the slowdown
+ * is real, not a closed-form adjustment.
+ */
+void
+ServingEngine::promptJoin()
+{
+    if (--promptJoinPending_ == 0)
+        runNextPrompt();
+}
+
+void
+ServingEngine::runNextPrompt()
+{
+    if (execIndex_ >= curBatch_.size()) {
+        execTotal_ += sim::toSeconds(eq_.now() - execStart_);
+        finishBatch();
+        return;
+    }
+    ++execIndex_;
+    promptJoinPending_ = 2;
+    eq_.scheduleIn(sim::fromSeconds(perPromptExec_),
+                   [this]() { promptJoin(); }, "coe.prompt_exec");
+    memsys_.traffic(trafficBytesPerPrompt_, [this]() { promptJoin(); });
+}
+
+// Launch once the router has decided AND every non-resident expert's
+// DMA has landed; the exposed remainder beyond the router is the
+// batch's switch stall.
+void
+ServingEngine::maybeLaunch()
+{
+    if (!routerDone_ || pendingLoads_ > 0)
+        return;
+    double stall = std::max(
+        0.0, sim::toSeconds(eq_.now() - batchStart_) -
+                 costs_.routerSeconds);
+    stalls_.record(stall);
+    if (stallsMirror_)
+        stallsMirror_->record(stall);
+    switchTotal_ += stall;
+    execStart_ = eq_.now();
+    execIndex_ = 0;
+    runNextPrompt();
+}
+
+void
+ServingEngine::formBatch()
+{
+    if (queued_.empty() || busy_)
+        return;
+    busy_ = true;
+    ++batchCount_;
+    // Close the depth integral at the pre-batch depth before the
+    // batch drains the queue (no simulated time passes in here).
+    touchDepth(queued_.size());
+
+    const std::size_t cap = static_cast<std::size_t>(cfg_.batch);
+    std::vector<EngineRequest> batch;
+    auto take_id = [&](int id) {
+        const EngineRequest &r = queued_.at(id);
+        batch.push_back(r);
+        eraseRequest(id, r.expert);
+    };
+    if (!affinity_) {
+        while (!queued_.empty() && batch.size() < cap)
+            take_id(queued_.begin()->first);
+    } else {
+        // Take every queued request for the chosen expert, then
+        // backfill spare slots with requests whose experts are already
+        // resident (guaranteed-hit co-tenants), then with whatever is
+        // oldest so the batch never runs emptier than FIFO would. Each
+        // pass selects oldest-first (ids are arrival-ordered), exactly
+        // as the historical FIFO walk did, but through the per-expert
+        // index so formation cost scales with distinct experts, not
+        // queue depth.
+        int expert = pickExpert();
+        while (batch.size() < cap) {
+            // Re-find per take: eraseRequest drops the expert's entry
+            // (invalidating iterators) once its last queued request is
+            // taken.
+            auto it = queuedByExpert_.find(expert);
+            if (it == queuedByExpert_.end())
+                break;
+            take_id(*it->second.begin());
+        }
+        // Pass 2: oldest requests across resident experts. The
+        // resident set cannot change mid-formation, so repeatedly
+        // taking the minimum id over resident experts' ordered id sets
+        // reproduces the old front-to-back resident scan.
+        while (batch.size() < cap) {
+            int best_id = -1;
+            for (const auto &kv : queuedByExpert_) {
+                if (!runtime_.resident(kv.first))
+                    continue;
+                int oldest = *kv.second.begin();
+                if (best_id < 0 || oldest < best_id)
+                    best_id = oldest;
+            }
+            if (best_id < 0)
+                break;
+            take_id(best_id);
+        }
+        // Pass 3: whatever is oldest overall.
+        while (!queued_.empty() && batch.size() < cap)
+            take_id(queued_.begin()->first);
+    }
+    depthMark_ = eq_.now();
+    occupancyTotal_ += static_cast<double>(batch.size());
+
+    batchStart_ = eq_.now();
+    routerDone_ = false;
+    awaited_.clear();
+    pendingLoads_ = 0;
+
+    // Per-request accounting: the first request to touch a non-loaded
+    // expert is the miss; same-batch co-tenants ride along as hits
+    // (matching the synchronous LRU accounting).
+    std::set<int> experts;
+    for (const EngineRequest &r : batch) {
+        if (!experts.insert(r.expert).second)
+            continue;
+        if (runtime_.loaded(r.expert)) {
+            if (prefetchReady_.erase(r.expert) > 0)
+                stats_.inc("prefetch_hits");
+        } else {
+            ++missCount_;
+            if (runtime_.inFlight(r.expert))
+                stats_.inc("prefetch_partial_hits");
+        }
+    }
+
+    // Pass 1: activate (LRU-refresh) and pin every already-resident
+    // expert. In-flight ones are promoted to demand priority and
+    // awaited; pinning first keeps pass 2's evictions away from this
+    // batch's experts.
+    for (int e : experts) {
+        if (!runtime_.resident(e))
+            continue;
+        AsyncActivation act = runtime_.activateAsync(e);
+        runtime_.pin(e);
+        if (act.pending) {
+            auto it = transferOf_.find(e);
+            sim::simAssert(it != transferOf_.end(),
+                           "serving: in-flight expert has no transfer");
+            memsys_.promote(it->second);
+            prefetchOutstanding_.erase(e);
+            awaited_.insert(e);
+            ++pendingLoads_;
+        }
+    }
+    // Pass 2: demand DMA for the absent experts. Activation may evict
+    // cold residents or cancel speculative reservations; pinned and
+    // Loading experts are never touched.
+    for (int e : experts) {
+        if (runtime_.resident(e))
+            continue;
+        AsyncActivation act = runtime_.activateAsync(e);
+        runtime_.pin(e);
+        awaited_.insert(e);
+        ++pendingLoads_;
+        transferOf_[e] = memsys_.load(
+            ddrOffset_[static_cast<std::size_t>(e)], act.hbmOffset,
+            act.bytesToLoad + act.bytesToWriteBack,
+            mem::TransferPriority::Demand,
+            [this, e]() { onLoadDone(e); });
+    }
+
+    curBatch_ = std::move(batch);
+    curBatchExperts_.assign(experts.begin(), experts.end());
+
+    // The demand activations above allocated region space; prefetch
+    // reservations are sampled again inside maybePrefetch below.
+    samplePeakResident();
+
+    routerTotal_ += costs_.routerSeconds;
+    eq_.scheduleIn(sim::fromSeconds(costs_.routerSeconds),
+                   [this]() {
+                       routerDone_ = true;
+                       maybeLaunch();
+                   },
+                   "coe.router_done");
+    maybePrefetch();
+}
+
+} // namespace sn40l::coe

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * One node's event-driven serving stack, extracted from the original
+ * ServingSimulator::runEventDriven so a cluster can instantiate many
+ * of them on a single shared sim::EventQueue.
+ *
+ * The engine owns the node's expert zoo, CoeRuntime (HBM expert
+ * region + LRU), and mem::MemorySystem (DDR/HBM tiers + DMA pool),
+ * and runs the pipeline
+ *
+ *   inject -> admission queue -> batch formation -> router + expert
+ *   DMA -> prompt execution (compute joined with HBM traffic) ->
+ *   completion
+ *
+ * entirely through events on the caller's queue. It does NOT generate
+ * arrivals and does NOT draw routing decisions: the driver (single
+ * node ServingSimulator or ClusterSimulator) owns the Router and the
+ * arrival process and calls inject() from inside arrival events. That
+ * split is what keeps a 1-node cluster bit-identical to the
+ * single-node simulator: the engine performs the exact event sequence
+ * the historical monolithic loop performed.
+ */
+
+#ifndef SN40L_COE_SERVING_ENGINE_H
+#define SN40L_COE_SERVING_ENGINE_H
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "coe/coe_runtime.h"
+#include "coe/serving.h"
+#include "mem/memory_system.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+
+namespace sn40l::coe {
+
+/** One prompt queued on (or executing in) a node engine. */
+struct EngineRequest
+{
+    int id = 0;
+    sim::Tick arrival = 0;
+    int expert = 0;
+    /**
+     * Batch-formation count at enqueue time. A request's age in
+     * batches (the affinity starvation guard) is derived as
+     * "formations completed since" instead of bumping a counter on
+     * every queued request per batch — the bump was O(queue) per
+     * batch and made overloaded runs quadratic.
+     */
+    std::int64_t enqueuedAtBatch = 0;
+};
+
+class ServingEngine
+{
+  public:
+    /**
+     * @param cfg   fully validated EventDriven serving config for this
+     *              node (batch, scheduler, prefetch, DMA shape).
+     * @param costs platform phase costs; costs.expertRegionBytes sizes
+     *              this node's HBM expert region.
+     * @param zoo   the expert zoo, moved in (the runtime keeps a
+     *              reference, so the engine must own it).
+     *
+     * Throws FatalError when the expert region cannot hold the
+     * concurrent pinnable working set (batch + in-flight prefetches).
+     */
+    ServingEngine(sim::EventQueue &eq, const ServingConfig &cfg,
+                  const PhaseCosts &costs, ExpertZoo zoo);
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /**
+     * Invoked at the exact point a finished batch has released its
+     * experts and cleared busy, before the next batch forms — the
+     * hook drives closed-loop client re-injection and cluster-level
+     * bookkeeping.
+     */
+    void setOnBatchComplete(std::function<void(int finished)> hook)
+    {
+        onBatchComplete_ = std::move(hook);
+    }
+
+    /**
+     * Optional cluster-wide sample sinks: every latency/stall sample
+     * this engine records is mirrored into them, in recording order,
+     * so cluster distributions are exact merges.
+     */
+    void setMirrors(sim::Distribution *latency, sim::Distribution *stalls)
+    {
+        latencyMirror_ = latency;
+        stallsMirror_ = stalls;
+    }
+
+    /**
+     * Admit request @p id for @p expert; must be called from inside an
+     * event on the shared queue. The request's arrival timestamp is
+     * now().
+     */
+    void inject(int id, int expert);
+
+    /**
+     * Admit a request carrying an earlier arrival timestamp — used
+     * when a drained node's queued requests are re-dispatched so their
+     * end-to-end latency still counts from the original arrival.
+     */
+    void injectAt(int id, int expert, sim::Tick arrival);
+
+    /**
+     * Remove and return every queued (not yet batch-formed) request,
+     * in id (arrival) order. The executing batch, if any, completes
+     * normally. Outstanding speculative prefetches are left to land;
+     * they surface as prefetch-ready residents and age out via LRU.
+     */
+    std::vector<EngineRequest> extractQueued();
+
+    /**
+     * Drop every Loaded, unpinned expert from the node's HBM region —
+     * a node rejoining after a drain restarts cold and re-warms its
+     * resident set from live traffic. Loading / prefetch-reserved
+     * entries survive (their DMA will land) and pinned entries are
+     * untouched.
+     */
+    void flushResident() { runtime_.flushUnpinned(); }
+
+    // ------------------------------------------------- observability
+
+    bool busy() const { return busy_; }
+    std::size_t queueDepth() const { return queued_.size(); }
+    /** Requests admitted but not yet completed. */
+    std::int64_t outstanding() const
+    {
+        return injectedCount_ - completedCount_;
+    }
+
+    std::int64_t completedCount() const { return completedCount_; }
+    std::int64_t injectedCount() const { return injectedCount_; }
+    std::int64_t batchCount() const { return batchCount_; }
+    std::int64_t missCount() const { return missCount_; }
+
+    double routerSecondsTotal() const { return routerTotal_; }
+    double switchSecondsTotal() const { return switchTotal_; }
+    double execSecondsTotal() const { return execTotal_; }
+    double occupancyTotal() const { return occupancyTotal_; }
+
+    sim::Tick firstArrival() const { return firstArrival_; }
+    sim::Tick lastCompletion() const { return lastCompletion_; }
+
+    double depthIntegral() const { return depthIntegral_; }
+    double queueDepthMax() const { return queueDepthMax_; }
+
+    /** High-water mark of resident expert bytes in the HBM region. */
+    std::int64_t peakResidentBytes() const { return peakResidentBytes_; }
+
+    int residentCapacityExperts() const { return residentCapacity_; }
+
+    const sim::Distribution &latency() const { return latency_; }
+    const sim::Distribution &stalls() const { return stalls_; }
+    const sim::StatSet &stats() const { return stats_; }
+
+    CoeRuntime &runtime() { return runtime_; }
+    mem::MemorySystem &memorySystem() { return memsys_; }
+    const ExpertZoo &zoo() const { return zoo_; }
+
+  private:
+    void touchDepth(std::size_t next_depth);
+    void samplePeakResident();
+    int pickExpert();
+    void onLoadDone(int expert);
+    void maybePrefetch();
+    void eraseRequest(int id, int expert);
+    void formBatch();
+    void maybeLaunch();
+    void runNextPrompt();
+    void promptJoin();
+    void finishBatch();
+
+    sim::EventQueue &eq_;
+    ServingConfig cfg_;
+    PhaseCosts costs_;
+    ExpertZoo zoo_;
+    CoeRuntime runtime_;
+    mem::MemorySystem memsys_;
+
+    sim::Distribution latency_{"request_latency"};
+    sim::Distribution stalls_{"switch_stall"};
+    sim::StatSet stats_{"serving"};
+    sim::Distribution *latencyMirror_ = nullptr;
+    sim::Distribution *stallsMirror_ = nullptr;
+    std::function<void(int)> onBatchComplete_;
+
+    double perPromptExec_ = 0.0;
+    double trafficBytesPerPrompt_ = 0.0;
+    int residentCapacity_ = 0;
+    /** Backing-tier layout: experts packed contiguously in DDR. */
+    std::vector<std::int64_t> ddrOffset_;
+
+    // ---- admission queue ----------------------------------------
+    // Request ids are assigned in arrival order, so an id-ordered map
+    // IS the FIFO view: begin() is the oldest queued request, erase
+    // from any position is O(log queue), and iteration walks arrival
+    // order.
+    std::map<int, EngineRequest> queued_;
+    bool busy_ = false;
+    bool affinity_ = false;
+    /** Per-expert view of the queue (ExpertAffinity only). */
+    std::map<int, std::set<int>> queuedByExpert_;
+
+    std::int64_t injectedCount_ = 0;
+    std::int64_t completedCount_ = 0;
+    std::int64_t batchCount_ = 0;
+    std::int64_t missCount_ = 0;
+    double routerTotal_ = 0.0, switchTotal_ = 0.0, execTotal_ = 0.0;
+    double occupancyTotal_ = 0.0;
+    sim::Tick firstArrival_ = -1, lastCompletion_ = 0;
+
+    // ---- async expert-load state --------------------------------
+    std::map<int, mem::TransferId> transferOf_;
+    std::set<int> prefetchOutstanding_; ///< speculative subset
+    std::set<int> prefetchReady_; ///< landed speculations, unused yet
+    std::set<int> awaited_;       ///< experts the formed batch waits on
+    int pendingLoads_ = 0;
+    bool routerDone_ = false;
+    sim::Tick batchStart_ = 0;
+    sim::Tick execStart_ = 0;
+    std::size_t execIndex_ = 0;
+    std::vector<EngineRequest> curBatch_;
+    std::vector<int> curBatchExperts_; ///< pinned for the batch
+    /** Join counter for the in-flight prompt's (compute, traffic). */
+    int promptJoinPending_ = 0;
+
+    // Time-weighted queue-depth integral.
+    sim::Tick depthMark_ = 0;
+    double depthIntegral_ = 0.0;
+    double queueDepthMax_ = 0.0;
+
+    std::int64_t peakResidentBytes_ = 0;
+};
+
+} // namespace sn40l::coe
+
+#endif // SN40L_COE_SERVING_ENGINE_H

@@ -15,7 +15,9 @@ SweepGrid::points() const
 {
     auto oneIfEmpty = [](std::size_t n) { return n == 0 ? 1 : n; };
     std::vector<SweepPoint> out;
-    out.reserve(oneIfEmpty(expertCounts.size()) *
+    out.reserve(oneIfEmpty(nodeCounts.size()) *
+                oneIfEmpty(placements.size()) *
+                oneIfEmpty(expertCounts.size()) *
                 oneIfEmpty(arrivalRates.size()) *
                 oneIfEmpty(batchSizes.size()) *
                 oneIfEmpty(policies.size()) * oneIfEmpty(seeds.size()));
@@ -36,30 +38,51 @@ SweepGrid::points() const
         ? std::vector<std::uint64_t>{base.seed}
         : seeds;
 
+    // Cluster axes: nodes == 0 marks the classic single-node path.
+    std::vector<int> nodes =
+        nodeCounts.empty() ? std::vector<int>{0} : nodeCounts;
+    std::vector<PlacementPolicy> places = placements.empty()
+        ? std::vector<PlacementPolicy>{PlacementPolicy::FullReplication}
+        : placements;
+
     int index = 0;
-    for (int e : experts) {
-        for (double rate : rates) {
-            for (int b : batches) {
-                for (SchedulerPolicy pol : pols) {
-                    for (std::uint64_t seed : sds) {
-                        SweepPoint p;
-                        p.cfg = base;
-                        p.cfg.numExperts = e;
-                        p.cfg.arrivalRatePerSec = rate;
-                        p.cfg.batch = b;
-                        p.cfg.scheduler = pol;
-                        p.cfg.seed = seed;
-                        p.index = index++;
-                        p.label = "e" + std::to_string(e) + "/r" +
-                                  std::to_string(rate) + "/b" +
-                                  std::to_string(b) + "/" +
-                                  schedulerPolicyName(pol) + "/s" +
-                                  std::to_string(seed);
-                        out.push_back(std::move(p));
+    for (int n : nodes) {
+      for (PlacementPolicy place : places) {
+        for (int e : experts) {
+            for (double rate : rates) {
+                for (int b : batches) {
+                    for (SchedulerPolicy pol : pols) {
+                        for (std::uint64_t seed : sds) {
+                            SweepPoint p;
+                            p.cfg = base;
+                            p.cfg.numExperts = e;
+                            p.cfg.arrivalRatePerSec = rate;
+                            p.cfg.batch = b;
+                            p.cfg.scheduler = pol;
+                            p.cfg.seed = seed;
+                            p.nodes = n;
+                            p.placement = place;
+                            p.dispatch = dispatch;
+                            p.ratePerNode = rate;
+                            if (n > 0 && scaleRateWithNodes)
+                                p.cfg.arrivalRatePerSec = rate * n;
+                            p.index = index++;
+                            p.label = "e" + std::to_string(e) + "/r" +
+                                      std::to_string(rate) + "/b" +
+                                      std::to_string(b) + "/" +
+                                      schedulerPolicyName(pol) + "/s" +
+                                      std::to_string(seed);
+                            if (n > 0)
+                                p.label = "n" + std::to_string(n) + "/" +
+                                          placementPolicyName(place) +
+                                          "/" + p.label;
+                            out.push_back(std::move(p));
+                        }
                     }
                 }
             }
         }
+      }
     }
     return out;
 }
@@ -72,8 +95,23 @@ runPoint(const SweepPoint &point)
     SweepPointResult r;
     r.point = point;
     auto start = std::chrono::steady_clock::now();
-    ServingSimulator sim(point.cfg);
-    r.result = sim.run();
+    if (point.nodes > 0) {
+        ClusterConfig cluster;
+        cluster.node = point.cfg;
+        cluster.nodes = point.nodes;
+        cluster.placement = point.placement;
+        cluster.dispatch = point.dispatch;
+        ClusterResult cr = ClusterSimulator(cluster).run();
+        r.result.oom = cr.oom;
+        r.result.stream = cr.stream;
+        r.result.missRate = cr.missRate;
+        r.loadImbalance = cr.loadImbalance;
+        r.placedBytesTotal = cr.placedBytesTotal;
+        r.expertReplicas = cr.expertReplicas;
+    } else {
+        ServingSimulator sim(point.cfg);
+        r.result = sim.run();
+    }
     r.wallSeconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - start)
                         .count();

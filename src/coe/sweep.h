@@ -20,14 +20,32 @@
 #include <string>
 #include <vector>
 
+#include "coe/cluster.h"
 #include "coe/serving.h"
 
 namespace sn40l::coe {
 
-/** One grid point: a fully resolved serving configuration. */
+/**
+ * One grid point: a fully resolved serving configuration, optionally
+ * lifted onto a cluster. nodes == 0 runs the single-node
+ * ServingSimulator (the historical behaviour); nodes >= 1 runs a
+ * ClusterSimulator with the given placement/dispatch and per-node
+ * arrival rate cfg.arrivalRatePerSec (the grid scales offered load
+ * with node count so points stay comparable).
+ */
 struct SweepPoint
 {
     ServingConfig cfg;
+    int nodes = 0; ///< 0: single-node path; >= 1: cluster path
+    PlacementPolicy placement = PlacementPolicy::FullReplication;
+    DispatchPolicy dispatch = DispatchPolicy::RoundRobin;
+    /**
+     * The grid's requested per-node arrival rate. cfg.arrivalRatePerSec
+     * is the rate the simulator actually offers (scaled by the node
+     * count when scaleRateWithNodes); reports should show this one so
+     * points are comparable across node counts.
+     */
+    double ratePerNode = 0.0;
     int index = 0; ///< position in grid order
     std::string label;
 };
@@ -35,7 +53,8 @@ struct SweepPoint
 /**
  * Cartesian sweep specification. Empty axes inherit the base config's
  * value; points are emitted in nested order with seeds innermost:
- * experts > rates > batches > policies > seeds.
+ * nodes > placements > experts > rates > batches > policies > seeds.
+ * nodeCounts/placements empty keeps the classic single-node grid.
  */
 struct SweepGrid
 {
@@ -46,6 +65,13 @@ struct SweepGrid
     std::vector<SchedulerPolicy> policies;
     std::vector<std::uint64_t> seeds;
 
+    /** Cluster axes: empty nodeCounts = single-node points. */
+    std::vector<int> nodeCounts;
+    std::vector<PlacementPolicy> placements;
+    DispatchPolicy dispatch = DispatchPolicy::RoundRobin;
+    /** Per-node arrival rates are multiplied by the node count. */
+    bool scaleRateWithNodes = true;
+
     std::vector<SweepPoint> points() const;
 };
 
@@ -55,6 +81,11 @@ struct SweepPointResult
     ServingResult result;
     double wallSeconds = 0.0;          ///< host time for this point
     std::uint64_t eventsExecuted = 0;  ///< simulator events it ran
+
+    /** Cluster-only extras (nodes >= 1 points). */
+    double loadImbalance = 0.0;
+    double placedBytesTotal = 0.0;
+    int expertReplicas = 0;
 };
 
 /**

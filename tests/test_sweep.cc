@@ -187,6 +187,70 @@ TEST(SweepGrid, EmptyAxesInheritBaseConfig)
     EXPECT_EQ(points[0].cfg.seed, 9u);
 }
 
+TEST(SweepGrid, ClusterAxesLiftPointsOntoClusters)
+{
+    SweepGrid grid;
+    grid.base.mode = ServingMode::EventDriven;
+    grid.base.arrivalRatePerSec = 8.0;
+    grid.nodeCounts = {1, 4};
+    grid.placements = {PlacementPolicy::FullReplication,
+                       PlacementPolicy::BalancedPartition};
+    grid.dispatch = DispatchPolicy::LeastOutstanding;
+    grid.seeds = {1, 2};
+
+    std::vector<SweepPoint> points = grid.points();
+    ASSERT_EQ(points.size(), 8u);
+    // Nodes outermost, then placement, seeds innermost.
+    EXPECT_EQ(points[0].nodes, 1);
+    EXPECT_EQ(points[0].placement, PlacementPolicy::FullReplication);
+    EXPECT_EQ(points[2].placement, PlacementPolicy::BalancedPartition);
+    EXPECT_EQ(points[4].nodes, 4);
+    EXPECT_EQ(points[4].dispatch, DispatchPolicy::LeastOutstanding);
+    // Offered load scales with node count so points stay comparable.
+    EXPECT_DOUBLE_EQ(points[0].cfg.arrivalRatePerSec, 8.0);
+    EXPECT_DOUBLE_EQ(points[4].cfg.arrivalRatePerSec, 32.0);
+    EXPECT_EQ(points[4].label.rfind("n4/partition/", 0), std::string::npos);
+    EXPECT_EQ(points[6].label.rfind("n4/partition/", 0), 0u);
+
+    // Classic grids stay single-node.
+    SweepGrid classic;
+    ASSERT_EQ(classic.points().size(), 1u);
+    EXPECT_EQ(classic.points()[0].nodes, 0);
+}
+
+TEST(Sweep, ClusterPointsParallelMatchesSequential)
+{
+    SweepGrid grid;
+    grid.base.mode = ServingMode::EventDriven;
+    grid.base.streamRequests = 96;
+    grid.base.routing = RoutingDistribution::Zipf;
+    grid.base.zipfS = 1.0;
+    grid.base.arrivalRatePerSec = 12.0;
+    grid.nodeCounts = {1, 2, 4};
+    grid.placements = {PlacementPolicy::FullReplication,
+                       PlacementPolicy::ReplicateHotPartitionCold};
+    grid.dispatch = DispatchPolicy::ExpertAffinity;
+    grid.seeds = {1, 2};
+
+    std::vector<SweepPoint> points = grid.points();
+    ASSERT_EQ(points.size(), 12u);
+
+    std::vector<SweepPointResult> seq = runSweep(points, 1);
+    std::vector<SweepPointResult> par = runSweep(points, 4);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        const StreamMetrics &a = seq[i].result.stream;
+        const StreamMetrics &b = par[i].result.stream;
+        EXPECT_DOUBLE_EQ(a.p95LatencySeconds, b.p95LatencySeconds);
+        EXPECT_DOUBLE_EQ(a.throughputRequestsPerSec,
+                         b.throughputRequestsPerSec);
+        EXPECT_DOUBLE_EQ(seq[i].result.missRate, par[i].result.missRate);
+        EXPECT_DOUBLE_EQ(seq[i].loadImbalance, par[i].loadImbalance);
+        EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+        EXPECT_EQ(seq[i].expertReplicas, par[i].expertReplicas);
+    }
+}
+
 TEST(Sweep, ParallelMatchesSequentialBitForBit)
 {
     SweepGrid grid;

@@ -9,31 +9,32 @@
  *             [--sockets 8] [--trace out.json]
  *
  * The `serve` subcommand drives the event-driven CoE request-stream
- * scheduler instead and reports tail latency and throughput; expert
- * switches are real DMA transfers on the platform's three-tier
- * memory system:
+ * scheduler and reports tail latency and throughput; `sweep` shards a
+ * Cartesian grid of serve points over a thread pool; `cluster` runs a
+ * multi-node serving cluster with pluggable expert placement and
+ * request dispatch, including mid-run node drain/rejoin and a diurnal
+ * arrival ramp.
  *
- *   sn40l_run serve --arrival-rate=8 [--experts 150] [--batch 8] \
- *             [--requests 512] [--scheduler fifo|affinity|both] \
- *             [--routing uniform|zipf|round-robin] [--zipf-s 1.0] \
- *             [--platform sn40l|dgx-a100|dgx-h100] [--closed-loop] \
- *             [--clients 16] [--think 0.0] [--tokens 20] [--seed 1] \
- *             [--prefetch] [--prefetch-depth 4] [--dma-engines 2] \
- *             [--expert-region-gb 96]
- *
- * `sn40l_run serve --help` documents every serve flag.
+ * Every subcommand documents its flags via `--help`. Flags shared
+ * between subcommands (workload shape, memory system, arrivals) are
+ * declared once in addWorkloadFlags/addArrivalFlags and registered
+ * into each subcommand's FlagParser, so `cluster` did not copy the
+ * `serve` flag handling a third time and unknown-flag errors always
+ * name the subcommand they came from.
  */
 
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "coe/cluster.h"
 #include "coe/serving.h"
 #include "coe/sweep.h"
 #include "models/model_zoo.h"
@@ -71,6 +72,263 @@ modelByName(const std::string &name)
     }
     return it->second();
 }
+
+/**
+ * Flatten "--flag=value" arguments into "--flag value" so both
+ * spellings parse through the same loop.
+ */
+std::vector<std::string>
+splitEqualsArgs(int argc, char **argv, int first)
+{
+    std::vector<std::string> out;
+    for (int i = first; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            out.push_back(arg.substr(0, eq));
+            out.push_back(arg.substr(eq + 1));
+        } else {
+            out.push_back(arg);
+        }
+    }
+    return out;
+}
+
+coe::Platform
+platformByName(const std::string &name)
+{
+    if (name == "sn40l") return coe::Platform::Sn40l;
+    if (name == "dgx-a100") return coe::Platform::DgxA100;
+    if (name == "dgx-h100") return coe::Platform::DgxH100;
+    std::cerr << "unknown platform '" << name
+              << "' (expected sn40l, dgx-a100, or dgx-h100)\n";
+    std::exit(1);
+}
+
+// ------------------------------------------------------ flag parser
+
+/**
+ * Table-driven subcommand flag parser. Each subcommand registers its
+ * flag specs (shared groups plus its own), then parse() walks argv:
+ * "--flag value" and "--flag=value" both work, "--help"/"-h" prints
+ * the subcommand help, and an unrecognized flag fails with an error
+ * naming the subcommand. fail() is also the shared exit path for
+ * validation errors, so every message points at the right --help.
+ */
+class FlagParser
+{
+  public:
+    FlagParser(const char *subcommand, void (*help)(std::ostream &))
+        : subcommand_(subcommand), help_(help)
+    {
+    }
+
+    /** Register a value-less flag ("--prefetch"). */
+    void
+    flag(const char *name, std::function<void()> apply)
+    {
+        specs_.push_back(
+            {name, false,
+             [apply = std::move(apply)](const std::string &) { apply(); }});
+    }
+
+    /** Register a flag that consumes the next argument. */
+    void
+    value(const char *name, std::function<void(const std::string &)> apply)
+    {
+        specs_.push_back({name, true, std::move(apply)});
+    }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        std::cerr << "error: " << msg << "\n"
+                  << "run `sn40l_run " << subcommand_
+                  << " --help` for the flag reference\n";
+        std::exit(1);
+    }
+
+    /** @return true if --help was printed (caller should return 0). */
+    bool
+    parse(int argc, char **argv)
+    {
+        std::vector<std::string> args = splitEqualsArgs(argc, argv, 2);
+        for (std::size_t i = 0; i < args.size(); ++i) {
+            const std::string &arg = args[i];
+            if (arg == "--help" || arg == "-h") {
+                help_(std::cout);
+                return true;
+            }
+            const Spec *spec = nullptr;
+            for (const Spec &s : specs_) {
+                if (arg == s.name) {
+                    spec = &s;
+                    break;
+                }
+            }
+            if (!spec)
+                fail("unknown " + std::string(subcommand_) + " flag '" +
+                     arg + "'");
+            if (spec->takesValue) {
+                if (i + 1 >= args.size())
+                    fail("flag " + arg + " expects a value");
+                spec->apply(args[++i]);
+            } else {
+                spec->apply(std::string());
+            }
+        }
+        return false;
+    }
+
+    const char *subcommand() const { return subcommand_; }
+
+  private:
+    struct Spec
+    {
+        std::string name;
+        bool takesValue;
+        std::function<void(const std::string &)> apply;
+    };
+
+    const char *subcommand_;
+    void (*help_)(std::ostream &);
+    std::vector<Spec> specs_;
+};
+
+template <typename T>
+std::vector<T>
+parseList(const FlagParser &p, const std::string &csv,
+          T (*parse)(const std::string &))
+{
+    std::vector<T> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            p.fail("empty element in list '" + csv + "'");
+        out.push_back(parse(item));
+    }
+    if (out.empty())
+        p.fail("empty list argument");
+    return out;
+}
+
+// ------------------------------------------- shared flag groups
+
+/** Tracks which optional flags were set, for contradiction checks. */
+struct WorkloadFlagState
+{
+    bool setZipfS = false;
+    bool setPrefetchDepth = false;
+    bool setPrefetchWindow = false;
+};
+
+/**
+ * Workload/memory flags shared by serve, sweep, and cluster: the
+ * platform, the per-prompt shape, the routing distribution, and the
+ * expert-streaming memory system.
+ */
+void
+addWorkloadFlags(FlagParser &p, coe::ServingConfig &cfg,
+                 WorkloadFlagState &st)
+{
+    p.value("--platform", [&](const std::string &v) {
+        cfg.platform = platformByName(v);
+    });
+    p.value("--tokens", [&](const std::string &v) {
+        cfg.outputTokens = std::stoi(v);
+    });
+    p.value("--requests", [&](const std::string &v) {
+        cfg.streamRequests = std::stoi(v);
+    });
+    p.value("--routing", [&](const std::string &v) {
+        cfg.routing = coe::routingDistributionFromName(v);
+    });
+    p.value("--zipf-s", [&](const std::string &v) {
+        cfg.zipfS = std::stod(v);
+        st.setZipfS = true;
+    });
+    p.flag("--prefetch", [&]() { cfg.predictivePrefetch = true; });
+    p.value("--prefetch-depth", [&](const std::string &v) {
+        cfg.prefetchDepth = std::stoi(v);
+        st.setPrefetchDepth = true;
+    });
+    p.value("--prefetch-window", [&](const std::string &v) {
+        cfg.prefetchWindow = std::stoi(v);
+        st.setPrefetchWindow = true;
+    });
+    p.value("--dma-engines", [&](const std::string &v) {
+        cfg.dmaEngines = std::stoi(v);
+    });
+    p.value("--expert-region-gb", [&p, &cfg](const std::string &v) {
+        double gb = std::stod(v);
+        if (gb <= 0.0)
+            p.fail("--expert-region-gb must be positive");
+        cfg.expertRegionBytes = static_cast<std::int64_t>(gb * 1e9);
+    });
+}
+
+/** Reject contradictory workload flag combinations. */
+void
+validateWorkloadFlags(const FlagParser &p, const coe::ServingConfig &cfg,
+                      const WorkloadFlagState &st)
+{
+    if (st.setZipfS && cfg.routing != coe::RoutingDistribution::Zipf)
+        p.fail("--zipf-s requires --routing zipf");
+    if (st.setPrefetchDepth && !cfg.predictivePrefetch)
+        p.fail("--prefetch-depth requires --prefetch");
+    if (st.setPrefetchWindow && !cfg.predictivePrefetch)
+        p.fail("--prefetch-window requires --prefetch");
+    if (cfg.prefetchWindow < 0)
+        p.fail("--prefetch-window must be non-negative");
+    if (cfg.dmaEngines <= 0)
+        p.fail("--dma-engines must be at least 1");
+    if (cfg.prefetchDepth < 0)
+        p.fail("--prefetch-depth must be non-negative");
+}
+
+struct ArrivalFlagState
+{
+    bool setArrivalRate = false;
+    bool setClients = false;
+    bool setThink = false;
+};
+
+/** Arrival-process flags shared by serve and cluster. */
+void
+addArrivalFlags(FlagParser &p, coe::ServingConfig &cfg,
+                ArrivalFlagState &st)
+{
+    p.value("--arrival-rate", [&](const std::string &v) {
+        cfg.arrivalRatePerSec = std::stod(v);
+        st.setArrivalRate = true;
+    });
+    p.flag("--closed-loop",
+           [&]() { cfg.arrival = coe::ArrivalProcess::ClosedLoop; });
+    p.value("--clients", [&](const std::string &v) {
+        cfg.clients = std::stoi(v);
+        st.setClients = true;
+    });
+    p.value("--think", [&](const std::string &v) {
+        cfg.thinkSeconds = std::stod(v);
+        st.setThink = true;
+    });
+}
+
+void
+validateArrivalFlags(const FlagParser &p, const coe::ServingConfig &cfg,
+                     const ArrivalFlagState &st)
+{
+    if (cfg.arrival == coe::ArrivalProcess::ClosedLoop &&
+        st.setArrivalRate)
+        p.fail("--arrival-rate is an open-loop parameter; it cannot "
+               "be combined with --closed-loop");
+    if (cfg.arrival != coe::ArrivalProcess::ClosedLoop &&
+        (st.setClients || st.setThink))
+        p.fail("--clients/--think only apply to --closed-loop runs");
+}
+
+// ------------------------------------------------------- help text
 
 void
 serveHelp(std::ostream &os)
@@ -125,18 +383,27 @@ sweepHelp(std::ostream &os)
 {
     os << "usage: sn40l_run sweep [flags]\n"
        << "\n"
-       << "Cartesian sweep of event-driven serving points (experts x\n"
-       << "arrival rates x batch sizes x schedulers x seeds), sharded\n"
-       << "across a thread pool. Every point is an independent\n"
-       << "deterministic simulation with its own event queue, so\n"
-       << "`-j N` produces bit-identical per-point results to `-j 1`.\n"
+       << "Cartesian sweep of event-driven serving points (nodes x\n"
+       << "placements x experts x arrival rates x batch sizes x\n"
+       << "schedulers x seeds), sharded across a thread pool. Every\n"
+       << "point is an independent deterministic simulation with its\n"
+       << "own event queue, so `-j N` produces bit-identical per-point\n"
+       << "results to `-j 1`.\n"
        << "\n"
        << "Axes (comma-separated lists):\n"
        << "  --experts LIST        e.g. 50,100,150 (default 150)\n"
-       << "  --arrival-rate LIST   req/s, e.g. 8,16,24 (default 8)\n"
+       << "  --arrival-rate LIST   req/s per node, e.g. 8,16,24 "
+       << "(default 8)\n"
        << "  --batch LIST          max prompts per batch (default 8)\n"
        << "  --scheduler S         fifo | affinity | both (default both)\n"
        << "  --seeds LIST          RNG seeds, e.g. 1,2,3 (default 1)\n"
+       << "  --nodes LIST          cluster sizes, e.g. 1,4,8 (default:\n"
+       << "                        single-node serving, no cluster)\n"
+       << "  --placement LIST      replication | replicate-hot | "
+       << "partition\n"
+       << "                        (requires --nodes)\n"
+       << "  --dispatch D          round-robin | least-outstanding |\n"
+       << "                        expert-affinity (requires --nodes)\n"
        << "\n"
        << "Per-point workload (same meaning as `serve`):\n"
        << "  --platform P          sn40l | dgx-a100 | dgx-h100\n"
@@ -157,6 +424,57 @@ sweepHelp(std::ostream &os)
        << "  --json FILE           write per-point metrics as JSON\n";
 }
 
+void
+clusterHelp(std::ostream &os)
+{
+    os << "usage: sn40l_run cluster [flags]\n"
+       << "\n"
+       << "Multi-node CoE serving cluster: N per-node serving stacks\n"
+       << "(each its own LRU expert cache and DMA memory system) on one\n"
+       << "event queue, fronted by a cluster router with pluggable\n"
+       << "expert placement and request dispatch. Supports mid-run node\n"
+       << "drain/rejoin and a diurnal arrival ramp.\n"
+       << "\n"
+       << "Cluster:\n"
+       << "  --nodes N             nodes in the cluster (default 4)\n"
+       << "  --placement P         replication | replicate-hot | "
+       << "partition\n"
+       << "                        (default replicate-hot)\n"
+       << "  --hot-experts N       experts replicated on every node\n"
+       << "                        (requires --placement replicate-hot;\n"
+       << "                        default experts/10)\n"
+       << "  --dispatch D          round-robin | least-outstanding |\n"
+       << "                        expert-affinity (default\n"
+       << "                        least-outstanding)\n"
+       << "\n"
+       << "Scenarios:\n"
+       << "  --drain-at SEC        drain a node mid-run: its queue\n"
+       << "                        re-dispatches, nothing is lost\n"
+       << "  --drain-node N        which node drains (requires\n"
+       << "                        --drain-at; default 0)\n"
+       << "  --rejoin-at SEC       drained node rejoins cold (requires\n"
+       << "                        --drain-at)\n"
+       << "  --diurnal-amplitude A sinusoidal ramp on the Poisson rate,\n"
+       << "                        in [0,1) (open loop only)\n"
+       << "  --diurnal-period SEC  ramp period (requires\n"
+       << "                        --diurnal-amplitude; default 86400)\n"
+       << "  --node-dma-engines L  per-node DMA engine counts, e.g.\n"
+       << "                        2,4,2,4 (length = --nodes;\n"
+       << "                        heterogeneous cluster)\n"
+       << "  --node-region-gb L    per-node expert-region GB list\n"
+       << "\n"
+       << "Workload (same meaning as `serve`):\n"
+       << "  --platform, --experts, --batch, --tokens, --requests,\n"
+       << "  --routing, --zipf-s, --seed, --scheduler (fifo | affinity),\n"
+       << "  --prefetch, --prefetch-depth, --prefetch-window,\n"
+       << "  --dma-engines, --expert-region-gb\n"
+       << "\n"
+       << "Arrivals (cluster-wide):\n"
+       << "  --arrival-rate R      TOTAL open-loop rate across the\n"
+       << "                        cluster, req/s (default 8 x nodes)\n"
+       << "  --closed-loop / --clients / --think   as in `serve`\n";
+}
+
 [[noreturn]] void
 usage()
 {
@@ -164,65 +482,16 @@ usage()
               << "prefill|decode|train [--seq N] [--batch N]\n"
               << "       [--tp N] [--sockets N] [--config "
               << "fused-ho|fused-so|unfused] [--trace FILE]\n"
-              << "   or: sn40l_run serve [flags]  "
+              << "   or: sn40l_run serve [flags]    "
               << "(see `sn40l_run serve --help`)\n"
-              << "   or: sn40l_run sweep [flags]  "
-              << "(see `sn40l_run sweep --help`)\n";
+              << "   or: sn40l_run sweep [flags]    "
+              << "(see `sn40l_run sweep --help`)\n"
+              << "   or: sn40l_run cluster [flags]  "
+              << "(see `sn40l_run cluster --help`)\n";
     std::exit(1);
 }
 
-[[noreturn]] void
-subcommandError(const std::string &msg, const char *subcommand)
-{
-    std::cerr << "error: " << msg << "\n"
-              << "run `sn40l_run " << subcommand
-              << " --help` for the flag reference\n";
-    std::exit(1);
-}
-
-[[noreturn]] void
-serveError(const std::string &msg)
-{
-    subcommandError(msg, "serve");
-}
-
-[[noreturn]] void
-sweepError(const std::string &msg)
-{
-    subcommandError(msg, "sweep");
-}
-
-/**
- * Flatten "--flag=value" arguments into "--flag value" so both
- * spellings parse through the same next()-style loop.
- */
-std::vector<std::string>
-splitEqualsArgs(int argc, char **argv, int first)
-{
-    std::vector<std::string> out;
-    for (int i = first; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto eq = arg.find('=');
-        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
-            out.push_back(arg.substr(0, eq));
-            out.push_back(arg.substr(eq + 1));
-        } else {
-            out.push_back(arg);
-        }
-    }
-    return out;
-}
-
-coe::Platform
-platformByName(const std::string &name)
-{
-    if (name == "sn40l") return coe::Platform::Sn40l;
-    if (name == "dgx-a100") return coe::Platform::DgxA100;
-    if (name == "dgx-h100") return coe::Platform::DgxH100;
-    std::cerr << "unknown platform '" << name
-              << "' (expected sn40l, dgx-a100, or dgx-h100)\n";
-    std::exit(1);
-}
+// ---------------------------------------------------------- serve
 
 int
 runServe(int argc, char **argv)
@@ -232,88 +501,27 @@ runServe(int argc, char **argv)
     cfg.batch = 8;
     std::string scheduler_name = "both";
 
-    bool set_arrival_rate = false, set_clients = false, set_think = false;
-    bool set_zipf_s = false, set_prefetch_depth = false;
-    bool set_prefetch_window = false;
+    FlagParser parser("serve", serveHelp);
+    WorkloadFlagState wst;
+    ArrivalFlagState ast;
+    addWorkloadFlags(parser, cfg, wst);
+    addArrivalFlags(parser, cfg, ast);
+    parser.value("--experts", [&](const std::string &v) {
+        cfg.numExperts = std::stoi(v);
+    });
+    parser.value("--batch", [&](const std::string &v) {
+        cfg.batch = std::stoi(v);
+    });
+    parser.value("--seed", [&](const std::string &v) {
+        cfg.seed = std::stoull(v);
+    });
+    parser.value("--scheduler",
+                 [&](const std::string &v) { scheduler_name = v; });
 
-    std::vector<std::string> args = splitEqualsArgs(argc, argv, 2);
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= args.size())
-                serveError("flag " + arg + " expects a value");
-            return args[++i];
-        };
-        if (arg == "--help" || arg == "-h") {
-            serveHelp(std::cout);
-            return 0;
-        }
-        else if (arg == "--platform") cfg.platform = platformByName(next());
-        else if (arg == "--experts") cfg.numExperts = std::stoi(next());
-        else if (arg == "--batch") cfg.batch = std::stoi(next());
-        else if (arg == "--tokens") cfg.outputTokens = std::stoi(next());
-        else if (arg == "--requests") cfg.streamRequests = std::stoi(next());
-        else if (arg == "--arrival-rate") {
-            cfg.arrivalRatePerSec = std::stod(next());
-            set_arrival_rate = true;
-        }
-        else if (arg == "--closed-loop")
-            cfg.arrival = coe::ArrivalProcess::ClosedLoop;
-        else if (arg == "--clients") {
-            cfg.clients = std::stoi(next());
-            set_clients = true;
-        }
-        else if (arg == "--think") {
-            cfg.thinkSeconds = std::stod(next());
-            set_think = true;
-        }
-        else if (arg == "--scheduler") scheduler_name = next();
-        else if (arg == "--routing")
-            cfg.routing = coe::routingDistributionFromName(next());
-        else if (arg == "--zipf-s") {
-            cfg.zipfS = std::stod(next());
-            set_zipf_s = true;
-        }
-        else if (arg == "--seed") cfg.seed = std::stoull(next());
-        else if (arg == "--prefetch") cfg.predictivePrefetch = true;
-        else if (arg == "--prefetch-depth") {
-            cfg.prefetchDepth = std::stoi(next());
-            set_prefetch_depth = true;
-        }
-        else if (arg == "--prefetch-window") {
-            cfg.prefetchWindow = std::stoi(next());
-            set_prefetch_window = true;
-        }
-        else if (arg == "--dma-engines") cfg.dmaEngines = std::stoi(next());
-        else if (arg == "--expert-region-gb") {
-            double gb = std::stod(next());
-            if (gb <= 0.0)
-                serveError("--expert-region-gb must be positive");
-            cfg.expertRegionBytes = static_cast<std::int64_t>(gb * 1e9);
-        }
-        else serveError("unknown serve flag '" + arg + "'");
-    }
-
-    // Reject contradictory combinations instead of silently ignoring
-    // half of them.
-    if (cfg.arrival == coe::ArrivalProcess::ClosedLoop && set_arrival_rate)
-        serveError("--arrival-rate is an open-loop parameter; it cannot "
-                   "be combined with --closed-loop");
-    if (cfg.arrival != coe::ArrivalProcess::ClosedLoop &&
-        (set_clients || set_think))
-        serveError("--clients/--think only apply to --closed-loop runs");
-    if (set_zipf_s && cfg.routing != coe::RoutingDistribution::Zipf)
-        serveError("--zipf-s requires --routing zipf");
-    if (set_prefetch_depth && !cfg.predictivePrefetch)
-        serveError("--prefetch-depth requires --prefetch");
-    if (set_prefetch_window && !cfg.predictivePrefetch)
-        serveError("--prefetch-window requires --prefetch");
-    if (cfg.prefetchWindow < 0)
-        serveError("--prefetch-window must be non-negative");
-    if (cfg.dmaEngines <= 0)
-        serveError("--dma-engines must be at least 1");
-    if (cfg.prefetchDepth < 0)
-        serveError("--prefetch-depth must be non-negative");
+    if (parser.parse(argc, argv))
+        return 0;
+    validateWorkloadFlags(parser, cfg, wst);
+    validateArrivalFlags(parser, cfg, ast);
 
     std::vector<coe::SchedulerPolicy> policies;
     if (scheduler_name == "both") {
@@ -381,22 +589,7 @@ runServe(int argc, char **argv)
     return 0;
 }
 
-template <typename T>
-std::vector<T>
-parseList(const std::string &csv, T (*parse)(const std::string &))
-{
-    std::vector<T> out;
-    std::stringstream ss(csv);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-        if (item.empty())
-            sweepError("empty element in list '" + csv + "'");
-        out.push_back(parse(item));
-    }
-    if (out.empty())
-        sweepError("empty list argument");
-    return out;
-}
+// ---------------------------------------------------------- sweep
 
 int
 runSweepCmd(int argc, char **argv)
@@ -410,84 +603,56 @@ runSweepCmd(int argc, char **argv)
     int jobs = static_cast<int>(std::thread::hardware_concurrency());
     if (jobs <= 0)
         jobs = 1;
-    bool set_zipf_s = false, set_prefetch_depth = false;
-    bool set_prefetch_window = false;
 
-    std::vector<std::string> args = splitEqualsArgs(argc, argv, 2);
-    for (std::size_t i = 0; i < args.size(); ++i) {
-        const std::string &arg = args[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= args.size())
-                sweepError("flag " + arg + " expects a value");
-            return args[++i];
-        };
-        if (arg == "--help" || arg == "-h") {
-            sweepHelp(std::cout);
-            return 0;
-        }
-        else if (arg == "--platform")
-            grid.base.platform = platformByName(next());
-        else if (arg == "--experts") {
-            grid.expertCounts = parseList<int>(
-                next(), +[](const std::string &s) { return std::stoi(s); });
-        }
-        else if (arg == "--arrival-rate") {
-            grid.arrivalRates = parseList<double>(
-                next(), +[](const std::string &s) { return std::stod(s); });
-        }
-        else if (arg == "--batch") {
-            grid.batchSizes = parseList<int>(
-                next(), +[](const std::string &s) { return std::stoi(s); });
-        }
-        else if (arg == "--seeds") {
-            grid.seeds = parseList<std::uint64_t>(
-                next(), +[](const std::string &s) {
-                    return static_cast<std::uint64_t>(std::stoull(s));
-                });
-        }
-        else if (arg == "--scheduler") scheduler_name = next();
-        else if (arg == "--requests")
-            grid.base.streamRequests = std::stoi(next());
-        else if (arg == "--tokens") grid.base.outputTokens = std::stoi(next());
-        else if (arg == "--routing")
-            grid.base.routing = coe::routingDistributionFromName(next());
-        else if (arg == "--zipf-s") {
-            grid.base.zipfS = std::stod(next());
-            set_zipf_s = true;
-        }
-        else if (arg == "--prefetch") grid.base.predictivePrefetch = true;
-        else if (arg == "--prefetch-depth") {
-            grid.base.prefetchDepth = std::stoi(next());
-            set_prefetch_depth = true;
-        }
-        else if (arg == "--prefetch-window") {
-            grid.base.prefetchWindow = std::stoi(next());
-            set_prefetch_window = true;
-        }
-        else if (arg == "--dma-engines")
-            grid.base.dmaEngines = std::stoi(next());
-        else if (arg == "--expert-region-gb") {
-            double gb = std::stod(next());
-            if (gb <= 0.0)
-                sweepError("--expert-region-gb must be positive");
-            grid.base.expertRegionBytes =
-                static_cast<std::int64_t>(gb * 1e9);
-        }
-        else if (arg == "-j" || arg == "--jobs") jobs = std::stoi(next());
-        else if (arg == "--json") json_path = next();
-        else sweepError("unknown sweep flag '" + arg + "'");
-    }
+    FlagParser parser("sweep", sweepHelp);
+    WorkloadFlagState wst;
+    addWorkloadFlags(parser, grid.base, wst);
+    bool set_placement = false, set_dispatch = false;
+    parser.value("--experts", [&](const std::string &v) {
+        grid.expertCounts = parseList<int>(
+            parser, v, +[](const std::string &s) { return std::stoi(s); });
+    });
+    parser.value("--arrival-rate", [&](const std::string &v) {
+        grid.arrivalRates = parseList<double>(
+            parser, v, +[](const std::string &s) { return std::stod(s); });
+    });
+    parser.value("--batch", [&](const std::string &v) {
+        grid.batchSizes = parseList<int>(
+            parser, v, +[](const std::string &s) { return std::stoi(s); });
+    });
+    parser.value("--seeds", [&](const std::string &v) {
+        grid.seeds = parseList<std::uint64_t>(
+            parser, v, +[](const std::string &s) {
+                return static_cast<std::uint64_t>(std::stoull(s));
+            });
+    });
+    parser.value("--nodes", [&](const std::string &v) {
+        grid.nodeCounts = parseList<int>(
+            parser, v, +[](const std::string &s) { return std::stoi(s); });
+    });
+    parser.value("--placement", [&](const std::string &v) {
+        grid.placements = parseList<coe::PlacementPolicy>(
+            parser, v, &coe::placementPolicyFromName);
+        set_placement = true;
+    });
+    parser.value("--dispatch", [&](const std::string &v) {
+        grid.dispatch = coe::dispatchPolicyFromName(v);
+        set_dispatch = true;
+    });
+    parser.value("--scheduler",
+                 [&](const std::string &v) { scheduler_name = v; });
+    parser.value("-j", [&](const std::string &v) { jobs = std::stoi(v); });
+    parser.value("--jobs",
+                 [&](const std::string &v) { jobs = std::stoi(v); });
+    parser.value("--json", [&](const std::string &v) { json_path = v; });
 
-    if (set_zipf_s && grid.base.routing != coe::RoutingDistribution::Zipf)
-        sweepError("--zipf-s requires --routing zipf");
-    if (set_prefetch_depth && !grid.base.predictivePrefetch)
-        sweepError("--prefetch-depth requires --prefetch");
-    if (set_prefetch_window && !grid.base.predictivePrefetch)
-        sweepError("--prefetch-window requires --prefetch");
-    if (grid.base.prefetchWindow < 0)
-        sweepError("--prefetch-window must be non-negative");
+    if (parser.parse(argc, argv))
+        return 0;
+    validateWorkloadFlags(parser, grid.base, wst);
+    if ((set_placement || set_dispatch) && grid.nodeCounts.empty())
+        parser.fail("--placement/--dispatch require --nodes");
     if (jobs <= 0)
-        sweepError("--jobs must be at least 1");
+        parser.fail("--jobs must be at least 1");
 
     if (scheduler_name == "both") {
         grid.policies = {coe::SchedulerPolicy::Fifo,
@@ -509,34 +674,56 @@ runSweepCmd(int argc, char **argv)
                       std::chrono::steady_clock::now() - start)
                       .count();
 
-    util::Table table({"Experts", "Rate", "Batch", "Sched", "Seed", "p50",
-                       "p95", "p99", "Throughput", "Miss rate", "Events"});
+    bool clustered = !grid.nodeCounts.empty();
+    std::vector<std::string> header = {"Experts", "Rate", "Batch",
+                                       "Sched", "Seed"};
+    if (clustered) {
+        header.insert(header.begin(), "Placement");
+        header.insert(header.begin(), "Nodes");
+    }
+    for (const char *col : {"p50", "p95", "p99", "Throughput",
+                            "Miss rate", "Events"})
+        header.push_back(col);
+    if (clustered)
+        header.push_back("Imbalance");
+    util::Table table(header);
+
     std::uint64_t total_events = 0;
     for (const coe::SweepPointResult &r : results) {
         const coe::ServingConfig &cfg = r.point.cfg;
+        std::vector<std::string> row;
+        if (clustered) {
+            row.push_back(std::to_string(r.point.nodes));
+            row.push_back(coe::placementPolicyName(r.point.placement));
+        }
+        row.push_back(std::to_string(cfg.numExperts));
+        // The per-node rate the grid asked for, not the node-scaled
+        // total — points stay comparable across node counts.
+        row.push_back(util::formatDouble(r.point.ratePerNode, 1));
+        row.push_back(std::to_string(cfg.batch));
+        row.push_back(coe::schedulerPolicyName(cfg.scheduler));
+        row.push_back(std::to_string(cfg.seed));
         if (r.result.oom) {
-            table.addRow({std::to_string(cfg.numExperts),
-                          util::formatDouble(cfg.arrivalRatePerSec, 1),
-                          std::to_string(cfg.batch),
-                          coe::schedulerPolicyName(cfg.scheduler),
-                          std::to_string(cfg.seed), "-", "-", "-",
-                          "OUT OF MEMORY", "-", "-"});
+            row.insert(row.end(), {"-", "-", "-", "OUT OF MEMORY", "-",
+                                   "-"});
+            if (clustered)
+                row.push_back("-");
+            table.addRow(row);
             continue;
         }
         const coe::StreamMetrics &m = r.result.stream;
         total_events += r.eventsExecuted;
-        table.addRow({std::to_string(cfg.numExperts),
-                      util::formatDouble(cfg.arrivalRatePerSec, 1),
-                      std::to_string(cfg.batch),
-                      coe::schedulerPolicyName(cfg.scheduler),
-                      std::to_string(cfg.seed),
-                      util::formatSeconds(m.p50LatencySeconds),
-                      util::formatSeconds(m.p95LatencySeconds),
-                      util::formatSeconds(m.p99LatencySeconds),
-                      util::formatDouble(m.throughputRequestsPerSec, 2) +
-                          " req/s",
-                      util::formatDouble(r.result.missRate * 100, 1) + "%",
-                      std::to_string(r.eventsExecuted)});
+        row.push_back(util::formatSeconds(m.p50LatencySeconds));
+        row.push_back(util::formatSeconds(m.p95LatencySeconds));
+        row.push_back(util::formatSeconds(m.p99LatencySeconds));
+        row.push_back(util::formatDouble(m.throughputRequestsPerSec, 2) +
+                      " req/s");
+        row.push_back(util::formatDouble(r.result.missRate * 100, 1) +
+                      "%");
+        row.push_back(std::to_string(r.eventsExecuted));
+        if (clustered)
+            row.push_back(util::formatDouble(r.loadImbalance, 2) + "x");
+        table.addRow(row);
     }
     table.print(std::cout);
     std::cout << "\n" << points.size() << " points, " << total_events
@@ -551,24 +738,30 @@ runSweepCmd(int argc, char **argv)
     if (!json_path.empty()) {
         std::ofstream out(json_path);
         if (!out)
-            sweepError("cannot write " + json_path);
+            parser.fail("cannot write " + json_path);
         out << "{\n  \"points\": [\n";
         for (std::size_t i = 0; i < results.size(); ++i) {
             const coe::SweepPointResult &r = results[i];
             const coe::ServingConfig &cfg = r.point.cfg;
             const coe::StreamMetrics &m = r.result.stream;
             out << "    {\"experts\": " << cfg.numExperts
+                << ", \"arrival_rate_per_node\": " << r.point.ratePerNode
                 << ", \"arrival_rate\": " << cfg.arrivalRatePerSec
                 << ", \"batch\": " << cfg.batch << ", \"scheduler\": \""
                 << coe::schedulerPolicyName(cfg.scheduler)
                 << "\", \"seed\": " << cfg.seed
-                << ", \"oom\": " << (r.result.oom ? "true" : "false")
+                << ", \"nodes\": " << r.point.nodes
+                << ", \"placement\": \""
+                << coe::placementPolicyName(r.point.placement)
+                << "\", \"oom\": " << (r.result.oom ? "true" : "false")
                 << ", \"p50_s\": " << m.p50LatencySeconds
                 << ", \"p95_s\": " << m.p95LatencySeconds
                 << ", \"p99_s\": " << m.p99LatencySeconds
                 << ", \"mean_s\": " << m.meanLatencySeconds
                 << ", \"throughput_rps\": " << m.throughputRequestsPerSec
                 << ", \"miss_rate\": " << r.result.missRate
+                << ", \"load_imbalance\": " << r.loadImbalance
+                << ", \"placed_bytes\": " << r.placedBytesTotal
                 << ", \"events\": " << r.eventsExecuted
                 << ", \"wall_s\": " << r.wallSeconds << "}"
                 << (i + 1 < results.size() ? "," : "") << "\n";
@@ -576,6 +769,212 @@ runSweepCmd(int argc, char **argv)
         out << "  ],\n  \"jobs\": " << jobs
             << ",\n  \"wall_s\": " << wall << "\n}\n";
         std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+}
+
+// -------------------------------------------------------- cluster
+
+int
+runClusterCmd(int argc, char **argv)
+{
+    coe::ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.placement = coe::PlacementPolicy::ReplicateHotPartitionCold;
+    cfg.dispatch = coe::DispatchPolicy::LeastOutstanding;
+    cfg.node.mode = coe::ServingMode::EventDriven;
+    cfg.node.batch = 8;
+    cfg.node.scheduler = coe::SchedulerPolicy::ExpertAffinity;
+
+    FlagParser parser("cluster", clusterHelp);
+    WorkloadFlagState wst;
+    ArrivalFlagState ast;
+    addWorkloadFlags(parser, cfg.node, wst);
+    addArrivalFlags(parser, cfg.node, ast);
+
+    bool set_rate = false, set_hot = false;
+    bool set_drain_at = false, set_drain_node = false;
+    bool set_rejoin = false, set_diurnal_amp = false;
+    bool set_diurnal_period = false;
+    std::vector<int> node_dma;
+    std::vector<double> node_region_gb;
+
+    parser.value("--experts", [&](const std::string &v) {
+        cfg.node.numExperts = std::stoi(v);
+    });
+    parser.value("--batch", [&](const std::string &v) {
+        cfg.node.batch = std::stoi(v);
+    });
+    parser.value("--seed", [&](const std::string &v) {
+        cfg.node.seed = std::stoull(v);
+    });
+    parser.value("--scheduler", [&](const std::string &v) {
+        cfg.node.scheduler = coe::schedulerPolicyFromName(v);
+    });
+    parser.value("--nodes", [&](const std::string &v) {
+        cfg.nodes = std::stoi(v);
+    });
+    parser.value("--placement", [&](const std::string &v) {
+        cfg.placement = coe::placementPolicyFromName(v);
+    });
+    parser.value("--dispatch", [&](const std::string &v) {
+        cfg.dispatch = coe::dispatchPolicyFromName(v);
+    });
+    parser.value("--hot-experts", [&](const std::string &v) {
+        cfg.hotExperts = std::stoi(v);
+        set_hot = true;
+    });
+    parser.value("--drain-at", [&](const std::string &v) {
+        cfg.drainAtSeconds = std::stod(v);
+        set_drain_at = true;
+    });
+    parser.value("--drain-node", [&](const std::string &v) {
+        cfg.drainNode = std::stoi(v);
+        set_drain_node = true;
+    });
+    parser.value("--rejoin-at", [&](const std::string &v) {
+        cfg.rejoinAtSeconds = std::stod(v);
+        set_rejoin = true;
+    });
+    parser.value("--diurnal-amplitude", [&](const std::string &v) {
+        cfg.diurnalAmplitude = std::stod(v);
+        set_diurnal_amp = true;
+    });
+    parser.value("--diurnal-period", [&](const std::string &v) {
+        cfg.diurnalPeriodSeconds = std::stod(v);
+        set_diurnal_period = true;
+    });
+    parser.value("--node-dma-engines", [&](const std::string &v) {
+        node_dma = parseList<int>(
+            parser, v, +[](const std::string &s) { return std::stoi(s); });
+    });
+    parser.value("--node-region-gb", [&](const std::string &v) {
+        node_region_gb = parseList<double>(
+            parser, v, +[](const std::string &s) { return std::stod(s); });
+    });
+
+    if (parser.parse(argc, argv))
+        return 0;
+    validateWorkloadFlags(parser, cfg.node, wst);
+    validateArrivalFlags(parser, cfg.node, ast);
+    // The shared arrival group tracked whether --arrival-rate was set;
+    // if not, the open-loop default scales with the cluster size.
+    set_rate = ast.setArrivalRate;
+
+    if (cfg.nodes <= 0)
+        parser.fail("--nodes must be at least 1");
+    if (set_hot &&
+        cfg.placement != coe::PlacementPolicy::ReplicateHotPartitionCold)
+        parser.fail("--hot-experts requires --placement replicate-hot");
+    if (set_drain_at && cfg.drainAtSeconds <= 0.0)
+        parser.fail("--drain-at must be positive (the drain fires "
+                    "mid-run)");
+    if ((set_drain_node || set_rejoin) && !set_drain_at)
+        parser.fail("--drain-node/--rejoin-at require --drain-at");
+    if (set_diurnal_period && !set_diurnal_amp)
+        parser.fail("--diurnal-period requires --diurnal-amplitude");
+    if (!node_dma.empty() &&
+        static_cast<int>(node_dma.size()) != cfg.nodes)
+        parser.fail("--node-dma-engines needs exactly --nodes entries");
+    if (!node_region_gb.empty() &&
+        static_cast<int>(node_region_gb.size()) != cfg.nodes)
+        parser.fail("--node-region-gb needs exactly --nodes entries");
+    for (int n = 0; n < cfg.nodes; ++n) {
+        coe::ClusterNodeOverride o;
+        o.node = n;
+        if (!node_dma.empty())
+            o.dmaEngines = node_dma[static_cast<std::size_t>(n)];
+        if (!node_region_gb.empty()) {
+            double gb = node_region_gb[static_cast<std::size_t>(n)];
+            if (gb <= 0.0)
+                parser.fail("--node-region-gb entries must be positive");
+            o.expertRegionBytes = static_cast<std::int64_t>(gb * 1e9);
+        }
+        if (o.dmaEngines > 0 || o.expertRegionBytes > 0)
+            cfg.overrides.push_back(o);
+    }
+    if (!set_rate && cfg.node.arrival == coe::ArrivalProcess::Poisson)
+        cfg.node.arrivalRatePerSec = 8.0 * cfg.nodes;
+
+    std::cout << "CoE cluster on "
+              << coe::platformName(cfg.node.platform) << ": "
+              << cfg.nodes << " nodes, " << cfg.node.numExperts
+              << " experts, placement "
+              << coe::placementPolicyName(cfg.placement) << ", dispatch "
+              << coe::dispatchPolicyName(cfg.dispatch) << ", "
+              << (cfg.node.arrival == coe::ArrivalProcess::Poisson
+                      ? "open-loop " +
+                            util::formatDouble(cfg.node.arrivalRatePerSec,
+                                               1) +
+                            " req/s"
+                      : "closed-loop " + std::to_string(cfg.node.clients) +
+                            " clients")
+              << (cfg.diurnalAmplitude > 0.0
+                      ? " (diurnal x" +
+                            util::formatDouble(1.0 + cfg.diurnalAmplitude,
+                                               2) +
+                            " peak)"
+                      : "")
+              << ", " << cfg.node.streamRequests << " requests, "
+              << coe::routingDistributionName(cfg.node.routing)
+              << " routing\n\n";
+
+    coe::ClusterSimulator sim(cfg);
+    coe::ClusterResult r = sim.run();
+    if (r.oom) {
+        std::cout << "OUT OF MEMORY: a node's placed experts exceed its "
+                  << "backing capacity\n";
+        return 1;
+    }
+
+    util::Table table({"Node", "Placed", "Dispatched", "Completed",
+                       "Batches", "Miss rate", "p50", "p95",
+                       "Queue depth", "Peak HBM"});
+    for (const coe::ClusterNodeMetrics &nm : r.nodes) {
+        table.addRow({std::to_string(nm.node) +
+                          (nm.drained ? " (drained)" : ""),
+                      std::to_string(nm.placedExperts),
+                      std::to_string(nm.dispatched),
+                      std::to_string(nm.completed),
+                      std::to_string(nm.batches),
+                      util::formatDouble(nm.missRate * 100, 1) + "%",
+                      util::formatSeconds(nm.p50LatencySeconds),
+                      util::formatSeconds(nm.p95LatencySeconds),
+                      util::formatDouble(nm.meanQueueDepth, 1) +
+                          " avg / " +
+                          util::formatDouble(nm.maxQueueDepth, 0) +
+                          " max",
+                      util::formatBytes(static_cast<double>(
+                          nm.peakResidentBytes))});
+    }
+    table.print(std::cout);
+
+    const coe::StreamMetrics &m = r.stream;
+    std::cout << "\nCluster: p50 "
+              << util::formatSeconds(m.p50LatencySeconds) << ", p95 "
+              << util::formatSeconds(m.p95LatencySeconds) << ", p99 "
+              << util::formatSeconds(m.p99LatencySeconds) << ", "
+              << util::formatDouble(m.throughputRequestsPerSec, 2)
+              << " req/s, miss rate "
+              << util::formatDouble(r.missRate * 100, 1)
+              << "%, load imbalance "
+              << util::formatDouble(r.loadImbalance, 2) << "x\n";
+    std::cout << "Placement: " << r.expertReplicas << " expert replicas, "
+              << util::formatBytes(r.placedBytesTotal) << " placed, "
+              << util::formatBytes(
+                     static_cast<double>(r.peakResidentBytesTotal))
+              << " peak resident HBM\n";
+    if (cfg.drainAtSeconds > 0.0) {
+        std::cout << "Drain: node " << cfg.drainNode << " drained at "
+                  << util::formatDouble(cfg.drainAtSeconds, 1) << " s, "
+                  << r.redispatched << " queued requests re-dispatched"
+                  << (cfg.rejoinAtSeconds > 0.0
+                          ? ", rejoined cold at " +
+                                util::formatDouble(cfg.rejoinAtSeconds,
+                                                   1) +
+                                " s"
+                          : ", no rejoin")
+                  << "\n";
     }
     return 0;
 }
@@ -589,6 +988,8 @@ run(int argc, char **argv)
         return runServe(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "sweep") == 0)
         return runSweepCmd(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "cluster") == 0)
+        return runClusterCmd(argc, argv);
 
     std::string model_name = "llama2-7b";
     std::string phase_name = "decode";
