@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "coe/serving_engine.h"
+#include "coe/workload.h"
 #include "sim/log.h"
 #include "sim/rng.h"
 #include "sim/ticks.h"
@@ -105,15 +106,7 @@ makePlacement(PlacementPolicy policy, int experts, int nodes,
 
 namespace {
 
-/** SplitMix64 finalizer — the consistent-hash ring's hash. */
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
+using sim::mix64; // the consistent-hash ring's hash
 
 /**
  * Consistent-hash ring over the node set. Every node contributes
@@ -252,8 +245,17 @@ ClusterSimulator::run()
     stats_ = sim::StatSet("cluster");
 
     sim::EventQueue eq;
-    Router router(base.numExperts, base.routing, base.seed, base.zipfS);
-    sim::Rng arrivals(base.seed ^ 0xa55a5aa5a55a5aa5ULL);
+
+    // Arrivals and routing live in a pluggable WorkloadModel; the
+    // cluster's diurnal ramp is layered onto the model as a RateShape
+    // (amplitude 0 keeps the gap arithmetic bit-identical to the
+    // single-node Poisson chain).
+    RateShape diurnal;
+    diurnal.diurnalAmplitude = cfg_.diurnalAmplitude;
+    diurnal.diurnalPeriodSeconds = cfg_.diurnalPeriodSeconds;
+    std::unique_ptr<WorkloadModel> workload =
+        makeWorkloadModel(base, diurnal);
+    TraceRecorder recorder(base.workload.traceOut);
 
     std::vector<std::unique_ptr<ServingEngine>> engines;
     engines.reserve(static_cast<std::size_t>(N));
@@ -326,37 +328,21 @@ ClusterSimulator::run()
         sim::panic("cluster: unknown dispatch policy");
     };
 
-    int injected = 0;
     sim::Tick firstArrival = -1;
 
-    auto dispatch = [&](int id, int expert, sim::Tick arrival) {
-        int n = pickNode(expert);
-        ++dispatchedTo[static_cast<std::size_t>(n)];
-        engines[static_cast<std::size_t>(n)]->injectAt(id, expert,
-                                                       arrival);
-    };
-    auto injectNew = [&](int id) {
-        if (firstArrival < 0)
-            firstArrival = eq.now();
-        dispatch(id, router.route(), eq.now());
-    };
-
     // Closed-loop clients are cluster-wide: whichever node finishes a
-    // batch frees that many clients to think and re-issue.
+    // batch frees that many clients to think and re-issue. Session
+    // follow-ups and shed notifications route back the same way.
     for (int n = 0; n < N; ++n) {
-        engines[static_cast<std::size_t>(n)]->setOnBatchComplete(
-            [&](int finished) {
-                if (base.arrival != ArrivalProcess::ClosedLoop)
-                    return;
-                for (int i = 0; i < finished; ++i) {
-                    if (injected >= base.streamRequests)
-                        break;
-                    int id = injected++;
-                    eq.scheduleIn(sim::fromSeconds(base.thinkSeconds),
-                                  [&, id]() { injectNew(id); },
-                                  "coe.arrival");
-                }
-            });
+        ServingEngine &e = *engines[static_cast<std::size_t>(n)];
+        e.setOnBatchComplete(
+            [&](int finished) { workload->onBatchComplete(finished); });
+        e.setOnRequestComplete([&](const EngineRequest &r) {
+            workload->onRequestComplete(toTrafficRequest(r));
+        });
+        e.setOnRequestShed([&](const EngineRequest &r) {
+            workload->onRequestShed(toTrafficRequest(r));
+        });
     }
 
     // ---- drain / rejoin -----------------------------------------
@@ -369,17 +355,21 @@ ClusterSimulator::run()
                 nodeWasDrained = true;
                 stats_.inc("drain_events");
                 // The executing batch finishes on the draining node;
-                // everything still queued re-dispatches, keeping its
-                // original arrival timestamp so tail latency tells the
-                // truth about the disruption.
+                // everything still queued re-dispatches with its full
+                // request state (arrival timestamp, tenant, SLO), so
+                // tail latency tells the truth about the disruption.
                 std::vector<EngineRequest> moved =
                     engines[static_cast<std::size_t>(d)]->extractQueued();
                 redispatchedFrom[static_cast<std::size_t>(d)] +=
                     static_cast<std::int64_t>(moved.size());
                 redispatchedTotal +=
                     static_cast<std::int64_t>(moved.size());
-                for (const EngineRequest &r : moved)
-                    dispatch(r.id, r.expert, r.arrival);
+                for (EngineRequest &r : moved) {
+                    int n = pickNode(r.expert);
+                    ++dispatchedTo[static_cast<std::size_t>(n)];
+                    engines[static_cast<std::size_t>(n)]->injectAt(
+                        std::move(r));
+                }
             },
             "cluster.drain");
         if (cfg_.rejoinAtSeconds > 0.0) {
@@ -397,44 +387,22 @@ ClusterSimulator::run()
     }
 
     // ---- arrivals -----------------------------------------------
-    // Open loop: chained draws, optionally with a diurnal ramp. With
-    // amplitude 0 the gap sequence is bit-identical to the
-    // single-node simulator's Poisson chain (same Rng, same draws).
-    std::function<void()> next_arrival;
-    double arrival_t = 0.0;
-    next_arrival = [&]() {
-        if (injected >= base.streamRequests)
-            return;
-        double rate = base.arrivalRatePerSec;
-        if (cfg_.diurnalAmplitude > 0.0) {
-            constexpr double kTwoPi = 6.283185307179586476925286766559;
-            rate *= 1.0 + cfg_.diurnalAmplitude *
-                std::sin(kTwoPi * arrival_t /
-                         cfg_.diurnalPeriodSeconds);
-        }
-        arrival_t += -std::log(1.0 - arrivals.uniformDouble()) / rate;
-        int id = injected++;
-        eq.schedule(sim::fromSeconds(arrival_t),
-                    [&, id]() {
-                        next_arrival();
-                        injectNew(id);
-                    },
-                    "coe.arrival");
-    };
-
-    if (base.arrival == ArrivalProcess::Poisson) {
-        next_arrival();
-    } else {
-        int initial = std::min(base.clients, base.streamRequests);
-        for (int i = 0; i < initial; ++i) {
-            int id = injected++;
-            eq.schedule(0, [&, id]() { injectNew(id); }, "coe.arrival");
-        }
-    }
+    // The workload model emits routed requests from inside arrival
+    // events; the cluster dispatches each to a hosting node.
+    workload->bind(eq, [&](const TrafficRequest &r) {
+        if (firstArrival < 0)
+            firstArrival = eq.now();
+        recorder.record(r, eq.now());
+        int n = pickNode(r.expert);
+        ++dispatchedTo[static_cast<std::size_t>(n)];
+        engines[static_cast<std::size_t>(n)]->inject(r);
+    });
+    workload->start();
 
     eq.run();
+    recorder.write();
 
-    std::int64_t completed = 0, batches = 0, misses = 0;
+    std::int64_t completed = 0, batches = 0, misses = 0, shedTotal = 0;
     double occupancyTotal = 0.0, depthIntegral = 0.0;
     sim::Tick lastCompletion = 0;
     for (int n = 0; n < N; ++n) {
@@ -447,12 +415,15 @@ ClusterSimulator::run()
         completed += e.completedCount();
         batches += e.batchCount();
         misses += e.missCount();
+        shedTotal += e.shedCount();
         occupancyTotal += e.occupancyTotal();
         depthIntegral += e.depthIntegral();
         lastCompletion = std::max(lastCompletion, e.lastCompletion());
     }
-    sim::simAssert(completed == base.streamRequests,
-                   "cluster: not every injected request completed");
+    sim::simAssert(workload->emitted() == workload->plannedRequests(),
+                   "cluster: workload did not emit its full budget");
+    sim::simAssert(completed + shedTotal == workload->emitted(),
+                   "cluster: arrivals != completions + shed at drain");
 
     double makespan = sim::toSeconds(
         lastCompletion - std::max<sim::Tick>(firstArrival, 0));
@@ -479,6 +450,11 @@ ClusterSimulator::run()
     m.meanSwitchStallSeconds = stalls_.mean();
     m.p95SwitchStallSeconds = stalls_.quantile(0.95);
     m.eventsExecuted = eq.executedCount();
+    m.shed = shedTotal;
+    m.shedRate = completed + shedTotal > 0
+        ? static_cast<double>(shedTotal) /
+            static_cast<double>(completed + shedTotal)
+        : 0.0;
 
     result.missRate = completed > 0
         ? static_cast<double>(misses) / static_cast<double>(completed)
@@ -498,6 +474,7 @@ ClusterSimulator::run()
         nm.completed = e.completedCount();
         nm.batches = e.batchCount();
         nm.misses = e.missCount();
+        nm.shed = e.shedCount();
         nm.missRate = nm.completed > 0
             ? static_cast<double>(nm.misses) /
                 static_cast<double>(nm.completed)
@@ -536,6 +513,7 @@ ClusterSimulator::run()
     stats_.set("completed", static_cast<double>(completed));
     stats_.set("batches", static_cast<double>(batches));
     stats_.set("misses", static_cast<double>(misses));
+    stats_.set("shed", static_cast<double>(shedTotal));
     stats_.set("redispatched", static_cast<double>(redispatchedTotal));
     stats_.set("events_executed",
                static_cast<double>(eq.executedCount()));

@@ -137,6 +137,7 @@ struct ClusterNodeMetrics
     std::int64_t completed = 0;
     std::int64_t batches = 0;
     std::int64_t misses = 0;
+    std::int64_t shed = 0; ///< refused by this node's SLO admission
     double missRate = 0.0;
     double p50LatencySeconds = 0.0;
     double p95LatencySeconds = 0.0;

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <memory>
 
 #include "baseline/gpu_executor.h"
 #include "coe/cost_cache.h"
 #include "coe/serving_engine.h"
+#include "coe/workload.h"
 #include "runtime/runner.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
@@ -71,6 +73,7 @@ validateServingConfig(const ServingConfig &cfg)
     }
     if (cfg.expertRegionBytes < 0)
         sim::fatal("ServingConfig: negative expert region size");
+    validateWorkloadConfig(cfg);
 }
 
 ServingSimulator::ServingSimulator(ServingConfig cfg) : cfg_(std::move(cfg))
@@ -292,72 +295,45 @@ ServingSimulator::runEventDriven()
         return result;
     }
 
-    Router router(cfg_.numExperts, cfg_.routing, cfg_.seed, cfg_.zipfS);
-    sim::Rng arrivals(cfg_.seed ^ 0xa55a5aa5a55a5aa5ULL);
     sim::EventQueue eq;
 
     // The node serving stack itself (admission queue, continuous
     // batching, expert DMA, speculative prefetch) lives in
     // ServingEngine so a cluster can run many of them on one queue;
-    // this driver owns the arrival process and the routing decisions.
+    // the arrival process and routing decisions live in a pluggable
+    // WorkloadModel (coe/workload.h). The legacy Poisson/closed-loop
+    // modes are expressed as models that reproduce the historical
+    // event-creation order bit-identically.
     ServingEngine engine(eq, cfg_, costs_, std::move(zoo));
+    std::unique_ptr<WorkloadModel> workload = makeWorkloadModel(cfg_);
+    TraceRecorder recorder(cfg_.workload.traceOut);
 
-    int injected = 0;
-    engine.setOnBatchComplete([&](int finished) {
-        if (cfg_.arrival != ArrivalProcess::ClosedLoop)
-            return;
-        // Each finished client thinks, then issues a new prompt.
-        for (int i = 0; i < finished; ++i) {
-            if (injected >= cfg_.streamRequests)
-                break;
-            int id = injected++;
-            eq.scheduleIn(sim::fromSeconds(cfg_.thinkSeconds),
-                          [&, id]() { engine.inject(id, router.route()); },
-                          "coe.arrival");
-        }
+    engine.setOnBatchComplete(
+        [&](int finished) { workload->onBatchComplete(finished); });
+    engine.setOnRequestComplete([&](const EngineRequest &r) {
+        workload->onRequestComplete(toTrafficRequest(r));
     });
-
-    // Open loop: each arrival draws the next inter-arrival gap and
-    // schedules its successor, so only one arrival event is ever
-    // pending — a million-request run does not pre-materialize a
-    // million event-queue entries. The draw order matches the old
-    // pre-drawn schedule exactly (the arrivals Rng feeds nothing
-    // else), so arrival times are bit-identical.
-    std::function<void()> next_arrival;
-    double arrival_t = 0.0;
-    next_arrival = [&]() {
-        if (injected >= cfg_.streamRequests)
-            return;
-        arrival_t += -std::log(1.0 - arrivals.uniformDouble()) /
-            cfg_.arrivalRatePerSec;
-        int id = injected++;
-        eq.schedule(sim::fromSeconds(arrival_t),
-                    [&, id]() {
-                        next_arrival();
-                        engine.inject(id, router.route());
-                    },
-                    "coe.arrival");
-    };
-
-    if (cfg_.arrival == ArrivalProcess::Poisson) {
-        next_arrival();
-    } else {
-        int initial = std::min(cfg_.clients, cfg_.streamRequests);
-        for (int i = 0; i < initial; ++i) {
-            int id = injected++;
-            eq.schedule(0, [&, id]() { engine.inject(id, router.route()); },
-                        "coe.arrival");
-        }
-    }
+    engine.setOnRequestShed([&](const EngineRequest &r) {
+        workload->onRequestShed(toTrafficRequest(r));
+    });
+    workload->bind(eq, [&](const TrafficRequest &r) {
+        recorder.record(r, eq.now());
+        engine.inject(r);
+    });
+    workload->start();
 
     eq.run();
     sim::simAssert(engine.queueDepth() == 0 && !engine.busy(),
                    "serving: event stream drained with work pending");
-    sim::simAssert(engine.completedCount() == cfg_.streamRequests,
-                   "serving: not every injected request completed");
+    sim::simAssert(workload->emitted() == workload->plannedRequests(),
+                   "serving: workload did not emit its full budget");
+    sim::simAssert(engine.completedCount() + engine.shedCount() ==
+                       workload->emitted(),
+                   "serving: arrivals != completions + shed at drain");
     sim::simAssert(engine.memorySystem().queuedLoads() == 0 &&
                        engine.memorySystem().loadsInFlight() == 0,
                    "serving: DMA queue drained with transfers pending");
+    recorder.write();
 
     latency_ = engine.latency();
     stalls_ = engine.stalls();
@@ -401,6 +377,13 @@ ServingSimulator::runEventDriven()
     m.prefetchesCancelled =
         static_cast<std::int64_t>(stats_.get("prefetches_cancelled"));
 
+    m.shed = engine.shedCount();
+    m.shedRate = completed + m.shed > 0
+        ? static_cast<double>(m.shed) /
+            static_cast<double>(completed + m.shed)
+        : 0.0;
+
+    stats_.set("shed", static_cast<double>(m.shed));
     stats_.set("queue_depth_max", engine.queueDepthMax());
     stats_.set("events_executed",
                static_cast<double>(eq.executedCount()));

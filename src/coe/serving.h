@@ -30,6 +30,7 @@
 #include "baseline/gpu_config.h"
 #include "coe/coe_runtime.h"
 #include "coe/router.h"
+#include "coe/workload.h"
 #include "mem/memory_system.h"
 #include "models/transformer_builder.h"
 #include "sim/stats.h"
@@ -151,6 +152,14 @@ struct ServingConfig
      * above.
      */
     std::optional<mem::MemorySystemConfig> memoryOverride;
+
+    /**
+     * Workload scenario knobs (EventDriven): tenant mixes,
+     * conversational sessions, rate shaping, SLO admission, trace
+     * record/replay. Defaults reproduce the legacy single-tenant
+     * arrival processes bit-identically. See coe/workload.h.
+     */
+    WorkloadConfig workload;
 };
 
 struct LatencyBreakdown
@@ -206,6 +215,14 @@ struct StreamMetrics
     std::int64_t prefetchesIssued = 0;
     std::int64_t prefetchHits = 0;
     std::int64_t prefetchesCancelled = 0;
+
+    /**
+     * SLO admission-control accounting: requests refused at admission
+     * (shed) and the shed fraction of everything that arrived.
+     * Non-zero only when the workload carries deadlines.
+     */
+    std::int64_t shed = 0;
+    double shedRate = 0.0;
 
     /** Simulator events the run executed (perf accounting, not a
      *  modeled quantity — see bench/perf_serving). */

@@ -9,6 +9,20 @@
 
 namespace sn40l::coe {
 
+TrafficRequest
+toTrafficRequest(const EngineRequest &request)
+{
+    TrafficRequest t;
+    t.id = request.id;
+    t.tenant = request.tenant;
+    t.expert = request.expert;
+    t.session = request.session;
+    t.turn = request.turn;
+    t.priority = request.priority;
+    t.deadlineSeconds = request.deadlineSeconds;
+    return t;
+}
+
 ServingEngine::ServingEngine(sim::EventQueue &eq, const ServingConfig &cfg,
                              const PhaseCosts &costs, ExpertZoo zoo)
     : eq_(eq), cfg_(cfg), costs_(costs), zoo_(std::move(zoo)),
@@ -197,23 +211,115 @@ ServingEngine::samplePeakResident()
 void
 ServingEngine::inject(int id, int expert)
 {
-    injectAt(id, expert, eq_.now());
+    TrafficRequest req;
+    req.id = id;
+    req.expert = expert;
+    inject(req);
 }
 
 void
-ServingEngine::injectAt(int id, int expert, sim::Tick arrival)
+ServingEngine::inject(const TrafficRequest &request)
 {
-    touchDepth(queued_.size() + 1);
     EngineRequest req;
-    req.id = id;
-    req.arrival = arrival;
-    req.expert = expert;
-    req.enqueuedAtBatch = batchCount_;
+    req.id = request.id;
+    req.arrival = eq_.now();
+    req.expert = request.expert;
+    req.tenant = request.tenant;
+    req.session = request.session;
+    req.turn = request.turn;
+    req.priority = request.priority;
+    req.deadlineSeconds = request.deadlineSeconds;
+    req.execSeconds =
+        execSecondsFor(request.promptLen, request.outputTokens);
+    req.trafficBytes = trafficBytesFor(request.outputTokens);
+    injectAt(std::move(req));
+}
+
+/**
+ * Per-prompt execution time for a request's shape. The default shape
+ * (both fields 0) returns the precomputed constant verbatim, so legacy
+ * single-shape runs schedule bit-identical ticks. Non-default prompt
+ * lengths scale the priced prefill linearly — the priced graph walk is
+ * for cfg.promptLen, and re-pricing per request would defeat the cost
+ * memo — and decode cost is exactly linear in emitted tokens.
+ */
+double
+ServingEngine::execSecondsFor(int prompt_len, int output_tokens) const
+{
+    if (prompt_len <= 0 && output_tokens <= 0)
+        return perPromptExec_;
+    double prefill = costs_.prefillSeconds;
+    if (prompt_len > 0 && prompt_len != cfg_.promptLen)
+        prefill = costs_.prefillSeconds *
+            (static_cast<double>(prompt_len) /
+             static_cast<double>(cfg_.promptLen));
+    int tokens = output_tokens > 0 ? output_tokens : cfg_.outputTokens;
+    return prefill + tokens * costs_.decodeSecondsPerToken;
+}
+
+double
+ServingEngine::trafficBytesFor(int output_tokens) const
+{
+    if (output_tokens <= 0 || output_tokens == cfg_.outputTokens)
+        return trafficBytesPerPrompt_;
+    return (1.0 + output_tokens) * cfg_.expertBase.weightBytes();
+}
+
+/**
+ * SLO admission estimate: batches already committed ahead of this
+ * request, each priced at router + a full batch of default prompts,
+ * plus the request's own batch. Deliberately ignores expert-switch
+ * stalls and partial batches — a cheap deterministic bound beats an
+ * oracle here, because replaying one trace under different SLO knobs
+ * must stay reproducible.
+ */
+bool
+ServingEngine::shouldShed(const EngineRequest &request) const
+{
+    double batch_seconds = costs_.routerSeconds +
+        static_cast<double>(cfg_.batch) * perPromptExec_;
+    double batches_ahead = static_cast<double>(
+        queued_.size() / static_cast<std::size_t>(cfg_.batch) +
+        (busy_ ? 1 : 0));
+    double estimate = batches_ahead * batch_seconds +
+        costs_.routerSeconds + request.execSeconds;
+    return estimate >
+        request.deadlineSeconds * (1.0 + request.priority);
+}
+
+void
+ServingEngine::injectAt(EngineRequest request)
+{
+    if (request.execSeconds <= 0.0)
+        request.execSeconds = perPromptExec_;
+    if (request.trafficBytes <= 0.0)
+        request.trafficBytes = trafficBytesPerPrompt_;
+    if (request.deadlineSeconds > 0.0 && shouldShed(request)) {
+        ++shedCount_;
+        stats_.inc("shed_requests");
+        // Per-tenant shed counters, through cached stable references
+        // (StatSet::counter): an overloaded SLO run sheds most
+        // arrivals, so the string-keyed lookup must not sit on the
+        // per-arrival path.
+        auto tenant = static_cast<std::size_t>(
+            request.tenant >= 0 ? request.tenant : 0);
+        while (shedTenantCounter_.size() <= tenant)
+            shedTenantCounter_.push_back(&stats_.counter(
+                "shed_tenant_" +
+                std::to_string(shedTenantCounter_.size())));
+        ++*shedTenantCounter_[tenant];
+        if (onRequestShed_)
+            onRequestShed_(request);
+        return;
+    }
+    touchDepth(queued_.size() + 1);
+    request.enqueuedAtBatch = batchCount_;
     if (firstArrival_ < 0)
-        firstArrival_ = arrival;
+        firstArrival_ = request.arrival;
     if (affinity_)
-        queuedByExpert_[req.expert].insert(req.id);
-    queued_.emplace(id, req);
+        queuedByExpert_[request.expert].insert(request.id);
+    int id = request.id;
+    queued_.emplace(id, std::move(request));
     ++injectedCount_;
     if (!busy_)
         formBatch();
@@ -263,6 +369,8 @@ ServingEngine::finishBatch()
         if (latencyMirror_)
             latencyMirror_->record(seconds);
         ++completedCount_;
+        if (onRequestComplete_)
+            onRequestComplete_(r);
     }
     std::size_t finished = curBatch_.size();
     curBatch_.clear();
@@ -295,11 +403,12 @@ ServingEngine::runNextPrompt()
         finishBatch();
         return;
     }
+    const EngineRequest &prompt = curBatch_[execIndex_];
     ++execIndex_;
     promptJoinPending_ = 2;
-    eq_.scheduleIn(sim::fromSeconds(perPromptExec_),
+    eq_.scheduleIn(sim::fromSeconds(prompt.execSeconds),
                    [this]() { promptJoin(); }, "coe.prompt_exec");
-    memsys_.traffic(trafficBytesPerPrompt_, [this]() { promptJoin(); });
+    memsys_.traffic(prompt.trafficBytes, [this]() { promptJoin(); });
 }
 
 // Launch once the router has decided AND every non-resident expert's

@@ -31,6 +31,7 @@
 
 #include "coe/coe_runtime.h"
 #include "coe/serving.h"
+#include "coe/workload.h"
 #include "mem/memory_system.h"
 #include "sim/event_queue.h"
 #include "sim/stats.h"
@@ -51,7 +52,37 @@ struct EngineRequest
      * batch and made overloaded runs quadratic.
      */
     std::int64_t enqueuedAtBatch = 0;
+
+    // ---- workload-scenario fields (coe/workload.h) --------------
+    int tenant = 0;
+    int session = -1; ///< conversational session id, -1 = one-shot
+    int turn = 0;     ///< turn index within the session
+    /**
+     * Admission priority: under SLO admission control a priority-p
+     * request tolerates (1 + p) times its deadline in estimated
+     * queueing delay before being shed, so paid tiers outlast free
+     * tiers in an overload.
+     */
+    int priority = 0;
+    /** SLO deadline from arrival, seconds; 0 disables admission. */
+    double deadlineSeconds = 0.0;
+    /**
+     * Per-prompt execution seconds and working-tier traffic bytes,
+     * resolved from the request's prompt/decode lengths at injection.
+     * Default-shape requests carry exactly the engine's precomputed
+     * per-prompt constants, which keeps legacy runs bit-identical.
+     */
+    double execSeconds = 0.0;
+    double trafficBytes = 0.0;
 };
+
+/**
+ * Translate a completed/shed EngineRequest back into the workload
+ * layer's descriptor so models can react (session follow-ups, client
+ * re-issue). Single definition: the serving and cluster drivers must
+ * not drift on which fields round-trip.
+ */
+TrafficRequest toTrafficRequest(const EngineRequest &request);
 
 class ServingEngine
 {
@@ -96,6 +127,22 @@ class ServingEngine
     }
 
     /**
+     * Invoked once per completed request, at its completion time (from
+     * inside the batch-completion event, before the batch hook). The
+     * workload layer uses it to schedule session follow-up turns.
+     */
+    void setOnRequestComplete(std::function<void(const EngineRequest &)> hook)
+    {
+        onRequestComplete_ = std::move(hook);
+    }
+
+    /** Invoked when SLO admission control sheds a request. */
+    void setOnRequestShed(std::function<void(const EngineRequest &)> hook)
+    {
+        onRequestShed_ = std::move(hook);
+    }
+
+    /**
      * Admit request @p id for @p expert; must be called from inside an
      * event on the shared queue. The request's arrival timestamp is
      * now().
@@ -103,11 +150,25 @@ class ServingEngine
     void inject(int id, int expert);
 
     /**
-     * Admit a request carrying an earlier arrival timestamp — used
-     * when a drained node's queued requests are re-dispatched so their
-     * end-to-end latency still counts from the original arrival.
+     * Admit a workload-sourced request (tenant, session, per-request
+     * shape, SLO deadline); arrival timestamp is now(). When the
+     * request carries a deadline, SLO admission control may shed it
+     * instead: the request never enters the queue, shedCount() grows,
+     * and the shed hook fires. The shed estimate is deliberately
+     * simple and deterministic — batches already committed ahead of
+     * the request, each priced at router + a full batch of default
+     * prompts — so replaying a trace under a different SLO is
+     * reproducible.
      */
-    void injectAt(int id, int expert, sim::Tick arrival);
+    void inject(const TrafficRequest &request);
+
+    /**
+     * Admit a fully built request carrying its own arrival timestamp —
+     * used when a drained node's queued requests are re-dispatched so
+     * their end-to-end latency still counts from the original arrival.
+     * Runs the same SLO admission check as inject().
+     */
+    void injectAt(EngineRequest request);
 
     /**
      * Remove and return every queued (not yet batch-formed) request,
@@ -140,6 +201,8 @@ class ServingEngine
     std::int64_t injectedCount() const { return injectedCount_; }
     std::int64_t batchCount() const { return batchCount_; }
     std::int64_t missCount() const { return missCount_; }
+    /** Requests refused by SLO admission control (not injected). */
+    std::int64_t shedCount() const { return shedCount_; }
 
     double routerSecondsTotal() const { return routerTotal_; }
     double switchSecondsTotal() const { return switchTotal_; }
@@ -168,6 +231,9 @@ class ServingEngine
   private:
     void touchDepth(std::size_t next_depth);
     void samplePeakResident();
+    double execSecondsFor(int prompt_len, int output_tokens) const;
+    double trafficBytesFor(int output_tokens) const;
+    bool shouldShed(const EngineRequest &request) const;
     int pickExpert();
     void onLoadDone(int expert);
     void maybePrefetch();
@@ -191,6 +257,8 @@ class ServingEngine
     sim::Distribution *latencyMirror_ = nullptr;
     sim::Distribution *stallsMirror_ = nullptr;
     std::function<void(int)> onBatchComplete_;
+    std::function<void(const EngineRequest &)> onRequestComplete_;
+    std::function<void(const EngineRequest &)> onRequestShed_;
 
     double perPromptExec_ = 0.0;
     double trafficBytesPerPrompt_ = 0.0;
@@ -213,6 +281,9 @@ class ServingEngine
     std::int64_t completedCount_ = 0;
     std::int64_t batchCount_ = 0;
     std::int64_t missCount_ = 0;
+    std::int64_t shedCount_ = 0;
+    /** Cached stable refs to stats_ "shed_tenant_<i>" counters. */
+    std::vector<double *> shedTenantCounter_;
     double routerTotal_ = 0.0, switchTotal_ = 0.0, execTotal_ = 0.0;
     double occupancyTotal_ = 0.0;
     sim::Tick firstArrival_ = -1, lastCompletion_ = 0;

@@ -8,9 +8,24 @@
 #ifndef SN40L_SIM_RNG_H
 #define SN40L_SIM_RNG_H
 
+#include <cmath>
 #include <cstdint>
 
 namespace sn40l::sim {
+
+/**
+ * SplitMix64 finalizer: a cheap, high-quality 64-bit mixer for
+ * decorrelating derived seeds (per-tenant, per-node) and hashing ids
+ * onto rings. Shared here so every component mixes identically.
+ */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
 
 class Rng
 {
@@ -63,6 +78,47 @@ class Rng
         return static_cast<double>(next() >> 11) * 0x1.0p-53;
     }
 
+    /**
+     * Exponential with the given mean — inter-arrival gaps and think
+     * times. Consumes exactly one uniform draw.
+     */
+    double
+    exponential(double mean)
+    {
+        return -std::log(1.0 - uniformDouble()) * mean;
+    }
+
+    /**
+     * Standard normal via Box-Muller. Each pair of uniform draws
+     * yields two variates; the spare is cached, so draw parity is part
+     * of the generator's state (deterministic, but interleaving two
+     * consumers on one Rng changes both streams — give each component
+     * its own Rng, as everywhere else in this codebase).
+     */
+    double
+    gaussian()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u1 = uniformDouble();
+        double u2 = uniformDouble();
+        // Avoid log(0): uniformDouble() < 1, so 1 - u1 > 0.
+        double r = std::sqrt(-2.0 * std::log(1.0 - u1));
+        constexpr double kTwoPi = 6.283185307179586476925286766559;
+        spare_ = r * std::sin(kTwoPi * u2);
+        haveSpare_ = true;
+        return r * std::cos(kTwoPi * u2);
+    }
+
+    /** Lognormal: exp(mu + sigma * N(0,1)) — request-length skew. */
+    double
+    lognormal(double mu, double sigma)
+    {
+        return std::exp(mu + sigma * gaussian());
+    }
+
   private:
     static std::uint64_t
     rotl(std::uint64_t x, int k)
@@ -71,6 +127,8 @@ class Rng
     }
 
     std::uint64_t state_[4];
+    double spare_ = 0.0;
+    bool haveSpare_ = false;
 };
 
 } // namespace sn40l::sim

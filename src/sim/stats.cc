@@ -53,6 +53,69 @@ Distribution::record(double sample)
     sum_ += sample;
 }
 
+void
+Distribution::merge(const Distribution &other)
+{
+    if (maxExact_ != other.maxExact_)
+        fatal("Distribution " + name_ + ": merging reservoir capacity " +
+              std::to_string(maxExact_) + " with incompatible capacity " +
+              std::to_string(other.maxExact_));
+    if (other.count_ == 0)
+        return;
+
+    if (count_ + other.count_ <= maxExact_) {
+        // Both sides still hold every sample verbatim: concatenation
+        // is exact and stays exact.
+        samples_.insert(samples_.end(), other.samples_.begin(),
+                        other.samples_.end());
+    } else {
+        // At least one side overflows the exact threshold: build a
+        // proportional uniform subsample of the two buffers. Each
+        // buffer is itself a uniform sample of its stream, so drawing
+        // round(k * n_i / n) elements without replacement from buffer
+        // i keeps every original sample's inclusion probability at
+        // ~k/n — a valid (stratified) uniform reservoir of the merged
+        // stream. Tail fidelity beyond rank resolution 1/k is lost;
+        // min/max/mean/count below stay exact regardless.
+        double total = static_cast<double>(count_ + other.count_);
+        std::size_t want_mine = static_cast<std::size_t>(
+            static_cast<double>(maxExact_) *
+                (static_cast<double>(count_) / total) +
+            0.5);
+        want_mine = std::min(want_mine, samples_.size());
+        std::size_t want_theirs =
+            std::min(maxExact_ - want_mine, other.samples_.size());
+
+        auto subsample = [this](std::vector<double> buf, std::size_t k) {
+            // Partial Fisher-Yates: the first k slots become a uniform
+            // k-subset, in deterministic reservoir-Rng order.
+            for (std::size_t i = 0; i < k; ++i) {
+                std::size_t j = i + static_cast<std::size_t>(
+                    reservoirRng_.uniformInt(buf.size() - i));
+                std::swap(buf[i], buf[j]);
+            }
+            buf.resize(k);
+            return buf;
+        };
+        std::vector<double> merged = subsample(samples_, want_mine);
+        std::vector<double> theirs =
+            subsample(other.samples_, want_theirs);
+        merged.insert(merged.end(), theirs.begin(), theirs.end());
+        samples_ = std::move(merged);
+    }
+    sortedValid_ = false;
+
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
 double
 Distribution::mean() const
 {

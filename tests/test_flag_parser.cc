@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the sn40l_run flag parser (tools/flag_parser.h):
+ * unknown flags name their subcommand, missing values and duplicate
+ * flags fail, --flag=value and --flag value parse identically, --help
+ * short-circuits, and parseList rejects malformed lists.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/flag_parser.h"
+
+using namespace sn40l;
+using tools::FlagParser;
+using tools::FlagUsageError;
+using tools::parseList;
+using tools::splitEqualsArgs;
+
+namespace {
+
+void
+testHelp(std::ostream &os)
+{
+    os << "usage: sn40l_run fake [flags]\n";
+}
+
+/** Expect a FlagUsageError whose message contains @p needle. */
+template <typename Fn>
+void
+expectUsageError(Fn &&fn, const std::string &needle)
+{
+    try {
+        fn();
+        FAIL() << "expected FlagUsageError containing '" << needle << "'";
+    } catch (const FlagUsageError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "message was: " << e.what();
+        EXPECT_STREQ(e.subcommand().c_str(), "fake");
+    }
+}
+
+} // namespace
+
+TEST(FlagParser, ParsesValuesAndBareFlags)
+{
+    FlagParser p("fake", testHelp);
+    int experts = 0;
+    bool prefetch = false;
+    p.value("--experts",
+            [&](const std::string &v) { experts = std::stoi(v); });
+    p.flag("--prefetch", [&]() { prefetch = true; });
+
+    std::ostringstream help;
+    EXPECT_FALSE(p.parse({"--experts", "150", "--prefetch"}, help));
+    EXPECT_EQ(experts, 150);
+    EXPECT_TRUE(prefetch);
+    EXPECT_TRUE(help.str().empty());
+}
+
+TEST(FlagParser, EqualsSpellingMatchesSpaceSpelling)
+{
+    for (const std::vector<std::string> &args :
+         {std::vector<std::string>{"--experts=42"},
+          std::vector<std::string>{"--experts", "42"}}) {
+        FlagParser p("fake", testHelp);
+        int experts = 0;
+        p.value("--experts",
+                [&](const std::string &v) { experts = std::stoi(v); });
+        std::ostringstream help;
+        EXPECT_FALSE(p.parse(args, help));
+        EXPECT_EQ(experts, 42);
+    }
+}
+
+TEST(FlagParser, SplitEqualsArgsOnlyTouchesDoubleDashFlags)
+{
+    const char *argv[] = {"sn40l_run", "fake", "--a=1", "plain=2", "-j",
+                          "4"};
+    std::vector<std::string> out =
+        splitEqualsArgs(6, const_cast<char **>(argv), 2);
+    ASSERT_EQ(out.size(), 5u);
+    EXPECT_EQ(out[0], "--a");
+    EXPECT_EQ(out[1], "1");
+    EXPECT_EQ(out[2], "plain=2"); // no leading --, left alone
+    EXPECT_EQ(out[3], "-j");
+    EXPECT_EQ(out[4], "4");
+}
+
+TEST(FlagParser, UnknownFlagNamesTheSubcommand)
+{
+    FlagParser p("fake", testHelp);
+    p.flag("--known", []() {});
+    std::ostringstream help;
+    expectUsageError([&]() { p.parse({"--bogus"}, help); },
+                     "unknown fake flag '--bogus'");
+}
+
+TEST(FlagParser, MissingValueFails)
+{
+    FlagParser p("fake", testHelp);
+    p.value("--experts", [](const std::string &) {});
+    std::ostringstream help;
+    expectUsageError([&]() { p.parse({"--experts"}, help); },
+                     "expects a value");
+}
+
+TEST(FlagParser, DuplicateFlagFails)
+{
+    FlagParser p("fake", testHelp);
+    int experts = 0;
+    p.value("--experts",
+            [&](const std::string &v) { experts = std::stoi(v); });
+    std::ostringstream help;
+    expectUsageError(
+        [&]() { p.parse({"--experts", "1", "--experts", "2"}, help); },
+        "given more than once");
+
+    // Bare flags are rejected on repeat too.
+    FlagParser q("fake", testHelp);
+    q.flag("--prefetch", []() {});
+    expectUsageError(
+        [&]() { q.parse({"--prefetch", "--prefetch"}, help); },
+        "given more than once");
+}
+
+TEST(FlagParser, ParseStateResetsBetweenRuns)
+{
+    // The seen-set must reset, or a reused parser would report a
+    // duplicate across independent parses.
+    FlagParser p("fake", testHelp);
+    int experts = 0;
+    p.value("--experts",
+            [&](const std::string &v) { experts = std::stoi(v); });
+    std::ostringstream help;
+    EXPECT_FALSE(p.parse({"--experts", "1"}, help));
+    EXPECT_FALSE(p.parse({"--experts", "2"}, help));
+    EXPECT_EQ(experts, 2);
+}
+
+TEST(FlagParser, HelpShortCircuitsAndPrints)
+{
+    FlagParser p("fake", testHelp);
+    bool touched = false;
+    p.flag("--touch", [&]() { touched = true; });
+    std::ostringstream help;
+    EXPECT_TRUE(p.parse({"--help", "--touch"}, help));
+    EXPECT_FALSE(touched); // nothing after --help is applied
+    EXPECT_NE(help.str().find("usage: sn40l_run fake"),
+              std::string::npos);
+
+    std::ostringstream help2;
+    EXPECT_TRUE(p.parse({"-h"}, help2));
+    EXPECT_FALSE(help2.str().empty());
+}
+
+TEST(FlagParser, RegisteringTheSameFlagTwiceIsAProgrammerError)
+{
+    FlagParser p("fake", testHelp);
+    p.flag("--x", []() {});
+    EXPECT_THROW(p.flag("--x", []() {}), std::logic_error);
+    EXPECT_THROW(p.value("--x", [](const std::string &) {}),
+                 std::logic_error);
+}
+
+TEST(FlagParser, FailThrowsWithSubcommand)
+{
+    FlagParser p("fake", testHelp);
+    expectUsageError([&]() { p.fail("custom validation message"); },
+                     "custom validation message");
+}
+
+TEST(ParseListFn, ParsesCommaSeparatedValues)
+{
+    FlagParser p("fake", testHelp);
+    std::vector<int> v = parseList<int>(
+        p, "1,2,3", +[](const std::string &s) { return std::stoi(s); });
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 1);
+    EXPECT_EQ(v[2], 3);
+}
+
+TEST(ParseListFn, EmptyElementsAndEmptyListsFail)
+{
+    FlagParser p("fake", testHelp);
+    auto parse = +[](const std::string &s) { return std::stoi(s); };
+    expectUsageError([&]() { parseList<int>(p, "1,,3", parse); },
+                     "empty element");
+    expectUsageError([&]() { parseList<int>(p, "", parse); },
+                     "empty list");
+}

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Property/invariant tests: randomized serving and cluster
+ * configurations (seeded, 200 trials total) asserting the
+ * conservation laws the simulators must uphold regardless of
+ * workload, scheduler, placement, or SLO knobs:
+ *
+ *  - arrivals == completions + shed once the event stream drains
+ *    (in-flight is zero at drain by the drivers' own asserts);
+ *  - no request completes before it arrives (latencies non-negative,
+ *    checked per sample);
+ *  - per-node dispatched/completed/miss/shed counts sum to the
+ *    cluster-wide totals;
+ *  - merged sim::Distribution count equals the sum of its parts.
+ *
+ * Runs under ASan and TSan in CI via the `invariant` ctest label.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "coe/cluster.h"
+#include "coe/serving.h"
+#include "coe/workload.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+using namespace sn40l;
+using namespace sn40l::coe;
+
+namespace {
+
+constexpr int kSingleNodeTrials = 110;
+constexpr int kClusterTrials = 60;
+constexpr int kMergeTrials = 30;
+
+/**
+ * Draw a randomized-but-valid EventDriven serving config. All shapes
+ * keep the default prompt/token lengths at the *pricing* level, so
+ * the process-wide cost memo serves every trial after the first few.
+ */
+ServingConfig
+randomServingConfig(sim::Rng &rng, int trial)
+{
+    ServingConfig cfg;
+    cfg.mode = ServingMode::EventDriven;
+    cfg.platform = Platform::Sn40l;
+    cfg.numExperts = 20 + static_cast<int>(rng.uniformInt(80));
+    cfg.batch = 1 + static_cast<int>(rng.uniformInt(8));
+    cfg.streamRequests = 40 + static_cast<int>(rng.uniformInt(80));
+    cfg.arrivalRatePerSec = 4.0 + static_cast<double>(rng.uniformInt(96));
+    cfg.seed = static_cast<std::uint64_t>(trial) * 7919u + 13u;
+    cfg.scheduler = rng.uniformInt(2) == 0
+        ? SchedulerPolicy::Fifo
+        : SchedulerPolicy::ExpertAffinity;
+    switch (rng.uniformInt(3)) {
+      case 0: cfg.routing = RoutingDistribution::Uniform; break;
+      case 1:
+        cfg.routing = RoutingDistribution::Zipf;
+        cfg.zipfS = 0.8 + 0.1 * static_cast<double>(rng.uniformInt(6));
+        break;
+      default: cfg.routing = RoutingDistribution::RoundRobin; break;
+    }
+    if (rng.uniformInt(4) == 0) {
+        cfg.predictivePrefetch = true;
+        cfg.prefetchDepth = 1 + static_cast<int>(rng.uniformInt(4));
+    }
+
+    // Workload scenario roulette.
+    switch (rng.uniformInt(5)) {
+      case 0: // legacy open loop
+        break;
+      case 1: // closed loop
+        cfg.arrival = ArrivalProcess::ClosedLoop;
+        cfg.clients = 1 + static_cast<int>(rng.uniformInt(24));
+        cfg.thinkSeconds =
+            0.02 * static_cast<double>(rng.uniformInt(10));
+        break;
+      case 2: // tenant mix
+        cfg.workload.tenants = 2 + static_cast<int>(rng.uniformInt(4));
+        break;
+      case 3: // conversational sessions
+        cfg.workload.tenants = 1 + static_cast<int>(rng.uniformInt(3));
+        cfg.workload.sessionFollowProb =
+            0.2 + 0.1 * static_cast<double>(rng.uniformInt(6));
+        cfg.workload.sessionThinkSeconds =
+            0.05 * static_cast<double>(rng.uniformInt(8));
+        break;
+      default: // bursty
+        cfg.workload.shape.burstFactor =
+            2.0 + static_cast<double>(rng.uniformInt(4));
+        cfg.workload.shape.burstEverySeconds = 4.0;
+        cfg.workload.shape.burstSeconds = 1.0;
+        break;
+    }
+    // SLO admission on a third of trials (any workload kind).
+    if (rng.uniformInt(3) == 0)
+        cfg.workload.sloSeconds =
+            0.5 + 0.25 * static_cast<double>(rng.uniformInt(12));
+    return cfg;
+}
+
+} // namespace
+
+TEST(ServingInvariants, RandomizedSingleNodeConservation)
+{
+    sim::Rng rng(0xC0FFEE);
+    for (int trial = 0; trial < kSingleNodeTrials; ++trial) {
+        ServingConfig cfg = randomServingConfig(rng, trial);
+        SCOPED_TRACE("trial " + std::to_string(trial) + " seed " +
+                     std::to_string(cfg.seed));
+
+        ServingSimulator sim(cfg);
+        ServingResult r = sim.run();
+        ASSERT_FALSE(r.oom);
+        const StreamMetrics &m = r.stream;
+
+        // Conservation: every emitted request either completed or was
+        // shed at admission; nothing is in flight after drain (the
+        // driver's own simAsserts would have thrown otherwise).
+        EXPECT_EQ(m.completed + m.shed,
+                  static_cast<std::int64_t>(cfg.streamRequests));
+        if (cfg.workload.sloSeconds == 0.0) {
+            EXPECT_EQ(m.shed, 0);
+        }
+
+        // Causality: no request completes before it arrives.
+        EXPECT_EQ(sim.latencySamples().count(),
+                  static_cast<std::uint64_t>(m.completed));
+        for (double sample : sim.latencySamples().samples())
+            ASSERT_GE(sample, 0.0);
+
+        // Order statistics are ordered; occupancy is bounded.
+        EXPECT_LE(m.p50LatencySeconds, m.p95LatencySeconds);
+        EXPECT_LE(m.p95LatencySeconds, m.p99LatencySeconds);
+        EXPECT_LE(m.p99LatencySeconds, m.maxLatencySeconds);
+        EXPECT_LE(m.meanBatchOccupancy,
+                  static_cast<double>(cfg.batch) + 1e-12);
+
+        // Hit/miss accounting covers every completion.
+        EXPECT_DOUBLE_EQ(sim.stats().get("hits") +
+                             sim.stats().get("misses"),
+                         static_cast<double>(m.completed));
+    }
+}
+
+TEST(ClusterInvariants, RandomizedClusterConservation)
+{
+    sim::Rng rng(0xBEEFCAFE);
+    for (int trial = 0; trial < kClusterTrials; ++trial) {
+        ClusterConfig cfg;
+        cfg.nodes = 2 + static_cast<int>(rng.uniformInt(3));
+        switch (rng.uniformInt(3)) {
+          case 0: cfg.placement = PlacementPolicy::FullReplication; break;
+          case 1:
+            cfg.placement = PlacementPolicy::ReplicateHotPartitionCold;
+            break;
+          default:
+            cfg.placement = PlacementPolicy::BalancedPartition;
+            break;
+        }
+        switch (rng.uniformInt(3)) {
+          case 0: cfg.dispatch = DispatchPolicy::RoundRobin; break;
+          case 1: cfg.dispatch = DispatchPolicy::LeastOutstanding; break;
+          default: cfg.dispatch = DispatchPolicy::ExpertAffinity; break;
+        }
+        cfg.node = randomServingConfig(rng, 1000 + trial);
+        cfg.node.arrivalRatePerSec *= cfg.nodes;
+        if (cfg.node.arrival != ArrivalProcess::ClosedLoop &&
+            rng.uniformInt(3) == 0) {
+            cfg.drainAtSeconds = 1.0;
+            cfg.drainNode = static_cast<int>(
+                rng.uniformInt(static_cast<std::uint64_t>(cfg.nodes)));
+            if (rng.uniformInt(2) == 0)
+                cfg.rejoinAtSeconds = 3.0;
+        }
+        SCOPED_TRACE("trial " + std::to_string(trial) + " seed " +
+                     std::to_string(cfg.node.seed) + " nodes " +
+                     std::to_string(cfg.nodes));
+
+        ClusterSimulator sim(cfg);
+        ClusterResult r = sim.run();
+        ASSERT_FALSE(r.oom);
+        const StreamMetrics &m = r.stream;
+
+        EXPECT_EQ(m.completed + m.shed,
+                  static_cast<std::int64_t>(cfg.node.streamRequests));
+
+        // Per-node counters sum to the cluster-wide totals.
+        std::int64_t completed = 0, misses = 0, shed = 0;
+        std::int64_t dispatched = 0, redispatched = 0;
+        for (const ClusterNodeMetrics &nm : r.nodes) {
+            completed += nm.completed;
+            misses += nm.misses;
+            shed += nm.shed;
+            dispatched += nm.dispatched;
+            redispatched += nm.redispatched;
+        }
+        EXPECT_EQ(completed, m.completed);
+        EXPECT_EQ(shed, m.shed);
+        EXPECT_DOUBLE_EQ(static_cast<double>(misses),
+                         sim.stats().get("misses"));
+        EXPECT_EQ(redispatched, r.redispatched);
+        // Every emission is dispatched once, plus once more per
+        // redispatch hop off a drained node.
+        EXPECT_EQ(dispatched,
+                  static_cast<std::int64_t>(cfg.node.streamRequests) +
+                      r.redispatched);
+
+        // The cluster-wide latency distribution is the exact merge of
+        // per-request samples: one sample per completion, all
+        // non-negative.
+        EXPECT_EQ(sim.latencySamples().count(),
+                  static_cast<std::uint64_t>(m.completed));
+        for (double sample : sim.latencySamples().samples())
+            ASSERT_GE(sample, 0.0);
+    }
+}
+
+TEST(DistributionInvariants, MergedCountEqualsSumOfPartsRandomized)
+{
+    sim::Rng rng(0xD157);
+    for (int trial = 0; trial < kMergeTrials; ++trial) {
+        std::size_t cap = 64u << rng.uniformInt(4); // 64..512
+        int parts = 2 + static_cast<int>(rng.uniformInt(5));
+        sim::Distribution merged("merged", cap);
+        std::uint64_t total = 0;
+        double sum = 0.0;
+        for (int p = 0; p < parts; ++p) {
+            sim::Distribution d("part", cap);
+            int n = 1 + static_cast<int>(rng.uniformInt(3 * cap));
+            for (int i = 0; i < n; ++i) {
+                double v = rng.exponential(0.3);
+                d.record(v);
+                sum += v;
+            }
+            total += static_cast<std::uint64_t>(n);
+            merged.merge(d);
+        }
+        EXPECT_EQ(merged.count(), total) << "trial " << trial;
+        // Per-part sums associate differently than the sequential sum.
+        EXPECT_NEAR(merged.sum(), sum, 1e-9 * sum);
+        EXPECT_LE(merged.samples().size(), cap);
+        EXPECT_GE(merged.quantile(1.0), merged.quantile(0.5));
+    }
+}

@@ -201,6 +201,164 @@ TEST(Distribution, ReservoirIsDeterministic)
         EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q));
 }
 
+TEST(DistributionMerge, CountAlwaysEqualsSumOfParts)
+{
+    sim::Distribution merged("m", 512);
+    sim::Rng rng(3);
+    std::uint64_t total = 0;
+    for (int part = 0; part < 5; ++part) {
+        sim::Distribution d("p", 512);
+        int n = 100 + part * 400; // crosses the 512 threshold mid-way
+        for (int i = 0; i < n; ++i)
+            d.record(rng.uniformDouble());
+        total += static_cast<std::uint64_t>(n);
+        merged.merge(d);
+        EXPECT_EQ(merged.count(), total);
+    }
+    EXPECT_LE(merged.samples().size(), 512u);
+}
+
+TEST(DistributionMerge, ExactWhileCombinedFitsThreshold)
+{
+    // Two exact-mode parts whose union still fits: the merge must be
+    // bit-identical to recording everything into one distribution.
+    sim::Distribution a("a", 4096), b("b", 4096), one("o", 4096);
+    sim::Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniformDouble() * 7.0;
+        a.record(v);
+        one.record(v);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniformDouble() * 7.0;
+        b.record(v);
+        one.record(v);
+    }
+    a.merge(b);
+    EXPECT_TRUE(a.exact());
+    EXPECT_EQ(a.count(), one.count());
+    EXPECT_DOUBLE_EQ(a.sum(), one.sum());
+    EXPECT_DOUBLE_EQ(a.min(), one.min());
+    EXPECT_DOUBLE_EQ(a.max(), one.max());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(a.quantile(q), one.quantile(q));
+}
+
+TEST(DistributionMerge, MergedReservoirLognormalWithinOnePercent)
+{
+    // The documented accuracy bound on the lossy path: merge two
+    // reservoir-mode (> 64Ki samples each) lognormal streams and
+    // require <= 1% relative quantile error against the exact pooled
+    // distribution. Deterministic draws make this a regression bound,
+    // not a flaky statistical assertion.
+    const int n = 100'000;
+    sim::Distribution a("a"), b("b");
+    sim::Distribution exact("e",
+                            std::numeric_limits<std::size_t>::max());
+    NormalDraws na(11), nb(12);
+    for (int i = 0; i < n; ++i) {
+        double va = std::exp(-1.5 + 0.6 * na.next());
+        double vb = std::exp(-0.8 + 0.4 * nb.next());
+        a.record(va);
+        b.record(vb);
+        exact.record(va);
+        exact.record(vb);
+    }
+    EXPECT_FALSE(a.exact());
+    EXPECT_FALSE(b.exact());
+    a.merge(b);
+    EXPECT_EQ(a.count(), static_cast<std::uint64_t>(2 * n));
+    // Sums associate differently ((sumA)+(sumB) vs interleaved), so
+    // the mean agrees to rounding, not bit-exactly.
+    EXPECT_NEAR(a.mean(), exact.mean(), 1e-12 * exact.mean());
+    EXPECT_DOUBLE_EQ(a.min(), exact.min());
+    EXPECT_DOUBLE_EQ(a.max(), exact.max());
+    for (double q : {0.5, 0.9, 0.95, 0.99}) {
+        double est = a.quantile(q);
+        double ref = exact.quantile(q);
+        EXPECT_NEAR(est, ref, 0.01 * ref)
+            << "q=" << q << " est=" << est << " ref=" << ref;
+    }
+}
+
+TEST(DistributionMerge, MixedModeMergeKeepsExactMoments)
+{
+    // Small exact part into a reservoir-mode part: moments stay exact
+    // and the buffer stays bounded.
+    sim::Distribution big("big", 1024), small("small", 1024);
+    sim::Rng rng(23);
+    for (int i = 0; i < 50'000; ++i)
+        big.record(rng.uniformDouble());
+    small.record(123.0); // far outside big's range
+    small.record(-7.0);
+    double want_sum = big.sum() + small.sum();
+    big.merge(small);
+    EXPECT_EQ(big.count(), 50'002u);
+    EXPECT_DOUBLE_EQ(big.sum(), want_sum);
+    EXPECT_DOUBLE_EQ(big.max(), 123.0);
+    EXPECT_DOUBLE_EQ(big.min(), -7.0);
+    EXPECT_LE(big.samples().size(), 1024u);
+    // The exact extremes clamp quantiles even if the merged reservoir
+    // dropped the outliers.
+    EXPECT_DOUBLE_EQ(big.quantile(1.0), 123.0);
+}
+
+TEST(DistributionMerge, IncompatibleReservoirCapacitiesAreFatal)
+{
+    sim::Distribution a("a", 1024), b("b", 2048);
+    a.record(1.0);
+    b.record(2.0);
+    EXPECT_THROW(a.merge(b), sim::FatalError);
+    // Empty right-hand side with mismatched capacity is still a
+    // caller bug — fail loudly rather than silently depending on
+    // emptiness.
+    sim::Distribution empty("e", 512);
+    EXPECT_THROW(a.merge(empty), sim::FatalError);
+}
+
+TEST(DistributionMerge, MergeIntoEmptyAdoptsOther)
+{
+    sim::Distribution a("a", 256), b("b", 256);
+    for (int i = 1; i <= 100; ++i)
+        b.record(static_cast<double>(i));
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 100.0);
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), 50.5);
+}
+
+TEST(Rng, ExponentialMeanAndDeterminism)
+{
+    sim::Rng a(31), b(31);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = a.exponential(0.25);
+        EXPECT_GE(v, 0.0);
+        EXPECT_DOUBLE_EQ(v, b.exponential(0.25));
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, GaussianMomentsAndLognormalPositivity)
+{
+    sim::Rng rng(57);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.gaussian();
+        sum += v;
+        sumsq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+    sim::Rng ln(58);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(ln.lognormal(-1.0, 0.5), 0.0);
+}
+
 TEST(StatSet, CounterReferenceIsStable)
 {
     sim::StatSet stats("hot");

@@ -37,12 +37,17 @@
 #include "coe/cluster.h"
 #include "coe/serving.h"
 #include "coe/sweep.h"
+#include "coe/workload.h"
 #include "models/model_zoo.h"
 #include "runtime/runner.h"
 #include "runtime/trace.h"
 #include "util/table.h"
 
+#include "flag_parser.h"
+
 using namespace sn40l;
+using tools::FlagParser;
+using tools::parseList;
 
 namespace {
 
@@ -73,27 +78,6 @@ modelByName(const std::string &name)
     return it->second();
 }
 
-/**
- * Flatten "--flag=value" arguments into "--flag value" so both
- * spellings parse through the same loop.
- */
-std::vector<std::string>
-splitEqualsArgs(int argc, char **argv, int first)
-{
-    std::vector<std::string> out;
-    for (int i = first; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto eq = arg.find('=');
-        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
-            out.push_back(arg.substr(0, eq));
-            out.push_back(arg.substr(eq + 1));
-        } else {
-            out.push_back(arg);
-        }
-    }
-    return out;
-}
-
 coe::Platform
 platformByName(const std::string &name)
 {
@@ -103,114 +87,6 @@ platformByName(const std::string &name)
     std::cerr << "unknown platform '" << name
               << "' (expected sn40l, dgx-a100, or dgx-h100)\n";
     std::exit(1);
-}
-
-// ------------------------------------------------------ flag parser
-
-/**
- * Table-driven subcommand flag parser. Each subcommand registers its
- * flag specs (shared groups plus its own), then parse() walks argv:
- * "--flag value" and "--flag=value" both work, "--help"/"-h" prints
- * the subcommand help, and an unrecognized flag fails with an error
- * naming the subcommand. fail() is also the shared exit path for
- * validation errors, so every message points at the right --help.
- */
-class FlagParser
-{
-  public:
-    FlagParser(const char *subcommand, void (*help)(std::ostream &))
-        : subcommand_(subcommand), help_(help)
-    {
-    }
-
-    /** Register a value-less flag ("--prefetch"). */
-    void
-    flag(const char *name, std::function<void()> apply)
-    {
-        specs_.push_back(
-            {name, false,
-             [apply = std::move(apply)](const std::string &) { apply(); }});
-    }
-
-    /** Register a flag that consumes the next argument. */
-    void
-    value(const char *name, std::function<void(const std::string &)> apply)
-    {
-        specs_.push_back({name, true, std::move(apply)});
-    }
-
-    [[noreturn]] void
-    fail(const std::string &msg) const
-    {
-        std::cerr << "error: " << msg << "\n"
-                  << "run `sn40l_run " << subcommand_
-                  << " --help` for the flag reference\n";
-        std::exit(1);
-    }
-
-    /** @return true if --help was printed (caller should return 0). */
-    bool
-    parse(int argc, char **argv)
-    {
-        std::vector<std::string> args = splitEqualsArgs(argc, argv, 2);
-        for (std::size_t i = 0; i < args.size(); ++i) {
-            const std::string &arg = args[i];
-            if (arg == "--help" || arg == "-h") {
-                help_(std::cout);
-                return true;
-            }
-            const Spec *spec = nullptr;
-            for (const Spec &s : specs_) {
-                if (arg == s.name) {
-                    spec = &s;
-                    break;
-                }
-            }
-            if (!spec)
-                fail("unknown " + std::string(subcommand_) + " flag '" +
-                     arg + "'");
-            if (spec->takesValue) {
-                if (i + 1 >= args.size())
-                    fail("flag " + arg + " expects a value");
-                spec->apply(args[++i]);
-            } else {
-                spec->apply(std::string());
-            }
-        }
-        return false;
-    }
-
-    const char *subcommand() const { return subcommand_; }
-
-  private:
-    struct Spec
-    {
-        std::string name;
-        bool takesValue;
-        std::function<void(const std::string &)> apply;
-    };
-
-    const char *subcommand_;
-    void (*help_)(std::ostream &);
-    std::vector<Spec> specs_;
-};
-
-template <typename T>
-std::vector<T>
-parseList(const FlagParser &p, const std::string &csv,
-          T (*parse)(const std::string &))
-{
-    std::vector<T> out;
-    std::stringstream ss(csv);
-    std::string item;
-    while (std::getline(ss, item, ',')) {
-        if (item.empty())
-            p.fail("empty element in list '" + csv + "'");
-        out.push_back(parse(item));
-    }
-    if (out.empty())
-        p.fail("empty list argument");
-    return out;
 }
 
 // ------------------------------------------- shared flag groups
@@ -290,6 +166,7 @@ validateWorkloadFlags(const FlagParser &p, const coe::ServingConfig &cfg,
 struct ArrivalFlagState
 {
     bool setArrivalRate = false;
+    bool setClosedLoop = false;
     bool setClients = false;
     bool setThink = false;
 };
@@ -303,8 +180,10 @@ addArrivalFlags(FlagParser &p, coe::ServingConfig &cfg,
         cfg.arrivalRatePerSec = std::stod(v);
         st.setArrivalRate = true;
     });
-    p.flag("--closed-loop",
-           [&]() { cfg.arrival = coe::ArrivalProcess::ClosedLoop; });
+    p.flag("--closed-loop", [&]() {
+        cfg.arrival = coe::ArrivalProcess::ClosedLoop;
+        st.setClosedLoop = true;
+    });
     p.value("--clients", [&](const std::string &v) {
         cfg.clients = std::stoi(v);
         st.setClients = true;
@@ -326,6 +205,115 @@ validateArrivalFlags(const FlagParser &p, const coe::ServingConfig &cfg,
     if (cfg.arrival != coe::ArrivalProcess::ClosedLoop &&
         (st.setClients || st.setThink))
         p.fail("--clients/--think only apply to --closed-loop runs");
+}
+
+/** Tracks which workload-scenario flags were set. */
+struct ScenarioFlagState
+{
+    std::string workloadName;
+    bool setWorkload = false;
+    bool setTenants = false;
+    bool setSession = false;
+    bool setBurst = false;
+};
+
+/**
+ * Workload-scenario flags shared by serve, sweep, and cluster: tenant
+ * mixes, conversational sessions, burst shaping, SLO admission, and
+ * trace record/replay (coe/workload.h).
+ */
+void
+addScenarioFlags(FlagParser &p, coe::ServingConfig &cfg,
+                 ScenarioFlagState &st)
+{
+    p.value("--workload", [&](const std::string &v) {
+        st.workloadName = v;
+        st.setWorkload = true;
+    });
+    p.value("--tenants", [&](const std::string &v) {
+        cfg.workload.tenants = std::stoi(v);
+        st.setTenants = true;
+    });
+    p.value("--slo-ms", [&p, &cfg](const std::string &v) {
+        double ms = std::stod(v);
+        if (ms <= 0.0)
+            p.fail("--slo-ms must be positive");
+        cfg.workload.sloSeconds = ms / 1000.0;
+    });
+    p.value("--session-prob", [&](const std::string &v) {
+        cfg.workload.sessionFollowProb = std::stod(v);
+        st.setSession = true;
+    });
+    p.value("--session-think", [&](const std::string &v) {
+        cfg.workload.sessionThinkSeconds = std::stod(v);
+        st.setSession = true;
+    });
+    p.value("--session-turns", [&](const std::string &v) {
+        cfg.workload.sessionMaxTurns = std::stoi(v);
+        st.setSession = true;
+    });
+    p.value("--burst-factor", [&](const std::string &v) {
+        cfg.workload.shape.burstFactor = std::stod(v);
+        st.setBurst = true;
+    });
+    p.value("--burst-every", [&](const std::string &v) {
+        cfg.workload.shape.burstEverySeconds = std::stod(v);
+        st.setBurst = true;
+    });
+    p.value("--burst-seconds", [&](const std::string &v) {
+        cfg.workload.shape.burstSeconds = std::stod(v);
+        st.setBurst = true;
+    });
+    p.value("--trace-out", [&](const std::string &v) {
+        cfg.workload.traceOut = v;
+    });
+    p.value("--trace-in", [&](const std::string &v) {
+        cfg.workload.traceIn = v;
+    });
+}
+
+/**
+ * Resolve and cross-check the scenario flags. Library-level
+ * validation (validateWorkloadConfig) still runs afterwards; this
+ * layer catches the purely-CLI contradictions with messages naming
+ * the subcommand.
+ */
+void
+validateScenarioFlags(const FlagParser &p, coe::ServingConfig &cfg,
+                      const ScenarioFlagState &st,
+                      const ArrivalFlagState &ast)
+{
+    if (st.setWorkload) {
+        if (st.workloadName == "poisson") {
+            if (ast.setClosedLoop)
+                p.fail("--workload poisson contradicts --closed-loop");
+            cfg.arrival = coe::ArrivalProcess::Poisson;
+        } else if (st.workloadName == "closed-loop") {
+            cfg.arrival = coe::ArrivalProcess::ClosedLoop;
+        } else if (st.workloadName == "mix") {
+            if (!st.setTenants)
+                cfg.workload.tenants = 4;
+        } else {
+            p.fail("unknown --workload '" + st.workloadName +
+                   "' (expected poisson, closed-loop, or mix)");
+        }
+    }
+    if (st.setTenants) {
+        if (st.setWorkload && st.workloadName != "mix")
+            p.fail("--tenants requires --workload mix");
+        if (cfg.workload.tenants < 1)
+            p.fail("--tenants must be at least 1");
+    }
+    if ((st.setTenants || st.setSession) && ast.setClosedLoop)
+        p.fail("tenant mixes and sessions are open-loop workloads; "
+               "drop --closed-loop");
+    if (!cfg.workload.traceIn.empty() &&
+        (st.setWorkload || st.setTenants || st.setSession ||
+         st.setBurst || ast.setClosedLoop || ast.setArrivalRate))
+        p.fail("--trace-in replays a recorded request stream; "
+               "workload-generator flags (--workload/--tenants/"
+               "--session-*/--burst-*/--closed-loop/--arrival-rate) "
+               "do not apply");
 }
 
 // ------------------------------------------------------- help text
@@ -361,6 +349,29 @@ serveHelp(std::ostream &os)
        << "\n"
        << "Scheduler:\n"
        << "  --scheduler S         fifo | affinity | both (default both)\n"
+       << "\n"
+       << "Workload scenarios (see README 'Workload scenarios'):\n"
+       << "  --workload W          poisson | closed-loop | mix "
+       << "(default:\n"
+       << "                        poisson, or closed-loop with\n"
+       << "                        --closed-loop)\n"
+       << "  --tenants N           tenants in the mix (implies\n"
+       << "                        --workload mix; default 4)\n"
+       << "  --slo-ms MS           per-request deadline; overloaded\n"
+       << "                        arrivals are shed at admission\n"
+       << "  --session-prob P      P(follow-up turn) after each "
+       << "completed\n"
+       << "                        turn (conversational sessions)\n"
+       << "  --session-think SEC   mean think time between turns\n"
+       << "  --session-turns N     max turns per session (default 8)\n"
+       << "  --burst-factor F      arrival-rate multiplier inside "
+       << "burst\n"
+       << "                        windows (flash crowds)\n"
+       << "  --burst-every SEC     burst window period\n"
+       << "  --burst-seconds SEC   burst window length\n"
+       << "  --trace-out FILE      record the request stream as JSONL\n"
+       << "  --trace-in FILE       replay a recorded stream "
+       << "bit-exactly\n"
        << "\n"
        << "Memory system:\n"
        << "  --prefetch            speculative prefetch: queued requests'\n"
@@ -418,6 +429,15 @@ sweepHelp(std::ostream &os)
        << "  --dma-engines N       DMA engines per point\n"
        << "  --expert-region-gb G  HBM expert-region size in GB\n"
        << "\n"
+       << "Workload scenarios (same meaning as `serve`):\n"
+       << "  --workload, --tenants, --slo-ms, --session-prob,\n"
+       << "  --session-think, --session-turns, --burst-factor,\n"
+       << "  --burst-every, --burst-seconds\n"
+       << "  --trace-in FILE       replay ONE recorded stream across\n"
+       << "                        every point, so configs compete on\n"
+       << "                        identical traffic (--trace-out is\n"
+       << "                        not allowed here)\n"
+       << "\n"
        << "Execution:\n"
        << "  -j N / --jobs N       worker threads (default: hardware\n"
        << "                        concurrency)\n"
@@ -469,6 +489,11 @@ clusterHelp(std::ostream &os)
        << "  --prefetch, --prefetch-depth, --prefetch-window,\n"
        << "  --dma-engines, --expert-region-gb\n"
        << "\n"
+       << "Workload scenarios (same meaning as `serve`):\n"
+       << "  --workload, --tenants, --slo-ms, --session-prob,\n"
+       << "  --session-think, --session-turns, --burst-factor,\n"
+       << "  --burst-every, --burst-seconds, --trace-out, --trace-in\n"
+       << "\n"
        << "Arrivals (cluster-wide):\n"
        << "  --arrival-rate R      TOTAL open-loop rate across the\n"
        << "                        cluster, req/s (default 8 x nodes)\n"
@@ -504,8 +529,10 @@ runServe(int argc, char **argv)
     FlagParser parser("serve", serveHelp);
     WorkloadFlagState wst;
     ArrivalFlagState ast;
+    ScenarioFlagState sst;
     addWorkloadFlags(parser, cfg, wst);
     addArrivalFlags(parser, cfg, ast);
+    addScenarioFlags(parser, cfg, sst);
     parser.value("--experts", [&](const std::string &v) {
         cfg.numExperts = std::stoi(v);
     });
@@ -518,13 +545,21 @@ runServe(int argc, char **argv)
     parser.value("--scheduler",
                  [&](const std::string &v) { scheduler_name = v; });
 
-    if (parser.parse(argc, argv))
+    if (parser.parse(argc, argv, std::cout))
         return 0;
     validateWorkloadFlags(parser, cfg, wst);
     validateArrivalFlags(parser, cfg, ast);
+    validateScenarioFlags(parser, cfg, sst, ast);
 
     std::vector<coe::SchedulerPolicy> policies;
     if (scheduler_name == "both") {
+        // Sessions and SLO shedding feed completions back into the
+        // arrival stream, so the two schedulers emit different
+        // traffic — recording "both" would silently keep only the
+        // last run's trace.
+        if (!cfg.workload.traceOut.empty())
+            parser.fail("--trace-out records one run; pick a single "
+                        "--scheduler (fifo or affinity)");
         policies = {coe::SchedulerPolicy::Fifo,
                     coe::SchedulerPolicy::ExpertAffinity};
     } else {
@@ -549,6 +584,7 @@ runServe(int argc, char **argv)
                        "Tokens/s", "Miss rate", "Miss-stall p95",
                        "Queue depth", "Batch occupancy"});
     std::vector<std::string> prefetch_lines;
+    std::vector<std::string> shed_lines;
     for (coe::SchedulerPolicy policy : policies) {
         cfg.scheduler = policy;
         coe::ServingSimulator sim(cfg);
@@ -559,6 +595,13 @@ runServe(int argc, char **argv)
             continue;
         }
         const coe::StreamMetrics &m = r.stream;
+        if (m.shed > 0 || cfg.workload.sloSeconds > 0.0) {
+            shed_lines.push_back(
+                std::string(coe::schedulerPolicyName(policy)) + ": " +
+                std::to_string(m.shed) + " shed (" +
+                util::formatDouble(m.shedRate * 100, 1) +
+                "% of arrivals)");
+        }
         if (cfg.predictivePrefetch) {
             prefetch_lines.push_back(
                 std::string(coe::schedulerPolicyName(policy)) + ": " +
@@ -586,6 +629,14 @@ runServe(int argc, char **argv)
         for (const std::string &line : prefetch_lines)
             std::cout << "  " << line << "\n";
     }
+    if (!shed_lines.empty()) {
+        std::cout << "\nSLO admission control:\n";
+        for (const std::string &line : shed_lines)
+            std::cout << "  " << line << "\n";
+    }
+    if (!cfg.workload.traceOut.empty())
+        std::cout << "\nwrote request trace to " << cfg.workload.traceOut
+                  << "\n";
     return 0;
 }
 
@@ -606,7 +657,9 @@ runSweepCmd(int argc, char **argv)
 
     FlagParser parser("sweep", sweepHelp);
     WorkloadFlagState wst;
+    ScenarioFlagState sst;
     addWorkloadFlags(parser, grid.base, wst);
+    addScenarioFlags(parser, grid.base, sst);
     bool set_placement = false, set_dispatch = false;
     parser.value("--experts", [&](const std::string &v) {
         grid.expertCounts = parseList<int>(
@@ -646,13 +699,33 @@ runSweepCmd(int argc, char **argv)
                  [&](const std::string &v) { jobs = std::stoi(v); });
     parser.value("--json", [&](const std::string &v) { json_path = v; });
 
-    if (parser.parse(argc, argv))
+    if (parser.parse(argc, argv, std::cout))
         return 0;
     validateWorkloadFlags(parser, grid.base, wst);
+    // sweep has no --closed-loop/--arrival-rate scalar flags (the
+    // rate is a grid axis), so the shared arrival-state checks get a
+    // default state; the axis-specific conflicts are checked below.
+    validateScenarioFlags(parser, grid.base, sst, ArrivalFlagState{});
+    if (!grid.base.workload.traceOut.empty())
+        parser.fail("--trace-out is ambiguous across sweep points; "
+                    "record a trace with `serve` or `cluster` and "
+                    "replay it here with --trace-in");
+    if (!grid.base.workload.traceIn.empty() &&
+        !grid.arrivalRates.empty())
+        parser.fail("--trace-in fixes the arrival stream; an "
+                    "--arrival-rate axis does not apply");
     if ((set_placement || set_dispatch) && grid.nodeCounts.empty())
         parser.fail("--placement/--dispatch require --nodes");
     if (jobs <= 0)
         parser.fail("--jobs must be at least 1");
+    if (!grid.base.workload.traceIn.empty()) {
+        // Parse the trace once here; every grid point (and worker
+        // thread) shares the immutable entries instead of re-reading
+        // the file per point.
+        grid.base.workload.traceEntries =
+            std::make_shared<const std::vector<coe::TraceEntry>>(
+                coe::loadTrace(grid.base.workload.traceIn));
+    }
 
     if (scheduler_name == "both") {
         grid.policies = {coe::SchedulerPolicy::Fifo,
@@ -789,8 +862,10 @@ runClusterCmd(int argc, char **argv)
     FlagParser parser("cluster", clusterHelp);
     WorkloadFlagState wst;
     ArrivalFlagState ast;
+    ScenarioFlagState sst;
     addWorkloadFlags(parser, cfg.node, wst);
     addArrivalFlags(parser, cfg.node, ast);
+    addScenarioFlags(parser, cfg.node, sst);
 
     bool set_rate = false, set_hot = false;
     bool set_drain_at = false, set_drain_node = false;
@@ -853,10 +928,19 @@ runClusterCmd(int argc, char **argv)
             parser, v, +[](const std::string &s) { return std::stod(s); });
     });
 
-    if (parser.parse(argc, argv))
+    if (parser.parse(argc, argv, std::cout))
         return 0;
     validateWorkloadFlags(parser, cfg.node, wst);
     validateArrivalFlags(parser, cfg.node, ast);
+    validateScenarioFlags(parser, cfg.node, sst, ast);
+    // The diurnal ramp shapes the arrival generator, which a replay
+    // bypasses entirely — reject it like the other generator flags
+    // instead of silently replaying the flat recorded stream.
+    if (!cfg.node.workload.traceIn.empty() &&
+        (set_diurnal_amp || set_diurnal_period))
+        parser.fail("--trace-in replays a recorded request stream; "
+                    "--diurnal-amplitude/--diurnal-period do not "
+                    "apply");
     // The shared arrival group tracked whether --arrival-rate was set;
     // if not, the open-loop default scales with the cluster size.
     set_rate = ast.setArrivalRate;
@@ -928,7 +1012,7 @@ runClusterCmd(int argc, char **argv)
     }
 
     util::Table table({"Node", "Placed", "Dispatched", "Completed",
-                       "Batches", "Miss rate", "p50", "p95",
+                       "Shed", "Batches", "Miss rate", "p50", "p95",
                        "Queue depth", "Peak HBM"});
     for (const coe::ClusterNodeMetrics &nm : r.nodes) {
         table.addRow({std::to_string(nm.node) +
@@ -936,6 +1020,7 @@ runClusterCmd(int argc, char **argv)
                       std::to_string(nm.placedExperts),
                       std::to_string(nm.dispatched),
                       std::to_string(nm.completed),
+                      std::to_string(nm.shed),
                       std::to_string(nm.batches),
                       util::formatDouble(nm.missRate * 100, 1) + "%",
                       util::formatSeconds(nm.p50LatencySeconds),
@@ -958,7 +1043,12 @@ runClusterCmd(int argc, char **argv)
               << " req/s, miss rate "
               << util::formatDouble(r.missRate * 100, 1)
               << "%, load imbalance "
-              << util::formatDouble(r.loadImbalance, 2) << "x\n";
+              << util::formatDouble(r.loadImbalance, 2) << "x";
+    if (m.shed > 0 || cfg.node.workload.sloSeconds > 0.0)
+        std::cout << ", " << m.shed << " shed ("
+                  << util::formatDouble(m.shedRate * 100, 1)
+                  << "% of arrivals)";
+    std::cout << "\n";
     std::cout << "Placement: " << r.expertReplicas << " expert replicas, "
               << util::formatBytes(r.placedBytesTotal) << " placed, "
               << util::formatBytes(
@@ -976,6 +1066,9 @@ runClusterCmd(int argc, char **argv)
                           : ", no rejoin")
                   << "\n";
     }
+    if (!cfg.node.workload.traceOut.empty())
+        std::cout << "wrote request trace to "
+                  << cfg.node.workload.traceOut << "\n";
     return 0;
 }
 
@@ -1096,6 +1189,10 @@ main(int argc, char **argv)
 {
     try {
         return run(argc, argv);
+    } catch (const tools::FlagUsageError &e) {
+        std::cerr << "error: " << e.what() << "\n"
+                  << "run `sn40l_run " << e.subcommand()
+                  << " --help` for the flag reference\n";
     } catch (const std::invalid_argument &) {
         std::cerr << "error: malformed numeric argument\n";
     } catch (const std::exception &e) {
