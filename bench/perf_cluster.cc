@@ -27,6 +27,7 @@
 
 #include "coe/cluster.h"
 #include "perf_common.h"
+#include "util/json.h"
 
 using namespace sn40l;
 using bench::jsonNumber;
@@ -113,19 +114,22 @@ main(int argc, char **argv)
               << " MiB, imbalance " << result.loadImbalance << "\n";
 
     std::ofstream out(json_path);
-    out << "{\n"
-        << "  \"bench\": \"perf_cluster\",\n"
-        << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
-        << "  \"nodes\": " << nodes << ",\n"
-        << "  \"requests\": " << requests << ",\n"
-        << "  \"wall_seconds\": " << wall << ",\n"
-        << "  \"events_executed\": " << result.stream.eventsExecuted
-        << ",\n"
-        << "  \"events_per_sec\": " << events_per_sec << ",\n"
-        << "  \"requests_per_sec\": " << requests_per_sec << ",\n"
-        << "  \"load_imbalance\": " << result.loadImbalance << ",\n"
-        << "  \"peak_rss_bytes\": " << rss << "\n"
-        << "}\n";
+    {
+        util::JsonWriter w(out, /*pretty=*/true);
+        w.beginObject()
+            .field("bench", "perf_cluster")
+            .field("mode", smoke ? "smoke" : "full")
+            .field("nodes", nodes)
+            .field("requests", requests)
+            .field("wall_seconds", wall)
+            .field("events_executed", result.stream.eventsExecuted)
+            .field("events_per_sec", events_per_sec)
+            .field("requests_per_sec", requests_per_sec)
+            .field("load_imbalance", result.loadImbalance)
+            .field("peak_rss_bytes", rss)
+            .endObject();
+        out << "\n";
+    }
     std::cout << "wrote " << json_path << "\n";
 
     if (!floor_path.empty()) {

@@ -64,6 +64,17 @@ placementPolicyFromName(const std::string &name)
                "' (expected replication, replicate-hot, or partition)");
 }
 
+const char *
+actionKindName(ActionKind kind)
+{
+    switch (kind) {
+      case ActionKind::Drain: return "drain";
+      case ActionKind::Rejoin: return "rejoin";
+      case ActionKind::RateOverride: return "rate";
+    }
+    sim::panic("actionKindName: unknown kind");
+}
+
 ExpertPlacement
 makePlacement(PlacementPolicy policy, int experts, int nodes,
               int hot_experts)
@@ -156,6 +167,70 @@ class HashRing
 
 } // namespace
 
+/**
+ * Everything a run stands up between begin() and finish(): the event
+ * queue, engines, dispatch state, and the observation counters the
+ * snapshot window diffs against. One fresh RunState per begin(), so
+ * the simulator stays re-runnable.
+ */
+struct ClusterSimulator::RunState
+{
+    RunState(int nodes, const std::string &trace_out)
+        : recorder(trace_out),
+          live(static_cast<std::size_t>(nodes), 1),
+          wasDrained(static_cast<std::size_t>(nodes), 0),
+          isCandidate(static_cast<std::size_t>(nodes), 0),
+          dispatchedTo(static_cast<std::size_t>(nodes), 0),
+          redispatchedFrom(static_cast<std::size_t>(nodes), 0),
+          ring(nodes), liveCount(nodes),
+          baseDispatched(static_cast<std::size_t>(nodes), 0),
+          baseCompleted(static_cast<std::size_t>(nodes), 0),
+          baseMisses(static_cast<std::size_t>(nodes), 0),
+          baseShedNode(static_cast<std::size_t>(nodes), 0)
+    {
+        candidates.reserve(static_cast<std::size_t>(nodes));
+    }
+
+    sim::EventQueue eq;
+    ExpertPlacement placement;
+    std::vector<ServingConfig> nodeCfg;
+    std::vector<PhaseCosts> nodeCosts;
+    std::vector<double> expertBytes;    ///< per expert id
+    std::vector<double> placedBytesNow; ///< per node, actuator-updated
+    std::unique_ptr<WorkloadModel> workload;
+    TraceRecorder recorder;
+    std::vector<std::unique_ptr<ServingEngine>> engines;
+
+    // ---- dispatch state
+    std::vector<char> live;
+    std::vector<char> wasDrained;
+    std::vector<char> isCandidate;
+    std::vector<std::int64_t> dispatchedTo;
+    std::vector<std::int64_t> redispatchedFrom;
+    std::vector<std::int64_t> expertHits; ///< cumulative, per expert
+    std::int64_t redispatchedTotal = 0;
+    HashRing ring;
+    std::size_t rrCursor = 0;
+    std::vector<int> candidates;
+    sim::Tick firstArrival = -1;
+
+    // ---- node-hours accounting
+    int liveCount;
+    sim::Tick liveMark = 0;
+    double nodeSecondsLive = 0.0;
+
+    // ---- snapshot window baseline (cumulative values last seen)
+    sim::Tick snapTick = 0;
+    std::int64_t baseArrivals = 0;
+    std::int64_t baseCompletions = 0;
+    std::int64_t baseShed = 0;
+    std::vector<std::int64_t> baseDispatched;
+    std::vector<std::int64_t> baseCompleted;
+    std::vector<std::int64_t> baseMisses;
+    std::vector<std::int64_t> baseShedNode;
+    std::vector<std::int64_t> baseExpertHits;
+};
+
 ClusterSimulator::ClusterSimulator(ClusterConfig cfg) : cfg_(std::move(cfg))
 {
     cfg_.node.mode = ServingMode::EventDriven;
@@ -199,52 +274,109 @@ ClusterSimulator::ClusterSimulator(ClusterConfig cfg) : cfg_(std::move(cfg))
             sim::fatal("ClusterConfig: negative override value");
     }
 
+    // The legacy drain trio desugars onto the general action list,
+    // ahead of any explicit actions, preserving the historical event
+    // creation order exactly.
+    if (cfg_.drainAtSeconds > 0.0) {
+        ScheduledAction drain;
+        drain.atSeconds = cfg_.drainAtSeconds;
+        drain.kind = ActionKind::Drain;
+        drain.node = cfg_.drainNode;
+        effectiveActions_.push_back(drain);
+        if (cfg_.rejoinAtSeconds > 0.0) {
+            ScheduledAction rejoin;
+            rejoin.atSeconds = cfg_.rejoinAtSeconds;
+            rejoin.kind = ActionKind::Rejoin;
+            rejoin.node = cfg_.drainNode;
+            effectiveActions_.push_back(rejoin);
+        }
+    }
+    for (const ScheduledAction &a : cfg_.actions) {
+        if (a.atSeconds < 0.0)
+            sim::fatal("ScheduledAction: negative action time");
+        switch (a.kind) {
+          case ActionKind::Drain:
+            if (cfg_.nodes < 2)
+                sim::fatal("ScheduledAction: draining needs at least 2 "
+                           "nodes (requests must have somewhere to go)");
+            [[fallthrough]];
+          case ActionKind::Rejoin:
+            if (a.node < 0 || a.node >= cfg_.nodes)
+                sim::fatal("ScheduledAction: node out of range");
+            break;
+          case ActionKind::RateOverride:
+            if (a.rateFactor <= 0.0)
+                sim::fatal("ScheduledAction: rate factor must be "
+                           "positive");
+            if (cfg_.node.arrival == ArrivalProcess::ClosedLoop)
+                sim::fatal("ScheduledAction: rate overrides modulate "
+                           "open-loop arrivals; they cannot be combined "
+                           "with a closed loop");
+            if (cfg_.node.workload.replay())
+                sim::fatal("ScheduledAction: rate overrides cannot "
+                           "modulate a replayed trace (its timing is "
+                           "recorded)");
+            break;
+        }
+        effectiveActions_.push_back(a);
+    }
+
+    validateControllerConfig(cfg_.controller, cfg_.nodes);
+
     costs_ = computePhaseCosts(cfg_.node);
     if (cfg_.node.expertRegionBytes > 0)
         costs_.expertRegionBytes = cfg_.node.expertRegionBytes;
 }
 
-ClusterResult
-ClusterSimulator::run()
+ClusterSimulator::~ClusterSimulator() = default;
+
+bool
+ClusterSimulator::begin()
 {
-    ClusterResult result;
     const ServingConfig &base = cfg_.node;
     const int N = cfg_.nodes;
 
-    ExpertPlacement placement = makePlacement(
-        cfg_.placement, base.numExperts, N, cfg_.hotExperts);
+    controller_.reset();
+    rs_.reset();
+    auto rs = std::make_unique<RunState>(N, base.workload.traceOut);
+
+    rs->placement = makePlacement(cfg_.placement, base.numExperts, N,
+                                  cfg_.hotExperts);
 
     // Per-node configs and costs with heterogeneous overrides applied.
-    std::vector<ServingConfig> nodeCfg(static_cast<std::size_t>(N), base);
-    std::vector<PhaseCosts> nodeCosts(static_cast<std::size_t>(N), costs_);
+    rs->nodeCfg.assign(static_cast<std::size_t>(N), base);
+    rs->nodeCosts.assign(static_cast<std::size_t>(N), costs_);
     for (const ClusterNodeOverride &o : cfg_.overrides) {
         auto n = static_cast<std::size_t>(o.node);
         if (o.dmaEngines > 0)
-            nodeCfg[n].dmaEngines = o.dmaEngines;
+            rs->nodeCfg[n].dmaEngines = o.dmaEngines;
         if (o.expertRegionBytes > 0)
-            nodeCosts[n].expertRegionBytes = o.expertRegionBytes;
+            rs->nodeCosts[n].expertRegionBytes = o.expertRegionBytes;
     }
 
     // Placement feasibility: every node's placed experts must fit its
     // DDR backing tier (the single-node OOM check, per shard).
     ExpertZoo zoo = ExpertZoo::uniform(base.numExperts, base.expertBase);
-    std::vector<double> placedBytes(static_cast<std::size_t>(N), 0.0);
+    rs->expertBytes.resize(static_cast<std::size_t>(base.numExperts));
+    for (int e = 0; e < base.numExperts; ++e)
+        rs->expertBytes[static_cast<std::size_t>(e)] = zoo.expert(e).bytes;
+    rs->placedBytesNow.assign(static_cast<std::size_t>(N), 0.0);
+    rs->expertHits.assign(static_cast<std::size_t>(base.numExperts), 0);
+    rs->baseExpertHits.assign(static_cast<std::size_t>(base.numExperts),
+                              0);
     for (int n = 0; n < N; ++n) {
-        for (int e : placement.expertsOfNode[static_cast<std::size_t>(n)])
-            placedBytes[static_cast<std::size_t>(n)] +=
-                zoo.expert(e).bytes;
-        if (placedBytes[static_cast<std::size_t>(n)] >
-            nodeCosts[static_cast<std::size_t>(n)].capacityBytes) {
-            result.oom = true;
-            return result;
-        }
+        for (int e :
+             rs->placement.expertsOfNode[static_cast<std::size_t>(n)])
+            rs->placedBytesNow[static_cast<std::size_t>(n)] +=
+                rs->expertBytes[static_cast<std::size_t>(e)];
+        if (rs->placedBytesNow[static_cast<std::size_t>(n)] >
+            rs->nodeCosts[static_cast<std::size_t>(n)].capacityBytes)
+            return false;
     }
 
     latency_.clear();
     stalls_.clear();
     stats_ = sim::StatSet("cluster");
-
-    sim::EventQueue eq;
 
     // Arrivals and routing live in a pluggable WorkloadModel; the
     // cluster's diurnal ramp is layered onto the model as a RateShape
@@ -253,160 +385,467 @@ ClusterSimulator::run()
     RateShape diurnal;
     diurnal.diurnalAmplitude = cfg_.diurnalAmplitude;
     diurnal.diurnalPeriodSeconds = cfg_.diurnalPeriodSeconds;
-    std::unique_ptr<WorkloadModel> workload =
-        makeWorkloadModel(base, diurnal);
-    TraceRecorder recorder(base.workload.traceOut);
+    rs->workload = makeWorkloadModel(base, diurnal);
 
-    std::vector<std::unique_ptr<ServingEngine>> engines;
-    engines.reserve(static_cast<std::size_t>(N));
+    rs->engines.reserve(static_cast<std::size_t>(N));
     for (int n = 0; n < N; ++n) {
-        engines.push_back(std::make_unique<ServingEngine>(
-            eq, nodeCfg[static_cast<std::size_t>(n)],
-            nodeCosts[static_cast<std::size_t>(n)],
+        rs->engines.push_back(std::make_unique<ServingEngine>(
+            rs->eq, rs->nodeCfg[static_cast<std::size_t>(n)],
+            rs->nodeCosts[static_cast<std::size_t>(n)],
             ExpertZoo::uniform(base.numExperts, base.expertBase)));
-        engines.back()->setMirrors(&latency_, &stalls_);
+        rs->engines.back()->setMirrors(&latency_, &stalls_);
     }
-
-    // ---- cluster dispatch ---------------------------------------
-    std::vector<char> live(static_cast<std::size_t>(N), 1);
-    std::vector<char> isCandidate(static_cast<std::size_t>(N), 0);
-    std::vector<std::int64_t> dispatchedTo(static_cast<std::size_t>(N), 0);
-    std::vector<std::int64_t> redispatchedFrom(
-        static_cast<std::size_t>(N), 0);
-    std::int64_t redispatchedTotal = 0;
-    bool nodeWasDrained = false;
-    HashRing ring(N);
-    std::size_t rrCursor = 0;
-    std::vector<int> candidates;
-    candidates.reserve(static_cast<std::size_t>(N));
-
-    auto pickNode = [&](int expert) -> int {
-        candidates.clear();
-        for (int n :
-             placement.hostsOfExpert[static_cast<std::size_t>(expert)])
-            if (live[static_cast<std::size_t>(n)])
-                candidates.push_back(n);
-        if (candidates.empty()) {
-            // Every host of this expert is draining: fall back to any
-            // live node, which demand-streams the expert from its own
-            // DDR copy of the zoo. Counted so studies can see it.
-            stats_.inc("dispatch_fallbacks");
-            for (int n = 0; n < N; ++n)
-                if (live[static_cast<std::size_t>(n)])
-                    candidates.push_back(n);
-        }
-        if (candidates.empty())
-            sim::panic("cluster: no live node to dispatch to");
-        switch (cfg_.dispatch) {
-          case DispatchPolicy::RoundRobin:
-            return candidates[rrCursor++ % candidates.size()];
-          case DispatchPolicy::LeastOutstanding: {
-            int best = candidates.front();
-            std::int64_t best_out =
-                engines[static_cast<std::size_t>(best)]->outstanding();
-            for (std::size_t i = 1; i < candidates.size(); ++i) {
-                int n = candidates[i];
-                std::int64_t out =
-                    engines[static_cast<std::size_t>(n)]->outstanding();
-                if (out < best_out) { // ties keep the lowest node id
-                    best = n;
-                    best_out = out;
-                }
-            }
-            return best;
-          }
-          case DispatchPolicy::ExpertAffinity: {
-            for (int n : candidates)
-                isCandidate[static_cast<std::size_t>(n)] = 1;
-            int n = ring.lookup(expert, isCandidate);
-            for (int c : candidates)
-                isCandidate[static_cast<std::size_t>(c)] = 0;
-            sim::simAssert(n >= 0, "cluster: ring lookup failed");
-            return n;
-          }
-        }
-        sim::panic("cluster: unknown dispatch policy");
-    };
-
-    sim::Tick firstArrival = -1;
 
     // Closed-loop clients are cluster-wide: whichever node finishes a
     // batch frees that many clients to think and re-issue. Session
     // follow-ups and shed notifications route back the same way.
     for (int n = 0; n < N; ++n) {
-        ServingEngine &e = *engines[static_cast<std::size_t>(n)];
-        e.setOnBatchComplete(
-            [&](int finished) { workload->onBatchComplete(finished); });
-        e.setOnRequestComplete([&](const EngineRequest &r) {
+        ServingEngine &e = *rs->engines[static_cast<std::size_t>(n)];
+        WorkloadModel *workload = rs->workload.get();
+        e.setOnBatchComplete([workload](int finished) {
+            workload->onBatchComplete(finished);
+        });
+        e.setOnRequestComplete([workload](const EngineRequest &r) {
             workload->onRequestComplete(toTrafficRequest(r));
         });
-        e.setOnRequestShed([&](const EngineRequest &r) {
+        e.setOnRequestShed([workload](const EngineRequest &r) {
             workload->onRequestShed(toTrafficRequest(r));
         });
     }
 
-    // ---- drain / rejoin -----------------------------------------
-    if (cfg_.drainAtSeconds > 0.0) {
-        int d = cfg_.drainNode;
-        eq.schedule(
-            sim::fromSeconds(cfg_.drainAtSeconds),
-            [&, d]() {
-                live[static_cast<std::size_t>(d)] = 0;
-                nodeWasDrained = true;
-                stats_.inc("drain_events");
-                // The executing batch finishes on the draining node;
-                // everything still queued re-dispatches with its full
-                // request state (arrival timestamp, tenant, SLO), so
-                // tail latency tells the truth about the disruption.
-                std::vector<EngineRequest> moved =
-                    engines[static_cast<std::size_t>(d)]->extractQueued();
-                redispatchedFrom[static_cast<std::size_t>(d)] +=
-                    static_cast<std::int64_t>(moved.size());
-                redispatchedTotal +=
-                    static_cast<std::int64_t>(moved.size());
-                for (EngineRequest &r : moved) {
-                    int n = pickNode(r.expert);
-                    ++dispatchedTo[static_cast<std::size_t>(n)];
-                    engines[static_cast<std::size_t>(n)]->injectAt(
-                        std::move(r));
-                }
-            },
-            "cluster.drain");
-        if (cfg_.rejoinAtSeconds > 0.0) {
-            eq.schedule(
-                sim::fromSeconds(cfg_.rejoinAtSeconds),
-                [&, d]() {
-                    // Cold rejoin: the resident set is flushed and
-                    // re-warms from live traffic.
-                    engines[static_cast<std::size_t>(d)]->flushResident();
-                    live[static_cast<std::size_t>(d)] = 1;
-                    stats_.inc("rejoin_events");
-                },
-                "cluster.rejoin");
+    // rs_ must be live before the scheduled lambdas (and the workload
+    // sink below) can reference the actuators.
+    rs_ = std::move(rs);
+
+    // ---- scripted actions (legacy drain/rejoin desugared + explicit)
+    for (const ScheduledAction &a : effectiveActions_) {
+        switch (a.kind) {
+          case ActionKind::Drain:
+            rs_->eq.schedule(
+                sim::fromSeconds(a.atSeconds),
+                [this, a]() { drainNode(a.node); }, "cluster.drain");
+            break;
+          case ActionKind::Rejoin:
+            rs_->eq.schedule(
+                sim::fromSeconds(a.atSeconds),
+                [this, a]() { rejoinNode(a.node); }, "cluster.rejoin");
+            break;
+          case ActionKind::RateOverride:
+            rs_->eq.schedule(
+                sim::fromSeconds(a.atSeconds),
+                [this, a]() { setRateFactor(a.rateFactor); },
+                "cluster.rate_override");
+            break;
         }
     }
 
     // ---- arrivals -----------------------------------------------
     // The workload model emits routed requests from inside arrival
     // events; the cluster dispatches each to a hosting node.
-    workload->bind(eq, [&](const TrafficRequest &r) {
-        if (firstArrival < 0)
-            firstArrival = eq.now();
-        recorder.record(r, eq.now());
+    rs_->workload->bind(rs_->eq, [this](const TrafficRequest &r) {
+        if (rs_->firstArrival < 0)
+            rs_->firstArrival = rs_->eq.now();
+        rs_->recorder.record(r, rs_->eq.now());
         int n = pickNode(r.expert);
-        ++dispatchedTo[static_cast<std::size_t>(n)];
-        engines[static_cast<std::size_t>(n)]->inject(r);
+        ++rs_->dispatchedTo[static_cast<std::size_t>(n)];
+        rs_->engines[static_cast<std::size_t>(n)]->inject(r);
     });
-    workload->start();
+    rs_->workload->start();
+    return true;
+}
 
-    eq.run();
-    recorder.write();
+int
+ClusterSimulator::pickNode(int expert)
+{
+    RunState &rs = *rs_;
+    ++rs.expertHits[static_cast<std::size_t>(expert)];
+    rs.candidates.clear();
+    for (int n :
+         rs.placement.hostsOfExpert[static_cast<std::size_t>(expert)])
+        if (rs.live[static_cast<std::size_t>(n)])
+            rs.candidates.push_back(n);
+    if (rs.candidates.empty()) {
+        // Every host of this expert is draining: fall back to any
+        // live node, which demand-streams the expert from its own
+        // DDR copy of the zoo. Counted so studies can see it.
+        stats_.inc("dispatch_fallbacks");
+        for (int n = 0; n < cfg_.nodes; ++n)
+            if (rs.live[static_cast<std::size_t>(n)])
+                rs.candidates.push_back(n);
+    }
+    if (rs.candidates.empty())
+        sim::panic("cluster: no live node to dispatch to");
+    switch (cfg_.dispatch) {
+      case DispatchPolicy::RoundRobin:
+        return rs.candidates[rs.rrCursor++ % rs.candidates.size()];
+      case DispatchPolicy::LeastOutstanding: {
+        int best = rs.candidates.front();
+        std::int64_t best_out =
+            rs.engines[static_cast<std::size_t>(best)]->outstanding();
+        for (std::size_t i = 1; i < rs.candidates.size(); ++i) {
+            int n = rs.candidates[i];
+            std::int64_t out =
+                rs.engines[static_cast<std::size_t>(n)]->outstanding();
+            if (out < best_out) { // ties keep the lowest node id
+                best = n;
+                best_out = out;
+            }
+        }
+        return best;
+      }
+      case DispatchPolicy::ExpertAffinity: {
+        for (int n : rs.candidates)
+            rs.isCandidate[static_cast<std::size_t>(n)] = 1;
+        int n = rs.ring.lookup(expert, rs.isCandidate);
+        for (int c : rs.candidates)
+            rs.isCandidate[static_cast<std::size_t>(c)] = 0;
+        sim::simAssert(n >= 0, "cluster: ring lookup failed");
+        return n;
+      }
+    }
+    sim::panic("cluster: unknown dispatch policy");
+}
+
+void
+ClusterSimulator::accrueNodeSeconds()
+{
+    RunState &rs = *rs_;
+    sim::Tick now = rs.eq.now();
+    if (now > rs.liveMark)
+        rs.nodeSecondsLive += sim::toSeconds(now - rs.liveMark) *
+            static_cast<double>(rs.liveCount);
+    rs.liveMark = now;
+}
+
+bool
+ClusterSimulator::drainNode(int node)
+{
+    if (!rs_)
+        sim::panic("cluster: drainNode outside an active run");
+    if (node < 0 || node >= cfg_.nodes)
+        sim::fatal("cluster: drainNode out of range");
+    RunState &rs = *rs_;
+    auto d = static_cast<std::size_t>(node);
+    if (!rs.live[d])
+        return false; // idempotent: already drained
+    if (rs.liveCount <= 1)
+        return false; // requests must have somewhere to go
+    accrueNodeSeconds();
+    rs.live[d] = 0;
+    rs.wasDrained[d] = 1;
+    --rs.liveCount;
+    stats_.inc("drain_events");
+    // The executing batch finishes on the draining node; everything
+    // still queued re-dispatches with its full request state (arrival
+    // timestamp, tenant, SLO), so tail latency tells the truth about
+    // the disruption.
+    std::vector<EngineRequest> moved = rs.engines[d]->extractQueued();
+    rs.redispatchedFrom[d] += static_cast<std::int64_t>(moved.size());
+    rs.redispatchedTotal += static_cast<std::int64_t>(moved.size());
+    for (EngineRequest &r : moved) {
+        int n = pickNode(r.expert);
+        ++rs.dispatchedTo[static_cast<std::size_t>(n)];
+        rs.engines[static_cast<std::size_t>(n)]->injectAt(std::move(r));
+    }
+    return true;
+}
+
+bool
+ClusterSimulator::rejoinNode(int node)
+{
+    if (!rs_)
+        sim::panic("cluster: rejoinNode outside an active run");
+    if (node < 0 || node >= cfg_.nodes)
+        sim::fatal("cluster: rejoinNode out of range");
+    RunState &rs = *rs_;
+    auto d = static_cast<std::size_t>(node);
+    if (rs.live[d])
+        return false; // idempotent: already live
+    accrueNodeSeconds();
+    // Cold rejoin: the resident set is flushed and re-warms from live
+    // traffic.
+    rs.engines[d]->flushResident();
+    rs.live[d] = 1;
+    ++rs.liveCount;
+    stats_.inc("rejoin_events");
+    return true;
+}
+
+bool
+ClusterSimulator::migrateExpert(int expert, int from, int to)
+{
+    if (!rs_)
+        sim::panic("cluster: migrateExpert outside an active run");
+    if (expert < 0 || expert >= cfg_.node.numExperts)
+        sim::fatal("cluster: migrateExpert expert out of range");
+    if (from < 0 || from >= cfg_.nodes || to < 0 || to >= cfg_.nodes)
+        sim::fatal("cluster: migrateExpert node out of range");
+    if (from == to)
+        return false;
+    RunState &rs = *rs_;
+    auto e = static_cast<std::size_t>(expert);
+    std::vector<int> &hosts = rs.placement.hostsOfExpert[e];
+    auto hostIt = std::find(hosts.begin(), hosts.end(), from);
+    if (hostIt == hosts.end())
+        return false; // not hosted where we'd take it from
+    if (std::find(hosts.begin(), hosts.end(), to) != hosts.end())
+        return false; // already hosted at the target
+    double bytes = rs.expertBytes[e];
+    auto t = static_cast<std::size_t>(to);
+    if (rs.placedBytesNow[t] + bytes >
+        rs.nodeCosts[t].capacityBytes)
+        return false; // target DDR cannot take the expert
+    *hostIt = to;
+    auto f = static_cast<std::size_t>(from);
+    std::vector<int> &fromExperts = rs.placement.expertsOfNode[f];
+    fromExperts.erase(
+        std::find(fromExperts.begin(), fromExperts.end(), expert));
+    rs.placement.expertsOfNode[t].push_back(expert);
+    rs.placedBytesNow[f] -= bytes;
+    rs.placedBytesNow[t] += bytes;
+    stats_.inc("expert_migrations");
+    return true;
+}
+
+bool
+ClusterSimulator::setReplication(int expert, int replicas)
+{
+    if (!rs_)
+        sim::panic("cluster: setReplication outside an active run");
+    if (expert < 0 || expert >= cfg_.node.numExperts)
+        sim::fatal("cluster: setReplication expert out of range");
+    RunState &rs = *rs_;
+    int want = std::max(1, std::min(replicas, cfg_.nodes));
+    auto e = static_cast<std::size_t>(expert);
+    std::vector<int> &hosts = rs.placement.hostsOfExpert[e];
+    double bytes = rs.expertBytes[e];
+    bool changed = false;
+
+    auto hosted = [&hosts](int n) {
+        return std::find(hosts.begin(), hosts.end(), n) != hosts.end();
+    };
+
+    while (static_cast<int>(hosts.size()) < want) {
+        // Grow: prefer live nodes, then the emptiest, then lowest id —
+        // a deterministic order so seeded runs replay exactly.
+        int pick = -1;
+        for (int n = 0; n < cfg_.nodes; ++n) {
+            auto ns = static_cast<std::size_t>(n);
+            if (hosted(n))
+                continue;
+            if (rs.placedBytesNow[ns] + bytes >
+                rs.nodeCosts[ns].capacityBytes)
+                continue;
+            if (pick < 0) {
+                pick = n;
+                continue;
+            }
+            auto ps = static_cast<std::size_t>(pick);
+            if (rs.live[ns] != rs.live[ps]) {
+                if (rs.live[ns])
+                    pick = n;
+                continue;
+            }
+            if (rs.placement.expertsOfNode[ns].size() <
+                rs.placement.expertsOfNode[ps].size())
+                pick = n;
+        }
+        if (pick < 0)
+            break; // nowhere feasible to grow
+        auto ps = static_cast<std::size_t>(pick);
+        hosts.push_back(pick);
+        rs.placement.expertsOfNode[ps].push_back(expert);
+        rs.placedBytesNow[ps] += bytes;
+        ++rs.placement.replicas;
+        changed = true;
+    }
+    while (static_cast<int>(hosts.size()) > want && hosts.size() > 1) {
+        // Shrink: prefer drained nodes, then the fullest, then
+        // highest id.
+        int pick = hosts.front();
+        for (int n : hosts) {
+            auto ns = static_cast<std::size_t>(n);
+            auto ps = static_cast<std::size_t>(pick);
+            if (rs.live[ns] != rs.live[ps]) {
+                if (!rs.live[ns])
+                    pick = n;
+                continue;
+            }
+            if (rs.placement.expertsOfNode[ns].size() >
+                    rs.placement.expertsOfNode[ps].size() ||
+                (rs.placement.expertsOfNode[ns].size() ==
+                     rs.placement.expertsOfNode[ps].size() &&
+                 n > pick))
+                pick = n;
+        }
+        auto ps = static_cast<std::size_t>(pick);
+        hosts.erase(std::find(hosts.begin(), hosts.end(), pick));
+        std::vector<int> &ex = rs.placement.expertsOfNode[ps];
+        ex.erase(std::find(ex.begin(), ex.end(), expert));
+        rs.placedBytesNow[ps] -= bytes;
+        --rs.placement.replicas;
+        changed = true;
+    }
+    if (changed)
+        stats_.inc("replication_changes");
+    return changed;
+}
+
+void
+ClusterSimulator::setRateFactor(double factor)
+{
+    if (!rs_)
+        sim::panic("cluster: setRateFactor outside an active run");
+    if (factor <= 0.0)
+        sim::fatal("cluster: rate factor must be positive");
+    rs_->workload->setRateFactor(factor);
+    stats_.inc("rate_overrides");
+}
+
+int
+ClusterSimulator::liveNodes() const
+{
+    if (!rs_)
+        sim::panic("cluster: liveNodes outside an active run");
+    return rs_->liveCount;
+}
+
+bool
+ClusterSimulator::idle() const
+{
+    if (!rs_)
+        sim::panic("cluster: idle outside an active run");
+    const RunState &rs = *rs_;
+    if (rs.workload->emitted() != rs.workload->plannedRequests())
+        return false;
+    for (const std::unique_ptr<ServingEngine> &e : rs.engines) {
+        if (e->queueDepth() != 0 || e->busy())
+            return false;
+        if (e->memorySystem().queuedLoads() != 0 ||
+            e->memorySystem().loadsInFlight() != 0)
+            return false;
+    }
+    return true;
+}
+
+sim::EventQueue &
+ClusterSimulator::eventQueue()
+{
+    if (!rs_)
+        sim::panic("cluster: eventQueue outside an active run");
+    return rs_->eq;
+}
+
+const ExpertPlacement &
+ClusterSimulator::placement() const
+{
+    if (!rs_)
+        sim::panic("cluster: placement outside an active run");
+    return rs_->placement;
+}
+
+MetricsSnapshot
+ClusterSimulator::snapshot()
+{
+    if (!rs_)
+        sim::panic("cluster: snapshot outside an active run");
+    RunState &rs = *rs_;
+    accrueNodeSeconds();
+
+    MetricsSnapshot s;
+    s.atSeconds = sim::toSeconds(rs.eq.now());
+    s.windowSeconds = sim::toSeconds(rs.eq.now() - rs.snapTick);
+    s.nodeSecondsLive = rs.nodeSecondsLive;
+
+    std::int64_t arrivals = rs.workload->emitted();
+    std::int64_t completions = 0, shed = 0;
+    std::int64_t liveDepth = 0;
+    s.nodes.resize(static_cast<std::size_t>(cfg_.nodes));
+    for (int n = 0; n < cfg_.nodes; ++n) {
+        auto ns = static_cast<std::size_t>(n);
+        ServingEngine &e = *rs.engines[ns];
+        NodeSnapshot &node = s.nodes[ns];
+        node.node = n;
+        node.live = rs.live[ns] != 0;
+        node.wasDrained = rs.wasDrained[ns] != 0;
+        node.queueDepth = e.queueDepth();
+        node.outstanding = e.outstanding();
+        node.dispatched = rs.dispatchedTo[ns] - rs.baseDispatched[ns];
+        node.completed = e.completedCount() - rs.baseCompleted[ns];
+        node.misses = e.missCount() - rs.baseMisses[ns];
+        node.shed = e.shedCount() - rs.baseShedNode[ns];
+        completions += e.completedCount();
+        shed += e.shedCount();
+        if (node.live) {
+            ++s.liveNodes;
+            liveDepth += node.queueDepth;
+        }
+        rs.baseDispatched[ns] = rs.dispatchedTo[ns];
+        rs.baseCompleted[ns] = e.completedCount();
+        rs.baseMisses[ns] = e.missCount();
+        rs.baseShedNode[ns] = e.shedCount();
+    }
+    s.arrivals = arrivals - rs.baseArrivals;
+    s.completions = completions - rs.baseCompletions;
+    s.shed = shed - rs.baseShed;
+    if (s.windowSeconds > 0.0) {
+        s.arrivalRatePerSec =
+            static_cast<double>(s.arrivals) / s.windowSeconds;
+        s.completionRatePerSec =
+            static_cast<double>(s.completions) / s.windowSeconds;
+    }
+    if (s.liveNodes > 0)
+        s.meanQueueDepthPerLiveNode = static_cast<double>(liveDepth) /
+            static_cast<double>(s.liveNodes);
+
+    s.expertHits.resize(rs.expertHits.size());
+    for (std::size_t e = 0; e < rs.expertHits.size(); ++e) {
+        s.expertHits[e] = rs.expertHits[e] - rs.baseExpertHits[e];
+        rs.baseExpertHits[e] = rs.expertHits[e];
+    }
+
+    rs.baseArrivals = arrivals;
+    rs.baseCompletions = completions;
+    rs.baseShed = shed;
+    rs.snapTick = rs.eq.now();
+    return s;
+}
+
+ClusterResult
+ClusterSimulator::run()
+{
+    if (!begin()) {
+        ClusterResult result;
+        result.oom = true;
+        return result;
+    }
+    if (cfg_.controller.policy != ControllerPolicy::Static) {
+        controller_ =
+            std::make_unique<ClusterController>(*this, cfg_.controller);
+        controller_->start();
+    }
+    rs_->eq.run();
+    return finish();
+}
+
+ClusterResult
+ClusterSimulator::finish()
+{
+    if (!rs_)
+        sim::panic("cluster: finish without begin");
+    RunState &rs = *rs_;
+    const ServingConfig &base = cfg_.node;
+    const int N = cfg_.nodes;
+    ClusterResult result;
+
+    rs.recorder.write();
+    accrueNodeSeconds();
 
     std::int64_t completed = 0, batches = 0, misses = 0, shedTotal = 0;
     double occupancyTotal = 0.0, depthIntegral = 0.0;
     sim::Tick lastCompletion = 0;
     for (int n = 0; n < N; ++n) {
-        ServingEngine &e = *engines[static_cast<std::size_t>(n)];
+        ServingEngine &e = *rs.engines[static_cast<std::size_t>(n)];
         sim::simAssert(e.queueDepth() == 0 && !e.busy(),
                        "cluster: event stream drained with work pending");
         sim::simAssert(e.memorySystem().queuedLoads() == 0 &&
@@ -420,13 +859,14 @@ ClusterSimulator::run()
         depthIntegral += e.depthIntegral();
         lastCompletion = std::max(lastCompletion, e.lastCompletion());
     }
-    sim::simAssert(workload->emitted() == workload->plannedRequests(),
+    sim::simAssert(rs.workload->emitted() ==
+                       rs.workload->plannedRequests(),
                    "cluster: workload did not emit its full budget");
-    sim::simAssert(completed + shedTotal == workload->emitted(),
+    sim::simAssert(completed + shedTotal == rs.workload->emitted(),
                    "cluster: arrivals != completions + shed at drain");
 
     double makespan = sim::toSeconds(
-        lastCompletion - std::max<sim::Tick>(firstArrival, 0));
+        lastCompletion - std::max<sim::Tick>(rs.firstArrival, 0));
 
     StreamMetrics &m = result.stream;
     m.p50LatencySeconds = latency_.quantile(0.50);
@@ -449,7 +889,7 @@ ClusterSimulator::run()
     }
     m.meanSwitchStallSeconds = stalls_.mean();
     m.p95SwitchStallSeconds = stalls_.quantile(0.95);
-    m.eventsExecuted = eq.executedCount();
+    m.eventsExecuted = rs.eq.executedCount();
     m.shed = shedTotal;
     m.shedRate = completed + shedTotal > 0
         ? static_cast<double>(shedTotal) /
@@ -463,14 +903,13 @@ ClusterSimulator::run()
     std::int64_t maxCompleted = 0;
     result.nodes.resize(static_cast<std::size_t>(N));
     for (int n = 0; n < N; ++n) {
-        ServingEngine &e = *engines[static_cast<std::size_t>(n)];
-        ClusterNodeMetrics &nm =
-            result.nodes[static_cast<std::size_t>(n)];
+        auto ns = static_cast<std::size_t>(n);
+        ServingEngine &e = *rs.engines[ns];
+        ClusterNodeMetrics &nm = result.nodes[ns];
         nm.node = n;
-        nm.drained = cfg_.drainAtSeconds > 0.0 && n == cfg_.drainNode &&
-            nodeWasDrained;
-        nm.dispatched = dispatchedTo[static_cast<std::size_t>(n)];
-        nm.redispatched = redispatchedFrom[static_cast<std::size_t>(n)];
+        nm.drained = rs.wasDrained[ns] != 0;
+        nm.dispatched = rs.dispatchedTo[ns];
+        nm.redispatched = rs.redispatchedFrom[ns];
         nm.completed = e.completedCount();
         nm.batches = e.batchCount();
         nm.misses = e.missCount();
@@ -486,8 +925,15 @@ ClusterSimulator::run()
             : 0.0;
         nm.maxQueueDepth = e.queueDepthMax();
         nm.placedExperts = static_cast<int>(
-            placement.expertsOfNode[static_cast<std::size_t>(n)].size());
-        nm.placedBytes = placedBytes[static_cast<std::size_t>(n)];
+            rs.placement.expertsOfNode[ns].size());
+        // Recomputed from the FINAL placement (migrations and
+        // replication changes move bytes); untouched placements sum
+        // the same doubles in the same order as the begin()-time
+        // feasibility pass, so the value is bit-identical.
+        nm.placedBytes = 0.0;
+        for (int ex : rs.placement.expertsOfNode[ns])
+            nm.placedBytes +=
+                rs.expertBytes[static_cast<std::size_t>(ex)];
         nm.peakResidentBytes = e.peakResidentBytes();
 
         m.maxQueueDepth = std::max(m.maxQueueDepth, e.queueDepthMax());
@@ -507,20 +953,35 @@ ClusterSimulator::run()
     result.loadImbalance = meanCompleted > 0.0
         ? static_cast<double>(maxCompleted) / meanCompleted
         : 1.0;
-    result.expertReplicas = placement.replicas;
-    result.redispatched = redispatchedTotal;
+    result.expertReplicas = rs.placement.replicas;
+    result.redispatched = rs.redispatchedTotal;
+    result.nodeSecondsLive = rs.nodeSecondsLive;
+    result.nodeHours = rs.nodeSecondsLive / 3600.0;
+    if (controller_) {
+        controller_->finish();
+        result.controllerTicks = controller_->ticks();
+        result.controllerActions = controller_->actions();
+    }
 
     stats_.set("completed", static_cast<double>(completed));
     stats_.set("batches", static_cast<double>(batches));
     stats_.set("misses", static_cast<double>(misses));
     stats_.set("shed", static_cast<double>(shedTotal));
-    stats_.set("redispatched", static_cast<double>(redispatchedTotal));
+    stats_.set("redispatched",
+               static_cast<double>(rs.redispatchedTotal));
     stats_.set("events_executed",
-               static_cast<double>(eq.executedCount()));
+               static_cast<double>(rs.eq.executedCount()));
     stats_.set("load_imbalance", result.loadImbalance);
     stats_.set("expert_replicas",
-               static_cast<double>(placement.replicas));
+               static_cast<double>(rs.placement.replicas));
+    stats_.set("node_seconds_live", rs.nodeSecondsLive);
+    stats_.set("controller_ticks",
+               static_cast<double>(result.controllerTicks));
+    stats_.set("controller_actions",
+               static_cast<double>(result.controllerActions));
 
+    controller_.reset();
+    rs_.reset();
     return result;
 }
 

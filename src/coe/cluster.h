@@ -21,11 +21,16 @@
  *    consistent hashing (an expert sticks to its "home" node until
  *    the node set changes).
  *
- * Scenario diversity on top: a node can drain mid-run (its queued
- * requests re-dispatch to surviving nodes, losing nothing) and rejoin
- * cold (its resident set flushed, re-warmed from live traffic),
- * per-node heterogeneous configs, and a diurnal sinusoidal ramp on
- * the open-loop arrival rate.
+ * The simulator is observable and actuable mid-run, not just
+ * configure-then-run-to-completion: begin() stands the cluster up on
+ * its event queue, MetricsSnapshot exposes windowed rates / per-node
+ * queue state / per-expert hit counts at any point, and the runtime
+ * actuators drainNode() / rejoinNode() / migrateExpert() /
+ * setReplication() / setRateFactor() generalize the old one-shot
+ * drain scenario. ScheduledAction scripts those actuators at fixed
+ * times (the legacy drainAtSeconds flags desugar onto it), and
+ * coe::ClusterController (controller.h) closes the loop with a
+ * policy. run() still does the whole dance in one call.
  *
  * A 1-node cluster with full replication reproduces the single-node
  * ServingSimulator EventDriven metrics bit-identically — the cluster
@@ -36,10 +41,13 @@
 #define SN40L_COE_CLUSTER_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "coe/controller.h"
 #include "coe/serving.h"
+#include "sim/event_queue.h"
 
 namespace sn40l::coe {
 
@@ -71,6 +79,30 @@ struct ClusterNodeOverride
     std::int64_t expertRegionBytes = 0;
 };
 
+/** What a ScheduledAction does when its time arrives. */
+enum class ActionKind {
+    Drain,        ///< node stops accepting; queued work re-dispatches
+    Rejoin,       ///< node returns cold (resident set flushed)
+    RateOverride, ///< multiply the open-loop arrival rate by a factor
+};
+
+const char *actionKindName(ActionKind kind);
+
+/**
+ * One scripted actuation at a fixed time: the general form of the
+ * old drainAtSeconds / rejoinAtSeconds pair. Actions fire in list
+ * order when times tie; each maps onto the same runtime actuator the
+ * controller uses, so scripted and closed-loop runs share one
+ * mechanism.
+ */
+struct ScheduledAction
+{
+    double atSeconds = 0.0;
+    ActionKind kind = ActionKind::Drain;
+    int node = 0;            ///< Drain / Rejoin target
+    double rateFactor = 1.0; ///< RateOverride multiplier (> 0)
+};
+
 struct ClusterConfig
 {
     /**
@@ -92,14 +124,20 @@ struct ClusterConfig
     int hotExperts = 0;
 
     /**
-     * Drain scenario: at drainAtSeconds (> 0 enables) drainNode stops
-     * accepting dispatches and its queued requests re-dispatch to the
-     * surviving nodes; at rejoinAtSeconds (> drainAt, 0 = never) it
-     * rejoins cold (resident set flushed). Requires nodes >= 2.
+     * Legacy drain scenario, kept as sugar: when drainAtSeconds > 0
+     * the trio desugars to a Drain (and optional Rejoin) entry
+     * prepended to `actions`, bit-identical to the historical
+     * hard-coded scenario. Requires nodes >= 2.
      */
     double drainAtSeconds = 0.0;
     double rejoinAtSeconds = 0.0;
     int drainNode = 0;
+
+    /** Scripted actuations, applied in time (then list) order. */
+    std::vector<ScheduledAction> actions;
+
+    /** Closed-loop control plane; Static leaves the run untouched. */
+    ControllerConfig controller;
 
     /**
      * Diurnal ramp (Poisson arrivals only): the instantaneous rate is
@@ -127,6 +165,47 @@ struct ExpertPlacement
  */
 ExpertPlacement makePlacement(PlacementPolicy policy, int experts,
                               int nodes, int hot_experts);
+
+/** One node's slice of a MetricsSnapshot. */
+struct NodeSnapshot
+{
+    int node = 0;
+    bool live = true;
+    bool wasDrained = false;        ///< drained at some point so far
+    std::int64_t queueDepth = 0;    ///< instantaneous admission queue
+    std::int64_t outstanding = 0;   ///< injected - completed
+    std::int64_t dispatched = 0;    ///< in the window
+    std::int64_t completed = 0;     ///< in the window
+    std::int64_t misses = 0;        ///< in the window
+    std::int64_t shed = 0;          ///< in the window
+};
+
+/**
+ * Windowed mid-run observation of the cluster, pollable between
+ * events (ClusterSimulator::snapshot()). Rates cover the window since
+ * the previous snapshot; queue depths are instantaneous. This one
+ * struct feeds the controller, the --json reporters, and the
+ * controller's JSONL log.
+ */
+struct MetricsSnapshot
+{
+    double atSeconds = 0.0;     ///< sim time of this snapshot
+    double windowSeconds = 0.0; ///< since the previous snapshot
+
+    std::int64_t arrivals = 0;  ///< emitted in the window
+    std::int64_t completions = 0;
+    std::int64_t shed = 0;
+    double arrivalRatePerSec = 0.0;
+    double completionRatePerSec = 0.0;
+
+    int liveNodes = 0;
+    double meanQueueDepthPerLiveNode = 0.0; ///< instantaneous
+    double nodeSecondsLive = 0.0; ///< cumulative live node-seconds
+
+    std::vector<NodeSnapshot> nodes;
+    /** Windowed dispatch hits per expert id (popularity signal). */
+    std::vector<std::int64_t> expertHits;
+};
 
 struct ClusterNodeMetrics
 {
@@ -161,7 +240,19 @@ struct ClusterResult
     int expertReplicas = 0;       ///< total placed (expert, node) pairs
     double placedBytesTotal = 0.0; ///< HBM the placement asks for
     std::int64_t peakResidentBytesTotal = 0; ///< measured HBM high-water
-    std::int64_t redispatched = 0; ///< requests moved by the drain
+    std::int64_t redispatched = 0; ///< requests moved by drains
+
+    /**
+     * Provisioning cost: the time-integral of the live node count
+     * over the run (what an autoscaler is minimizing). Without
+     * drains every node is live for the whole makespan.
+     */
+    double nodeSecondsLive = 0.0;
+    double nodeHours = 0.0;
+
+    /** Control-plane accounting (0 under ControllerPolicy::Static). */
+    std::int64_t controllerTicks = 0;
+    std::int64_t controllerActions = 0;
 };
 
 class ClusterSimulator
@@ -169,8 +260,59 @@ class ClusterSimulator
   public:
     /** Validates the config (FatalError on contradictions). */
     explicit ClusterSimulator(ClusterConfig cfg);
+    ~ClusterSimulator();
 
+    /**
+     * The one-call form: begin(), start the controller when the
+     * config asks for one, run the queue dry, finish(). Re-runnable;
+     * each call stands up a fresh run.
+     */
     ClusterResult run();
+
+    // ---- mid-run surface (what the controller and tests drive) ----
+
+    /**
+     * Stand the cluster up without running it: placement, engines,
+     * scripted actions, and the workload are live on eventQueue().
+     * @return false when the placement is infeasible (OOM) — the run
+     * is not active and finish() must not be called.
+     */
+    bool begin();
+
+    /** Drain the event queue and assemble the ClusterResult. */
+    ClusterResult finish();
+
+    /** The active run's queue (begin() first). Tests step this. */
+    sim::EventQueue &eventQueue();
+
+    /** Windowed observation; advances the snapshot window. */
+    MetricsSnapshot snapshot();
+
+    /**
+     * Runtime actuators. Each returns true when it changed state and
+     * false for a no-op (already drained, already at that replica
+     * count, infeasible target); out-of-range ids are FatalErrors.
+     * drainNode() refuses to drain the last live node; migrate /
+     * setReplication refuse targets whose DDR the move would exceed.
+     */
+    bool drainNode(int node);
+    bool rejoinNode(int node);
+    bool migrateExpert(int expert, int from, int to);
+    bool setReplication(int expert, int replicas);
+
+    /** Multiply the open-loop arrival rate from now on (> 0). */
+    void setRateFactor(double factor);
+
+    /** Live nodes in the active run. */
+    int liveNodes() const;
+
+    /** True once the budget is emitted and every engine is drained. */
+    bool idle() const;
+
+    const ClusterConfig &config() const { return cfg_; }
+
+    /** Current placement of the active run (mutated by actuators). */
+    const ExpertPlacement &placement() const;
 
     const PhaseCosts &phaseCosts() const { return costs_; }
 
@@ -181,11 +323,20 @@ class ClusterSimulator
     const sim::StatSet &stats() const { return stats_; }
 
   private:
+    struct RunState;
+
+    int pickNode(int expert);
+    void accrueNodeSeconds();
+
     ClusterConfig cfg_;
+    /** Legacy drain sugar desugared + cfg.actions, in firing order. */
+    std::vector<ScheduledAction> effectiveActions_;
     PhaseCosts costs_;
     sim::Distribution latency_{"cluster_latency"};
     sim::Distribution stalls_{"cluster_stall"};
     sim::StatSet stats_{"cluster"};
+    std::unique_ptr<RunState> rs_; ///< non-null between begin/finish
+    std::unique_ptr<ClusterController> controller_;
 };
 
 } // namespace sn40l::coe

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Autoscaling control plane for the CoE serving cluster.
+ *
+ * PR 4/5 built all the mechanisms — drain/rejoin with zero request
+ * loss, diurnal and flash-crowd RateShapes, rotated-Zipf popularity
+ * drift, per-tenant shed metrics — but no policy that closes the
+ * loop. ClusterController is that loop: an event on the shared
+ * sim::EventQueue that fires every tickSeconds, polls the cluster's
+ * windowed MetricsSnapshot, and actuates through the redesigned
+ * ClusterSimulator surface (drainNode / rejoinNode / migrateExpert /
+ * setReplication / setRateFactor).
+ *
+ *   ┌────────────── every tickSeconds ──────────────┐
+ *   │  snapshot() ──► policy decides ──► actuators  │
+ *   │  (windowed rates, queue depth,    (scale up/  │
+ *   │   shed, per-expert hits)           down, re-  │
+ *   │                                    replicate) │
+ *   └───────────────────────────────────────────────┘
+ *
+ * Policies, pluggable like dispatch/placement already are:
+ *
+ *  - Static: no controller event at all. A Static "controller" adds
+ *    zero events and zero state, so every pre-existing cluster golden
+ *    stays bit-identical.
+ *
+ *  - ReactiveThreshold: scale up one node per tick while the mean
+ *    queue depth per live node exceeds scaleUpQueueDepth (or anything
+ *    shed in the window); scale down one node per tick — after a
+ *    cooldown — while it sits below scaleDownQueueDepth. "AI and
+ *    Memory Wall" (arXiv:2403.14123) motivates the objective:
+ *    node-hours of HBM are the scarce resource, so park nodes the
+ *    diurnal trough does not need.
+ *
+ *  - TargetUtilization: model-based. The per-node service rate is
+ *    derived from the priced PhaseCosts (batch / batch-seconds); the
+ *    controller keeps the windowed arrival rate near
+ *    targetUtilization of aggregate capacity, scaling in whichever
+ *    direction the estimate demands (same cooldown on scale-down).
+ *
+ * Either active policy can additionally track the hot expert set
+ * (hotExpertTrack > 0): the top-K experts by windowed dispatch hits
+ * are re-replicated onto every live node, and boosts revert when an
+ * expert drops out of the set — CoServe's (arXiv:2503.02354)
+ * popularity-driven placement, continuously.
+ */
+
+#ifndef SN40L_COE_CONTROLLER_H
+#define SN40L_COE_CONTROLLER_H
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sn40l::coe {
+
+class ClusterSimulator;
+struct MetricsSnapshot;
+
+/** How (whether) the controller reacts to the snapshot stream. */
+enum class ControllerPolicy {
+    Static,            ///< no control loop; provisioning is fixed
+    ReactiveThreshold, ///< queue-depth / shed thresholds, ±1 node per tick
+    TargetUtilization, ///< model-based: hold arrival/capacity near target
+};
+
+const char *controllerPolicyName(ControllerPolicy policy);
+ControllerPolicy controllerPolicyFromName(const std::string &name);
+
+struct ControllerConfig
+{
+    ControllerPolicy policy = ControllerPolicy::Static;
+
+    /** Control-loop period (seconds between snapshots). */
+    double tickSeconds = 0.5;
+
+    /**
+     * Live-node bounds. An active controller parks nodes above
+     * minNodes at t = 0 (so the run starts at the floor and earns
+     * its way up); maxNodes 0 means every configured node.
+     */
+    int minNodes = 1;
+    int maxNodes = 0;
+
+    /** ReactiveThreshold: mean queue depth per live node bounds. */
+    double scaleUpQueueDepth = 4.0;
+    double scaleDownQueueDepth = 0.5;
+
+    /** TargetUtilization: desired arrival-rate / capacity ratio. */
+    double targetUtilization = 0.7;
+
+    /** Ticks a scale-down must wait after any scale action. */
+    int cooldownTicks = 4;
+
+    /**
+     * Re-replicate the top-K experts by windowed dispatch hits onto
+     * every live node (reverting when they cool). 0 disables.
+     */
+    int hotExpertTrack = 0;
+
+    /** JSONL decision log (one object per tick); empty = no log. */
+    std::string logPath;
+};
+
+/** Reject contradictory controller knobs (FatalError). */
+void validateControllerConfig(const ControllerConfig &cfg, int nodes);
+
+/**
+ * The control loop. Owned by ClusterSimulator::run() when the config
+ * asks for an active policy; tests can also drive one by hand against
+ * a begun simulator. start() parks the cluster down to minNodes and
+ * schedules the first tick; the loop re-arms itself until the cluster
+ * reports idle (budget emitted and every engine drained).
+ */
+class ClusterController
+{
+  public:
+    ClusterController(ClusterSimulator &cluster, ControllerConfig cfg);
+
+    /** Park to minNodes and schedule the first tick. Call once,
+     *  after ClusterSimulator::begin() and before the queue runs. */
+    void start();
+
+    /** Flush the JSONL decision log (no-op without a logPath). */
+    void finish();
+
+    std::int64_t ticks() const { return ticks_; }
+    /** Scale + replication actions actually applied. */
+    std::int64_t actions() const { return actions_; }
+
+  private:
+    void tick();
+    void scheduleTick();
+    /** ±1 node against the snapshot; true when a node moved. */
+    bool scalePerSnapshot(const MetricsSnapshot &snap);
+    /** Re-replicate the windowed hot set; returns actions applied. */
+    int trackHotExperts(const MetricsSnapshot &snap);
+    void logTick(const MetricsSnapshot &snap, const std::string &action);
+
+    ClusterSimulator &cluster_;
+    ControllerConfig cfg_;
+    int maxNodes_;              ///< resolved (cfg.maxNodes or all)
+    double serviceRatePerNode_; ///< requests/s, from PhaseCosts
+    std::int64_t ticks_ = 0;
+    std::int64_t actions_ = 0;
+    std::int64_t lastScaleTick_ = -1; ///< cooldown anchor
+    std::set<int> boosted_;     ///< experts currently re-replicated
+    std::vector<int> baselineReplicas_; ///< pre-boost replica counts
+    std::ostringstream log_;
+};
+
+} // namespace sn40l::coe
+
+#endif // SN40L_COE_CONTROLLER_H

@@ -1,0 +1,135 @@
+#include "coe/metrics_io.h"
+
+#include <ostream>
+
+namespace sn40l::coe {
+
+void
+streamMetricsJsonFields(util::JsonWriter &w, const StreamMetrics &m)
+{
+    w.field("p50_s", m.p50LatencySeconds)
+        .field("p95_s", m.p95LatencySeconds)
+        .field("p99_s", m.p99LatencySeconds)
+        .field("mean_s", m.meanLatencySeconds)
+        .field("throughput_rps", m.throughputRequestsPerSec);
+}
+
+void
+snapshotJsonFields(util::JsonWriter &w, const MetricsSnapshot &snap)
+{
+    w.field("t", snap.atSeconds)
+        .field("window_s", snap.windowSeconds)
+        .field("live_nodes", snap.liveNodes)
+        .field("arrival_rate", snap.arrivalRatePerSec)
+        .field("completion_rate", snap.completionRatePerSec)
+        .field("queue_depth_per_node", snap.meanQueueDepthPerLiveNode)
+        .field("shed", snap.shed)
+        .field("node_seconds_live", snap.nodeSecondsLive);
+}
+
+void
+sweepPointJson(util::JsonWriter &w, const SweepPointResult &r)
+{
+    const ServingConfig &cfg = r.point.cfg;
+    const StreamMetrics &m = r.result.stream;
+    w.beginObject()
+        .field("experts", cfg.numExperts)
+        .field("arrival_rate_per_node", r.point.ratePerNode)
+        .field("arrival_rate", cfg.arrivalRatePerSec)
+        .field("batch", cfg.batch)
+        .field("scheduler", schedulerPolicyName(cfg.scheduler))
+        .field("seed", cfg.seed)
+        .field("nodes", r.point.nodes)
+        .field("placement", placementPolicyName(r.point.placement))
+        .field("oom", r.result.oom);
+    streamMetricsJsonFields(w, m);
+    w.field("miss_rate", r.result.missRate)
+        .field("load_imbalance", r.loadImbalance)
+        .field("placed_bytes", r.placedBytesTotal)
+        .field("events", r.eventsExecuted)
+        .field("wall_s", r.wallSeconds)
+        .endObject();
+}
+
+void
+writeSweepJson(std::ostream &os,
+               const std::vector<SweepPointResult> &results, int jobs,
+               double wall_seconds)
+{
+    // One compact object per line inside the points array, so large
+    // sweeps stay grep/diff-friendly; the envelope stays pretty.
+    os << "{\n  \"points\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        os << "    ";
+        util::JsonWriter w(os);
+        sweepPointJson(w, results[i]);
+        os << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n";
+    {
+        os << "  \"jobs\": ";
+        util::JsonWriter w(os);
+        w.value(jobs);
+        os << ",\n  \"wall_s\": ";
+        w.value(wall_seconds);
+    }
+    os << "\n}\n";
+}
+
+void
+clusterNodeJson(util::JsonWriter &w, const ClusterNodeMetrics &nm)
+{
+    w.beginObject()
+        .field("node", nm.node)
+        .field("drained", nm.drained)
+        .field("placed_experts", nm.placedExperts)
+        .field("placed_bytes", nm.placedBytes)
+        .field("dispatched", nm.dispatched)
+        .field("redispatched", nm.redispatched)
+        .field("completed", nm.completed)
+        .field("shed", nm.shed)
+        .field("batches", nm.batches)
+        .field("miss_rate", nm.missRate)
+        .field("p50_s", nm.p50LatencySeconds)
+        .field("p95_s", nm.p95LatencySeconds)
+        .field("mean_queue_depth", nm.meanQueueDepth)
+        .field("max_queue_depth", nm.maxQueueDepth)
+        .field("peak_resident_bytes", nm.peakResidentBytes)
+        .endObject();
+}
+
+void
+writeClusterJson(std::ostream &os, const ClusterConfig &cfg,
+                 const ClusterResult &r)
+{
+    util::JsonWriter w(os, /*pretty=*/true);
+    w.beginObject()
+        .field("nodes", cfg.nodes)
+        .field("placement", placementPolicyName(cfg.placement))
+        .field("dispatch", dispatchPolicyName(cfg.dispatch))
+        .field("controller",
+               controllerPolicyName(cfg.controller.policy))
+        .field("requests", cfg.node.streamRequests)
+        .field("oom", r.oom);
+    streamMetricsJsonFields(w, r.stream);
+    w.field("shed", r.stream.shed)
+        .field("shed_rate", r.stream.shedRate)
+        .field("miss_rate", r.missRate)
+        .field("load_imbalance", r.loadImbalance)
+        .field("expert_replicas", r.expertReplicas)
+        .field("placed_bytes", r.placedBytesTotal)
+        .field("peak_resident_bytes", r.peakResidentBytesTotal)
+        .field("redispatched", r.redispatched)
+        .field("node_seconds_live", r.nodeSecondsLive)
+        .field("node_hours", r.nodeHours)
+        .field("controller_ticks", r.controllerTicks)
+        .field("controller_actions", r.controllerActions)
+        .field("events", r.stream.eventsExecuted);
+    w.key("node_metrics").beginArray();
+    for (const ClusterNodeMetrics &nm : r.nodes)
+        clusterNodeJson(w, nm);
+    w.endArray().endObject();
+    os << "\n";
+}
+
+} // namespace sn40l::coe

@@ -89,6 +89,8 @@ class OpenLoopWorkload : public WorkloadModel
 
     std::int64_t plannedRequests() const override { return total_; }
 
+    void setRateFactor(double factor) override { factor_ = factor; }
+
   private:
     void
     scheduleNext()
@@ -96,7 +98,7 @@ class OpenLoopWorkload : public WorkloadModel
         if (scheduled_ >= total_)
             return;
         ++scheduled_;
-        double rate = shape_.instantaneous(baseRate_, arrivalT_);
+        double rate = shape_.instantaneous(baseRate_, arrivalT_) * factor_;
         arrivalT_ += -std::log(1.0 - arrivals_.uniformDouble()) / rate;
         eq().schedule(sim::fromSeconds(arrivalT_),
                       [this]() {
@@ -117,6 +119,7 @@ class OpenLoopWorkload : public WorkloadModel
     double sloSeconds_;
     std::int64_t scheduled_ = 0;
     double arrivalT_ = 0.0;
+    double factor_ = 1.0;
 };
 
 // ----------------------------------------------------- closed loop
@@ -273,6 +276,8 @@ class MultiTenantWorkload : public WorkloadModel
 
     std::int64_t plannedRequests() const override { return total_; }
 
+    void setRateFactor(double factor) override { factor_ = factor; }
+
   private:
     struct Tenant
     {
@@ -291,7 +296,8 @@ class MultiTenantWorkload : public WorkloadModel
             return;
         ++scheduled_;
         Tenant &t = tenants_[static_cast<std::size_t>(ti)];
-        double rate = t.spec.shape.instantaneous(t.rate, t.arrivalT);
+        double rate =
+            t.spec.shape.instantaneous(t.rate, t.arrivalT) * factor_;
         t.arrivalT += t.arrivals.exponential(1.0 / rate);
         eq().schedule(sim::fromSeconds(t.arrivalT),
                       [this, ti]() {
@@ -366,6 +372,7 @@ class MultiTenantWorkload : public WorkloadModel
     std::vector<Tenant> tenants_;
     std::int64_t scheduled_ = 0;
     int nextSession_ = 0;
+    double factor_ = 1.0;
 };
 
 // ---------------------------------------------------- trace replay

@@ -312,6 +312,16 @@ class WorkloadModel
     }
 
     /**
+     * Runtime multiplier on the instantaneous arrival rate — the
+     * cluster controller's rate-override actuator. Applies to gaps
+     * sampled after the call; open-loop models honour it, closed
+     * loops and trace replays (whose timing is completion-driven or
+     * recorded) ignore it. A factor of 1.0 multiplies exactly, so it
+     * never perturbs the gap sequence.
+     */
+    virtual void setRateFactor(double factor) { (void)factor; }
+
+    /**
      * Requests this model will emit over the whole run (its budget).
      * After the queue drains, emitted() == plannedRequests().
      */

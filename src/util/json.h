@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Minimal streaming JSON writer shared by every emitter in the tree
+ * (sn40l_run --json, bench perf harnesses, the cluster controller
+ * log). Replaces the hand-rolled `out << "{\"key\": ..."` printers
+ * that had drifted into three slightly different dialects.
+ *
+ * The writer is append-only and comma-managed: callers open objects
+ * and arrays, emit key/value pairs, and close scopes; the writer
+ * tracks whether a separator is due. Doubles are written with 17
+ * significant digits so metrics round-trip bit-exactly. Pretty mode
+ * indents two spaces per level (the BENCH_*.json house style);
+ * compact mode emits one-line JSON for JSONL streams.
+ */
+
+#ifndef SN40L_UTIL_JSON_H
+#define SN40L_UTIL_JSON_H
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sn40l::util {
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = false)
+        : os_(os), pretty_(pretty)
+    {
+        os_.precision(17);
+    }
+
+    JsonWriter &
+    beginObject()
+    {
+        separate();
+        os_ << '{';
+        push();
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        pop();
+        os_ << '}';
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        separate();
+        os_ << '[';
+        push();
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        pop();
+        os_ << ']';
+        return *this;
+    }
+
+    JsonWriter &
+    key(const char *k)
+    {
+        separate();
+        quote(k);
+        os_ << ':';
+        if (pretty_)
+            os_ << ' ';
+        keyPending_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        separate();
+        // JSON has no inf/nan literals; clamp to null like every
+        // tolerant emitter does.
+        if (std::isfinite(v))
+            os_ << v;
+        else
+            os_ << "null";
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::int64_t v)
+    {
+        separate();
+        os_ << v;
+        return *this;
+    }
+
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+    JsonWriter &
+    value(std::uint64_t v)
+    {
+        separate();
+        os_ << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        separate();
+        os_ << (v ? "true" : "false");
+        return *this;
+    }
+
+    JsonWriter &
+    value(const std::string &v)
+    {
+        separate();
+        quote(v.c_str());
+        return *this;
+    }
+
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+
+    /** key(k) + value(v), the common field spelling. */
+    template <typename T>
+    JsonWriter &
+    field(const char *k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    void
+    push()
+    {
+        first_.push_back(true);
+        keyPending_ = false;
+    }
+
+    void
+    pop()
+    {
+        first_.pop_back();
+        keyPending_ = false;
+        newlineIndent();
+    }
+
+    /** Emit the comma/newline due before the next element. */
+    void
+    separate()
+    {
+        if (keyPending_) {
+            // Value completing a key: no separator.
+            keyPending_ = false;
+            return;
+        }
+        if (first_.empty())
+            return;
+        if (!first_.back())
+            os_ << ',';
+        first_.back() = false;
+        newlineIndent(1);
+    }
+
+    void
+    newlineIndent(std::size_t extra = 0)
+    {
+        if (!pretty_)
+            return;
+        os_ << '\n';
+        std::size_t depth = first_.size() + extra;
+        for (std::size_t i = 1; i < depth; ++i)
+            os_ << "  ";
+    }
+
+    void
+    quote(const char *s)
+    {
+        os_ << '"';
+        for (const char *p = s; *p; ++p) {
+            switch (*p) {
+              case '"': os_ << "\\\""; break;
+              case '\\': os_ << "\\\\"; break;
+              case '\n': os_ << "\\n"; break;
+              case '\t': os_ << "\\t"; break;
+              default: os_ << *p; break;
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream &os_;
+    bool pretty_;
+    std::vector<bool> first_;
+    bool keyPending_ = false;
+};
+
+} // namespace sn40l::util
+
+#endif // SN40L_UTIL_JSON_H

@@ -176,6 +176,28 @@ TEST(ClusterInvariants, RandomizedClusterConservation)
             if (rng.uniformInt(2) == 0)
                 cfg.rejoinAtSeconds = 3.0;
         }
+        // Scripted rate overrides on open-loop trials: the generator
+        // must keep emitting the full budget through the change.
+        if (cfg.node.arrival != ArrivalProcess::ClosedLoop &&
+            rng.uniformInt(4) == 0) {
+            ScheduledAction a;
+            a.kind = ActionKind::RateOverride;
+            a.atSeconds = 0.5;
+            a.rateFactor =
+                0.5 + 0.25 * static_cast<double>(rng.uniformInt(5));
+            cfg.actions.push_back(a);
+        }
+        // Controller roulette: an autoscaler dueling with the drain
+        // script must never lose a request either.
+        if (rng.uniformInt(4) == 0) {
+            cfg.controller.policy = rng.uniformInt(2) == 0
+                ? ControllerPolicy::ReactiveThreshold
+                : ControllerPolicy::TargetUtilization;
+            cfg.controller.minNodes = 1;
+            cfg.controller.tickSeconds = 0.25;
+            if (rng.uniformInt(2) == 0)
+                cfg.controller.hotExpertTrack = 3;
+        }
         SCOPED_TRACE("trial " + std::to_string(trial) + " seed " +
                      std::to_string(cfg.node.seed) + " nodes " +
                      std::to_string(cfg.nodes));
@@ -216,6 +238,16 @@ TEST(ClusterInvariants, RandomizedClusterConservation)
                   static_cast<std::uint64_t>(m.completed));
         for (double sample : sim.latencySamples().samples())
             ASSERT_GE(sample, 0.0);
+
+        // Provisioning accounting: node-hours are the node-seconds
+        // integral, and an active controller ticked at least once.
+        EXPECT_GT(r.nodeSecondsLive, 0.0);
+        EXPECT_NEAR(r.nodeHours, r.nodeSecondsLive / 3600.0,
+                    1e-12 * (1.0 + r.nodeHours));
+        if (cfg.controller.policy != ControllerPolicy::Static)
+            EXPECT_GT(r.controllerTicks, 0);
+        else
+            EXPECT_EQ(r.controllerTicks, 0);
     }
 }
 

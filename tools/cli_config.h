@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Shared sn40l_run flag tables. The serve / sweep / cluster
+ * subcommands register the same workload, arrival, scenario, and
+ * core-serving flags; those groups (and the cross-flag validation
+ * that goes with them) live here so each flag is defined exactly
+ * once and every subcommand rejects the same contradictions with the
+ * same messages. The PR-6 control-plane flags (--controller-*,
+ * --schedule, --plan-*) are declared here too, so the cluster
+ * subcommand and any future consumer share one definition.
+ *
+ * Everything is a header-only helper over tools::FlagParser; the
+ * functions only wire callbacks, so including this costs nothing at
+ * runtime.
+ */
+
+#ifndef SN40L_TOOLS_CLI_CONFIG_H
+#define SN40L_TOOLS_CLI_CONFIG_H
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "coe/cluster.h"
+#include "coe/controller.h"
+#include "coe/serving.h"
+#include "coe/workload.h"
+
+#include "flag_parser.h"
+
+namespace sn40l::tools {
+
+inline coe::Platform
+platformByName(const std::string &name)
+{
+    if (name == "sn40l") return coe::Platform::Sn40l;
+    if (name == "dgx-a100") return coe::Platform::DgxA100;
+    if (name == "dgx-h100") return coe::Platform::DgxH100;
+    std::cerr << "unknown platform '" << name
+              << "' (expected sn40l, dgx-a100, or dgx-h100)\n";
+    std::exit(1);
+}
+
+// ------------------------------------------- shared flag groups
+
+/** Tracks which optional flags were set, for contradiction checks. */
+struct WorkloadFlagState
+{
+    bool setZipfS = false;
+    bool setPrefetchDepth = false;
+    bool setPrefetchWindow = false;
+};
+
+/**
+ * Workload/memory flags shared by serve, sweep, and cluster: the
+ * platform, the per-prompt shape, the routing distribution, and the
+ * expert-streaming memory system.
+ */
+inline void
+addWorkloadFlags(FlagParser &p, coe::ServingConfig &cfg,
+                 WorkloadFlagState &st)
+{
+    p.value("--platform", [&](const std::string &v) {
+        cfg.platform = platformByName(v);
+    });
+    p.value("--tokens", [&](const std::string &v) {
+        cfg.outputTokens = std::stoi(v);
+    });
+    p.value("--requests", [&](const std::string &v) {
+        cfg.streamRequests = std::stoi(v);
+    });
+    p.value("--routing", [&](const std::string &v) {
+        cfg.routing = coe::routingDistributionFromName(v);
+    });
+    p.value("--zipf-s", [&](const std::string &v) {
+        cfg.zipfS = std::stod(v);
+        st.setZipfS = true;
+    });
+    p.flag("--prefetch", [&]() { cfg.predictivePrefetch = true; });
+    p.value("--prefetch-depth", [&](const std::string &v) {
+        cfg.prefetchDepth = std::stoi(v);
+        st.setPrefetchDepth = true;
+    });
+    p.value("--prefetch-window", [&](const std::string &v) {
+        cfg.prefetchWindow = std::stoi(v);
+        st.setPrefetchWindow = true;
+    });
+    p.value("--dma-engines", [&](const std::string &v) {
+        cfg.dmaEngines = std::stoi(v);
+    });
+    p.value("--expert-region-gb", [&p, &cfg](const std::string &v) {
+        double gb = std::stod(v);
+        if (gb <= 0.0)
+            p.fail("--expert-region-gb must be positive");
+        cfg.expertRegionBytes = static_cast<std::int64_t>(gb * 1e9);
+    });
+}
+
+/** Reject contradictory workload flag combinations. */
+inline void
+validateWorkloadFlags(const FlagParser &p, const coe::ServingConfig &cfg,
+                      const WorkloadFlagState &st)
+{
+    if (st.setZipfS && cfg.routing != coe::RoutingDistribution::Zipf)
+        p.fail("--zipf-s requires --routing zipf");
+    if (st.setPrefetchDepth && !cfg.predictivePrefetch)
+        p.fail("--prefetch-depth requires --prefetch");
+    if (st.setPrefetchWindow && !cfg.predictivePrefetch)
+        p.fail("--prefetch-window requires --prefetch");
+    if (cfg.prefetchWindow < 0)
+        p.fail("--prefetch-window must be non-negative");
+    if (cfg.dmaEngines <= 0)
+        p.fail("--dma-engines must be at least 1");
+    if (cfg.prefetchDepth < 0)
+        p.fail("--prefetch-depth must be non-negative");
+}
+
+struct ArrivalFlagState
+{
+    bool setArrivalRate = false;
+    bool setClosedLoop = false;
+    bool setClients = false;
+    bool setThink = false;
+};
+
+/** Arrival-process flags shared by serve and cluster. */
+inline void
+addArrivalFlags(FlagParser &p, coe::ServingConfig &cfg,
+                ArrivalFlagState &st)
+{
+    p.value("--arrival-rate", [&](const std::string &v) {
+        cfg.arrivalRatePerSec = std::stod(v);
+        st.setArrivalRate = true;
+    });
+    p.flag("--closed-loop", [&]() {
+        cfg.arrival = coe::ArrivalProcess::ClosedLoop;
+        st.setClosedLoop = true;
+    });
+    p.value("--clients", [&](const std::string &v) {
+        cfg.clients = std::stoi(v);
+        st.setClients = true;
+    });
+    p.value("--think", [&](const std::string &v) {
+        cfg.thinkSeconds = std::stod(v);
+        st.setThink = true;
+    });
+}
+
+inline void
+validateArrivalFlags(const FlagParser &p, const coe::ServingConfig &cfg,
+                     const ArrivalFlagState &st)
+{
+    if (cfg.arrival == coe::ArrivalProcess::ClosedLoop &&
+        st.setArrivalRate)
+        p.fail("--arrival-rate is an open-loop parameter; it cannot "
+               "be combined with --closed-loop");
+    if (cfg.arrival != coe::ArrivalProcess::ClosedLoop &&
+        (st.setClients || st.setThink))
+        p.fail("--clients/--think only apply to --closed-loop runs");
+}
+
+/** Tracks which workload-scenario flags were set. */
+struct ScenarioFlagState
+{
+    std::string workloadName;
+    bool setWorkload = false;
+    bool setTenants = false;
+    bool setSession = false;
+    bool setBurst = false;
+};
+
+/**
+ * Workload-scenario flags shared by serve, sweep, and cluster: tenant
+ * mixes, conversational sessions, burst shaping, SLO admission, and
+ * trace record/replay (coe/workload.h).
+ */
+inline void
+addScenarioFlags(FlagParser &p, coe::ServingConfig &cfg,
+                 ScenarioFlagState &st)
+{
+    p.value("--workload", [&](const std::string &v) {
+        st.workloadName = v;
+        st.setWorkload = true;
+    });
+    p.value("--tenants", [&](const std::string &v) {
+        cfg.workload.tenants = std::stoi(v);
+        st.setTenants = true;
+    });
+    p.value("--slo-ms", [&p, &cfg](const std::string &v) {
+        double ms = std::stod(v);
+        if (ms <= 0.0)
+            p.fail("--slo-ms must be positive");
+        cfg.workload.sloSeconds = ms / 1000.0;
+    });
+    p.value("--session-prob", [&](const std::string &v) {
+        cfg.workload.sessionFollowProb = std::stod(v);
+        st.setSession = true;
+    });
+    p.value("--session-think", [&](const std::string &v) {
+        cfg.workload.sessionThinkSeconds = std::stod(v);
+        st.setSession = true;
+    });
+    p.value("--session-turns", [&](const std::string &v) {
+        cfg.workload.sessionMaxTurns = std::stoi(v);
+        st.setSession = true;
+    });
+    p.value("--burst-factor", [&](const std::string &v) {
+        cfg.workload.shape.burstFactor = std::stod(v);
+        st.setBurst = true;
+    });
+    p.value("--burst-every", [&](const std::string &v) {
+        cfg.workload.shape.burstEverySeconds = std::stod(v);
+        st.setBurst = true;
+    });
+    p.value("--burst-seconds", [&](const std::string &v) {
+        cfg.workload.shape.burstSeconds = std::stod(v);
+        st.setBurst = true;
+    });
+    p.value("--trace-out", [&](const std::string &v) {
+        cfg.workload.traceOut = v;
+    });
+    p.value("--trace-in", [&](const std::string &v) {
+        cfg.workload.traceIn = v;
+    });
+}
+
+/**
+ * Resolve and cross-check the scenario flags. Library-level
+ * validation (validateWorkloadConfig) still runs afterwards; this
+ * layer catches the purely-CLI contradictions with messages naming
+ * the subcommand.
+ */
+inline void
+validateScenarioFlags(const FlagParser &p, coe::ServingConfig &cfg,
+                      const ScenarioFlagState &st,
+                      const ArrivalFlagState &ast)
+{
+    if (st.setWorkload) {
+        if (st.workloadName == "poisson") {
+            if (ast.setClosedLoop)
+                p.fail("--workload poisson contradicts --closed-loop");
+            cfg.arrival = coe::ArrivalProcess::Poisson;
+        } else if (st.workloadName == "closed-loop") {
+            cfg.arrival = coe::ArrivalProcess::ClosedLoop;
+        } else if (st.workloadName == "mix") {
+            if (!st.setTenants)
+                cfg.workload.tenants = 4;
+        } else {
+            p.fail("unknown --workload '" + st.workloadName +
+                   "' (expected poisson, closed-loop, or mix)");
+        }
+    }
+    if (st.setTenants) {
+        if (st.setWorkload && st.workloadName != "mix")
+            p.fail("--tenants requires --workload mix");
+        if (cfg.workload.tenants < 1)
+            p.fail("--tenants must be at least 1");
+    }
+    if ((st.setTenants || st.setSession) && ast.setClosedLoop)
+        p.fail("tenant mixes and sessions are open-loop workloads; "
+               "drop --closed-loop");
+    if (!cfg.workload.traceIn.empty() &&
+        (st.setWorkload || st.setTenants || st.setSession ||
+         st.setBurst || ast.setClosedLoop || ast.setArrivalRate))
+        p.fail("--trace-in replays a recorded request stream; "
+               "workload-generator flags (--workload/--tenants/"
+               "--session-*/--burst-*/--closed-loop/--arrival-rate) "
+               "do not apply");
+}
+
+/**
+ * Core serving scalars shared by serve and cluster (sweep keeps list
+ * versions of these as grid axes). The scheduler stays a string so
+ * serve can accept its "both" comparison mode; callers resolve it
+ * after parsing.
+ */
+inline void
+addCoreServingFlags(FlagParser &p, coe::ServingConfig &cfg,
+                    std::string &scheduler_name)
+{
+    p.value("--experts", [&](const std::string &v) {
+        cfg.numExperts = std::stoi(v);
+    });
+    p.value("--batch", [&](const std::string &v) {
+        cfg.batch = std::stoi(v);
+    });
+    p.value("--seed", [&](const std::string &v) {
+        cfg.seed = std::stoull(v);
+    });
+    p.value("--scheduler",
+            [&](const std::string &v) { scheduler_name = v; });
+}
+
+// ------------------------------------------ control-plane groups
+
+struct ControllerFlagState
+{
+    bool setPolicy = false;
+    bool setTuning = false; ///< any --controller-* besides --controller
+};
+
+/**
+ * Autoscaling control-plane flags (cluster subcommand). --controller
+ * picks the policy; the rest tune it and require an active policy.
+ */
+inline void
+addControllerFlags(FlagParser &p, coe::ControllerConfig &cfg,
+                   ControllerFlagState &st)
+{
+    p.value("--controller", [&](const std::string &v) {
+        cfg.policy = coe::controllerPolicyFromName(v);
+        st.setPolicy = true;
+    });
+    p.value("--controller-tick", [&](const std::string &v) {
+        cfg.tickSeconds = std::stod(v);
+        st.setTuning = true;
+    });
+    p.value("--controller-min", [&](const std::string &v) {
+        cfg.minNodes = std::stoi(v);
+        st.setTuning = true;
+    });
+    p.value("--controller-max", [&](const std::string &v) {
+        cfg.maxNodes = std::stoi(v);
+        st.setTuning = true;
+    });
+    p.value("--controller-up-depth", [&](const std::string &v) {
+        cfg.scaleUpQueueDepth = std::stod(v);
+        st.setTuning = true;
+    });
+    p.value("--controller-down-depth", [&](const std::string &v) {
+        cfg.scaleDownQueueDepth = std::stod(v);
+        st.setTuning = true;
+    });
+    p.value("--controller-target-util", [&](const std::string &v) {
+        cfg.targetUtilization = std::stod(v);
+        st.setTuning = true;
+    });
+    p.value("--controller-cooldown", [&](const std::string &v) {
+        cfg.cooldownTicks = std::stoi(v);
+        st.setTuning = true;
+    });
+    p.value("--controller-hot", [&](const std::string &v) {
+        cfg.hotExpertTrack = std::stoi(v);
+        st.setTuning = true;
+    });
+    p.value("--controller-log", [&](const std::string &v) {
+        cfg.logPath = v;
+        st.setTuning = true;
+    });
+}
+
+inline void
+validateControllerFlags(const FlagParser &p,
+                        const coe::ControllerConfig &cfg,
+                        const ControllerFlagState &st)
+{
+    if (st.setTuning && cfg.policy == coe::ControllerPolicy::Static)
+        p.fail("--controller-* tuning flags require an active "
+               "--controller policy (reactive or target-util)");
+}
+
+/**
+ * Parse a --schedule list: comma-separated KIND:AT[:ARG] entries
+ * where KIND is drain, rejoin, or rate; AT is seconds; ARG is the
+ * node id for drain/rejoin (default 0) or the required rate factor
+ * for rate. Example: drain:3:1,rejoin:8:1,rate:12:0.5.
+ */
+inline std::vector<coe::ScheduledAction>
+parseScheduleList(const FlagParser &p, const std::string &csv)
+{
+    std::vector<coe::ScheduledAction> actions;
+    for (const std::string &entry :
+         parseList<std::string>(p, csv, +[](const std::string &s) {
+             return s;
+         })) {
+        std::vector<std::string> parts;
+        std::string part;
+        std::stringstream ss(entry);
+        while (std::getline(ss, part, ':'))
+            parts.push_back(part);
+        if (parts.size() < 2 || parts.size() > 3)
+            p.fail("--schedule entry '" + entry +
+                   "' is not KIND:AT[:ARG]");
+        coe::ScheduledAction a;
+        a.atSeconds = std::stod(parts[1]);
+        if (parts[0] == "drain") {
+            a.kind = coe::ActionKind::Drain;
+            if (parts.size() == 3)
+                a.node = std::stoi(parts[2]);
+        } else if (parts[0] == "rejoin") {
+            a.kind = coe::ActionKind::Rejoin;
+            if (parts.size() == 3)
+                a.node = std::stoi(parts[2]);
+        } else if (parts[0] == "rate") {
+            a.kind = coe::ActionKind::RateOverride;
+            if (parts.size() != 3)
+                p.fail("--schedule rate entries need a factor: "
+                       "rate:AT:FACTOR");
+            a.rateFactor = std::stod(parts[2]);
+        } else {
+            p.fail("--schedule entry '" + entry +
+                   "' has unknown kind '" + parts[0] +
+                   "' (expected drain, rejoin, or rate)");
+        }
+        actions.push_back(a);
+    }
+    return actions;
+}
+
+/** Capacity-planning flags (cluster subcommand). */
+struct PlanFlagState
+{
+    bool plan = false;
+    int maxNodes = 0;       ///< 0: plan up to --nodes
+    double p95Ms = 0.0;     ///< SLO target, required with --plan-capacity
+    double maxShedPct = 0.0;
+    bool setMaxNodes = false;
+    bool setP95 = false;
+    bool setShed = false;
+};
+
+inline void
+addPlanFlags(FlagParser &p, PlanFlagState &st)
+{
+    p.flag("--plan-capacity", [&]() { st.plan = true; });
+    p.value("--plan-max-nodes", [&](const std::string &v) {
+        st.maxNodes = std::stoi(v);
+        st.setMaxNodes = true;
+    });
+    p.value("--plan-p95-ms", [&](const std::string &v) {
+        st.p95Ms = std::stod(v);
+        st.setP95 = true;
+    });
+    p.value("--plan-max-shed-pct", [&](const std::string &v) {
+        st.maxShedPct = std::stod(v);
+        st.setShed = true;
+    });
+}
+
+inline void
+validatePlanFlags(const FlagParser &p, const PlanFlagState &st)
+{
+    if (!st.plan && (st.setMaxNodes || st.setP95 || st.setShed))
+        p.fail("--plan-* flags require --plan-capacity");
+    if (!st.plan)
+        return;
+    if (!st.setP95 || st.p95Ms <= 0.0)
+        p.fail("--plan-capacity needs a positive --plan-p95-ms target");
+    if (st.setMaxNodes && st.maxNodes < 1)
+        p.fail("--plan-max-nodes must be at least 1");
+    if (st.maxShedPct < 0.0 || st.maxShedPct > 100.0)
+        p.fail("--plan-max-shed-pct must be in [0, 100]");
+}
+
+} // namespace sn40l::tools
+
+#endif // SN40L_TOOLS_CLI_CONFIG_H

@@ -12,15 +12,16 @@
  * scheduler and reports tail latency and throughput; `sweep` shards a
  * Cartesian grid of serve points over a thread pool; `cluster` runs a
  * multi-node serving cluster with pluggable expert placement and
- * request dispatch, including mid-run node drain/rejoin and a diurnal
- * arrival ramp.
+ * request dispatch, scripted mid-run actions (drain/rejoin/rate
+ * overrides), an autoscaling control plane (--controller), and a
+ * capacity planner (--plan-capacity).
  *
  * Every subcommand documents its flags via `--help`. Flags shared
- * between subcommands (workload shape, memory system, arrivals) are
- * declared once in addWorkloadFlags/addArrivalFlags and registered
- * into each subcommand's FlagParser, so `cluster` did not copy the
- * `serve` flag handling a third time and unknown-flag errors always
- * name the subcommand they came from.
+ * between subcommands (workload shape, memory system, arrivals,
+ * scenarios, core serving scalars, control plane) are declared once
+ * in tools/cli_config.h and registered into each subcommand's
+ * FlagParser, so no subcommand copies another's flag handling and
+ * unknown-flag errors always name the subcommand they came from.
  */
 
 #include <chrono>
@@ -30,11 +31,13 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "coe/cluster.h"
+#include "coe/metrics_io.h"
 #include "coe/serving.h"
 #include "coe/sweep.h"
 #include "coe/workload.h"
@@ -43,11 +46,11 @@
 #include "runtime/trace.h"
 #include "util/table.h"
 
+#include "cli_config.h"
 #include "flag_parser.h"
 
 using namespace sn40l;
-using tools::FlagParser;
-using tools::parseList;
+using namespace sn40l::tools;
 
 namespace {
 
@@ -76,244 +79,6 @@ modelByName(const std::string &name)
         std::exit(1);
     }
     return it->second();
-}
-
-coe::Platform
-platformByName(const std::string &name)
-{
-    if (name == "sn40l") return coe::Platform::Sn40l;
-    if (name == "dgx-a100") return coe::Platform::DgxA100;
-    if (name == "dgx-h100") return coe::Platform::DgxH100;
-    std::cerr << "unknown platform '" << name
-              << "' (expected sn40l, dgx-a100, or dgx-h100)\n";
-    std::exit(1);
-}
-
-// ------------------------------------------- shared flag groups
-
-/** Tracks which optional flags were set, for contradiction checks. */
-struct WorkloadFlagState
-{
-    bool setZipfS = false;
-    bool setPrefetchDepth = false;
-    bool setPrefetchWindow = false;
-};
-
-/**
- * Workload/memory flags shared by serve, sweep, and cluster: the
- * platform, the per-prompt shape, the routing distribution, and the
- * expert-streaming memory system.
- */
-void
-addWorkloadFlags(FlagParser &p, coe::ServingConfig &cfg,
-                 WorkloadFlagState &st)
-{
-    p.value("--platform", [&](const std::string &v) {
-        cfg.platform = platformByName(v);
-    });
-    p.value("--tokens", [&](const std::string &v) {
-        cfg.outputTokens = std::stoi(v);
-    });
-    p.value("--requests", [&](const std::string &v) {
-        cfg.streamRequests = std::stoi(v);
-    });
-    p.value("--routing", [&](const std::string &v) {
-        cfg.routing = coe::routingDistributionFromName(v);
-    });
-    p.value("--zipf-s", [&](const std::string &v) {
-        cfg.zipfS = std::stod(v);
-        st.setZipfS = true;
-    });
-    p.flag("--prefetch", [&]() { cfg.predictivePrefetch = true; });
-    p.value("--prefetch-depth", [&](const std::string &v) {
-        cfg.prefetchDepth = std::stoi(v);
-        st.setPrefetchDepth = true;
-    });
-    p.value("--prefetch-window", [&](const std::string &v) {
-        cfg.prefetchWindow = std::stoi(v);
-        st.setPrefetchWindow = true;
-    });
-    p.value("--dma-engines", [&](const std::string &v) {
-        cfg.dmaEngines = std::stoi(v);
-    });
-    p.value("--expert-region-gb", [&p, &cfg](const std::string &v) {
-        double gb = std::stod(v);
-        if (gb <= 0.0)
-            p.fail("--expert-region-gb must be positive");
-        cfg.expertRegionBytes = static_cast<std::int64_t>(gb * 1e9);
-    });
-}
-
-/** Reject contradictory workload flag combinations. */
-void
-validateWorkloadFlags(const FlagParser &p, const coe::ServingConfig &cfg,
-                      const WorkloadFlagState &st)
-{
-    if (st.setZipfS && cfg.routing != coe::RoutingDistribution::Zipf)
-        p.fail("--zipf-s requires --routing zipf");
-    if (st.setPrefetchDepth && !cfg.predictivePrefetch)
-        p.fail("--prefetch-depth requires --prefetch");
-    if (st.setPrefetchWindow && !cfg.predictivePrefetch)
-        p.fail("--prefetch-window requires --prefetch");
-    if (cfg.prefetchWindow < 0)
-        p.fail("--prefetch-window must be non-negative");
-    if (cfg.dmaEngines <= 0)
-        p.fail("--dma-engines must be at least 1");
-    if (cfg.prefetchDepth < 0)
-        p.fail("--prefetch-depth must be non-negative");
-}
-
-struct ArrivalFlagState
-{
-    bool setArrivalRate = false;
-    bool setClosedLoop = false;
-    bool setClients = false;
-    bool setThink = false;
-};
-
-/** Arrival-process flags shared by serve and cluster. */
-void
-addArrivalFlags(FlagParser &p, coe::ServingConfig &cfg,
-                ArrivalFlagState &st)
-{
-    p.value("--arrival-rate", [&](const std::string &v) {
-        cfg.arrivalRatePerSec = std::stod(v);
-        st.setArrivalRate = true;
-    });
-    p.flag("--closed-loop", [&]() {
-        cfg.arrival = coe::ArrivalProcess::ClosedLoop;
-        st.setClosedLoop = true;
-    });
-    p.value("--clients", [&](const std::string &v) {
-        cfg.clients = std::stoi(v);
-        st.setClients = true;
-    });
-    p.value("--think", [&](const std::string &v) {
-        cfg.thinkSeconds = std::stod(v);
-        st.setThink = true;
-    });
-}
-
-void
-validateArrivalFlags(const FlagParser &p, const coe::ServingConfig &cfg,
-                     const ArrivalFlagState &st)
-{
-    if (cfg.arrival == coe::ArrivalProcess::ClosedLoop &&
-        st.setArrivalRate)
-        p.fail("--arrival-rate is an open-loop parameter; it cannot "
-               "be combined with --closed-loop");
-    if (cfg.arrival != coe::ArrivalProcess::ClosedLoop &&
-        (st.setClients || st.setThink))
-        p.fail("--clients/--think only apply to --closed-loop runs");
-}
-
-/** Tracks which workload-scenario flags were set. */
-struct ScenarioFlagState
-{
-    std::string workloadName;
-    bool setWorkload = false;
-    bool setTenants = false;
-    bool setSession = false;
-    bool setBurst = false;
-};
-
-/**
- * Workload-scenario flags shared by serve, sweep, and cluster: tenant
- * mixes, conversational sessions, burst shaping, SLO admission, and
- * trace record/replay (coe/workload.h).
- */
-void
-addScenarioFlags(FlagParser &p, coe::ServingConfig &cfg,
-                 ScenarioFlagState &st)
-{
-    p.value("--workload", [&](const std::string &v) {
-        st.workloadName = v;
-        st.setWorkload = true;
-    });
-    p.value("--tenants", [&](const std::string &v) {
-        cfg.workload.tenants = std::stoi(v);
-        st.setTenants = true;
-    });
-    p.value("--slo-ms", [&p, &cfg](const std::string &v) {
-        double ms = std::stod(v);
-        if (ms <= 0.0)
-            p.fail("--slo-ms must be positive");
-        cfg.workload.sloSeconds = ms / 1000.0;
-    });
-    p.value("--session-prob", [&](const std::string &v) {
-        cfg.workload.sessionFollowProb = std::stod(v);
-        st.setSession = true;
-    });
-    p.value("--session-think", [&](const std::string &v) {
-        cfg.workload.sessionThinkSeconds = std::stod(v);
-        st.setSession = true;
-    });
-    p.value("--session-turns", [&](const std::string &v) {
-        cfg.workload.sessionMaxTurns = std::stoi(v);
-        st.setSession = true;
-    });
-    p.value("--burst-factor", [&](const std::string &v) {
-        cfg.workload.shape.burstFactor = std::stod(v);
-        st.setBurst = true;
-    });
-    p.value("--burst-every", [&](const std::string &v) {
-        cfg.workload.shape.burstEverySeconds = std::stod(v);
-        st.setBurst = true;
-    });
-    p.value("--burst-seconds", [&](const std::string &v) {
-        cfg.workload.shape.burstSeconds = std::stod(v);
-        st.setBurst = true;
-    });
-    p.value("--trace-out", [&](const std::string &v) {
-        cfg.workload.traceOut = v;
-    });
-    p.value("--trace-in", [&](const std::string &v) {
-        cfg.workload.traceIn = v;
-    });
-}
-
-/**
- * Resolve and cross-check the scenario flags. Library-level
- * validation (validateWorkloadConfig) still runs afterwards; this
- * layer catches the purely-CLI contradictions with messages naming
- * the subcommand.
- */
-void
-validateScenarioFlags(const FlagParser &p, coe::ServingConfig &cfg,
-                      const ScenarioFlagState &st,
-                      const ArrivalFlagState &ast)
-{
-    if (st.setWorkload) {
-        if (st.workloadName == "poisson") {
-            if (ast.setClosedLoop)
-                p.fail("--workload poisson contradicts --closed-loop");
-            cfg.arrival = coe::ArrivalProcess::Poisson;
-        } else if (st.workloadName == "closed-loop") {
-            cfg.arrival = coe::ArrivalProcess::ClosedLoop;
-        } else if (st.workloadName == "mix") {
-            if (!st.setTenants)
-                cfg.workload.tenants = 4;
-        } else {
-            p.fail("unknown --workload '" + st.workloadName +
-                   "' (expected poisson, closed-loop, or mix)");
-        }
-    }
-    if (st.setTenants) {
-        if (st.setWorkload && st.workloadName != "mix")
-            p.fail("--tenants requires --workload mix");
-        if (cfg.workload.tenants < 1)
-            p.fail("--tenants must be at least 1");
-    }
-    if ((st.setTenants || st.setSession) && ast.setClosedLoop)
-        p.fail("tenant mixes and sessions are open-loop workloads; "
-               "drop --closed-loop");
-    if (!cfg.workload.traceIn.empty() &&
-        (st.setWorkload || st.setTenants || st.setSession ||
-         st.setBurst || ast.setClosedLoop || ast.setArrivalRate))
-        p.fail("--trace-in replays a recorded request stream; "
-               "workload-generator flags (--workload/--tenants/"
-               "--session-*/--burst-*/--closed-loop/--arrival-rate) "
-               "do not apply");
 }
 
 // ------------------------------------------------------- help text
@@ -452,8 +217,10 @@ clusterHelp(std::ostream &os)
        << "Multi-node CoE serving cluster: N per-node serving stacks\n"
        << "(each its own LRU expert cache and DMA memory system) on one\n"
        << "event queue, fronted by a cluster router with pluggable\n"
-       << "expert placement and request dispatch. Supports mid-run node\n"
-       << "drain/rejoin and a diurnal arrival ramp.\n"
+       << "expert placement and request dispatch. Supports scripted\n"
+       << "mid-run actions (drain/rejoin/rate overrides), a diurnal\n"
+       << "arrival ramp, an autoscaling control plane, and capacity\n"
+       << "planning.\n"
        << "\n"
        << "Cluster:\n"
        << "  --nodes N             nodes in the cluster (default 4)\n"
@@ -474,6 +241,10 @@ clusterHelp(std::ostream &os)
        << "                        --drain-at; default 0)\n"
        << "  --rejoin-at SEC       drained node rejoins cold (requires\n"
        << "                        --drain-at)\n"
+       << "  --schedule LIST       scripted actions KIND:AT[:ARG] with\n"
+       << "                        KIND drain|rejoin|rate, e.g.\n"
+       << "                        drain:3:1,rejoin:8:1,rate:12:0.5\n"
+       << "                        (generalizes the --drain-* sugar)\n"
        << "  --diurnal-amplitude A sinusoidal ramp on the Poisson rate,\n"
        << "                        in [0,1) (open loop only)\n"
        << "  --diurnal-period SEC  ramp period (requires\n"
@@ -482,6 +253,37 @@ clusterHelp(std::ostream &os)
        << "                        2,4,2,4 (length = --nodes;\n"
        << "                        heterogeneous cluster)\n"
        << "  --node-region-gb L    per-node expert-region GB list\n"
+       << "\n"
+       << "Control plane (autoscaling, see README):\n"
+       << "  --controller P        static | reactive | target-util\n"
+       << "                        (default static: no control loop)\n"
+       << "  --controller-tick SEC control-loop period (default 0.5)\n"
+       << "  --controller-min N    live-node floor (default 1)\n"
+       << "  --controller-max N    live-node ceiling (default --nodes)\n"
+       << "  --controller-up-depth D    reactive: scale up above this\n"
+       << "                        mean queue depth per live node\n"
+       << "                        (default 4)\n"
+       << "  --controller-down-depth D  reactive: scale down below\n"
+       << "                        this depth (default 0.5)\n"
+       << "  --controller-target-util U target-util: hold arrival rate\n"
+       << "                        near U x capacity (default 0.7)\n"
+       << "  --controller-cooldown N    ticks a scale-down waits after\n"
+       << "                        any scale action (default 4)\n"
+       << "  --controller-hot K    re-replicate the top-K experts by\n"
+       << "                        windowed hits onto live nodes\n"
+       << "  --controller-log FILE JSONL decision log, one object per\n"
+       << "                        tick\n"
+       << "\n"
+       << "Capacity planning:\n"
+       << "  --plan-capacity       report the smallest node count\n"
+       << "                        meeting the targets (needs a pinned\n"
+       << "                        demand: --arrival-rate or --trace-in)\n"
+       << "  --plan-max-nodes N    search ceiling (default --nodes)\n"
+       << "  --plan-p95-ms MS      p95 latency target (required)\n"
+       << "  --plan-max-shed-pct P max shed percentage (default 0)\n"
+       << "\n"
+       << "Output:\n"
+       << "  --json FILE           write the cluster result as JSON\n"
        << "\n"
        << "Workload (same meaning as `serve`):\n"
        << "  --platform, --experts, --batch, --tokens, --requests,\n"
@@ -533,17 +335,7 @@ runServe(int argc, char **argv)
     addWorkloadFlags(parser, cfg, wst);
     addArrivalFlags(parser, cfg, ast);
     addScenarioFlags(parser, cfg, sst);
-    parser.value("--experts", [&](const std::string &v) {
-        cfg.numExperts = std::stoi(v);
-    });
-    parser.value("--batch", [&](const std::string &v) {
-        cfg.batch = std::stoi(v);
-    });
-    parser.value("--seed", [&](const std::string &v) {
-        cfg.seed = std::stoull(v);
-    });
-    parser.value("--scheduler",
-                 [&](const std::string &v) { scheduler_name = v; });
+    addCoreServingFlags(parser, cfg, scheduler_name);
 
     if (parser.parse(argc, argv, std::cout))
         return 0;
@@ -812,41 +604,112 @@ runSweepCmd(int argc, char **argv)
         std::ofstream out(json_path);
         if (!out)
             parser.fail("cannot write " + json_path);
-        out << "{\n  \"points\": [\n";
-        for (std::size_t i = 0; i < results.size(); ++i) {
-            const coe::SweepPointResult &r = results[i];
-            const coe::ServingConfig &cfg = r.point.cfg;
-            const coe::StreamMetrics &m = r.result.stream;
-            out << "    {\"experts\": " << cfg.numExperts
-                << ", \"arrival_rate_per_node\": " << r.point.ratePerNode
-                << ", \"arrival_rate\": " << cfg.arrivalRatePerSec
-                << ", \"batch\": " << cfg.batch << ", \"scheduler\": \""
-                << coe::schedulerPolicyName(cfg.scheduler)
-                << "\", \"seed\": " << cfg.seed
-                << ", \"nodes\": " << r.point.nodes
-                << ", \"placement\": \""
-                << coe::placementPolicyName(r.point.placement)
-                << "\", \"oom\": " << (r.result.oom ? "true" : "false")
-                << ", \"p50_s\": " << m.p50LatencySeconds
-                << ", \"p95_s\": " << m.p95LatencySeconds
-                << ", \"p99_s\": " << m.p99LatencySeconds
-                << ", \"mean_s\": " << m.meanLatencySeconds
-                << ", \"throughput_rps\": " << m.throughputRequestsPerSec
-                << ", \"miss_rate\": " << r.result.missRate
-                << ", \"load_imbalance\": " << r.loadImbalance
-                << ", \"placed_bytes\": " << r.placedBytesTotal
-                << ", \"events\": " << r.eventsExecuted
-                << ", \"wall_s\": " << r.wallSeconds << "}"
-                << (i + 1 < results.size() ? "," : "") << "\n";
-        }
-        out << "  ],\n  \"jobs\": " << jobs
-            << ",\n  \"wall_s\": " << wall << "\n}\n";
+        coe::writeSweepJson(out, results, jobs, wall);
         std::cout << "wrote " << json_path << "\n";
     }
     return 0;
 }
 
 // -------------------------------------------------------- cluster
+
+/**
+ * Capacity planner: re-run the demand against growing static
+ * clusters and report the smallest node count meeting the p95 and
+ * shed targets. Exits non-zero when nothing up to the ceiling does.
+ */
+int
+runPlanCapacity(const FlagParser &parser, coe::ClusterConfig cfg,
+                const PlanFlagState &plan, bool set_rate)
+{
+    if (cfg.node.arrival == coe::ArrivalProcess::ClosedLoop)
+        parser.fail("--plan-capacity sizes for offered load; "
+                    "closed-loop demand self-paces, drop "
+                    "--closed-loop");
+    if (!set_rate && cfg.node.workload.traceIn.empty())
+        parser.fail("--plan-capacity needs the demand pinned: give an "
+                    "explicit --arrival-rate or a --trace-in trace "
+                    "(the default rate scales with the node count)");
+    if (!cfg.overrides.empty())
+        parser.fail("--plan-capacity varies the node count; per-node "
+                    "override lists do not apply");
+    if (cfg.drainAtSeconds > 0.0 || !cfg.actions.empty())
+        parser.fail("--plan-capacity runs clean static clusters; drop "
+                    "--drain-at/--schedule");
+    if (cfg.controller.policy != coe::ControllerPolicy::Static)
+        parser.fail("--plan-capacity provisions statically; drop "
+                    "--controller");
+    if (!cfg.node.workload.traceOut.empty())
+        parser.fail("--plan-capacity runs the demand several times; "
+                    "--trace-out is ambiguous");
+
+    int max_nodes = plan.setMaxNodes ? plan.maxNodes : cfg.nodes;
+    if (!cfg.node.workload.traceIn.empty()) {
+        // Parse once; every candidate node count replays the same
+        // immutable entries.
+        cfg.node.workload.traceEntries =
+            std::make_shared<const std::vector<coe::TraceEntry>>(
+                coe::loadTrace(cfg.node.workload.traceIn));
+    }
+
+    std::cout << "Capacity plan: smallest cluster meeting p95 <= "
+              << util::formatDouble(plan.p95Ms, 1) << " ms, shed <= "
+              << util::formatDouble(plan.maxShedPct, 1) << "% over "
+              << (cfg.node.workload.replay()
+                      ? "the replayed trace"
+                      : util::formatDouble(cfg.node.arrivalRatePerSec,
+                                           1) +
+                            " req/s")
+              << " (" << cfg.node.streamRequests << " requests, up to "
+              << max_nodes << " nodes)\n\n";
+
+    util::Table table(
+        {"Nodes", "p95", "Shed", "Node-hours", "Verdict"});
+    int chosen = -1;
+    coe::ClusterResult chosen_result;
+    for (int n = 1; n <= max_nodes; ++n) {
+        coe::ClusterConfig pc = cfg;
+        pc.nodes = n;
+        coe::ClusterSimulator sim(pc);
+        coe::ClusterResult r = sim.run();
+        if (r.oom) {
+            table.addRow({std::to_string(n), "-", "-", "-",
+                          "OUT OF MEMORY"});
+            continue;
+        }
+        double p95_ms = r.stream.p95LatencySeconds * 1000.0;
+        double shed_pct = r.stream.shedRate * 100.0;
+        bool met = p95_ms <= plan.p95Ms && shed_pct <= plan.maxShedPct;
+        table.addRow({std::to_string(n),
+                      util::formatSeconds(r.stream.p95LatencySeconds),
+                      util::formatDouble(shed_pct, 1) + "%",
+                      util::formatDouble(r.nodeHours, 3),
+                      met ? "meets SLO" : "misses SLO"});
+        if (met) {
+            chosen = n;
+            chosen_result = r;
+            break; // more nodes only cost more
+        }
+    }
+    table.print(std::cout);
+
+    if (chosen < 0) {
+        std::cout << "\nno node count up to " << max_nodes
+                  << " meets the targets; raise --plan-max-nodes or "
+                  << "relax the SLO\n";
+        return 1;
+    }
+    std::cout << "\nPlan: " << chosen << " node"
+              << (chosen == 1 ? "" : "s") << " ("
+              << util::formatDouble(chosen_result.nodeHours, 3)
+              << " node-hours, p95 "
+              << util::formatSeconds(
+                     chosen_result.stream.p95LatencySeconds)
+              << ", "
+              << util::formatDouble(chosen_result.stream.shedRate * 100,
+                                    1)
+              << "% shed)\n";
+    return 0;
+}
 
 int
 runClusterCmd(int argc, char **argv)
@@ -858,14 +721,20 @@ runClusterCmd(int argc, char **argv)
     cfg.node.mode = coe::ServingMode::EventDriven;
     cfg.node.batch = 8;
     cfg.node.scheduler = coe::SchedulerPolicy::ExpertAffinity;
+    std::string scheduler_name = "affinity";
 
     FlagParser parser("cluster", clusterHelp);
     WorkloadFlagState wst;
     ArrivalFlagState ast;
     ScenarioFlagState sst;
+    ControllerFlagState cst;
+    PlanFlagState plan;
     addWorkloadFlags(parser, cfg.node, wst);
     addArrivalFlags(parser, cfg.node, ast);
     addScenarioFlags(parser, cfg.node, sst);
+    addCoreServingFlags(parser, cfg.node, scheduler_name);
+    addControllerFlags(parser, cfg.controller, cst);
+    addPlanFlags(parser, plan);
 
     bool set_rate = false, set_hot = false;
     bool set_drain_at = false, set_drain_node = false;
@@ -873,19 +742,9 @@ runClusterCmd(int argc, char **argv)
     bool set_diurnal_period = false;
     std::vector<int> node_dma;
     std::vector<double> node_region_gb;
+    std::string schedule_csv;
+    std::string json_path;
 
-    parser.value("--experts", [&](const std::string &v) {
-        cfg.node.numExperts = std::stoi(v);
-    });
-    parser.value("--batch", [&](const std::string &v) {
-        cfg.node.batch = std::stoi(v);
-    });
-    parser.value("--seed", [&](const std::string &v) {
-        cfg.node.seed = std::stoull(v);
-    });
-    parser.value("--scheduler", [&](const std::string &v) {
-        cfg.node.scheduler = coe::schedulerPolicyFromName(v);
-    });
     parser.value("--nodes", [&](const std::string &v) {
         cfg.nodes = std::stoi(v);
     });
@@ -911,6 +770,9 @@ runClusterCmd(int argc, char **argv)
         cfg.rejoinAtSeconds = std::stod(v);
         set_rejoin = true;
     });
+    parser.value("--schedule", [&](const std::string &v) {
+        schedule_csv = v;
+    });
     parser.value("--diurnal-amplitude", [&](const std::string &v) {
         cfg.diurnalAmplitude = std::stod(v);
         set_diurnal_amp = true;
@@ -927,12 +789,15 @@ runClusterCmd(int argc, char **argv)
         node_region_gb = parseList<double>(
             parser, v, +[](const std::string &s) { return std::stod(s); });
     });
+    parser.value("--json", [&](const std::string &v) { json_path = v; });
 
     if (parser.parse(argc, argv, std::cout))
         return 0;
     validateWorkloadFlags(parser, cfg.node, wst);
     validateArrivalFlags(parser, cfg.node, ast);
     validateScenarioFlags(parser, cfg.node, sst, ast);
+    validateControllerFlags(parser, cfg.controller, cst);
+    validatePlanFlags(parser, plan);
     // The diurnal ramp shapes the arrival generator, which a replay
     // bypasses entirely — reject it like the other generator flags
     // instead of silently replaying the flat recorded stream.
@@ -947,6 +812,10 @@ runClusterCmd(int argc, char **argv)
 
     if (cfg.nodes <= 0)
         parser.fail("--nodes must be at least 1");
+    if (scheduler_name == "both")
+        parser.fail("cluster runs a single scheduler; pick fifo or "
+                    "affinity");
+    cfg.node.scheduler = coe::schedulerPolicyFromName(scheduler_name);
     if (set_hot &&
         cfg.placement != coe::PlacementPolicy::ReplicateHotPartitionCold)
         parser.fail("--hot-experts requires --placement replicate-hot");
@@ -957,6 +826,8 @@ runClusterCmd(int argc, char **argv)
         parser.fail("--drain-node/--rejoin-at require --drain-at");
     if (set_diurnal_period && !set_diurnal_amp)
         parser.fail("--diurnal-period requires --diurnal-amplitude");
+    if (!schedule_csv.empty())
+        cfg.actions = parseScheduleList(parser, schedule_csv);
     if (!node_dma.empty() &&
         static_cast<int>(node_dma.size()) != cfg.nodes)
         parser.fail("--node-dma-engines needs exactly --nodes entries");
@@ -980,6 +851,13 @@ runClusterCmd(int argc, char **argv)
     if (!set_rate && cfg.node.arrival == coe::ArrivalProcess::Poisson)
         cfg.node.arrivalRatePerSec = 8.0 * cfg.nodes;
 
+    if (plan.plan) {
+        if (!json_path.empty())
+            parser.fail("--json reports a single cluster run; it does "
+                        "not combine with --plan-capacity");
+        return runPlanCapacity(parser, cfg, plan, set_rate);
+    }
+
     std::cout << "CoE cluster on "
               << coe::platformName(cfg.node.platform) << ": "
               << cfg.nodes << " nodes, " << cfg.node.numExperts
@@ -1001,7 +879,13 @@ runClusterCmd(int argc, char **argv)
                       : "")
               << ", " << cfg.node.streamRequests << " requests, "
               << coe::routingDistributionName(cfg.node.routing)
-              << " routing\n\n";
+              << " routing"
+              << (cfg.controller.policy != coe::ControllerPolicy::Static
+                      ? std::string(", controller ") +
+                            coe::controllerPolicyName(
+                                cfg.controller.policy)
+                      : "")
+              << "\n\n";
 
     coe::ClusterSimulator sim(cfg);
     coe::ClusterResult r = sim.run();
@@ -1054,6 +938,24 @@ runClusterCmd(int argc, char **argv)
               << util::formatBytes(
                      static_cast<double>(r.peakResidentBytesTotal))
               << " peak resident HBM\n";
+    std::cout << "Provisioning: "
+              << util::formatDouble(r.nodeHours, 3) << " node-hours ("
+              << util::formatDouble(r.nodeSecondsLive, 1)
+              << " node-seconds live)\n";
+    if (cfg.controller.policy != coe::ControllerPolicy::Static) {
+        std::cout << "Controller: "
+                  << coe::controllerPolicyName(cfg.controller.policy)
+                  << ", " << r.controllerTicks << " ticks, "
+                  << r.controllerActions << " actions";
+        if (!cfg.controller.logPath.empty())
+            std::cout << ", log " << cfg.controller.logPath;
+        std::cout << "\n";
+    }
+    if (!cfg.actions.empty())
+        std::cout << "Schedule: " << cfg.actions.size()
+                  << " scripted action"
+                  << (cfg.actions.size() == 1 ? "" : "s") << " applied, "
+                  << r.redispatched << " requests re-dispatched\n";
     if (cfg.drainAtSeconds > 0.0) {
         std::cout << "Drain: node " << cfg.drainNode << " drained at "
                   << util::formatDouble(cfg.drainAtSeconds, 1) << " s, "
@@ -1069,6 +971,13 @@ runClusterCmd(int argc, char **argv)
     if (!cfg.node.workload.traceOut.empty())
         std::cout << "wrote request trace to "
                   << cfg.node.workload.traceOut << "\n";
+    if (!json_path.empty()) {
+        std::ofstream out(json_path);
+        if (!out)
+            parser.fail("cannot write " + json_path);
+        coe::writeClusterJson(out, cfg, r);
+        std::cout << "wrote " << json_path << "\n";
+    }
     return 0;
 }
 
