@@ -2,24 +2,37 @@
  * @file
  * Cluster-simulation performance harness (not a paper figure):
  * measures how fast the multi-node ClusterSimulator runs, mirroring
- * bench/perf_serving for the single-node engine. Cluster runs put N
- * per-node serving stacks on ONE shared EventQueue, so this is the
- * regression gate for the dispatch layer and the shared-queue
- * scalability of the engine.
+ * bench/perf_serving for the single-node engine.
  *
- * Workload: 4 SN40L nodes, Zipf(1.0) over 150 experts, replicate-hot
- * placement, least-outstanding dispatch, near-saturation open-loop
- * arrivals — the configuration cluster studies sweep.
+ * Three passes:
+ *   1. serial legacy  — least-outstanding dispatch on the shared hub
+ *      queue, the historical configuration behind the checked-in
+ *      `events_per_sec` floor (unchanged, so the floor stays
+ *      comparable across PRs);
+ *   2. serial affinity — expert-affinity dispatch at threads=1, the
+ *      baseline the speedup is measured against (only with
+ *      --threads N > 1);
+ *   3. parallel       — the same affinity workload with sharded
+ *      per-node event queues on N workers. The harness hard-fails if
+ *      the parallel metrics diverge from pass 2: determinism is part
+ *      of what this gate protects.
  *
- * Emits BENCH_cluster.json. With --floor FILE, exits non-zero if
- * cluster events/sec falls below 80% of the checked-in floor — the CI
- * regression gate (see bench/perf_cluster_floor.json).
+ * Workload: Zipf(1.0) over 150 experts, replicate-hot placement,
+ * near-saturation open-loop arrivals — the configuration cluster
+ * studies sweep.
  *
- *   perf_cluster [--smoke] [--requests N] [--nodes N] [--json FILE]
- *                [--floor FILE]
+ * Emits BENCH_cluster.json, stamped with the git commit and UTC
+ * timestamp. With --floor FILE, exits non-zero if serial events/sec
+ * (or, when --threads N was given, parallel events/sec) falls below
+ * 80% of the checked-in floor — the CI regression gate (see
+ * bench/perf_cluster_floor.json).
+ *
+ *   perf_cluster [--smoke] [--requests N] [--nodes N] [--threads N]
+ *                [--json FILE] [--floor FILE]
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -30,9 +43,65 @@
 #include "util/json.h"
 
 using namespace sn40l;
+using bench::gitCommitHash;
+using bench::isoTimestampUtc;
 using bench::jsonNumber;
 using bench::peakRssBytes;
 using bench::wallSeconds;
+
+namespace {
+
+struct PassResult {
+    double wall = 0.0;
+    coe::ClusterResult result;
+};
+
+coe::ClusterConfig
+baseConfig(int nodes, int requests)
+{
+    coe::ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.placement = coe::PlacementPolicy::ReplicateHotPartitionCold;
+    cfg.hotExperts = 15;
+    cfg.node.mode = coe::ServingMode::EventDriven;
+    cfg.node.numExperts = 150;
+    cfg.node.batch = 8;
+    cfg.node.streamRequests = requests;
+    // Near saturation per node so queues stay live without growing
+    // unbounded; Zipf routing exercises LRU + dispatch eligibility.
+    cfg.node.arrivalRatePerSec = 16.0 * nodes;
+    cfg.node.routing = coe::RoutingDistribution::Zipf;
+    cfg.node.zipfS = 1.0;
+    cfg.node.scheduler = coe::SchedulerPolicy::ExpertAffinity;
+    cfg.node.seed = 1;
+    return cfg;
+}
+
+PassResult
+runPass(const coe::ClusterConfig &cfg, int requests, const char *label)
+{
+    coe::ClusterSimulator sim(cfg);
+    auto start = std::chrono::steady_clock::now();
+    PassResult pr;
+    pr.result = sim.run();
+    pr.wall = wallSeconds(start);
+    if (pr.result.oom || pr.result.stream.completed != requests) {
+        std::cerr << "perf_cluster: " << label
+                  << " run did not complete\n";
+        std::exit(1);
+    }
+    return pr;
+}
+
+double
+eventsPerSec(const PassResult &pr)
+{
+    return pr.wall > 0.0
+        ? static_cast<double>(pr.result.stream.eventsExecuted) / pr.wall
+        : 0.0;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -41,6 +110,7 @@ main(int argc, char **argv)
     int requests = 400'000;
     bool requests_set = false;
     int nodes = 4;
+    int threads = 1;
     std::string json_path = "BENCH_cluster.json";
     std::string floor_path;
 
@@ -59,75 +129,124 @@ main(int argc, char **argv)
             requests_set = true;
         }
         else if (arg == "--nodes") nodes = std::stoi(next());
+        else if (arg == "--threads") threads = std::stoi(next());
         else if (arg == "--json") json_path = next();
         else if (arg == "--floor") floor_path = next();
         else {
             std::cerr << "usage: perf_cluster [--smoke] [--requests N] "
-                      << "[--nodes N] [--json FILE] [--floor FILE]\n";
+                      << "[--nodes N] [--threads N] [--json FILE] "
+                      << "[--floor FILE]\n";
             return 1;
         }
     }
     if (smoke && !requests_set)
         requests = 20'000;
-
-    coe::ClusterConfig cfg;
-    cfg.nodes = nodes;
-    cfg.placement = coe::PlacementPolicy::ReplicateHotPartitionCold;
-    cfg.dispatch = coe::DispatchPolicy::LeastOutstanding;
-    cfg.hotExperts = 15;
-    cfg.node.mode = coe::ServingMode::EventDriven;
-    cfg.node.numExperts = 150;
-    cfg.node.batch = 8;
-    cfg.node.streamRequests = requests;
-    // Near saturation per node so queues stay live without growing
-    // unbounded; Zipf routing exercises LRU + dispatch eligibility.
-    cfg.node.arrivalRatePerSec = 16.0 * nodes;
-    cfg.node.routing = coe::RoutingDistribution::Zipf;
-    cfg.node.zipfS = 1.0;
-    cfg.node.scheduler = coe::SchedulerPolicy::ExpertAffinity;
-    cfg.node.seed = 1;
-
-    coe::ClusterSimulator sim(cfg);
-    auto start = std::chrono::steady_clock::now();
-    coe::ClusterResult result = sim.run();
-    double wall = wallSeconds(start);
-
-    if (result.oom || result.stream.completed != requests) {
-        std::cerr << "perf_cluster: cluster run did not complete\n";
+    if (threads < 1) {
+        std::cerr << "perf_cluster: --threads must be at least 1\n";
         return 1;
     }
 
-    double events_per_sec = wall > 0.0
-        ? static_cast<double>(result.stream.eventsExecuted) / wall
-        : 0.0;
-    double requests_per_sec =
-        wall > 0.0 ? static_cast<double>(requests) / wall : 0.0;
-    std::int64_t rss = peakRssBytes();
+    // Pass 1: the historical serial configuration (least-outstanding
+    // dispatch, shared hub queue) behind the events_per_sec floor.
+    coe::ClusterConfig serial_cfg = baseConfig(nodes, requests);
+    serial_cfg.dispatch = coe::DispatchPolicy::LeastOutstanding;
+    PassResult serial = runPass(serial_cfg, requests, "serial");
+    double serial_eps = eventsPerSec(serial);
 
-    std::cout << "cluster: " << nodes << " nodes, " << requests
-              << " requests, " << result.stream.eventsExecuted
-              << " events in " << wall << " s\n"
-              << "  " << static_cast<std::uint64_t>(events_per_sec)
+    std::cout << "cluster serial: " << nodes << " nodes, " << requests
+              << " requests, " << serial.result.stream.eventsExecuted
+              << " events in " << serial.wall << " s\n"
+              << "  " << static_cast<std::uint64_t>(serial_eps)
               << " events/s, "
-              << static_cast<std::uint64_t>(requests_per_sec)
-              << " requests/s, peak RSS " << rss / (1 << 20)
-              << " MiB, imbalance " << result.loadImbalance << "\n";
+              << static_cast<std::uint64_t>(
+                     serial.wall > 0.0 ? requests / serial.wall : 0.0)
+              << " requests/s, imbalance "
+              << serial.result.loadImbalance << "\n";
+
+    // Passes 2+3: expert-affinity serial baseline vs the sharded
+    // parallel run (least-outstanding needs cross-shard queue state
+    // mid-window, so the parallel path rejects it).
+    double affinity_wall = 0.0;
+    double parallel_wall = 0.0;
+    double parallel_eps = 0.0;
+    double speedup = 0.0;
+    if (threads > 1) {
+        coe::ClusterConfig aff_cfg = baseConfig(nodes, requests);
+        aff_cfg.dispatch = coe::DispatchPolicy::ExpertAffinity;
+        PassResult affinity = runPass(aff_cfg, requests, "affinity");
+        affinity_wall = affinity.wall;
+
+        coe::ClusterConfig par_cfg = aff_cfg;
+        par_cfg.threads = threads;
+        PassResult parallel = runPass(par_cfg, requests, "parallel");
+        parallel_wall = parallel.wall;
+        parallel_eps = eventsPerSec(parallel);
+        speedup = parallel_wall > 0.0 ? affinity_wall / parallel_wall
+                                      : 0.0;
+
+        // The parallel run must reproduce the serial metrics (the
+        // cluster means can differ in the last ulp from summation
+        // order). Cluster-wide quantiles are exact -- and therefore
+        // bit-identical across modes -- only while the merged sample
+        // count fits sim::Distribution's exact window (64Ki); beyond
+        // that both modes degrade to reservoir estimates over
+        // different sample subsets, so big runs compare the exact
+        // aggregates only.
+        const coe::StreamMetrics &a = affinity.result.stream;
+        const coe::StreamMetrics &p = parallel.result.stream;
+        bool same = a.completed == p.completed &&
+            a.makespanSeconds == p.makespanSeconds &&
+            std::fabs(a.meanLatencySeconds - p.meanLatencySeconds) <=
+                1e-9 * std::fabs(a.meanLatencySeconds);
+        if (requests <= (64 << 10))
+            same = same && a.p50LatencySeconds == p.p50LatencySeconds &&
+                a.p95LatencySeconds == p.p95LatencySeconds &&
+                a.p99LatencySeconds == p.p99LatencySeconds;
+        if (!same) {
+            std::cerr << "perf_cluster: parallel run diverged from the "
+                         "serial affinity baseline (determinism "
+                         "violation)\n";
+            return 1;
+        }
+
+        std::cout << "cluster parallel: " << threads << " threads, "
+                  << parallel.result.stream.eventsExecuted
+                  << " events in " << parallel_wall << " s\n"
+                  << "  " << static_cast<std::uint64_t>(parallel_eps)
+                  << " events/s, speedup " << speedup << "x over serial "
+                  << "affinity (" << affinity_wall << " s)\n";
+    }
+
+    std::int64_t rss = peakRssBytes();
 
     std::ofstream out(json_path);
     {
         util::JsonWriter w(out, /*pretty=*/true);
         w.beginObject()
             .field("bench", "perf_cluster")
+            .field("git_commit", gitCommitHash())
+            .field("timestamp_utc", isoTimestampUtc())
             .field("mode", smoke ? "smoke" : "full")
             .field("nodes", nodes)
             .field("requests", requests)
-            .field("wall_seconds", wall)
-            .field("events_executed", result.stream.eventsExecuted)
-            .field("events_per_sec", events_per_sec)
-            .field("requests_per_sec", requests_per_sec)
-            .field("load_imbalance", result.loadImbalance)
-            .field("peak_rss_bytes", rss)
-            .endObject();
+            .field("wall_seconds", serial.wall)
+            .field("events_executed",
+                   serial.result.stream.eventsExecuted)
+            .field("events_per_sec", serial_eps)
+            .field("requests_per_sec",
+                   serial.wall > 0.0 ? requests / serial.wall : 0.0)
+            .field("load_imbalance", serial.result.loadImbalance)
+            .field("peak_rss_bytes", rss);
+        if (threads > 1) {
+            w.field("parallel_threads", threads)
+                .field("serial_affinity_wall_seconds", affinity_wall)
+                .field("parallel_wall_seconds", parallel_wall)
+                .field("parallel_events_per_sec", parallel_eps)
+                .field(("speedup_" + std::to_string(threads) + "t")
+                           .c_str(),
+                       speedup);
+        }
+        w.endObject();
         out << "\n";
     }
     std::cout << "wrote " << json_path << "\n";
@@ -136,14 +255,28 @@ main(int argc, char **argv)
         double floor =
             jsonNumber("perf_cluster", floor_path, "events_per_sec");
         double gate = 0.8 * floor; // fail on >20% regression vs floor
-        if (events_per_sec < gate) {
-            std::cerr << "perf_cluster: REGRESSION: " << events_per_sec
+        if (serial_eps < gate) {
+            std::cerr << "perf_cluster: REGRESSION: " << serial_eps
                       << " events/s < gate " << gate << " (floor " << floor
                       << " from " << floor_path << ")\n";
             return 1;
         }
-        std::cout << "floor check passed: " << events_per_sec
+        std::cout << "floor check passed: " << serial_eps
                   << " events/s >= gate " << gate << "\n";
+        if (threads > 1) {
+            double pfloor = jsonNumber("perf_cluster", floor_path,
+                                       "parallel_events_per_sec");
+            double pgate = 0.8 * pfloor;
+            if (parallel_eps < pgate) {
+                std::cerr << "perf_cluster: PARALLEL REGRESSION: "
+                          << parallel_eps << " events/s < gate " << pgate
+                          << " (floor " << pfloor << " from "
+                          << floor_path << ")\n";
+                return 1;
+            }
+            std::cout << "parallel floor check passed: " << parallel_eps
+                      << " events/s >= gate " << pgate << "\n";
+        }
     }
     return 0;
 }

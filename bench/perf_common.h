@@ -13,13 +13,49 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 namespace sn40l::bench {
+
+/**
+ * Commit hash of the working tree the harness ran from, or "unknown"
+ * outside a git checkout. Every BENCH_*.json is stamped with this so
+ * an artifact downloaded from CI (or found in a scratch directory)
+ * identifies the code that produced its numbers.
+ */
+inline std::string
+gitCommitHash()
+{
+    FILE *pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+    if (!pipe)
+        return "unknown";
+    char buf[64];
+    std::string out;
+    if (std::fgets(buf, sizeof buf, pipe))
+        out = buf;
+    ::pclose(pipe);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    return out.empty() ? "unknown" : out;
+}
+
+/** Current UTC time as ISO-8601 (e.g. "2024-05-01T12:34:56Z"). */
+inline std::string
+isoTimestampUtc()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
 
 inline double
 wallSeconds(std::chrono::steady_clock::time_point start)

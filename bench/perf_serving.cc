@@ -150,6 +150,9 @@ main(int argc, char **argv)
     std::ofstream out(json_path);
     out << "{\n"
         << "  \"bench\": \"perf_serving\",\n"
+        << "  \"git_commit\": \"" << bench::gitCommitHash() << "\",\n"
+        << "  \"timestamp_utc\": \"" << bench::isoTimestampUtc()
+        << "\",\n"
         << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
         << "  \"requests\": " << requests << ",\n"
         << "  \"wall_seconds\": " << wall << ",\n"

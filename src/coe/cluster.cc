@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <iterator>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "coe/serving_engine.h"
@@ -165,6 +170,104 @@ class HashRing
     std::vector<std::pair<std::uint64_t, int>> points_;
 };
 
+/**
+ * Persistent worker pool for the parallel run: runWindow(limit) wakes
+ * every worker, each runs its statically-assigned shards (node n
+ * belongs to worker n % threads) up to @p limit; waitWindow() blocks
+ * until all workers have parked again. The pool mutex is the
+ * synchronization edge in both directions: the hub's writes to shard
+ * inboxes before startWindow() happen-before the workers' reads, and
+ * the workers' shard mutations happen-before the hub's reads after
+ * waitWindow() (snapshot, drain, merge). Between the two calls the
+ * hub touches only its own state (hub queue, RNG, staging mailboxes).
+ */
+class ShardWorkerPool
+{
+  public:
+    ShardWorkerPool(int threads,
+                    std::function<void(int, sim::Tick)> run_shards)
+        : runShards_(std::move(run_shards))
+    {
+        workers_.reserve(static_cast<std::size_t>(threads));
+        for (int t = 0; t < threads; ++t)
+            workers_.emplace_back([this, t]() { workerLoop(t); });
+    }
+
+    ~ShardWorkerPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stop_ = true;
+        }
+        cvStart_.notify_all();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+
+    /**
+     * Kick one window on all shards and return immediately, so the
+     * coordinator can pre-generate the next window's arrivals while
+     * the workers execute this one. The mutex hand-off makes every
+     * coordinator write before startWindow() visible to the workers,
+     * and every worker write visible after waitWindow() returns.
+     */
+    void
+    startWindow(sim::Tick limit)
+    {
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            limit_ = limit;
+            ++generation_;
+            remaining_ = static_cast<int>(workers_.size());
+        }
+        cvStart_.notify_all();
+    }
+
+    /** Block until every worker parks again. */
+    void
+    waitWindow()
+    {
+        std::unique_lock<std::mutex> lock(m_);
+        cvDone_.wait(lock, [this]() { return remaining_ == 0; });
+    }
+
+  private:
+    void
+    workerLoop(int tid)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            sim::Tick limit;
+            {
+                std::unique_lock<std::mutex> lock(m_);
+                cvStart_.wait(lock, [this, seen]() {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+                limit = limit_;
+            }
+            runShards_(tid, limit);
+            {
+                std::lock_guard<std::mutex> lock(m_);
+                if (--remaining_ == 0)
+                    cvDone_.notify_one();
+            }
+        }
+    }
+
+    std::function<void(int, sim::Tick)> runShards_;
+    std::mutex m_;
+    std::condition_variable cvStart_;
+    std::condition_variable cvDone_;
+    std::uint64_t generation_ = 0;
+    int remaining_ = 0;
+    sim::Tick limit_ = 0;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
 } // namespace
 
 /**
@@ -191,7 +294,50 @@ struct ClusterSimulator::RunState
         candidates.reserve(static_cast<std::size_t>(nodes));
     }
 
-    sim::EventQueue eq;
+    /**
+     * One node's slice of a parallel run: its own event queue (the
+     * node's ServingEngine schedules against it instead of the shared
+     * hub queue) plus the hub->shard mailbox. The hub routes requests
+     * into `staging` — its private half of the mailbox, written while
+     * the workers are mid-window so arrival generation pipelines with
+     * shard execution — and splices them into `inbox` at the next
+     * barrier. The owning worker turns unscheduled `inbox` entries
+     * into delivery events on the shard queue at each window start.
+     * Entries are consumed by index (`inboxNext`) so the delivery
+     * callbacks stay pointer-free and 8 bytes — `inbox` may
+     * reallocate while deliveries are pending.
+     */
+    struct Shard
+    {
+        struct Pending
+        {
+            TrafficRequest request;
+            sim::Tick tick;
+        };
+
+        sim::EventQueue eq;
+        ServingEngine *engine = nullptr;
+        std::vector<Pending> staging; ///< hub-owned, spliced at barrier
+        std::vector<Pending> inbox;   ///< worker-read during a window
+        std::size_t inboxScheduled = 0; ///< delivery events created
+        std::size_t inboxNext = 0;      ///< delivery events fired
+    };
+
+    /** One control-plane callback on the parallel sync agenda. */
+    struct AgendaEntry
+    {
+        sim::Tick when;
+        std::uint64_t seq; ///< FIFO tie-break, mirrors EventQueue
+        std::function<void()> cb;
+    };
+
+    static bool
+    agendaLater(const AgendaEntry &a, const AgendaEntry &b)
+    {
+        return a.when > b.when || (a.when == b.when && a.seq > b.seq);
+    }
+
+    sim::EventQueue eq; ///< hub: arrivals (+ everything at threads==1)
     ExpertPlacement placement;
     std::vector<ServingConfig> nodeCfg;
     std::vector<PhaseCosts> nodeCosts;
@@ -199,6 +345,13 @@ struct ClusterSimulator::RunState
     std::vector<double> placedBytesNow; ///< per node, actuator-updated
     std::unique_ptr<WorkloadModel> workload;
     TraceRecorder recorder;
+    /**
+     * Per-node queue shards, empty at threads==1. Deque so Shard
+     * addresses stay stable (delivery callbacks capture &shard), and
+     * declared before `engines` so the engines (which hold references
+     * into the shard queues) are destroyed first.
+     */
+    std::deque<Shard> shards;
     std::vector<std::unique_ptr<ServingEngine>> engines;
 
     // ---- dispatch state
@@ -229,6 +382,15 @@ struct ClusterSimulator::RunState
     std::vector<std::int64_t> baseMisses;
     std::vector<std::int64_t> baseShedNode;
     std::vector<std::int64_t> baseExpertHits;
+
+    // ---- parallel-run state (inert at threads==1)
+    int threads = 1; ///< effective worker count for this run
+    /** Min-heap (agendaLater) of pending control callbacks. */
+    std::vector<AgendaEntry> agenda;
+    std::uint64_t agendaSeq = 0;
+    std::size_t hubBuffered = 0; ///< arrivals routed this window
+    /** Last member: workers must park before anything else dies. */
+    std::unique_ptr<ShardWorkerPool> pool;
 };
 
 ClusterSimulator::ClusterSimulator(ClusterConfig cfg) : cfg_(std::move(cfg))
@@ -255,6 +417,39 @@ ClusterSimulator::ClusterSimulator(ClusterConfig cfg) : cfg_(std::move(cfg))
             sim::fatal("ClusterConfig: rejoin must come after the drain");
     } else if (cfg_.rejoinAtSeconds > 0.0) {
         sim::fatal("ClusterConfig: rejoin without a drain");
+    }
+    if (cfg_.threads < 1)
+        sim::fatal("ClusterConfig: threads must be at least 1");
+    if (cfg_.threads > 1) {
+        // Parallel windows only work when nothing closes a
+        // zero-lookahead feedback loop from the shards back into the
+        // hub (arrivals/dispatch) mid-window.
+        if (cfg_.node.arrival == ArrivalProcess::ClosedLoop)
+            sim::fatal("ClusterConfig: threads > 1 cannot drive "
+                       "closed-loop arrivals (batch completions on a "
+                       "shard re-issue clients instantly, which leaves "
+                       "the windows zero lookahead); use threads=1");
+        bool sessions = cfg_.node.workload.sessionFollowProb > 0.0;
+        for (const TenantSpec &t : cfg_.node.workload.tenantSpecs)
+            sessions = sessions || t.sessionFollowProb > 0.0;
+        if (sessions && !cfg_.node.workload.replay())
+            sim::fatal("ClusterConfig: threads > 1 cannot generate "
+                       "conversational sessions (follow-up turns are "
+                       "triggered by shard-side completions); replay a "
+                       "recorded trace or use threads=1");
+        if (cfg_.dispatch == DispatchPolicy::LeastOutstanding)
+            sim::fatal("ClusterConfig: threads > 1 cannot use "
+                       "least-outstanding dispatch (it reads per-node "
+                       "queue state that is stale mid-window); use "
+                       "round-robin or expert-affinity");
+        if (cfg_.threads > cfg_.nodes) {
+            sim::logWarn("cluster",
+                         "clamping threads from " +
+                             std::to_string(cfg_.threads) + " to the "
+                             "node count " + std::to_string(cfg_.nodes) +
+                             " (one shard per node)");
+            cfg_.threads = cfg_.nodes;
+        }
     }
     if (cfg_.diurnalAmplitude < 0.0 || cfg_.diurnalAmplitude >= 1.0)
         sim::fatal("ClusterConfig: diurnal amplitude must be in [0, 1)");
@@ -387,30 +582,52 @@ ClusterSimulator::begin()
     diurnal.diurnalPeriodSeconds = cfg_.diurnalPeriodSeconds;
     rs->workload = makeWorkloadModel(base, diurnal);
 
+    const bool parallel = cfg_.threads > 1;
+    rs->threads = cfg_.threads;
+    if (parallel)
+        for (int n = 0; n < N; ++n)
+            rs->shards.emplace_back();
+
     rs->engines.reserve(static_cast<std::size_t>(N));
     for (int n = 0; n < N; ++n) {
+        auto ns = static_cast<std::size_t>(n);
+        sim::EventQueue &nodeEq =
+            parallel ? rs->shards[ns].eq : rs->eq;
         rs->engines.push_back(std::make_unique<ServingEngine>(
-            rs->eq, rs->nodeCfg[static_cast<std::size_t>(n)],
-            rs->nodeCosts[static_cast<std::size_t>(n)],
+            nodeEq, rs->nodeCfg[ns], rs->nodeCosts[ns],
             ExpertZoo::uniform(base.numExperts, base.expertBase)));
-        rs->engines.back()->setMirrors(&latency_, &stalls_);
+        if (parallel) {
+            // No shared latency/stall mirrors: engines record into
+            // their per-node distributions only (worker threads may
+            // not touch shared state); finish() merges them in node
+            // order.
+            rs->shards[ns].engine = rs->engines.back().get();
+        } else {
+            rs->engines.back()->setMirrors(&latency_, &stalls_);
+        }
     }
 
     // Closed-loop clients are cluster-wide: whichever node finishes a
     // batch frees that many clients to think and re-issue. Session
-    // follow-ups and shed notifications route back the same way.
-    for (int n = 0; n < N; ++n) {
-        ServingEngine &e = *rs->engines[static_cast<std::size_t>(n)];
-        WorkloadModel *workload = rs->workload.get();
-        e.setOnBatchComplete([workload](int finished) {
-            workload->onBatchComplete(finished);
-        });
-        e.setOnRequestComplete([workload](const EngineRequest &r) {
-            workload->onRequestComplete(toTrafficRequest(r));
-        });
-        e.setOnRequestShed([workload](const EngineRequest &r) {
-            workload->onRequestShed(toTrafficRequest(r));
-        });
+    // follow-ups and shed notifications route back the same way. In a
+    // parallel run the hooks stay unset: they would call into the
+    // hub-owned workload from worker threads mid-window, and the
+    // config validation already rejected every workload that needs
+    // them (closed loop, generated sessions).
+    if (!parallel) {
+        for (int n = 0; n < N; ++n) {
+            ServingEngine &e = *rs->engines[static_cast<std::size_t>(n)];
+            WorkloadModel *workload = rs->workload.get();
+            e.setOnBatchComplete([workload](int finished) {
+                workload->onBatchComplete(finished);
+            });
+            e.setOnRequestComplete([workload](const EngineRequest &r) {
+                workload->onRequestComplete(toTrafficRequest(r));
+            });
+            e.setOnRequestShed([workload](const EngineRequest &r) {
+                workload->onRequestShed(toTrafficRequest(r));
+            });
+        }
     }
 
     // rs_ must be live before the scheduled lambdas (and the workload
@@ -418,22 +635,23 @@ ClusterSimulator::begin()
     rs_ = std::move(rs);
 
     // ---- scripted actions (legacy drain/rejoin desugared + explicit)
+    // Control callbacks go through scheduleControlAt: straight onto
+    // the shared queue at threads==1, onto the sync agenda otherwise.
     for (const ScheduledAction &a : effectiveActions_) {
+        sim::Tick at = sim::fromSeconds(a.atSeconds);
         switch (a.kind) {
           case ActionKind::Drain:
-            rs_->eq.schedule(
-                sim::fromSeconds(a.atSeconds),
-                [this, a]() { drainNode(a.node); }, "cluster.drain");
+            scheduleControlAt(
+                at, [this, a]() { drainNode(a.node); }, "cluster.drain");
             break;
           case ActionKind::Rejoin:
-            rs_->eq.schedule(
-                sim::fromSeconds(a.atSeconds),
-                [this, a]() { rejoinNode(a.node); }, "cluster.rejoin");
+            scheduleControlAt(
+                at, [this, a]() { rejoinNode(a.node); },
+                "cluster.rejoin");
             break;
           case ActionKind::RateOverride:
-            rs_->eq.schedule(
-                sim::fromSeconds(a.atSeconds),
-                [this, a]() { setRateFactor(a.rateFactor); },
+            scheduleControlAt(
+                at, [this, a]() { setRateFactor(a.rateFactor); },
                 "cluster.rate_override");
             break;
         }
@@ -441,17 +659,55 @@ ClusterSimulator::begin()
 
     // ---- arrivals -----------------------------------------------
     // The workload model emits routed requests from inside arrival
-    // events; the cluster dispatches each to a hosting node.
+    // events; the cluster dispatches each to a hosting node —
+    // directly at threads==1, via the node's mailbox otherwise (the
+    // shard delivers at the same tick, so the engine stamps the same
+    // arrival time inject() would have).
     rs_->workload->bind(rs_->eq, [this](const TrafficRequest &r) {
         if (rs_->firstArrival < 0)
             rs_->firstArrival = rs_->eq.now();
         rs_->recorder.record(r, rs_->eq.now());
         int n = pickNode(r.expert);
         ++rs_->dispatchedTo[static_cast<std::size_t>(n)];
-        rs_->engines[static_cast<std::size_t>(n)]->inject(r);
+        if (rs_->threads > 1) {
+            RunState::Shard &sh =
+                rs_->shards[static_cast<std::size_t>(n)];
+            sh.staging.push_back({r, rs_->eq.now()});
+            ++rs_->hubBuffered;
+        } else {
+            rs_->engines[static_cast<std::size_t>(n)]->inject(r);
+        }
     });
     rs_->workload->start();
     return true;
+}
+
+void
+ClusterSimulator::scheduleControlAt(sim::Tick when,
+                                    std::function<void()> cb,
+                                    const char *name)
+{
+    RunState &rs = *rs_;
+    if (rs.threads == 1) {
+        rs.eq.schedule(when, std::move(cb), name);
+        return;
+    }
+    rs.agenda.push_back(
+        RunState::AgendaEntry{when, rs.agendaSeq++, std::move(cb)});
+    std::push_heap(rs.agenda.begin(), rs.agenda.end(),
+                   RunState::agendaLater);
+}
+
+void
+ClusterSimulator::scheduleControlIn(sim::Tick delta,
+                                    std::function<void()> cb,
+                                    const char *name)
+{
+    if (!rs_)
+        sim::panic("cluster: scheduleControlIn outside an active run");
+    if (delta < 0)
+        sim::panic("cluster: negative control delay");
+    scheduleControlAt(rs_->eq.now() + delta, std::move(cb), name);
 }
 
 int
@@ -824,8 +1080,160 @@ ClusterSimulator::run()
             std::make_unique<ClusterController>(*this, cfg_.controller);
         controller_->start();
     }
-    rs_->eq.run();
+    if (rs_->threads > 1)
+        runParallel();
+    else
+        rs_->eq.run();
     return finish();
+}
+
+/**
+ * Conservative time-window execution. Per iteration:
+ *
+ *  1. The next sync-agenda time syncT bounds the lookahead: nothing
+ *     on a shard may interact with the cluster before it (dispatch is
+ *     decided at the hub, engines never message each other, and all
+ *     control actuations are agenda entries).
+ *  2. Hub phase (this thread): run arrival events strictly before
+ *     syncT, routing each request into its node's staging mailbox.
+ *     Capped per window so mailbox memory stays bounded on
+ *     uncontrolled runs. Staged entries are spliced into the
+ *     worker-visible inboxes while the workers are parked.
+ *  3. Worker phase: each worker schedules its shards' new mailbox
+ *     entries as delivery events, then runs the shard up to (but not
+ *     including) windowEnd = min(syncT, next hub arrival). Every
+ *     delivery tick is below windowEnd, so arrivals interleave with
+ *     the shard's own batch events in exact tick order. Meanwhile the
+ *     hub pre-routes the NEXT window's arrivals into the staging
+ *     halves — the serial routing cost pipelines behind shard
+ *     execution instead of adding to the critical path.
+ *  4. Barrier; when the window actually reached syncT, advance every
+ *     clock to syncT and fire the due agenda entries in FIFO order
+ *     (snapshots, drains, controller ticks — they may re-arm).
+ *
+ * Determinism: every routing, RNG, and control decision happens on
+ * this thread at a barrier or in the hub phase; workers only execute
+ * per-shard event streams whose content is independent of the worker
+ * count. Results are therefore identical for any threads >= 2, and
+ * run-to-run. (threads == 1 bypasses all of this for the bit-exact
+ * shared-queue path.)
+ */
+void
+ClusterSimulator::runParallel()
+{
+    RunState &rs = *rs_;
+    const int N = cfg_.nodes;
+    const int T = rs.threads;
+
+    /**
+     * Arrivals routed per window before the hub yields to the
+     * workers. Bounds mailbox memory (~64 B/entry); at the default
+     * rates a window still spans thousands of batches per shard, so
+     * barrier overhead stays well under a percent.
+     */
+    constexpr std::size_t kWindowArrivalCap = 8192;
+
+    rs.pool = std::make_unique<ShardWorkerPool>(
+        T, [&rs, N, T](int tid, sim::Tick limit) {
+            for (int n = tid; n < N; n += T) {
+                RunState::Shard &sh =
+                    rs.shards[static_cast<std::size_t>(n)];
+                while (sh.inboxScheduled < sh.inbox.size()) {
+                    const RunState::Shard::Pending &p =
+                        sh.inbox[sh.inboxScheduled++];
+                    sh.eq.schedule(
+                        p.tick,
+                        [&sh]() {
+                            RunState::Shard::Pending &q =
+                                sh.inbox[sh.inboxNext++];
+                            sh.engine->inject(q.request);
+                        },
+                        "cluster.deliver");
+                }
+                sh.eq.run(limit);
+            }
+        });
+
+    for (;;) {
+        sim::Tick syncT =
+            rs.agenda.empty() ? sim::kMaxTick : rs.agenda.front().when;
+
+        // Top up this window's arrivals (strictly below the next
+        // control barrier, bounded by the mailbox cap). After the
+        // first window most arrivals were already staged during the
+        // previous window's overlap, so this usually no-ops.
+        rs.hubBuffered = 0;
+        while (rs.eq.peekNextTick() < syncT &&
+               rs.hubBuffered < kWindowArrivalCap)
+            rs.eq.step();
+
+        sim::Tick windowEnd = std::min(syncT, rs.eq.peekNextTick());
+
+        // Workers are parked here, so the hub owns both mailbox
+        // halves: recycle fully-consumed inboxes, then splice the
+        // staged arrivals in. A mailbox with a pending delivery — an
+        // arrival at exactly a windowEnd — keeps accumulating until
+        // it drains.
+        for (RunState::Shard &sh : rs.shards) {
+            if (sh.inboxNext == sh.inbox.size() &&
+                sh.inboxScheduled == sh.inbox.size()) {
+                sh.inbox.clear();
+                sh.inboxScheduled = 0;
+                sh.inboxNext = 0;
+            }
+            sh.inbox.insert(
+                sh.inbox.end(),
+                std::make_move_iterator(sh.staging.begin()),
+                std::make_move_iterator(sh.staging.end()));
+            sh.staging.clear();
+        }
+
+        if (windowEnd > 0) {
+            rs.pool->startWindow(windowEnd - 1); // run() is inclusive
+            // Pipeline: pre-route the next window's arrivals into the
+            // hub-private staging halves while the workers execute
+            // this one. Everything the arrival path touches — the
+            // workload generator, its RNG, dispatch-policy state, the
+            // hub queue, the expert placement it reads — is either
+            // hub-owned or frozen until the next control barrier, so
+            // the overlap cannot race the shards; it just hides the
+            // serial routing cost behind shard execution.
+            rs.hubBuffered = 0;
+            while (rs.eq.peekNextTick() < syncT &&
+                   rs.hubBuffered < kWindowArrivalCap)
+                rs.eq.step();
+            rs.pool->waitWindow();
+        }
+
+        if (windowEnd != syncT)
+            continue; // capped or arrival-bounded window; same syncT
+        if (syncT == sim::kMaxTick)
+            break; // hub drained, shards drained, no control pending
+
+        // True barrier at syncT: square up every clock so the agenda
+        // callbacks observe the timestamps a shared queue would have
+        // (snapshot windows, drain re-dispatch injectAt, node-seconds
+        // accrual all read now()).
+        for (RunState::Shard &sh : rs.shards)
+            sh.eq.advanceTo(syncT);
+        rs.eq.advanceTo(syncT);
+        while (!rs.agenda.empty() && rs.agenda.front().when == syncT) {
+            std::pop_heap(rs.agenda.begin(), rs.agenda.end(),
+                          RunState::agendaLater);
+            RunState::AgendaEntry entry = std::move(rs.agenda.back());
+            rs.agenda.pop_back();
+            entry.cb();
+        }
+    }
+
+    // Land the hub clock on the run's true end time (the serial path's
+    // final event tick) so finish()'s node-seconds accrual matches.
+    sim::Tick endTick = rs.eq.now();
+    for (RunState::Shard &sh : rs.shards)
+        endTick = std::max(endTick, sh.eq.now());
+    rs.eq.advanceTo(endTick);
+
+    rs.pool.reset(); // park and join the workers
 }
 
 ClusterResult
@@ -840,6 +1248,18 @@ ClusterSimulator::finish()
 
     rs.recorder.write();
     accrueNodeSeconds();
+
+    // A parallel run recorded latencies per engine only (no shared
+    // mirrors); merge them cluster-wide in node order. Exact-mode
+    // quantiles come out bit-identical to the serial interleaved
+    // recording (same sample multiset, lazily sorted); running means
+    // can differ in the last ulp from the different summation order.
+    if (rs.threads > 1) {
+        for (const std::unique_ptr<ServingEngine> &e : rs.engines) {
+            latency_.merge(e->latency());
+            stalls_.merge(e->stalls());
+        }
+    }
 
     std::int64_t completed = 0, batches = 0, misses = 0, shedTotal = 0;
     double occupancyTotal = 0.0, depthIntegral = 0.0;
@@ -890,6 +1310,10 @@ ClusterSimulator::finish()
     m.meanSwitchStallSeconds = stalls_.mean();
     m.p95SwitchStallSeconds = stalls_.quantile(0.95);
     m.eventsExecuted = rs.eq.executedCount();
+    // Shard events (including the mailbox delivery events, which have
+    // no serial counterpart) count toward the run's event total.
+    for (const RunState::Shard &sh : rs.shards)
+        m.eventsExecuted += sh.eq.executedCount();
     m.shed = shedTotal;
     m.shedRate = completed + shedTotal > 0
         ? static_cast<double>(shedTotal) /
@@ -970,7 +1394,7 @@ ClusterSimulator::finish()
     stats_.set("redispatched",
                static_cast<double>(rs.redispatchedTotal));
     stats_.set("events_executed",
-               static_cast<double>(rs.eq.executedCount()));
+               static_cast<double>(m.eventsExecuted));
     stats_.set("load_imbalance", result.loadImbalance);
     stats_.set("expert_replicas",
                static_cast<double>(rs.placement.replicas));

@@ -1,8 +1,11 @@
 /**
  * @file
  * Multi-node CoE serving cluster: N per-node serving stacks (each a
- * ServingEngine with its own CoeRuntime and mem::MemorySystem) on one
- * shared sim::EventQueue, fronted by a cluster router.
+ * ServingEngine with its own CoeRuntime and mem::MemorySystem),
+ * fronted by a cluster router. With threads == 1 every stack shares
+ * one sim::EventQueue; with threads > 1 each node runs on its own
+ * queue shard under conservative time-window synchronization (see
+ * runParallel() in cluster.cc for the execution model).
  *
  * The paper serves 150 experts from one 8-socket SN40L node; scaling
  * to "millions of users" means sharding the expert pool across many
@@ -41,6 +44,7 @@
 #define SN40L_COE_CLUSTER_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -115,6 +119,19 @@ struct ClusterConfig
     int nodes = 1;
     DispatchPolicy dispatch = DispatchPolicy::RoundRobin;
     PlacementPolicy placement = PlacementPolicy::FullReplication;
+
+    /**
+     * Worker threads for the run. 1 (the default) is the classic
+     * single-queue path, bit-identical to every existing golden.
+     * N > 1 shards the event queue per node and runs shards on a
+     * worker pool with conservative time-window sync; results are
+     * deterministic for a fixed config (independent of N), but the
+     * mode rejects zero-lookahead feedback loops: closed-loop
+     * arrivals, conversational sessions (unless replayed from a
+     * trace), and least-outstanding dispatch. Values above the node
+     * count are clamped with a warning (spare shards would idle).
+     */
+    int threads = 1;
 
     /**
      * Experts replicated on every node under ReplicateHotPartitionCold
@@ -285,6 +302,18 @@ class ClusterSimulator
     /** The active run's queue (begin() first). Tests step this. */
     sim::EventQueue &eventQueue();
 
+    /**
+     * Schedule a control-plane callback @p delta ticks from now. With
+     * threads == 1 this is exactly eventQueue().scheduleIn(); with
+     * threads > 1 the callback goes onto the run's sync agenda, whose
+     * entries define the parallel window barriers and fire with every
+     * shard advanced to the same tick — the only context where a
+     * callback may safely observe or actuate cluster state. The
+     * controller's tick re-arm goes through here.
+     */
+    void scheduleControlIn(sim::Tick delta, std::function<void()> cb,
+                           const char *name = "");
+
     /** Windowed observation; advances the snapshot window. */
     MetricsSnapshot snapshot();
 
@@ -327,6 +356,9 @@ class ClusterSimulator
 
     int pickNode(int expert);
     void accrueNodeSeconds();
+    void scheduleControlAt(sim::Tick when, std::function<void()> cb,
+                           const char *name);
+    void runParallel();
 
     ClusterConfig cfg_;
     /** Legacy drain sugar desugared + cfg.actions, in firing order. */

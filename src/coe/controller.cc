@@ -108,7 +108,11 @@ ClusterController::start()
 void
 ClusterController::scheduleTick()
 {
-    cluster_.eventQueue().scheduleIn(
+    // scheduleControlIn lands on the shared queue at threads==1
+    // (bit-identical to the historical direct scheduleIn) and on the
+    // parallel run's sync agenda otherwise, so a tick always fires at
+    // a window barrier where snapshot/actuate are safe.
+    cluster_.scheduleControlIn(
         sim::fromSeconds(cfg_.tickSeconds), [this]() { tick(); },
         "cluster.controller_tick");
 }

@@ -2,7 +2,13 @@
  * @file
  * One node's event-driven serving stack, extracted from the original
  * ServingSimulator::runEventDriven so a cluster can instantiate many
- * of them on a single shared sim::EventQueue.
+ * of them on a single shared sim::EventQueue — or, in the cluster's
+ * parallel mode (ClusterConfig::threads > 1), one engine per
+ * per-node queue shard executed by a worker pool under conservative
+ * time-window sync. The engine itself is queue-agnostic: it only
+ * ever schedules against the sim::EventQueue it was constructed
+ * with, touches no state outside its node, and is therefore safe to
+ * run concurrently with other engines on other queues.
  *
  * The engine owns the node's expert zoo, CoeRuntime (HBM expert
  * region + LRU), and mem::MemorySystem (DDR/HBM tiers + DMA pool),

@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Tests for the parallel cluster run path (ClusterConfig::threads):
+ * the conservative time-window execution must produce the same
+ * metrics as the bit-exact threads==1 shared-queue path — on open
+ * Poisson traffic, replayed JSONL traces, drain/rejoin schedules, and
+ * controller-driven diurnal runs (including a byte-equal controller
+ * decision log) — deterministically run-to-run and independent of the
+ * worker count. Also covers the EventQueue window API the windows are
+ * built on (peekNextTick/advanceTo, same-tick FIFO ordering, which is
+ * what makes mailbox delivery order deterministic) and the config
+ * validation that rejects zero-lookahead feedback loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "coe/cluster.h"
+#include "coe/serving.h"
+#include "coe/workload.h"
+#include "sim/event_queue.h"
+#include "sim/log.h"
+#include "sim/ticks.h"
+
+using namespace sn40l;
+using namespace sn40l::coe;
+
+namespace {
+
+/** RAII temp path that is removed on scope exit. */
+struct TempFile
+{
+    explicit TempFile(const char *name)
+        : path(std::string(::testing::TempDir()) + name)
+    {
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+ClusterConfig
+baseCluster()
+{
+    ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.dispatch = DispatchPolicy::ExpertAffinity;
+    cfg.placement = PlacementPolicy::ReplicateHotPartitionCold;
+    cfg.hotExperts = 15;
+    cfg.node.mode = ServingMode::EventDriven;
+    cfg.node.platform = Platform::Sn40l;
+    cfg.node.numExperts = 150;
+    cfg.node.batch = 8;
+    cfg.node.streamRequests = 4000;
+    cfg.node.routing = RoutingDistribution::Zipf;
+    cfg.node.arrivalRatePerSec = 64.0;
+    cfg.node.scheduler = SchedulerPolicy::ExpertAffinity;
+    cfg.node.seed = 7;
+    return cfg;
+}
+
+/**
+ * Serial vs. parallel equality. Everything integer or derived from
+ * per-engine accumulators is bit-identical; the two cluster-wide
+ * running means are the single exception (the parallel path merges
+ * per-node distributions in node order instead of recording in
+ * completion order, so the double summation associates differently),
+ * compared to a relative 1e-9 instead. eventsExecuted is exempt: the
+ * parallel run adds one mailbox delivery event per request.
+ */
+void
+expectClusterEqual(const ClusterResult &a, const ClusterResult &b,
+                   bool exact_means)
+{
+    EXPECT_EQ(a.oom, b.oom);
+    EXPECT_EQ(a.stream.completed, b.stream.completed);
+    EXPECT_EQ(a.stream.batches, b.stream.batches);
+    EXPECT_EQ(a.stream.shed, b.stream.shed);
+    EXPECT_DOUBLE_EQ(a.stream.p50LatencySeconds,
+                     b.stream.p50LatencySeconds);
+    EXPECT_DOUBLE_EQ(a.stream.p95LatencySeconds,
+                     b.stream.p95LatencySeconds);
+    EXPECT_DOUBLE_EQ(a.stream.p99LatencySeconds,
+                     b.stream.p99LatencySeconds);
+    EXPECT_DOUBLE_EQ(a.stream.maxLatencySeconds,
+                     b.stream.maxLatencySeconds);
+    EXPECT_DOUBLE_EQ(a.stream.p95SwitchStallSeconds,
+                     b.stream.p95SwitchStallSeconds);
+    if (exact_means) {
+        EXPECT_DOUBLE_EQ(a.stream.meanLatencySeconds,
+                         b.stream.meanLatencySeconds);
+        EXPECT_DOUBLE_EQ(a.stream.meanSwitchStallSeconds,
+                         b.stream.meanSwitchStallSeconds);
+    } else {
+        EXPECT_NEAR(a.stream.meanLatencySeconds,
+                    b.stream.meanLatencySeconds,
+                    1e-9 * (1.0 + a.stream.meanLatencySeconds));
+        EXPECT_NEAR(a.stream.meanSwitchStallSeconds,
+                    b.stream.meanSwitchStallSeconds,
+                    1e-9 * (1.0 + a.stream.meanSwitchStallSeconds));
+    }
+    EXPECT_DOUBLE_EQ(a.stream.makespanSeconds, b.stream.makespanSeconds);
+    EXPECT_DOUBLE_EQ(a.stream.throughputRequestsPerSec,
+                     b.stream.throughputRequestsPerSec);
+    EXPECT_DOUBLE_EQ(a.stream.meanQueueDepth, b.stream.meanQueueDepth);
+    EXPECT_DOUBLE_EQ(a.stream.maxQueueDepth, b.stream.maxQueueDepth);
+    EXPECT_DOUBLE_EQ(a.stream.meanBatchOccupancy,
+                     b.stream.meanBatchOccupancy);
+    EXPECT_DOUBLE_EQ(a.missRate, b.missRate);
+    EXPECT_DOUBLE_EQ(a.loadImbalance, b.loadImbalance);
+    EXPECT_EQ(a.expertReplicas, b.expertReplicas);
+    EXPECT_DOUBLE_EQ(a.placedBytesTotal, b.placedBytesTotal);
+    EXPECT_EQ(a.peakResidentBytesTotal, b.peakResidentBytesTotal);
+    EXPECT_EQ(a.redispatched, b.redispatched);
+    EXPECT_DOUBLE_EQ(a.nodeSecondsLive, b.nodeSecondsLive);
+    EXPECT_DOUBLE_EQ(a.nodeHours, b.nodeHours);
+    EXPECT_EQ(a.controllerTicks, b.controllerTicks);
+    EXPECT_EQ(a.controllerActions, b.controllerActions);
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+        const ClusterNodeMetrics &x = a.nodes[n];
+        const ClusterNodeMetrics &y = b.nodes[n];
+        EXPECT_EQ(x.drained, y.drained) << "node " << n;
+        EXPECT_EQ(x.dispatched, y.dispatched) << "node " << n;
+        EXPECT_EQ(x.redispatched, y.redispatched) << "node " << n;
+        EXPECT_EQ(x.completed, y.completed) << "node " << n;
+        EXPECT_EQ(x.batches, y.batches) << "node " << n;
+        EXPECT_EQ(x.misses, y.misses) << "node " << n;
+        EXPECT_EQ(x.shed, y.shed) << "node " << n;
+        EXPECT_DOUBLE_EQ(x.p50LatencySeconds, y.p50LatencySeconds)
+            << "node " << n;
+        EXPECT_DOUBLE_EQ(x.p95LatencySeconds, y.p95LatencySeconds)
+            << "node " << n;
+        EXPECT_DOUBLE_EQ(x.meanQueueDepth, y.meanQueueDepth)
+            << "node " << n;
+        EXPECT_DOUBLE_EQ(x.maxQueueDepth, y.maxQueueDepth)
+            << "node " << n;
+        EXPECT_EQ(x.placedExperts, y.placedExperts) << "node " << n;
+        EXPECT_DOUBLE_EQ(x.placedBytes, y.placedBytes) << "node " << n;
+        EXPECT_EQ(x.peakResidentBytes, y.peakResidentBytes)
+            << "node " << n;
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------ window API (unit)
+
+TEST(WindowApi, PeekReturnsNextLiveTick)
+{
+    sim::EventQueue eq;
+    EXPECT_EQ(eq.peekNextTick(), sim::kMaxTick);
+
+    int fired = 0;
+    sim::EventQueue::Handle early =
+        eq.schedule(100, [&fired]() { ++fired; }, "early");
+    eq.schedule(200, [&fired]() { ++fired; }, "late");
+    EXPECT_EQ(eq.peekNextTick(), 100);
+
+    // A cancelled head is reaped, not reported.
+    EXPECT_TRUE(early.cancel());
+    EXPECT_EQ(eq.peekNextTick(), 200);
+    EXPECT_EQ(eq.pendingCount(), 1u);
+}
+
+TEST(WindowApi, AdvanceToMovesTimeWithoutExecuting)
+{
+    sim::EventQueue eq;
+    eq.advanceTo(500); // empty queue: free to jump
+    EXPECT_EQ(eq.now(), 500);
+    eq.advanceTo(100); // backwards is a no-op, not an error
+    EXPECT_EQ(eq.now(), 500);
+
+    int fired = 0;
+    eq.schedule(800, [&fired]() { ++fired; }, "ev");
+    eq.advanceTo(800); // exactly onto a pending event is fine
+    EXPECT_EQ(eq.now(), 800);
+    EXPECT_EQ(fired, 0); // advanceTo never executes
+    EXPECT_THROW(eq.advanceTo(801), sim::SimPanic); // would skip it
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(WindowApi, SameTickDeliveriesFireInScheduleOrder)
+{
+    // The parallel mailbox relies on this: delivery events created in
+    // hub routing order at non-decreasing ticks must fire in exactly
+    // that order, so the inbox cursor and the event stream agree even
+    // when many requests land on one node at one tick.
+    sim::EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(1000, [&order, i]() { order.push_back(i); },
+                    "deliver");
+    eq.schedule(999, [&order]() { order.push_back(-1); }, "before");
+    eq.run();
+    ASSERT_EQ(order.size(), 9u);
+    EXPECT_EQ(order.front(), -1); // earlier tick first
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i + 1)], i)
+            << "same-tick FIFO broke at " << i;
+}
+
+// ------------------------------------------- serial/parallel equality
+
+TEST(ClusterParallel, OpenLoopPoissonMatchesSerialForAnyThreadCount)
+{
+    ClusterConfig cfg = baseCluster();
+    ClusterResult serial = ClusterSimulator(cfg).run();
+    for (int threads : {2, 3, 4}) {
+        ClusterConfig par = cfg;
+        par.threads = threads;
+        ClusterResult parallel = ClusterSimulator(par).run();
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expectClusterEqual(serial, parallel, /*exact_means=*/false);
+    }
+}
+
+TEST(ClusterParallel, ReplayedTraceMatchesSerial)
+{
+    TempFile trace("parallel_replay.jsonl");
+    ClusterConfig rec = baseCluster();
+    rec.node.workload.traceOut = trace.path;
+    ClusterSimulator(rec).run();
+
+    ClusterConfig rep = baseCluster();
+    rep.node.workload.traceIn = trace.path;
+    ClusterResult serial = ClusterSimulator(rep).run();
+
+    ClusterConfig par = rep;
+    par.threads = 4;
+    ClusterResult parallel = ClusterSimulator(par).run();
+    expectClusterEqual(serial, parallel, /*exact_means=*/false);
+}
+
+TEST(ClusterParallel, DrainRejoinScheduleMatchesSerial)
+{
+    ClusterConfig cfg = baseCluster();
+    cfg.dispatch = DispatchPolicy::RoundRobin;
+    // Overload a bit so the drained node has queued work to move.
+    cfg.node.arrivalRatePerSec = 96.0;
+    ScheduledAction drain;
+    drain.atSeconds = 8.0;
+    drain.kind = ActionKind::Drain;
+    drain.node = 1;
+    ScheduledAction rejoin;
+    rejoin.atSeconds = 20.0;
+    rejoin.kind = ActionKind::Rejoin;
+    rejoin.node = 1;
+    ScheduledAction surge;
+    surge.atSeconds = 25.0;
+    surge.kind = ActionKind::RateOverride;
+    surge.rateFactor = 1.5;
+    cfg.actions = {drain, rejoin, surge};
+
+    ClusterResult serial = ClusterSimulator(cfg).run();
+    ClusterConfig par = cfg;
+    par.threads = 4;
+    ClusterResult parallel = ClusterSimulator(par).run();
+
+    EXPECT_GT(serial.redispatched, 0); // the drain actually moved work
+    EXPECT_TRUE(serial.nodes[1].drained);
+    expectClusterEqual(serial, parallel, /*exact_means=*/false);
+}
+
+TEST(ClusterParallel, ControllerDiurnalMatchesSerialIncludingLog)
+{
+    TempFile serialLog("parallel_ctl_serial.jsonl");
+    TempFile parallelLog("parallel_ctl_parallel.jsonl");
+
+    ClusterConfig cfg = baseCluster();
+    cfg.diurnalAmplitude = 0.6;
+    cfg.diurnalPeriodSeconds = 30.0;
+    cfg.controller.policy = ControllerPolicy::ReactiveThreshold;
+    cfg.controller.tickSeconds = 0.5;
+    cfg.controller.minNodes = 1;
+    cfg.controller.scaleUpQueueDepth = 12.0;
+    cfg.controller.scaleDownQueueDepth = 2.0;
+    cfg.controller.cooldownTicks = 4;
+    cfg.controller.logPath = serialLog.path;
+
+    ClusterResult serial = ClusterSimulator(cfg).run();
+
+    ClusterConfig par = cfg;
+    par.threads = 4;
+    par.controller.logPath = parallelLog.path;
+    ClusterResult parallel = ClusterSimulator(par).run();
+
+    EXPECT_GT(serial.controllerTicks, 0);
+    EXPECT_GT(serial.controllerActions, 0); // the loop actually scaled
+    expectClusterEqual(serial, parallel, /*exact_means=*/false);
+
+    // The decision log is the strictest witness: every snapshot field
+    // and every action, byte for byte.
+    std::string serialText = readFile(serialLog.path);
+    std::string parallelText = readFile(parallelLog.path);
+    EXPECT_FALSE(serialText.empty());
+    EXPECT_EQ(serialText, parallelText);
+}
+
+TEST(ClusterParallel, RunToRunDeterministicAtFixedThreadCount)
+{
+    TempFile logA("parallel_rr_a.jsonl");
+    TempFile logB("parallel_rr_b.jsonl");
+    ClusterConfig cfg = baseCluster();
+    cfg.threads = 3;
+    cfg.controller.policy = ControllerPolicy::TargetUtilization;
+    cfg.controller.tickSeconds = 0.5;
+    cfg.controller.minNodes = 1;
+    cfg.controller.targetUtilization = 0.7;
+
+    cfg.controller.logPath = logA.path;
+    ClusterResult a = ClusterSimulator(cfg).run();
+    cfg.controller.logPath = logB.path;
+    ClusterResult b = ClusterSimulator(cfg).run();
+
+    // Same thread count, same config: everything is bit-identical,
+    // running means included (same merge order).
+    expectClusterEqual(a, b, /*exact_means=*/true);
+    EXPECT_EQ(a.stream.eventsExecuted, b.stream.eventsExecuted);
+    EXPECT_EQ(readFile(logA.path), readFile(logB.path));
+}
+
+// --------------------------------------------------- config policing
+
+TEST(ClusterParallel, RejectsZeroLookaheadFeedbackLoops)
+{
+    {
+        ClusterConfig cfg = baseCluster();
+        cfg.threads = 2;
+        cfg.node.arrival = ArrivalProcess::ClosedLoop;
+        EXPECT_THROW(ClusterSimulator{cfg}, sim::FatalError);
+    }
+    {
+        ClusterConfig cfg = baseCluster();
+        cfg.threads = 2;
+        cfg.node.workload.sessionFollowProb = 0.3;
+        EXPECT_THROW(ClusterSimulator{cfg}, sim::FatalError);
+    }
+    {
+        ClusterConfig cfg = baseCluster();
+        cfg.threads = 2;
+        TenantSpec chatty;
+        chatty.sessionFollowProb = 0.5;
+        cfg.node.workload.tenantSpecs.push_back(chatty);
+        EXPECT_THROW(ClusterSimulator{cfg}, sim::FatalError);
+    }
+    {
+        ClusterConfig cfg = baseCluster();
+        cfg.threads = 2;
+        cfg.dispatch = DispatchPolicy::LeastOutstanding;
+        EXPECT_THROW(ClusterSimulator{cfg}, sim::FatalError);
+    }
+    {
+        ClusterConfig cfg = baseCluster();
+        cfg.threads = 0;
+        EXPECT_THROW(ClusterSimulator{cfg}, sim::FatalError);
+    }
+}
+
+TEST(ClusterParallel, SessionsAllowedWhenReplayedFromTrace)
+{
+    // Record a sessionful trace serially, then replay it in parallel:
+    // the follow-up turns are plain timestamped entries by then, so
+    // the feedback loop is gone and the run must match serial replay.
+    TempFile trace("parallel_sessions.jsonl");
+    ClusterConfig rec = baseCluster();
+    rec.node.workload.tenants = 3;
+    rec.node.workload.sessionFollowProb = 0.4;
+    rec.node.workload.sessionThinkSeconds = 0.2;
+    rec.node.workload.traceOut = trace.path;
+    ClusterSimulator(rec).run();
+
+    ClusterConfig rep = baseCluster();
+    rep.node.workload.tenants = 3;
+    rep.node.workload.sessionFollowProb = 0.4;
+    rep.node.workload.sessionThinkSeconds = 0.2;
+    rep.node.workload.traceIn = trace.path;
+    ClusterResult serial = ClusterSimulator(rep).run();
+
+    ClusterConfig par = rep;
+    par.threads = 4;
+    ClusterResult parallel = ClusterSimulator(par).run();
+    expectClusterEqual(serial, parallel, /*exact_means=*/false);
+}
+
+TEST(ClusterParallel, ClampsThreadsToNodeCount)
+{
+    ClusterConfig cfg = baseCluster();
+    cfg.nodes = 3;
+    cfg.node.streamRequests = 1200;
+    ClusterResult serial = ClusterSimulator(cfg).run();
+
+    ClusterConfig par = cfg;
+    par.threads = 16; // more workers than shards: clamped, not fatal
+    ClusterSimulator sim(par);
+    EXPECT_EQ(sim.config().threads, 3);
+    ClusterResult parallel = sim.run();
+    expectClusterEqual(serial, parallel, /*exact_means=*/false);
+}

@@ -198,9 +198,22 @@ TEST(ClusterInvariants, RandomizedClusterConservation)
             if (rng.uniformInt(2) == 0)
                 cfg.controller.hotExpertTrack = 3;
         }
+        // Threads roulette: conservation must hold under the sharded
+        // parallel run path too. Drawn unconditionally so the RNG
+        // stream (and thus every trial config) stays identical across
+        // safe and unsafe trials; applied only where the parallel
+        // path is defined (no zero-lookahead feedback loops).
+        int rouletteThreads = 1 + static_cast<int>(rng.uniformInt(4));
+        bool parallelSafe =
+            cfg.node.arrival != ArrivalProcess::ClosedLoop &&
+            cfg.node.workload.sessionFollowProb == 0.0 &&
+            cfg.dispatch != DispatchPolicy::LeastOutstanding;
+        if (parallelSafe)
+            cfg.threads = rouletteThreads; // ctor clamps to nodes
         SCOPED_TRACE("trial " + std::to_string(trial) + " seed " +
                      std::to_string(cfg.node.seed) + " nodes " +
-                     std::to_string(cfg.nodes));
+                     std::to_string(cfg.nodes) + " threads " +
+                     std::to_string(cfg.threads));
 
         ClusterSimulator sim(cfg);
         ClusterResult r = sim.run();

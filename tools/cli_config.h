@@ -292,6 +292,71 @@ addCoreServingFlags(FlagParser &p, coe::ServingConfig &cfg,
             [&](const std::string &v) { scheduler_name = v; });
 }
 
+// --------------------------------------------- execution groups
+
+/** Parallel-execution flags (cluster subcommand). */
+struct ExecFlagState
+{
+    int threads = 1;
+    bool setThreads = false;
+};
+
+/**
+ * --threads / -j pick the worker count for the run. 1 is the
+ * bit-exact single-queue path; N > 1 shards the event queue per node
+ * (ClusterConfig::threads).
+ */
+inline void
+addExecFlags(FlagParser &p, ExecFlagState &st)
+{
+    auto parse = [&p, &st](const std::string &v) {
+        st.threads = std::stoi(v);
+        if (st.threads < 1)
+            p.fail("--threads must be at least 1");
+        st.setThreads = true;
+    };
+    p.value("--threads", parse);
+    p.value("-j", parse);
+}
+
+/**
+ * The cluster --threads flag matrix. Parallel runs compose fine with
+ * --controller*, --schedule, and --trace-in (control actuations fire
+ * at window barriers); what they cannot do is anything that closes a
+ * feedback loop from the node shards back into arrival generation or
+ * dispatch mid-window. Those are rejected here with CLI vocabulary;
+ * ClusterSimulator re-validates at the config level for non-CLI
+ * callers.
+ */
+inline void
+validateClusterExecFlags(const FlagParser &p, const ExecFlagState &st,
+                         const coe::ServingConfig &cfg,
+                         coe::DispatchPolicy dispatch,
+                         const ArrivalFlagState &ast,
+                         const ScenarioFlagState &sst)
+{
+    if (st.threads <= 1)
+        return;
+    if (cfg.arrival == coe::ArrivalProcess::ClosedLoop)
+        p.fail("the cluster subcommand cannot combine --threads > 1 "
+               "with closed-loop arrivals (--closed-loop/--workload "
+               "closed-loop): batch completions re-issue clients "
+               "instantly, leaving parallel windows zero lookahead");
+    if (ast.setClients || ast.setThink)
+        p.fail("the cluster subcommand cannot combine --threads > 1 "
+               "with --clients/--think (closed-loop parameters)");
+    if (sst.setSession && cfg.workload.traceIn.empty())
+        p.fail("the cluster subcommand cannot combine --threads > 1 "
+               "with generated --session-* workloads (follow-up turns "
+               "are coupled to node-side completions); record a trace "
+               "and replay it with --trace-in, or use --threads 1");
+    if (dispatch == coe::DispatchPolicy::LeastOutstanding)
+        p.fail("the cluster subcommand cannot combine --threads > 1 "
+               "with --dispatch least-outstanding (per-node queue "
+               "state is stale mid-window); use round-robin or "
+               "expert-affinity");
+}
+
 // ------------------------------------------ control-plane groups
 
 struct ControllerFlagState

@@ -282,6 +282,16 @@ clusterHelp(std::ostream &os)
        << "  --plan-p95-ms MS      p95 latency target (required)\n"
        << "  --plan-max-shed-pct P max shed percentage (default 0)\n"
        << "\n"
+       << "Execution:\n"
+       << "  -j N / --threads N    worker threads for THIS run\n"
+       << "                        (default 1). 1 is the bit-exact\n"
+       << "                        single-queue path; N > 1 shards the\n"
+       << "                        event queue per node (deterministic\n"
+       << "                        for any N, clamped to --nodes).\n"
+       << "                        Incompatible with --closed-loop,\n"
+       << "                        generated --session-* workloads, and\n"
+       << "                        --dispatch least-outstanding\n"
+       << "\n"
        << "Output:\n"
        << "  --json FILE           write the cluster result as JSON\n"
        << "\n"
@@ -729,12 +739,14 @@ runClusterCmd(int argc, char **argv)
     ScenarioFlagState sst;
     ControllerFlagState cst;
     PlanFlagState plan;
+    ExecFlagState exec;
     addWorkloadFlags(parser, cfg.node, wst);
     addArrivalFlags(parser, cfg.node, ast);
     addScenarioFlags(parser, cfg.node, sst);
     addCoreServingFlags(parser, cfg.node, scheduler_name);
     addControllerFlags(parser, cfg.controller, cst);
     addPlanFlags(parser, plan);
+    addExecFlags(parser, exec);
 
     bool set_rate = false, set_hot = false;
     bool set_drain_at = false, set_drain_node = false;
@@ -798,6 +810,15 @@ runClusterCmd(int argc, char **argv)
     validateScenarioFlags(parser, cfg.node, sst, ast);
     validateControllerFlags(parser, cfg.controller, cst);
     validatePlanFlags(parser, plan);
+    validateClusterExecFlags(parser, exec, cfg.node, cfg.dispatch, ast,
+                             sst);
+    if (exec.threads > cfg.nodes && cfg.nodes > 0) {
+        std::cerr << "warning: --threads " << exec.threads
+                  << " exceeds --nodes " << cfg.nodes
+                  << "; clamping to one worker per node\n";
+        exec.threads = cfg.nodes;
+    }
+    cfg.threads = exec.threads;
     // The diurnal ramp shapes the arrival generator, which a replay
     // bypasses entirely — reject it like the other generator flags
     // instead of silently replaying the flat recorded stream.
