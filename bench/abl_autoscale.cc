@@ -30,6 +30,7 @@
 
 #include "coe/cluster.h"
 #include "coe/workload.h"
+#include "perf_common.h"
 #include "sim/event_queue.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -210,6 +211,8 @@ main(int argc, char **argv)
         util::JsonWriter w(out, /*pretty=*/true);
         w.beginObject()
             .field("bench", "abl_autoscale")
+            .field("commit", bench::gitCommitHash())
+            .field("timestamp_utc", bench::isoTimestampUtc())
             .field("mode", smoke ? "smoke" : "full")
             .field("requests", requests)
             .field("arrival_rate", total_rate)

@@ -383,6 +383,54 @@ struct ClusterSimulator::RunState
     std::vector<std::int64_t> baseShedNode;
     std::vector<std::int64_t> baseExpertHits;
 
+    // ---- chaos-layer state (coe/faults.h; inert when no schedule
+    // ---- and no policy knob is enabled)
+    /**
+     * Hub-side view of each node's degradation, written only by the
+     * chaos actuators (control barriers). The hedge estimate reads
+     * these instead of engine state so the estimate is identical
+     * across -j 1 / -j N.
+     */
+    std::vector<double> serviceFactor;
+    std::vector<double> dmaFactor;
+    std::vector<double> flakyProb;
+    /**
+     * Per-node completed + shed as of the last policy barrier — the
+     * ONLY place the hub refreshes its backlog view, so hedge
+     * decisions at dispatch time use barrier-stale data in both
+     * execution modes.
+     */
+    std::vector<std::int64_t> knownDone;
+    /** One open hedged request: primary on one node, duplicate on
+     *  another; resolved at policy barriers from completion logs. */
+    struct HedgePair
+    {
+        int primaryNode = 0;
+        int dupNode = -1; ///< -1: duplicate displaced and dropped
+        bool dupDone = false;
+        double dupLatency = 0.0;
+        /** Primary exhausted its retries; verdict deferred to dup. */
+        bool primaryLost = false;
+    };
+    std::map<int, HedgePair> hedges; ///< by request id
+    std::unique_ptr<sim::Rng> faultRng; ///< flaky draws only
+    std::int64_t retryBudgetUsed = 0;
+    bool brownoutActive = false;
+    std::int64_t crashes = 0;
+    std::int64_t lost = 0;
+    std::int64_t retried = 0;
+    std::int64_t hedged = 0;
+    std::int64_t hedgeWon = 0;
+    /** Completions credited hub-side (hedge wins); the engines never
+     *  count a duplicate, so cluster completed = sum(engines) + this. */
+    std::int64_t hedgeCredits = 0;
+    std::int64_t brownoutShed = 0;
+    // chaos snapshot-window baselines
+    std::int64_t baseLost = 0;
+    std::int64_t baseRetried = 0;
+    std::int64_t baseHedged = 0;
+    std::int64_t baseHedgeWon = 0;
+
     // ---- parallel-run state (inert at threads==1)
     int threads = 1; ///< effective worker count for this run
     /** Min-heap (agendaLater) of pending control callbacks. */
@@ -518,6 +566,40 @@ ClusterSimulator::ClusterSimulator(ClusterConfig cfg) : cfg_(std::move(cfg))
 
     validateControllerConfig(cfg_.controller, cfg_.nodes);
 
+    validateFaultPolicy(cfg_.faultPolicy);
+    if (cfg_.faults && !cfg_.faults->empty()) {
+        validateFaultSchedule(*cfg_.faults, cfg_.nodes);
+        bool displacing = false;
+        for (const FaultEvent &e : *cfg_.faults) {
+            if (e.kind == FaultKind::NodeCrash && cfg_.nodes < 2)
+                sim::fatal("ClusterConfig: crash faults need at least "
+                           "2 nodes (displaced requests must have "
+                           "somewhere to go)");
+            displacing = displacing ||
+                e.kind == FaultKind::NodeCrash ||
+                e.kind == FaultKind::FlakyNode;
+        }
+        if (displacing) {
+            // A displaced-then-lost request never completes, which
+            // would wedge a client pool and starve session follow-ups
+            // of their trigger — the workload could not emit its full
+            // budget.
+            if (cfg_.node.arrival == ArrivalProcess::ClosedLoop)
+                sim::fatal("ClusterConfig: crash/flaky faults cannot "
+                           "drive closed-loop arrivals (a lost request "
+                           "would never free its client); use open-loop "
+                           "arrivals");
+            bool sessions = cfg_.node.workload.sessionFollowProb > 0.0;
+            for (const TenantSpec &t : cfg_.node.workload.tenantSpecs)
+                sessions = sessions || t.sessionFollowProb > 0.0;
+            if (sessions && !cfg_.node.workload.replay())
+                sim::fatal("ClusterConfig: crash/flaky faults cannot "
+                           "generate conversational sessions (a lost "
+                           "turn would never trigger its follow-up); "
+                           "replay a recorded trace instead");
+        }
+    }
+
     costs_ = computePhaseCosts(cfg_.node);
     if (cfg_.node.expertRegionBytes > 0)
         costs_.expertRegionBytes = cfg_.node.expertRegionBytes;
@@ -630,6 +712,25 @@ ClusterSimulator::begin()
         }
     }
 
+    // ---- chaos layer (inert without a schedule or policy knob) ----
+    rs->serviceFactor.assign(static_cast<std::size_t>(N), 1.0);
+    rs->dmaFactor.assign(static_cast<std::size_t>(N), 1.0);
+    rs->flakyProb.assign(static_cast<std::size_t>(N), 0.0);
+    rs->knownDone.assign(static_cast<std::size_t>(N), 0);
+    const bool chaos = (cfg_.faults && !cfg_.faults->empty()) ||
+        cfg_.faultPolicy.anyEnabled();
+    if (chaos)
+        // Dedicated stream for flaky-dispatch draws: drawn only while
+        // a flaky window is open, so arming faults never perturbs the
+        // workload or routing RNG streams.
+        rs->faultRng = std::make_unique<sim::Rng>(
+            sim::mix64(base.seed ^ 0xfa017c5ull));
+    if (cfg_.faultPolicy.hedge)
+        // Hedge resolution drains per-engine completion logs at policy
+        // barriers; off by default so the no-chaos path records nothing.
+        for (std::unique_ptr<ServingEngine> &e : rs->engines)
+            e->setLogCompletions(true);
+
     // rs_ must be live before the scheduled lambdas (and the workload
     // sink below) can reference the actuators.
     rs_ = std::move(rs);
@@ -657,29 +758,128 @@ ClusterSimulator::begin()
         }
     }
 
+    // ---- faults --------------------------------------------------
+    // The schedule is armed through the same control-plane path the
+    // scripted actions just used, so every fault fires at a barrier
+    // with all shards squared up to its tick.
+    faults_.reset();
+    if (cfg_.faults && !cfg_.faults->empty()) {
+        faults_ = std::make_unique<FaultInjector>(*this, cfg_.faults);
+        faults_->arm();
+    }
+    armPolicyTick();
+
     // ---- arrivals -----------------------------------------------
     // The workload model emits routed requests from inside arrival
     // events; the cluster dispatches each to a hosting node —
     // directly at threads==1, via the node's mailbox otherwise (the
     // shard delivers at the same tick, so the engine stamps the same
-    // arrival time inject() would have).
+    // arrival time inject() would have). Dispatch itself lives in
+    // dispatchRequest(), where the degraded-mode policies hook in.
     rs_->workload->bind(rs_->eq, [this](const TrafficRequest &r) {
         if (rs_->firstArrival < 0)
             rs_->firstArrival = rs_->eq.now();
         rs_->recorder.record(r, rs_->eq.now());
-        int n = pickNode(r.expert);
-        ++rs_->dispatchedTo[static_cast<std::size_t>(n)];
-        if (rs_->threads > 1) {
-            RunState::Shard &sh =
-                rs_->shards[static_cast<std::size_t>(n)];
-            sh.staging.push_back({r, rs_->eq.now()});
-            ++rs_->hubBuffered;
-        } else {
-            rs_->engines[static_cast<std::size_t>(n)]->inject(r);
-        }
+        dispatchRequest(r);
     });
     rs_->workload->start();
     return true;
+}
+
+/**
+ * Route one arriving request to a hosting node, applying the
+ * degraded-mode policies on the way: brown-out shedding at the door,
+ * flaky-dispatch failures into the retry path, and hedged dispatch of
+ * a duplicate when the chosen node's backlog estimate blows the SLO.
+ * Runs in the hub phase (threads > 1) or inside the arrival event
+ * (threads == 1); it touches only hub-owned state plus the mailbox /
+ * direct-inject seam the plain dispatch already used, and with every
+ * policy disabled it reduces exactly to that plain dispatch.
+ */
+void
+ClusterSimulator::dispatchRequest(const TrafficRequest &request)
+{
+    RunState &rs = *rs_;
+    const FaultPolicyConfig &policy = cfg_.faultPolicy;
+
+    // Brown-out: while the cluster is in overload, low-priority
+    // arrivals are shed at the door (counted, and the workload layer
+    // is told, exactly like an SLO admission shed).
+    if (rs.brownoutActive &&
+        request.priority <= policy.brownoutPriorityMax) {
+        ++rs.brownoutShed;
+        stats_.inc("brownout_shed");
+        if (rs.threads == 1)
+            rs.workload->onRequestShed(request);
+        return;
+    }
+
+    int n = pickNode(request.expert);
+
+    // Flaky node: the dispatch itself fails and the request enters
+    // the same retry-or-lost path a crash displacement does, with its
+    // arrival timestamp preserved. Drawn from the dedicated fault
+    // stream only while a flaky window is open.
+    if (rs.flakyProb[static_cast<std::size_t>(n)] > 0.0 &&
+        rs.faultRng->uniformDouble() <
+            rs.flakyProb[static_cast<std::size_t>(n)]) {
+        stats_.inc("flaky_failures");
+        handleDisplaced(
+            rs.engines[static_cast<std::size_t>(n)]->makeEngineRequest(
+                request, rs.eq.now()));
+        return;
+    }
+
+    auto deliver = [&rs](int node, const TrafficRequest &r) {
+        ++rs.dispatchedTo[static_cast<std::size_t>(node)];
+        if (rs.threads > 1) {
+            RunState::Shard &sh =
+                rs.shards[static_cast<std::size_t>(node)];
+            sh.staging.push_back({r, rs.eq.now()});
+            ++rs.hubBuffered;
+        } else {
+            rs.engines[static_cast<std::size_t>(node)]->inject(r);
+        }
+    };
+    deliver(n, request);
+
+    // Hedged dispatch: when the chosen node's queueing-delay estimate
+    // exceeds the priority-scaled SLO, race a duplicate on the best
+    // other live node; the loser is cancelled at a policy barrier.
+    if (policy.hedge && request.deadlineSeconds > 0.0 &&
+        estimateDelaySeconds(n) >
+            policy.hedgeThreshold *
+                (1.0 + static_cast<double>(request.priority)) *
+                request.deadlineSeconds) {
+        int alt = -1;
+        double altEst = 0.0;
+        auto consider = [&](int c) {
+            if (c == n || !rs.live[static_cast<std::size_t>(c)])
+                return;
+            double est = estimateDelaySeconds(c);
+            if (alt < 0 || est < altEst) { // ties keep the lowest id
+                alt = c;
+                altEst = est;
+            }
+        };
+        // Prefer the expert's other hosts; any live node can still
+        // serve it by demand-streaming from its DDR zoo copy.
+        for (int c : rs.placement.hostsOfExpert[static_cast<std::size_t>(
+                 request.expert)])
+            consider(c);
+        if (alt < 0)
+            for (int c = 0; c < cfg_.nodes; ++c)
+                consider(c);
+        if (alt >= 0) {
+            TrafficRequest dup = request;
+            dup.hedgeDuplicate = true;
+            deliver(alt, dup);
+            rs.hedges.emplace(request.id,
+                              RunState::HedgePair{n, alt});
+            ++rs.hedged;
+            stats_.inc("hedged");
+        }
+    }
 }
 
 void
@@ -825,6 +1025,311 @@ ClusterSimulator::rejoinNode(int node)
     ++rs.liveCount;
     stats_.inc("rejoin_events");
     return true;
+}
+
+bool
+ClusterSimulator::crashNode(int node)
+{
+    if (!rs_)
+        sim::panic("cluster: crashNode outside an active run");
+    if (node < 0 || node >= cfg_.nodes)
+        sim::fatal("cluster: crashNode out of range");
+    RunState &rs = *rs_;
+    auto d = static_cast<std::size_t>(node);
+    if (!rs.live[d])
+        return false; // already down
+    if (rs.liveCount <= 1)
+        return false; // displaced requests must have somewhere to go
+    accrueNodeSeconds();
+    rs.live[d] = 0;
+    rs.wasDrained[d] = 1;
+    --rs.liveCount;
+    ++rs.crashes;
+    stats_.inc("crash_events");
+    // Unlike a clean drain, the in-flight batch dies with the node:
+    // crashExtract() hands back queued AND executing requests (the
+    // abandoned batch resolves as a ghost that completes nothing) and
+    // every one of them goes through the retry-or-lost policy.
+    std::vector<EngineRequest> displaced = rs.engines[d]->crashExtract();
+    for (EngineRequest &r : displaced)
+        handleDisplaced(std::move(r));
+    return true;
+}
+
+void
+ClusterSimulator::setNodeDmaFactor(int node, double factor)
+{
+    if (!rs_)
+        sim::panic("cluster: setNodeDmaFactor outside an active run");
+    if (node < 0 || node >= cfg_.nodes)
+        sim::fatal("cluster: setNodeDmaFactor out of range");
+    if (factor < 1.0)
+        sim::fatal("cluster: DMA stall factor must be at least 1");
+    auto d = static_cast<std::size_t>(node);
+    rs_->engines[d]->memorySystem().setDmaRateFactor(factor);
+    rs_->dmaFactor[d] = factor;
+    stats_.inc(factor == 1.0 ? "dma_heals" : "dma_stalls");
+}
+
+void
+ClusterSimulator::setNodeServiceFactor(int node, double factor)
+{
+    if (!rs_)
+        sim::panic("cluster: setNodeServiceFactor outside an active run");
+    if (node < 0 || node >= cfg_.nodes)
+        sim::fatal("cluster: setNodeServiceFactor out of range");
+    auto d = static_cast<std::size_t>(node);
+    rs_->engines[d]->setServiceFactor(factor);
+    rs_->serviceFactor[d] = factor;
+    stats_.inc(factor == 1.0 ? "straggler_heals" : "stragglers");
+}
+
+void
+ClusterSimulator::setNodeFlakyProbability(int node, double p)
+{
+    if (!rs_)
+        sim::panic("cluster: setNodeFlakyProbability outside an "
+                   "active run");
+    if (node < 0 || node >= cfg_.nodes)
+        sim::fatal("cluster: setNodeFlakyProbability out of range");
+    if (p < 0.0 || p > 1.0)
+        sim::fatal("cluster: flaky probability must be in [0, 1]");
+    rs_->flakyProb[static_cast<std::size_t>(node)] = p;
+    stats_.inc(p == 0.0 ? "flaky_heals" : "flaky_windows");
+}
+
+/**
+ * One displaced request (crash extraction or flaky dispatch failure)
+ * meets the retry policy: duplicates are dropped (their primary is
+ * still being served), primaries re-dispatch after exponential
+ * backoff while attempts and the cluster-wide budget allow, and
+ * everything else is counted lost — unless its hedge duplicate
+ * already finished, in which case the request was in fact served and
+ * the completion is credited.
+ */
+void
+ClusterSimulator::handleDisplaced(EngineRequest request)
+{
+    RunState &rs = *rs_;
+    if (request.hedgeDuplicate) {
+        auto it = rs.hedges.find(request.id);
+        if (it != rs.hedges.end()) {
+            it->second.dupNode = -1; // duplicate gone
+            if (it->second.primaryLost) {
+                // Both copies are now dead: the loss is final.
+                ++rs.lost;
+                rs.hedges.erase(it);
+            }
+        }
+        stats_.inc("hedge_duplicates_dropped");
+        return;
+    }
+    const FaultPolicyConfig &policy = cfg_.faultPolicy;
+    bool budgetOk = policy.retryBudget < 0 ||
+        rs.retryBudgetUsed < policy.retryBudget;
+    if (policy.retriesEnabled() && request.attempt < policy.retryMax &&
+        budgetOk) {
+        ++request.attempt;
+        ++rs.retryBudgetUsed;
+        ++rs.retried;
+        // Exponential backoff: base * 2^(attempt-1). ldexp keeps the
+        // doubling exact.
+        double backoff = std::ldexp(policy.retryBackoffSeconds,
+                                    request.attempt - 1);
+        scheduleControlIn(
+            sim::fromSeconds(backoff),
+            [this, request]() { redispatch(request); },
+            "cluster.retry");
+        return;
+    }
+    auto it = rs.hedges.find(request.id);
+    if (it != rs.hedges.end()) {
+        RunState::HedgePair &h = it->second;
+        if (h.dupDone) {
+            // The duplicate already served it: a hedge win, not a loss.
+            ++rs.hedgeWon;
+            ++rs.hedgeCredits;
+            latency_.record(h.dupLatency);
+            stats_.inc("hedge_wins");
+            rs.hedges.erase(it);
+            return;
+        }
+        if (h.dupNode >= 0) {
+            // The duplicate is still in flight; defer the verdict.
+            h.primaryLost = true;
+            return;
+        }
+        rs.hedges.erase(it);
+    }
+    ++rs.lost;
+    return;
+}
+
+/** A retry lands: re-dispatch with the original arrival timestamp. */
+void
+ClusterSimulator::redispatch(EngineRequest request)
+{
+    RunState &rs = *rs_;
+    int n = pickNode(request.expert);
+    auto ns = static_cast<std::size_t>(n);
+    // The retry target can be flaky too — the request cycles back
+    // into the displaced path and burns another attempt.
+    if (rs.flakyProb[ns] > 0.0 &&
+        rs.faultRng->uniformDouble() < rs.flakyProb[ns]) {
+        stats_.inc("flaky_failures");
+        handleDisplaced(std::move(request));
+        return;
+    }
+    ++rs.dispatchedTo[ns];
+    // Retries fire at control barriers (threads > 1 workers are
+    // parked), so direct injection is safe in both modes — the
+    // drainNode() re-dispatch precedent.
+    rs.engines[ns]->injectAt(std::move(request));
+}
+
+/**
+ * Hub-side queueing-delay estimate for hedging: backlog (dispatched
+ * minus the last policy-barrier view of completed + shed) priced at
+ * router + a full batch of default prompts, stretched by the node's
+ * known degradation. Deliberately refreshed only at barriers so the
+ * estimate — and therefore every hedge decision — is identical across
+ * -j 1 / -j N.
+ */
+double
+ClusterSimulator::estimateDelaySeconds(int node) const
+{
+    const RunState &rs = *rs_;
+    auto ns = static_cast<std::size_t>(node);
+    std::int64_t backlog =
+        rs.dispatchedTo[ns] - rs.knownDone[ns];
+    if (backlog <= 0)
+        return 0.0;
+    const PhaseCosts &c = rs.nodeCosts[ns];
+    const ServingConfig &ncfg = rs.nodeCfg[ns];
+    int batch = std::max(1, ncfg.batch);
+    double perPrompt = c.prefillSeconds +
+        c.decodeSecondsPerToken * static_cast<double>(ncfg.outputTokens);
+    double batches = static_cast<double>(backlog) /
+        static_cast<double>(batch);
+    return batches *
+        (c.routerSeconds + perPrompt * static_cast<double>(batch)) *
+        rs.serviceFactor[ns] * rs.dmaFactor[ns];
+}
+
+/** Re-arm the recurring policy barrier (hedge / brown-out only). */
+void
+ClusterSimulator::armPolicyTick()
+{
+    const FaultPolicyConfig &policy = cfg_.faultPolicy;
+    if (!policy.hedge && policy.brownoutDepth <= 0.0)
+        return;
+    scheduleControlIn(sim::fromSeconds(policy.policyTickSeconds),
+                      [this]() { policyTick(); },
+                      "cluster.policy_tick");
+}
+
+/**
+ * The recurring policy barrier: refresh the hub's backlog view,
+ * resolve hedge winners from the engines' completion logs, and
+ * re-evaluate brown-out with hysteresis. Stops re-arming once the
+ * run is idle so the event queue can dry.
+ */
+void
+ClusterSimulator::policyTick()
+{
+    RunState &rs = *rs_;
+    const FaultPolicyConfig &policy = cfg_.faultPolicy;
+    for (int n = 0; n < cfg_.nodes; ++n) {
+        auto ns = static_cast<std::size_t>(n);
+        rs.knownDone[ns] = rs.engines[ns]->completedCount() +
+            rs.engines[ns]->shedCount();
+    }
+    resolveHedges();
+    if (policy.brownoutDepth > 0.0) {
+        std::int64_t depth = 0;
+        int live = 0;
+        for (int n = 0; n < cfg_.nodes; ++n) {
+            auto ns = static_cast<std::size_t>(n);
+            if (!rs.live[ns])
+                continue;
+            depth += static_cast<std::int64_t>(
+                rs.engines[ns]->queueDepth());
+            ++live;
+        }
+        double mean = live > 0
+            ? static_cast<double>(depth) / static_cast<double>(live)
+            : 0.0;
+        // Hysteresis: enter above the threshold, exit below half of
+        // it, so the shed decision doesn't flap every tick.
+        if (rs.brownoutActive) {
+            if (mean <= 0.5 * policy.brownoutDepth) {
+                rs.brownoutActive = false;
+                stats_.inc("brownout_exits");
+            }
+        } else if (mean > policy.brownoutDepth) {
+            rs.brownoutActive = true;
+            stats_.inc("brownout_entries");
+        }
+    }
+    if (!idle())
+        armPolicyTick();
+}
+
+/**
+ * Drain the engines' completion logs (node order — deterministic in
+ * both modes) into the open hedge ledger, then settle every pair
+ * whose duplicate finished first: cancel the still-queued primary and
+ * credit the completion hub-side. Exactly one completion is ever
+ * counted per hedged request: the engines count primaries only, the
+ * hub credits a duplicate's completion only after the primary is
+ * confirmed cancelled (or lost).
+ */
+void
+ClusterSimulator::resolveHedges()
+{
+    RunState &rs = *rs_;
+    if (!cfg_.faultPolicy.hedge)
+        return;
+    for (int n = 0; n < cfg_.nodes; ++n) {
+        std::vector<ServingEngine::CompletionRecord> &log =
+            rs.engines[static_cast<std::size_t>(n)]->completionLog();
+        for (const ServingEngine::CompletionRecord &c : log) {
+            auto it = rs.hedges.find(c.id);
+            if (it == rs.hedges.end())
+                continue;
+            RunState::HedgePair &h = it->second;
+            if (c.hedgeDuplicate) {
+                h.dupDone = true;
+                h.dupLatency = c.latencySeconds;
+            } else {
+                // The primary completed (and the engine counted it):
+                // cancel the duplicate if it still queues, close the
+                // pair. A duplicate already executing just finishes as
+                // an uncounted ghost.
+                if (h.dupNode >= 0)
+                    rs.engines[static_cast<std::size_t>(h.dupNode)]
+                        ->cancelQueued(c.id);
+                rs.hedges.erase(it);
+            }
+        }
+        log.clear();
+    }
+    for (auto it = rs.hedges.begin(); it != rs.hedges.end();) {
+        RunState::HedgePair &h = it->second;
+        bool win = h.dupDone &&
+            (h.primaryLost ||
+             rs.engines[static_cast<std::size_t>(h.primaryNode)]
+                 ->cancelQueued(it->first));
+        if (win) {
+            ++rs.hedgeWon;
+            ++rs.hedgeCredits;
+            latency_.record(h.dupLatency);
+            stats_.inc("hedge_wins");
+            it = rs.hedges.erase(it);
+        } else {
+            ++it;
+        }
+    }
 }
 
 bool
@@ -1041,9 +1546,22 @@ ClusterSimulator::snapshot()
         rs.baseMisses[ns] = e.missCount();
         rs.baseShedNode[ns] = e.shedCount();
     }
+    // Hub-side chaos accounting folds into the cluster totals: hedge
+    // wins are completions credited at the hub (never counted by an
+    // engine), brown-out sheds never reached an engine.
+    completions += rs.hedgeCredits;
+    shed += rs.brownoutShed;
     s.arrivals = arrivals - rs.baseArrivals;
     s.completions = completions - rs.baseCompletions;
     s.shed = shed - rs.baseShed;
+    s.lost = rs.lost - rs.baseLost;
+    s.retried = rs.retried - rs.baseRetried;
+    s.hedged = rs.hedged - rs.baseHedged;
+    s.hedgeWon = rs.hedgeWon - rs.baseHedgeWon;
+    rs.baseLost = rs.lost;
+    rs.baseRetried = rs.retried;
+    rs.baseHedged = rs.hedged;
+    rs.baseHedgeWon = rs.hedgeWon;
     if (s.windowSeconds > 0.0) {
         s.arrivalRatePerSec =
             static_cast<double>(s.arrivals) / s.windowSeconds;
@@ -1154,9 +1672,24 @@ ClusterSimulator::runParallel()
             }
         });
 
+    // The arrival path can create control work mid-window: a flaky
+    // displacement under the retry policy schedules its re-dispatch
+    // at arrival + backoff (handleDisplaced), and that retry must
+    // fire at a barrier exactly where the serial path would run it.
+    // The top-up loop therefore re-reads the agenda after every hub
+    // step (the new entry may shrink the window), and the overlap
+    // stops short of arrivals whose retry could land inside the
+    // already-committed window.
+    const bool hubMayRetry = cfg_.faultPolicy.retriesEnabled();
+    const sim::Tick firstBackoff =
+        sim::fromSeconds(cfg_.faultPolicy.retryBackoffSeconds);
+    auto agendaFront = [&rs]() {
+        return rs.agenda.empty() ? sim::kMaxTick
+                                 : rs.agenda.front().when;
+    };
+
     for (;;) {
-        sim::Tick syncT =
-            rs.agenda.empty() ? sim::kMaxTick : rs.agenda.front().when;
+        sim::Tick syncT = agendaFront();
 
         // Top up this window's arrivals (strictly below the next
         // control barrier, bounded by the mailbox cap). After the
@@ -1164,8 +1697,10 @@ ClusterSimulator::runParallel()
         // previous window's overlap, so this usually no-ops.
         rs.hubBuffered = 0;
         while (rs.eq.peekNextTick() < syncT &&
-               rs.hubBuffered < kWindowArrivalCap)
+               rs.hubBuffered < kWindowArrivalCap) {
             rs.eq.step();
+            syncT = agendaFront();
+        }
 
         sim::Tick windowEnd = std::min(syncT, rs.eq.peekNextTick());
 
@@ -1189,6 +1724,17 @@ ClusterSimulator::runParallel()
         }
 
         if (windowEnd > 0) {
+            // While a flaky window is open and retries are on, an
+            // arrival stepped during the overlap could schedule its
+            // retry at arrival + backoff, inside the window the
+            // workers are already committed to. Stop the overlap at
+            // the first such arrival; the next top-up (with the
+            // workers parked and the window still shrinkable) handles
+            // it.
+            bool flakyOpen = false;
+            if (hubMayRetry)
+                for (double p : rs.flakyProb)
+                    flakyOpen = flakyOpen || p > 0.0;
             rs.pool->startWindow(windowEnd - 1); // run() is inclusive
             // Pipeline: pre-route the next window's arrivals into the
             // hub-private staging halves while the workers execute
@@ -1200,8 +1746,12 @@ ClusterSimulator::runParallel()
             // serial routing cost behind shard execution.
             rs.hubBuffered = 0;
             while (rs.eq.peekNextTick() < syncT &&
-                   rs.hubBuffered < kWindowArrivalCap)
+                   rs.hubBuffered < kWindowArrivalCap) {
+                if (flakyOpen &&
+                    rs.eq.peekNextTick() + firstBackoff < windowEnd)
+                    break;
                 rs.eq.step();
+            }
             rs.pool->waitWindow();
         }
 
@@ -1261,6 +1811,16 @@ ClusterSimulator::finish()
         }
     }
 
+    // Settle the hedge ledger's tail: completions that landed after
+    // the last policy barrier, then any pair whose primary was lost
+    // and whose duplicate silently died (shed at admission) — that
+    // loss is final and counted, nothing leaves the run unaccounted.
+    resolveHedges();
+    for (const auto &kv : rs.hedges)
+        if (kv.second.primaryLost)
+            ++rs.lost;
+    rs.hedges.clear();
+
     std::int64_t completed = 0, batches = 0, misses = 0, shedTotal = 0;
     double occupancyTotal = 0.0, depthIntegral = 0.0;
     sim::Tick lastCompletion = 0;
@@ -1279,11 +1839,18 @@ ClusterSimulator::finish()
         depthIntegral += e.depthIntegral();
         lastCompletion = std::max(lastCompletion, e.lastCompletion());
     }
+    // Hub-side ledger: hedge wins are completions the engines never
+    // counted; brown-out sheds never reached an engine; lost requests
+    // are the only sanctioned leak and they are counted, not silent.
+    completed += rs.hedgeCredits;
+    shedTotal += rs.brownoutShed;
     sim::simAssert(rs.workload->emitted() ==
                        rs.workload->plannedRequests(),
                    "cluster: workload did not emit its full budget");
-    sim::simAssert(completed + shedTotal == rs.workload->emitted(),
-                   "cluster: arrivals != completions + shed at drain");
+    sim::simAssert(completed + shedTotal + rs.lost ==
+                       rs.workload->emitted(),
+                   "cluster: arrivals != completions + shed + lost "
+                   "at drain");
 
     double makespan = sim::toSeconds(
         lastCompletion - std::max<sim::Tick>(rs.firstArrival, 0));
@@ -1319,6 +1886,10 @@ ClusterSimulator::finish()
         ? static_cast<double>(shedTotal) /
             static_cast<double>(completed + shedTotal)
         : 0.0;
+    m.lost = rs.lost;
+    m.retried = rs.retried;
+    m.hedged = rs.hedged;
+    m.hedgeWon = rs.hedgeWon;
 
     result.missRate = completed > 0
         ? static_cast<double>(misses) / static_cast<double>(completed)
@@ -1386,6 +1957,8 @@ ClusterSimulator::finish()
         result.controllerTicks = controller_->ticks();
         result.controllerActions = controller_->actions();
     }
+    result.faultsInjected = faults_ ? faults_->injectedCount() : 0;
+    result.crashes = rs.crashes;
 
     stats_.set("completed", static_cast<double>(completed));
     stats_.set("batches", static_cast<double>(batches));
@@ -1403,8 +1976,19 @@ ClusterSimulator::finish()
                static_cast<double>(result.controllerTicks));
     stats_.set("controller_actions",
                static_cast<double>(result.controllerActions));
+    stats_.set("lost", static_cast<double>(rs.lost));
+    stats_.set("retried", static_cast<double>(rs.retried));
+    stats_.set("retry_budget_used",
+               static_cast<double>(rs.retryBudgetUsed));
+    stats_.set("hedge_won", static_cast<double>(rs.hedgeWon));
+    stats_.set("brownout_shed_total",
+               static_cast<double>(rs.brownoutShed));
+    stats_.set("faults_injected",
+               static_cast<double>(result.faultsInjected));
+    stats_.set("crashes", static_cast<double>(rs.crashes));
 
     controller_.reset();
+    faults_.reset();
     rs_.reset();
     return result;
 }

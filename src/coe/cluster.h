@@ -50,10 +50,13 @@
 #include <vector>
 
 #include "coe/controller.h"
+#include "coe/faults.h"
 #include "coe/serving.h"
 #include "sim/event_queue.h"
 
 namespace sn40l::coe {
+
+struct EngineRequest; // serving_engine.h
 
 /** How the cluster router picks a hosting node for a prompt. */
 enum class DispatchPolicy {
@@ -165,6 +168,17 @@ struct ClusterConfig
     double diurnalPeriodSeconds = 86400.0;
 
     std::vector<ClusterNodeOverride> overrides;
+
+    /**
+     * Chaos layer (coe/faults.h): a scripted fault schedule (null or
+     * empty arms nothing — the fault-free path is bit-identical to a
+     * cluster without the chaos layer) and the degraded-mode policy
+     * knobs, all disabled by default. Shared pointer for the same
+     * reason as traceEntries: a sweep parses the schedule once and
+     * shares it across points.
+     */
+    std::shared_ptr<const std::vector<FaultEvent>> faults;
+    FaultPolicyConfig faultPolicy;
 };
 
 /** Static expert-to-node placement map. */
@@ -214,6 +228,16 @@ struct MetricsSnapshot
     std::int64_t shed = 0;
     double arrivalRatePerSec = 0.0;
     double completionRatePerSec = 0.0;
+
+    /**
+     * Chaos-layer counters in the window (coe/faults.h), so the
+     * controller can react to failure, not just load. All zero on
+     * fault-free runs.
+     */
+    std::int64_t lost = 0;
+    std::int64_t retried = 0;
+    std::int64_t hedged = 0;
+    std::int64_t hedgeWon = 0;
 
     int liveNodes = 0;
     double meanQueueDepthPerLiveNode = 0.0; ///< instantaneous
@@ -270,6 +294,10 @@ struct ClusterResult
     /** Control-plane accounting (0 under ControllerPolicy::Static). */
     std::int64_t controllerTicks = 0;
     std::int64_t controllerActions = 0;
+
+    /** Chaos-layer accounting (0 without a fault schedule). */
+    std::int64_t faultsInjected = 0;
+    std::int64_t crashes = 0;
 };
 
 class ClusterSimulator
@@ -332,6 +360,25 @@ class ClusterSimulator
     /** Multiply the open-loop arrival rate from now on (> 0). */
     void setRateFactor(double factor);
 
+    // ---- chaos actuators (driven by coe::FaultInjector) -----------
+    // Each must run at a control barrier (threads > 1) or inside an
+    // event (threads == 1), exactly like the actuators above.
+
+    /**
+     * Crash @p node mid-batch: unlike drainNode() the in-flight batch
+     * is abandoned too, and displaced requests go through the retry
+     * policy (re-dispatched with original arrival timestamps under
+     * the budget) or are counted lost — nothing is silently dropped.
+     * Refuses the last live node and already-down nodes.
+     */
+    bool crashNode(int node);
+    /** Stretch @p node's DMA completions by @p factor (1.0 heals). */
+    void setNodeDmaFactor(int node, double factor);
+    /** Straggler: multiply @p node's prompt execution (1.0 heals). */
+    void setNodeServiceFactor(int node, double factor);
+    /** Dispatches to @p node fail with probability @p p (0 heals). */
+    void setNodeFlakyProbability(int node, double p);
+
     /** Live nodes in the active run. */
     int liveNodes() const;
 
@@ -353,12 +400,22 @@ class ClusterSimulator
 
   private:
     struct RunState;
+    friend class FaultInjector; // arms faults via scheduleControlAt
 
     int pickNode(int expert);
     void accrueNodeSeconds();
     void scheduleControlAt(sim::Tick when, std::function<void()> cb,
                            const char *name);
     void runParallel();
+
+    // ---- degraded-mode policy internals (cluster.cc) -------------
+    void dispatchRequest(const TrafficRequest &request);
+    void handleDisplaced(EngineRequest request);
+    void redispatch(EngineRequest request);
+    double estimateDelaySeconds(int node) const;
+    void policyTick();
+    void armPolicyTick();
+    void resolveHedges();
 
     ClusterConfig cfg_;
     /** Legacy drain sugar desugared + cfg.actions, in firing order. */
@@ -369,6 +426,7 @@ class ClusterSimulator
     sim::StatSet stats_{"cluster"};
     std::unique_ptr<RunState> rs_; ///< non-null between begin/finish
     std::unique_ptr<ClusterController> controller_;
+    std::unique_ptr<FaultInjector> faults_;
 };
 
 } // namespace sn40l::coe

@@ -24,6 +24,10 @@ snapshotJsonFields(util::JsonWriter &w, const MetricsSnapshot &snap)
         .field("completion_rate", snap.completionRatePerSec)
         .field("queue_depth_per_node", snap.meanQueueDepthPerLiveNode)
         .field("shed", snap.shed)
+        .field("lost", snap.lost)
+        .field("retried", snap.retried)
+        .field("hedged", snap.hedged)
+        .field("hedge_won", snap.hedgeWon)
         .field("node_seconds_live", snap.nodeSecondsLive);
 }
 
@@ -114,6 +118,12 @@ writeClusterJson(std::ostream &os, const ClusterConfig &cfg,
     streamMetricsJsonFields(w, r.stream);
     w.field("shed", r.stream.shed)
         .field("shed_rate", r.stream.shedRate)
+        .field("lost", r.stream.lost)
+        .field("retried", r.stream.retried)
+        .field("hedged", r.stream.hedged)
+        .field("hedge_won", r.stream.hedgeWon)
+        .field("faults_injected", r.faultsInjected)
+        .field("crashes", r.crashes)
         .field("miss_rate", r.missRate)
         .field("load_imbalance", r.loadImbalance)
         .field("expert_replicas", r.expertReplicas)

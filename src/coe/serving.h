@@ -224,6 +224,17 @@ struct StreamMetrics
     std::int64_t shed = 0;
     double shedRate = 0.0;
 
+    /**
+     * Chaos-layer accounting (coe/faults.h), all zero on fault-free
+     * runs: requests lost to crashes/transient failures after the
+     * retry budget, retries dispatched, hedged dispatches issued, and
+     * hedges whose duplicate finished first (loser cancelled).
+     */
+    std::int64_t lost = 0;
+    std::int64_t retried = 0;
+    std::int64_t hedged = 0;
+    std::int64_t hedgeWon = 0;
+
     /** Simulator events the run executed (perf accounting, not a
      *  modeled quantity — see bench/perf_serving). */
     std::uint64_t eventsExecuted = 0;

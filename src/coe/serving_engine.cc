@@ -20,6 +20,7 @@ toTrafficRequest(const EngineRequest &request)
     t.turn = request.turn;
     t.priority = request.priority;
     t.deadlineSeconds = request.deadlineSeconds;
+    t.hedgeDuplicate = request.hedgeDuplicate;
     return t;
 }
 
@@ -220,9 +221,16 @@ ServingEngine::inject(int id, int expert)
 void
 ServingEngine::inject(const TrafficRequest &request)
 {
+    injectAt(makeEngineRequest(request, eq_.now()));
+}
+
+EngineRequest
+ServingEngine::makeEngineRequest(const TrafficRequest &request,
+                                 sim::Tick arrival) const
+{
     EngineRequest req;
     req.id = request.id;
-    req.arrival = eq_.now();
+    req.arrival = arrival;
     req.expert = request.expert;
     req.tenant = request.tenant;
     req.session = request.session;
@@ -232,7 +240,17 @@ ServingEngine::inject(const TrafficRequest &request)
     req.execSeconds =
         execSecondsFor(request.promptLen, request.outputTokens);
     req.trafficBytes = trafficBytesFor(request.outputTokens);
-    injectAt(std::move(req));
+    req.hedgeDuplicate = request.hedgeDuplicate;
+    return req;
+}
+
+void
+ServingEngine::setServiceFactor(double factor)
+{
+    if (factor < 1.0)
+        sim::fatal("serving: service-time factor must be >= 1 (got " +
+                   std::to_string(factor) + ")");
+    serviceFactor_ = factor;
 }
 
 /**
@@ -295,6 +313,13 @@ ServingEngine::injectAt(EngineRequest request)
     if (request.trafficBytes <= 0.0)
         request.trafficBytes = trafficBytesPerPrompt_;
     if (request.deadlineSeconds > 0.0 && shouldShed(request)) {
+        // A hedge duplicate is speculative capacity, not a request:
+        // refusing it is silent (the primary copy's fate is the one
+        // the conservation ledger tracks).
+        if (request.hedgeDuplicate) {
+            stats_.inc("hedge_duplicates_refused");
+            return;
+        }
         ++shedCount_;
         stats_.inc("shed_requests");
         // Per-tenant shed counters, through cached stable references
@@ -343,6 +368,40 @@ ServingEngine::extractQueued()
     return out;
 }
 
+std::vector<EngineRequest>
+ServingEngine::crashExtract()
+{
+    std::vector<EngineRequest> out = extractQueued();
+    if (busy_) {
+        // Abandon the in-flight batch. Its scheduled events (router,
+        // awaited DMA, prompt joins) still fire, but with curBatch_
+        // empty they fall straight through runNextPrompt into
+        // finishBatch, which releases the pinned experts and clears
+        // busy_ — a ghost batch that completes nothing.
+        out.reserve(out.size() + curBatch_.size());
+        injectedCount_ -= static_cast<std::int64_t>(curBatch_.size());
+        for (EngineRequest &r : curBatch_)
+            out.push_back(std::move(r));
+        curBatch_.clear();
+        stats_.inc("crashed_batches");
+    }
+    stats_.inc("crashes");
+    return out;
+}
+
+bool
+ServingEngine::cancelQueued(int id)
+{
+    auto it = queued_.find(id);
+    if (it == queued_.end())
+        return false;
+    touchDepth(queued_.size() - 1);
+    eraseRequest(id, it->second.expert);
+    --injectedCount_;
+    stats_.inc("cancelled_queued");
+    return true;
+}
+
 void
 ServingEngine::eraseRequest(int id, int expert)
 {
@@ -365,6 +424,18 @@ ServingEngine::finishBatch()
     lastCompletion_ = eq_.now();
     for (const EngineRequest &r : curBatch_) {
         double seconds = sim::toSeconds(eq_.now() - r.arrival);
+        if (logCompletions_)
+            completionLog_.push_back(
+                {r.id, seconds, r.hedgeDuplicate});
+        if (r.hedgeDuplicate) {
+            // The duplicate's completion is not a request completion:
+            // the cluster credits exactly one completion per hedged
+            // id (here its injection is un-counted so outstanding()
+            // still converges to zero).
+            --injectedCount_;
+            stats_.inc("hedge_duplicate_completions");
+            continue;
+        }
         latency_.record(seconds);
         if (latencyMirror_)
             latencyMirror_->record(seconds);
@@ -406,8 +477,11 @@ ServingEngine::runNextPrompt()
     const EngineRequest &prompt = curBatch_[execIndex_];
     ++execIndex_;
     promptJoinPending_ = 2;
-    eq_.scheduleIn(sim::fromSeconds(prompt.execSeconds),
-                   [this]() { promptJoin(); }, "coe.prompt_exec");
+    // serviceFactor_ is exactly 1.0 on a healthy node, and x * 1.0 is
+    // IEEE-exact, so non-straggler runs schedule identical ticks.
+    eq_.scheduleIn(
+        sim::fromSeconds(prompt.execSeconds * serviceFactor_),
+        [this]() { promptJoin(); }, "coe.prompt_exec");
     memsys_.traffic(prompt.trafficBytes, [this]() { promptJoin(); });
 }
 

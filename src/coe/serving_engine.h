@@ -80,6 +80,17 @@ struct EngineRequest
      */
     double execSeconds = 0.0;
     double trafficBytes = 0.0;
+
+    // ---- chaos-layer fields (coe/faults.h) ----------------------
+    /** Times this request has been re-dispatched after a failure. */
+    int attempt = 0;
+    /**
+     * A hedged dispatch's duplicate copy: its completion is not a
+     * request completion (the cluster credits exactly one completion
+     * per hedged id) and SLO admission refuses it silently instead
+     * of counting a shed.
+     */
+    bool hedgeDuplicate = false;
 };
 
 /**
@@ -185,6 +196,62 @@ class ServingEngine
     std::vector<EngineRequest> extractQueued();
 
     /**
+     * Crash the node mid-batch: return every queued request AND the
+     * in-flight batch's requests (none of them complete here), in id
+     * order. Unlike a clean drain, the executing batch is abandoned —
+     * its already-scheduled router/DMA/compute events resolve as a
+     * ghost batch that completes nothing and releases its pinned
+     * experts, so the engine is consistent without cancelling events.
+     * The caller (the cluster's retry policy) decides the displaced
+     * requests' fate.
+     */
+    std::vector<EngineRequest> crashExtract();
+
+    /**
+     * Remove one queued (not yet batch-formed) request without
+     * counting it anywhere — hedge-loser cancellation. @return false
+     * when the id is not queued here (already forming, completed, or
+     * never admitted).
+     */
+    bool cancelQueued(int id);
+
+    /**
+     * Resolve a workload request into an EngineRequest carrying
+     * @p arrival, exactly as inject() would — the cluster uses it to
+     * keep original arrival timestamps on retried requests that never
+     * reached an engine.
+     */
+    EngineRequest makeEngineRequest(const TrafficRequest &request,
+                                    sim::Tick arrival) const;
+
+    /**
+     * Chaos actuator: persistent service-time multiplier on prompt
+     * execution (a straggler node). Exactly 1.0 (the default) leaves
+     * execution arithmetic bit-identical to a healthy node.
+     */
+    void setServiceFactor(double factor);
+    double serviceFactor() const { return serviceFactor_; }
+
+    /** One finished request, as seen by the cluster's hedge logic. */
+    struct CompletionRecord
+    {
+        int id = 0;
+        double latencySeconds = 0.0;
+        bool hedgeDuplicate = false;
+    };
+
+    /**
+     * When enabled (hedged dispatch only), every finished request is
+     * appended to completionLog() for the cluster to drain at control
+     * barriers. Off by default: the no-chaos path records nothing.
+     */
+    void setLogCompletions(bool on) { logCompletions_ = on; }
+    std::vector<CompletionRecord> &completionLog()
+    {
+        return completionLog_;
+    }
+
+    /**
      * Drop every Loaded, unpinned expert from the node's HBM region —
      * a node rejoining after a drain restarts cold and re-warms its
      * resident set from live traffic. Loading / prefetch-reserved
@@ -268,6 +335,9 @@ class ServingEngine
 
     double perPromptExec_ = 0.0;
     double trafficBytesPerPrompt_ = 0.0;
+    double serviceFactor_ = 1.0;
+    bool logCompletions_ = false;
+    std::vector<CompletionRecord> completionLog_;
     int residentCapacity_ = 0;
     /** Backing-tier layout: experts packed contiguously in DDR. */
     std::vector<std::int64_t> ddrOffset_;

@@ -63,6 +63,8 @@ SweepGrid::points() const
                             p.nodes = n;
                             p.placement = place;
                             p.dispatch = dispatch;
+                            p.faults = faults;
+                            p.faultPolicy = faultPolicy;
                             p.ratePerNode = rate;
                             if (n > 0 && scaleRateWithNodes)
                                 p.cfg.arrivalRatePerSec = rate * n;
@@ -101,6 +103,8 @@ runPoint(const SweepPoint &point)
         cluster.nodes = point.nodes;
         cluster.placement = point.placement;
         cluster.dispatch = point.dispatch;
+        cluster.faults = point.faults;
+        cluster.faultPolicy = point.faultPolicy;
         ClusterResult cr = ClusterSimulator(cluster).run();
         r.result.oom = cr.oom;
         r.result.stream = cr.stream;

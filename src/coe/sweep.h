@@ -48,6 +48,15 @@ struct SweepPoint
     double ratePerNode = 0.0;
     int index = 0; ///< position in grid order
     std::string label;
+
+    /**
+     * Chaos layer for cluster points (nodes >= 1): the fault schedule
+     * is parsed once and shared across every point (same pattern as
+     * replayed traces), the policy knobs apply uniformly. Single-node
+     * points ignore both.
+     */
+    std::shared_ptr<const std::vector<FaultEvent>> faults;
+    FaultPolicyConfig faultPolicy;
 };
 
 /**
@@ -71,6 +80,10 @@ struct SweepGrid
     DispatchPolicy dispatch = DispatchPolicy::RoundRobin;
     /** Per-node arrival rates are multiplied by the node count. */
     bool scaleRateWithNodes = true;
+
+    /** Chaos layer, copied onto every cluster point (see SweepPoint). */
+    std::shared_ptr<const std::vector<FaultEvent>> faults;
+    FaultPolicyConfig faultPolicy;
 
     std::vector<SweepPoint> points() const;
 };

@@ -73,6 +73,13 @@ struct TrafficRequest
     int outputTokens = 0; ///< 0 = the serving config's default
     int priority = 0;
     double deadlineSeconds = 0.0; ///< 0 = no SLO
+    /**
+     * Set by the cluster's hedged-dispatch policy on the duplicate
+     * copy it routes to a second node (coe/faults.h). Never recorded
+     * to traces — hedging happens after the recorder — and never set
+     * by workload models.
+     */
+    bool hedgeDuplicate = false;
 };
 
 /**

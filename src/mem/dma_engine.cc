@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "mem/interleaved_memory.h"
+#include "sim/log.h"
 
 namespace sn40l::mem {
 
@@ -15,8 +16,24 @@ DmaEngine::DmaEngine(sim::EventQueue &eq, std::string name)
 }
 
 void
+DmaEngine::setRateFactor(double factor)
+{
+    if (factor < 1.0)
+        sim::fatal(name_ + ": DMA rate factor must be >= 1 (got " +
+                   std::to_string(factor) + ")");
+    rateFactor_ = factor;
+}
+
+void
 DmaEngine::scheduleCompletion(sim::Tick done, Callback on_done)
 {
+    // Exact pass-through at the default factor: healthy runs must not
+    // even round-trip ticks through a multiply.
+    if (rateFactor_ != 1.0) {
+        sim::Tick now = eq_.now();
+        double span = static_cast<double>(done - now) * rateFactor_;
+        done = now + static_cast<sim::Tick>(span);
+    }
     ++inFlight_;
     std::uint32_t slot;
     if (!cbFree_.empty()) {

@@ -56,6 +56,18 @@ class DmaEngine
     int inFlight() const { return inFlight_; }
     bool busy() const { return inFlight_ > 0; }
 
+    /**
+     * Fault-injection hook: stretch the completion time of every copy
+     * issued while the factor is set — a copy that would take T ticks
+     * takes factor * T. Exactly 1.0 (the default) leaves completion
+     * arithmetic untouched, so healthy runs stay bit-identical; the
+     * chaos layer uses large factors to model a stalled engine.
+     * Factors below 1 are a FatalError (the engine cannot beat its
+     * channels). Already-scheduled completions are not moved.
+     */
+    void setRateFactor(double factor);
+    double rateFactor() const { return rateFactor_; }
+
     /** Idle-channel estimate: bytes at the slower endpoint's rate. */
     static sim::Tick estimate(const BandwidthChannel &src,
                               const BandwidthChannel &dst, double bytes);
@@ -69,6 +81,7 @@ class DmaEngine
     std::string name_;
     std::string doneLabel_;
     int inFlight_ = 0;
+    double rateFactor_ = 1.0;
     /**
      * Parked completion callbacks, indexed by slot. The completion
      * event captures only {engine, slot} (16 bytes, fits the inline

@@ -97,6 +97,17 @@ class MemorySystem
     InterleavedMemory &hbm() { return *hbm_; }
     DmaEngine &engine(int i) { return *engines_.at(i); }
 
+    /**
+     * Fault-injection hook: apply a completion-stretch factor to every
+     * DMA engine in the pool (see DmaEngine::setRateFactor). 1.0
+     * restores healthy behaviour.
+     */
+    void setDmaRateFactor(double factor)
+    {
+        for (auto &e : engines_)
+            e->setRateFactor(factor);
+    }
+
     int dmaEngineCount() const { return static_cast<int>(engines_.size()); }
     int queuedLoads() const
     {

@@ -5,8 +5,10 @@
  * conservation laws the simulators must uphold regardless of
  * workload, scheduler, placement, or SLO knobs:
  *
- *  - arrivals == completions + shed once the event stream drains
- *    (in-flight is zero at drain by the drivers' own asserts);
+ *  - arrivals == completions + shed + lost once the event stream
+ *    drains (in-flight is zero at drain by the drivers' own asserts;
+ *    lost is only ever non-zero under injected crash/flaky faults,
+ *    and retries/hedges never double-count a request);
  *  - no request completes before it arrives (latencies non-negative,
  *    checked per sample);
  *  - per-node dispatched/completed/miss/shed counts sum to the
@@ -125,6 +127,11 @@ TEST(ServingInvariants, RandomizedSingleNodeConservation)
         if (cfg.workload.sloSeconds == 0.0) {
             EXPECT_EQ(m.shed, 0);
         }
+        // The chaos layer lives in the cluster hub; a single node has
+        // no fault surface, so its chaos counters must stay zero.
+        EXPECT_EQ(m.lost, 0);
+        EXPECT_EQ(m.retried, 0);
+        EXPECT_EQ(m.hedged, 0);
 
         // Causality: no request completes before it arrives.
         EXPECT_EQ(sim.latencySamples().count(),
@@ -210,18 +217,95 @@ TEST(ClusterInvariants, RandomizedClusterConservation)
             cfg.dispatch != DispatchPolicy::LeastOutstanding;
         if (parallelSafe)
             cfg.threads = rouletteThreads; // ctor clamps to nodes
+        // Fault roulette: the chaos layer must uphold the extended
+        // conservation law no matter which fault fires or which
+        // degraded-mode policy is armed. All draws are unconditional
+        // (same RNG-stream-stability discipline as above); displacing
+        // kinds (crash, flaky) remap to a straggler on trials with
+        // closed-loop arrivals or generated sessions, which the
+        // simulator rejects by construction (a lost request would
+        // wedge the client pool / starve its follow-up).
+        std::uint64_t faultOn = rng.uniformInt(3);
+        std::uint64_t kindDraw = rng.uniformInt(4);
+        int faultNode = static_cast<int>(
+            rng.uniformInt(static_cast<std::uint64_t>(cfg.nodes)));
+        double faultAt =
+            0.4 + 0.2 * static_cast<double>(rng.uniformInt(5));
+        double faultDur = // 0 = fault is permanent, never heals
+            0.5 * static_cast<double>(rng.uniformInt(4));
+        std::uint64_t policyDraw = rng.uniformInt(4);
+        bool chaos = faultOn == 0;
+        if (chaos) {
+            bool displacingOk =
+                cfg.node.arrival != ArrivalProcess::ClosedLoop &&
+                cfg.node.workload.sessionFollowProb == 0.0;
+            FaultEvent e;
+            e.atSeconds = faultAt;
+            e.node = faultNode;
+            e.durationSeconds = faultDur;
+            switch (kindDraw) {
+              case 0: e.kind = FaultKind::NodeCrash; break;
+              case 1: e.kind = FaultKind::DmaStall; e.factor = 3.0; break;
+              case 2: e.kind = FaultKind::Straggler; e.factor = 2.5; break;
+              default: e.kind = FaultKind::FlakyNode; e.factor = 0.5; break;
+            }
+            if (!displacingOk && (e.kind == FaultKind::NodeCrash ||
+                                  e.kind == FaultKind::FlakyNode)) {
+                e.kind = FaultKind::Straggler;
+                e.factor = 2.5;
+            }
+            cfg.faults = std::make_shared<const std::vector<FaultEvent>>(
+                std::vector<FaultEvent>{e});
+            switch (policyDraw) {
+              case 0: // no recovery: displaced work is counted lost
+                break;
+              case 1: // bounded retry, unbounded budget
+                cfg.faultPolicy.retryMax = 2;
+                cfg.faultPolicy.retryBackoffSeconds = 0.02;
+                break;
+              case 2: // tight cluster-wide retry budget
+                cfg.faultPolicy.retryMax = 1;
+                cfg.faultPolicy.retryBackoffSeconds = 0.02;
+                cfg.faultPolicy.retryBudget = 5;
+                break;
+              default: // everything on: retry + hedge + brown-out
+                cfg.faultPolicy.retryMax = 3;
+                cfg.faultPolicy.retryBackoffSeconds = 0.01;
+                cfg.faultPolicy.hedge = true;
+                cfg.faultPolicy.brownoutDepth = 2.0;
+                cfg.faultPolicy.brownoutPriorityMax = 1;
+                cfg.faultPolicy.policyTickSeconds = 0.1;
+                break;
+            }
+        }
         SCOPED_TRACE("trial " + std::to_string(trial) + " seed " +
                      std::to_string(cfg.node.seed) + " nodes " +
                      std::to_string(cfg.nodes) + " threads " +
-                     std::to_string(cfg.threads));
+                     std::to_string(cfg.threads) + " fault " +
+                     (chaos ? std::string(faultKindName(
+                                  (*cfg.faults)[0].kind)) +
+                          "@n" + std::to_string(faultNode) +
+                          " policy " + std::to_string(policyDraw)
+                            : std::string("none")));
 
         ClusterSimulator sim(cfg);
         ClusterResult r = sim.run();
         ASSERT_FALSE(r.oom);
         const StreamMetrics &m = r.stream;
 
-        EXPECT_EQ(m.completed + m.shed,
+        // Extended conservation: every emitted request completes, is
+        // shed (admission SLO or brown-out), or is counted lost by the
+        // retry policy — retries and hedge duplicates never
+        // double-count.
+        EXPECT_EQ(m.completed + m.shed + m.lost,
                   static_cast<std::int64_t>(cfg.node.streamRequests));
+        if (!chaos) {
+            EXPECT_EQ(m.lost, 0);
+            EXPECT_EQ(m.retried, 0);
+            EXPECT_EQ(m.hedged, 0);
+        }
+        EXPECT_GE(m.hedged, m.hedgeWon);
+        EXPECT_EQ(r.faultsInjected, chaos ? 1 : 0);
 
         // Per-node counters sum to the cluster-wide totals.
         std::int64_t completed = 0, misses = 0, shed = 0;
@@ -233,16 +317,28 @@ TEST(ClusterInvariants, RandomizedClusterConservation)
             dispatched += nm.dispatched;
             redispatched += nm.redispatched;
         }
-        EXPECT_EQ(completed, m.completed);
-        EXPECT_EQ(shed, m.shed);
+        // Brown-out sheds happen hub-side before a node is chosen, so
+        // they appear in the cluster total but in no per-node counter;
+        // flaky dispatch failures likewise never reach an engine.
+        std::int64_t hubShed = static_cast<std::int64_t>(
+            sim.stats().get("brownout_shed"));
+        std::int64_t flakyFails = static_cast<std::int64_t>(
+            sim.stats().get("flaky_failures"));
+        // Hedge wins are completions credited at the hub — the engines
+        // never count a duplicate — and each win credits exactly once.
+        EXPECT_EQ(completed + m.hedgeWon, m.completed);
+        EXPECT_EQ(shed + hubShed, m.shed);
         EXPECT_DOUBLE_EQ(static_cast<double>(misses),
                          sim.stats().get("misses"));
         EXPECT_EQ(redispatched, r.redispatched);
         // Every emission is dispatched once, plus once more per
-        // redispatch hop off a drained node.
-        EXPECT_EQ(dispatched,
+        // redispatch hop off a drained node, per scheduled retry, and
+        // per hedge duplicate — minus the requests the hub never
+        // handed to an engine at all (brown-out sheds and flaky
+        // dispatch failures, which include retries that failed again).
+        EXPECT_EQ(dispatched + hubShed + flakyFails,
                   static_cast<std::int64_t>(cfg.node.streamRequests) +
-                      r.redispatched);
+                      r.redispatched + m.retried + m.hedged);
 
         // The cluster-wide latency distribution is the exact merge of
         // per-request samples: one sample per completion, all

@@ -473,6 +473,106 @@ parseScheduleList(const FlagParser &p, const std::string &csv)
     return actions;
 }
 
+// ------------------------------------------------ chaos groups
+
+struct FaultFlagState
+{
+    std::string faultsPath;
+    bool setFaults = false;
+    bool setRetry = false;       ///< any --retry-*
+    bool setHedgeThreshold = false;
+    bool setBrownoutPrio = false;
+    bool setPolicyTick = false;
+};
+
+/**
+ * Chaos-layer flags (cluster and sweep subcommands): a JSONL fault
+ * schedule to replay plus the degraded-mode policy knobs
+ * (coe/faults.h). All off by default — without --faults and with the
+ * policies disabled the run is bit-identical to a chaos-free build.
+ */
+inline void
+addFaultFlags(FlagParser &p, coe::FaultPolicyConfig &cfg,
+              FaultFlagState &st)
+{
+    p.value("--faults", [&](const std::string &v) {
+        st.faultsPath = v;
+        st.setFaults = true;
+    });
+    p.value("--retry-max", [&](const std::string &v) {
+        cfg.retryMax = std::stoi(v);
+        st.setRetry = true;
+    });
+    p.value("--retry-backoff-ms", [&p, &cfg, &st](const std::string &v) {
+        double ms = std::stod(v);
+        if (ms <= 0.0)
+            p.fail("--retry-backoff-ms must be positive");
+        cfg.retryBackoffSeconds = ms / 1000.0;
+        st.setRetry = true;
+    });
+    p.value("--retry-budget", [&](const std::string &v) {
+        cfg.retryBudget = std::stoll(v);
+        st.setRetry = true;
+    });
+    p.flag("--hedge", [&]() { cfg.hedge = true; });
+    p.value("--hedge-threshold", [&](const std::string &v) {
+        cfg.hedgeThreshold = std::stod(v);
+        st.setHedgeThreshold = true;
+    });
+    p.value("--brownout-depth", [&](const std::string &v) {
+        cfg.brownoutDepth = std::stod(v);
+    });
+    p.value("--brownout-prio", [&](const std::string &v) {
+        cfg.brownoutPriorityMax = std::stoi(v);
+        st.setBrownoutPrio = true;
+    });
+    p.value("--policy-tick-ms", [&p, &cfg, &st](const std::string &v) {
+        double ms = std::stod(v);
+        if (ms <= 0.0)
+            p.fail("--policy-tick-ms must be positive");
+        cfg.policyTickSeconds = ms / 1000.0;
+        st.setPolicyTick = true;
+    });
+}
+
+/**
+ * Cross-check the chaos flags. Library-level validation
+ * (validateFaultPolicy / validateFaultSchedule) still runs inside
+ * ClusterSimulator; this layer catches the purely-CLI contradictions
+ * with flag vocabulary.
+ */
+inline void
+validateFaultFlags(const FlagParser &p,
+                   const coe::FaultPolicyConfig &cfg,
+                   const FaultFlagState &st,
+                   const coe::ServingConfig &serving)
+{
+    if (st.setRetry && !st.setFaults)
+        p.fail("--retry-* flags configure recovery from injected "
+               "faults; they require --faults FILE");
+    if (cfg.retryMax < 0)
+        p.fail("--retry-max must be non-negative");
+    if (cfg.retryBudget < -1)
+        p.fail("--retry-budget must be -1 (unbounded) or non-negative");
+    if (st.setHedgeThreshold && !cfg.hedge)
+        p.fail("--hedge-threshold requires --hedge");
+    if (cfg.hedge && cfg.hedgeThreshold <= 0.0)
+        p.fail("--hedge-threshold must be positive");
+    if (cfg.hedge && serving.workload.sloSeconds <= 0.0 &&
+        serving.workload.traceIn.empty())
+        p.fail("--hedge fires on SLO pressure; it needs --slo-ms or a "
+               "replayed trace carrying deadlines (--trace-in)");
+    if (st.setBrownoutPrio && cfg.brownoutDepth <= 0.0)
+        p.fail("--brownout-prio requires --brownout-depth");
+    if (cfg.brownoutDepth < 0.0)
+        p.fail("--brownout-depth must be non-negative");
+    if (cfg.brownoutPriorityMax < 0)
+        p.fail("--brownout-prio must be non-negative");
+    if (st.setPolicyTick && !cfg.hedge && cfg.brownoutDepth <= 0.0)
+        p.fail("--policy-tick-ms paces hedging and brown-out; it "
+               "requires --hedge or --brownout-depth");
+}
+
 /** Capacity-planning flags (cluster subcommand). */
 struct PlanFlagState
 {

@@ -203,6 +203,13 @@ sweepHelp(std::ostream &os)
        << "                        identical traffic (--trace-out is\n"
        << "                        not allowed here)\n"
        << "\n"
+       << "Faults & degraded mode (cluster points only, same meaning\n"
+       << "as `cluster`): --faults, --retry-max, --retry-backoff-ms,\n"
+       << "  --retry-budget, --hedge, --hedge-threshold,\n"
+       << "  --brownout-depth, --brownout-prio, --policy-tick-ms\n"
+       << "  The schedule is parsed once and replayed identically at\n"
+       << "  every point (requires --nodes)\n"
+       << "\n"
        << "Execution:\n"
        << "  -j N / --jobs N       worker threads (default: hardware\n"
        << "                        concurrency)\n"
@@ -281,6 +288,34 @@ clusterHelp(std::ostream &os)
        << "  --plan-max-nodes N    search ceiling (default --nodes)\n"
        << "  --plan-p95-ms MS      p95 latency target (required)\n"
        << "  --plan-max-shed-pct P max shed percentage (default 0)\n"
+       << "\n"
+       << "Faults & degraded mode (chaos layer, see README):\n"
+       << "  --faults FILE         replay a JSONL fault schedule: node\n"
+       << "                        crashes (queued work re-dispatched or\n"
+       << "                        lost), DMA stalls, stragglers, flaky\n"
+       << "                        dispatch windows. Deterministic for\n"
+       << "                        any -j N\n"
+       << "  --retry-max N         re-dispatch a displaced request up to\n"
+       << "                        N times (requires --faults; default 0:\n"
+       << "                        displaced work is lost)\n"
+       << "  --retry-backoff-ms MS exponential backoff base, doubling\n"
+       << "                        per attempt (default 50)\n"
+       << "  --retry-budget N      cluster-wide retry cap, -1 unbounded\n"
+       << "                        (default -1)\n"
+       << "  --hedge               duplicate a dispatch to a second node\n"
+       << "                        when the queueing estimate threatens\n"
+       << "                        the deadline; loser is cancelled\n"
+       << "                        (needs --slo-ms or --trace-in)\n"
+       << "  --hedge-threshold F   hedge when estimated delay exceeds\n"
+       << "                        F x deadline (requires --hedge;\n"
+       << "                        default 1.0)\n"
+       << "  --brownout-depth D    shed priority<=P arrivals while mean\n"
+       << "                        live queue depth exceeds D (exits at\n"
+       << "                        D/2; default off)\n"
+       << "  --brownout-prio P     max priority tier shed in brown-out\n"
+       << "                        (requires --brownout-depth; default 0)\n"
+       << "  --policy-tick-ms MS   hedge/brown-out evaluation period\n"
+       << "                        (default 50)\n"
        << "\n"
        << "Execution:\n"
        << "  -j N / --threads N    worker threads for THIS run\n"
@@ -460,8 +495,10 @@ runSweepCmd(int argc, char **argv)
     FlagParser parser("sweep", sweepHelp);
     WorkloadFlagState wst;
     ScenarioFlagState sst;
+    FaultFlagState fst;
     addWorkloadFlags(parser, grid.base, wst);
     addScenarioFlags(parser, grid.base, sst);
+    addFaultFlags(parser, grid.faultPolicy, fst);
     bool set_placement = false, set_dispatch = false;
     parser.value("--experts", [&](const std::string &v) {
         grid.expertCounts = parseList<int>(
@@ -508,6 +545,18 @@ runSweepCmd(int argc, char **argv)
     // rate is a grid axis), so the shared arrival-state checks get a
     // default state; the axis-specific conflicts are checked below.
     validateScenarioFlags(parser, grid.base, sst, ArrivalFlagState{});
+    validateFaultFlags(parser, grid.faultPolicy, fst, grid.base);
+    if ((fst.setFaults || grid.faultPolicy.anyEnabled()) &&
+        grid.nodeCounts.empty())
+        parser.fail("--faults and the degraded-mode flags act on the "
+                    "cluster dispatch layer; they require --nodes");
+    if (fst.setFaults) {
+        // Parse once; every grid point (and worker thread) replays the
+        // same immutable schedule, mirroring the --trace-in pattern.
+        grid.faults =
+            std::make_shared<const std::vector<coe::FaultEvent>>(
+                coe::loadFaultSchedule(fst.faultsPath));
+    }
     if (!grid.base.workload.traceOut.empty())
         parser.fail("--trace-out is ambiguous across sweep points; "
                     "record a trace with `serve` or `cluster` and "
@@ -740,6 +789,7 @@ runClusterCmd(int argc, char **argv)
     ControllerFlagState cst;
     PlanFlagState plan;
     ExecFlagState exec;
+    FaultFlagState fst;
     addWorkloadFlags(parser, cfg.node, wst);
     addArrivalFlags(parser, cfg.node, ast);
     addScenarioFlags(parser, cfg.node, sst);
@@ -747,6 +797,7 @@ runClusterCmd(int argc, char **argv)
     addControllerFlags(parser, cfg.controller, cst);
     addPlanFlags(parser, plan);
     addExecFlags(parser, exec);
+    addFaultFlags(parser, cfg.faultPolicy, fst);
 
     bool set_rate = false, set_hot = false;
     bool set_drain_at = false, set_drain_node = false;
@@ -810,6 +861,7 @@ runClusterCmd(int argc, char **argv)
     validateScenarioFlags(parser, cfg.node, sst, ast);
     validateControllerFlags(parser, cfg.controller, cst);
     validatePlanFlags(parser, plan);
+    validateFaultFlags(parser, cfg.faultPolicy, fst, cfg.node);
     validateClusterExecFlags(parser, exec, cfg.node, cfg.dispatch, ast,
                              sst);
     if (exec.threads > cfg.nodes && cfg.nodes > 0) {
@@ -871,11 +923,21 @@ runClusterCmd(int argc, char **argv)
     }
     if (!set_rate && cfg.node.arrival == coe::ArrivalProcess::Poisson)
         cfg.node.arrivalRatePerSec = 8.0 * cfg.nodes;
+    if (fst.setFaults) {
+        // Parse (and strictly validate) once; the simulator re-checks
+        // the schedule against the final node count.
+        cfg.faults =
+            std::make_shared<const std::vector<coe::FaultEvent>>(
+                coe::loadFaultSchedule(fst.faultsPath));
+    }
 
     if (plan.plan) {
         if (!json_path.empty())
             parser.fail("--json reports a single cluster run; it does "
                         "not combine with --plan-capacity");
+        if (fst.setFaults || cfg.faultPolicy.anyEnabled())
+            parser.fail("--plan-capacity sizes clean static clusters; "
+                        "drop --faults and the degraded-mode flags");
         return runPlanCapacity(parser, cfg, plan, set_rate);
     }
 
@@ -971,6 +1033,14 @@ runClusterCmd(int argc, char **argv)
         if (!cfg.controller.logPath.empty())
             std::cout << ", log " << cfg.controller.logPath;
         std::cout << "\n";
+    }
+    if (cfg.faults || cfg.faultPolicy.anyEnabled()) {
+        std::cout << "Chaos: " << r.faultsInjected
+                  << " faults injected (" << r.crashes << " crash"
+                  << (r.crashes == 1 ? "" : "es") << "), " << m.lost
+                  << " lost, " << m.retried << " retried, " << m.hedged
+                  << " hedged (" << m.hedgeWon << " hedge win"
+                  << (m.hedgeWon == 1 ? "" : "s") << ")\n";
     }
     if (!cfg.actions.empty())
         std::cout << "Schedule: " << cfg.actions.size()
