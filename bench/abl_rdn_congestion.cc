@@ -9,6 +9,12 @@
  *                 and the socket's AGCUs (the real placer)
  *   + throttled — distributed, plus programmable packet throttling
  *                 smoothing 2x producer bursts
+ *
+ * Two dilation columns are reported per policy: the event-driven
+ * replay of the kernel's flow set on the link/credit interconnect
+ * (arch::simulatedCongestionFactor — the primary estimate, modeling
+ * credit backpressure and XY route overlap), and the legacy
+ * closed-form max-link ratio kept as a labeled reference.
  */
 
 #include <iostream>
@@ -48,7 +54,7 @@ main()
     };
 
     util::Table table({"Benchmark", "Policy", "Max link load",
-                       "Kernel dilation"});
+                       "Simulated dilation", "Analytic (ref)"});
 
     auto suite = models::paperBenchmarks();
     for (std::size_t idx : {0ul, 1ul, 2ul, 16ul}) {
@@ -62,6 +68,7 @@ main()
             compiler::TrafficAnalyzer analyzer(chip, 2.0,
                                                policy.distribute);
             double worst_load = 0.0, worst_dilation = 1.0;
+            double worst_sim = 1.0;
             for (auto &k : kernels) {
                 compiler::placeKernel(g, chip, opt, k);
                 // True kernel duration from the cost model (compute-
@@ -75,9 +82,19 @@ main()
                 worst_dilation = std::max(
                     worst_dilation, policy.throttled
                         ? r.throttledFactor : r.congestionFactor);
+                // Throttling smooths bursts to the sustained rate
+                // (burst factor 1); unthrottled replay injects the
+                // full 2x burst.
+                worst_sim = std::max(
+                    worst_sim,
+                    arch::simulatedCongestionFactor(
+                        r.flowList, r.meshCols, r.meshRows,
+                        chip.rdnLinkBandwidth,
+                        policy.throttled ? 1.0 : 2.0));
             }
             table.addRow({bench.name, policy.name,
                           util::formatBandwidth(worst_load),
+                          util::formatDouble(worst_sim, 2) + "x",
                           util::formatDouble(worst_dilation, 2) + "x"});
         }
         table.addSeparator();
@@ -87,6 +104,9 @@ main()
     std::cout << "\nNaive routing oversubscribes single links by orders "
               << "of magnitude; the\nplacer's stream distribution plus "
               << "throttling brings kernels back to\nroofline — the "
-              << "Section VII production experience.\n";
+              << "Section VII production experience. The simulated\n"
+              << "column replays each flow set on the event-driven "
+              << "link/credit mesh;\nthe analytic column is the legacy "
+              << "closed-form max-link ratio.\n";
     return 0;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "sim/network.h"
+#include "sim/ticks.h"
 
 namespace sn40l::arch {
 
@@ -98,6 +100,57 @@ RdnMesh::congestionFactor(double link_bw) const
     if (link_bw <= 0.0)
         sim::fatal("RdnMesh: non-positive link bandwidth");
     return std::max(1.0, maxLinkLoad() / link_bw);
+}
+
+double
+simulatedCongestionFactor(const std::vector<MeshFlow> &flows, int cols,
+                          int rows, double link_bw,
+                          double burst_factor, double window_seconds)
+{
+    if (cols <= 0 || rows <= 0)
+        sim::fatal("simulatedCongestionFactor: non-positive mesh "
+                   "dimensions");
+    if (link_bw <= 0.0)
+        sim::fatal("simulatedCongestionFactor: non-positive link "
+                   "bandwidth");
+    if (burst_factor < 1.0)
+        sim::fatal("simulatedCongestionFactor: burst factor must be "
+                   ">= 1");
+    if (window_seconds <= 0.0)
+        sim::fatal("simulatedCongestionFactor: non-positive burst "
+                   "window");
+
+    sim::EventQueue eq;
+    sim::NetworkConfig net;
+    net.topology = sim::Topology::Mesh2D;
+    net.endpoints = cols * rows;
+    net.meshCols = cols; // exact chip geometry, not the sqrt default
+    net.linkBytesPerSec = link_bw;
+    net.linkLatency = sim::fromUs(0.001); // 1 ns per hop on chip
+    net.bufferFlits = 16;
+    net.flitBytes = 64.0; // RDN packet granularity
+    // Large bursts chunk into many flits; cap serialization quanta,
+    // not modeled bytes (chunk size scales up past the cap).
+    net.maxFlitsPerMessage = 4096;
+    sim::Network mesh(eq, net);
+
+    auto id = [cols](Coord c) { return c.y * cols + c.x; };
+    sim::Tick makespan = 0;
+    bool sent = false;
+    for (const MeshFlow &f : flows) {
+        if (f.bytesPerSec <= 0.0 || f.src == f.dst)
+            continue;
+        double burst = f.bytesPerSec * burst_factor * window_seconds;
+        mesh.send(id(f.src), id(f.dst), burst,
+                  [&eq, &makespan] {
+                      makespan = std::max(makespan, eq.now());
+                  });
+        sent = true;
+    }
+    if (!sent)
+        return 1.0;
+    eq.run();
+    return std::max(1.0, sim::toSeconds(makespan) / window_seconds);
 }
 
 void

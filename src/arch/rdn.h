@@ -111,6 +111,38 @@ class RdnMesh
 };
 
 /**
+ * One steady-state on-chip stream, extracted by the compiler's
+ * traffic analyzer for event-driven replay. Multicast trees are
+ * expanded per destination (an upper bound: the replay charges shared
+ * prefixes once per destination where the switch replicates in place).
+ */
+struct MeshFlow
+{
+    Coord src;
+    Coord dst;
+    double bytesPerSec = 0.0;
+};
+
+/**
+ * Event-driven congestion estimate: replay one burst window of the
+ * flow set on the link/credit interconnect (sim::Network, Mesh2D at
+ * on-chip scale — 64-byte flits, nanosecond hop latency) and report
+ * the time dilation actually observed instead of the closed-form
+ * max-link ratio. Each flow injects bytesPerSec * burst_factor *
+ * window_seconds at t = 0; the result is makespan / window, floored
+ * at 1.0. Flows with src == dst or a non-positive rate are skipped.
+ *
+ * This retires the static RdnMesh::congestionFactor formula as the
+ * primary estimate: credit backpressure and XY route overlap are
+ * modeled, not approximated. The analytic formula stays available as
+ * a labeled reference (bench/abl_rdn_congestion).
+ */
+double simulatedCongestionFactor(const std::vector<MeshFlow> &flows,
+                                 int cols, int rows, double link_bw,
+                                 double burst_factor = 2.0,
+                                 double window_seconds = 1e-6);
+
+/**
  * Sequence-ID reorder buffer (Section IV-C, many-to-one): packets
  * tagged with software-assigned sequence IDs arrive out of order; the
  * consumer drains the in-order prefix.

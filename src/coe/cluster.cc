@@ -26,6 +26,7 @@ dispatchPolicyName(DispatchPolicy policy)
       case DispatchPolicy::RoundRobin: return "round-robin";
       case DispatchPolicy::LeastOutstanding: return "least-outstanding";
       case DispatchPolicy::ExpertAffinity: return "expert-affinity";
+      case DispatchPolicy::TopologyAware: return "topo-aware";
     }
     sim::panic("dispatchPolicyName: unknown policy");
 }
@@ -39,9 +40,11 @@ dispatchPolicyFromName(const std::string &name)
         return DispatchPolicy::LeastOutstanding;
     if (name == "expert-affinity" || name == "affinity")
         return DispatchPolicy::ExpertAffinity;
+    if (name == "topo-aware" || name == "topology-aware")
+        return DispatchPolicy::TopologyAware;
     sim::fatal("unknown dispatch policy '" + name +
-               "' (expected round-robin, least-outstanding, or "
-               "expert-affinity)");
+               "' (expected round-robin, least-outstanding, "
+               "expert-affinity, or topo-aware)");
 }
 
 const char *
@@ -313,6 +316,14 @@ struct ClusterSimulator::RunState
         {
             TrafficRequest request;
             sim::Tick tick;
+            /**
+             * Fabric deliveries arrive as fully-built EngineRequests
+             * (the arrival timestamp was stamped hub-side at dispatch,
+             * before the network transit): `built` carries the
+             * request and the shard injects it with injectAt().
+             */
+            bool prebuilt = false;
+            EngineRequest built;
         };
 
         sim::EventQueue eq;
@@ -430,6 +441,16 @@ struct ClusterSimulator::RunState
     std::int64_t baseRetried = 0;
     std::int64_t baseHedged = 0;
     std::int64_t baseHedgeWon = 0;
+
+    // ---- interconnect (null when cfg.fabric.enabled == false)
+    /**
+     * All network state is hub-owned: every link/credit event runs on
+     * the hub queue in both execution modes, so routing decisions and
+     * delivery ticks are identical across -j 1 / -j N.
+     */
+    std::unique_ptr<ClusterFabric> fabric;
+    std::vector<sim::Tick> baseLinkBusy; ///< snapshot-window baseline
+    std::int64_t migrationsInFlight = 0; ///< payload sent, flip pending
 
     // ---- parallel-run state (inert at threads==1)
     int threads = 1; ///< effective worker count for this run
@@ -566,6 +587,13 @@ ClusterSimulator::ClusterSimulator(ClusterConfig cfg) : cfg_(std::move(cfg))
 
     validateControllerConfig(cfg_.controller, cfg_.nodes);
 
+    validateFabricConfig(cfg_.fabric);
+    if (cfg_.dispatch == DispatchPolicy::TopologyAware &&
+        !cfg_.fabric.enabled)
+        sim::fatal("ClusterConfig: topology-aware dispatch reads path "
+                   "congestion off the interconnect; enable the fabric "
+                   "(--topology)");
+
     validateFaultPolicy(cfg_.faultPolicy);
     if (cfg_.faults && !cfg_.faults->empty()) {
         validateFaultSchedule(*cfg_.faults, cfg_.nodes);
@@ -575,6 +603,11 @@ ClusterSimulator::ClusterSimulator(ClusterConfig cfg) : cfg_(std::move(cfg))
                 sim::fatal("ClusterConfig: crash faults need at least "
                            "2 nodes (displaced requests must have "
                            "somewhere to go)");
+            if (e.kind == FaultKind::LinkDegrade &&
+                !cfg_.fabric.enabled)
+                sim::fatal("ClusterConfig: link-degrade faults act on "
+                           "the interconnect; enable the fabric "
+                           "(--topology)");
             displacing = displacing ||
                 e.kind == FaultKind::NodeCrash ||
                 e.kind == FaultKind::FlakyNode;
@@ -687,6 +720,18 @@ ClusterSimulator::begin()
         } else {
             rs->engines.back()->setMirrors(&latency_, &stalls_);
         }
+    }
+
+    // The interconnect lives on the hub queue (never on a shard):
+    // dispatch, drain re-placement, and migration payloads serialize
+    // over its links, and their delivery ticks bound the parallel
+    // windows exactly like arrival ticks do.
+    if (cfg_.fabric.enabled) {
+        rs->fabric =
+            std::make_unique<ClusterFabric>(rs->eq, cfg_.fabric, N);
+        rs->baseLinkBusy.assign(
+            static_cast<std::size_t>(rs->fabric->network().linkCount()),
+            0);
     }
 
     // Closed-loop clients are cluster-wide: whichever node finishes a
@@ -830,12 +875,25 @@ ClusterSimulator::dispatchRequest(const TrafficRequest &request)
         return;
     }
 
-    auto deliver = [&rs](int node, const TrafficRequest &r) {
+    auto deliver = [this, &rs](int node, const TrafficRequest &r) {
+        if (rs.fabric) {
+            // The EngineRequest is built at the dispatch tick (its
+            // arrival stamp), so measured latency includes the
+            // network transit; injection happens when the last flit
+            // lands at the node.
+            forwardRequest(
+                node, rs.engines[static_cast<std::size_t>(node)]
+                          ->makeEngineRequest(r, rs.eq.now()));
+            return;
+        }
         ++rs.dispatchedTo[static_cast<std::size_t>(node)];
         if (rs.threads > 1) {
             RunState::Shard &sh =
                 rs.shards[static_cast<std::size_t>(node)];
-            sh.staging.push_back({r, rs.eq.now()});
+            RunState::Shard::Pending p;
+            p.request = r;
+            p.tick = rs.eq.now();
+            sh.staging.push_back(std::move(p));
             ++rs.hubBuffered;
         } else {
             rs.engines[static_cast<std::size_t>(node)]->inject(r);
@@ -879,6 +937,57 @@ ClusterSimulator::dispatchRequest(const TrafficRequest &request)
             ++rs.hedged;
             stats_.inc("hedged");
         }
+    }
+}
+
+/**
+ * Ship one request (initial dispatch, retry, or hedge duplicate) from
+ * the hub to @p node over the fabric. The wire size is the modeled
+ * prompt-handoff payload plus the per-message overhead — NOT the
+ * request's trafficBytes, which counts node-local HBM streaming;
+ * delivery goes through deliverViaFabric() when the last flit lands.
+ */
+void
+ClusterSimulator::forwardRequest(int node, EngineRequest request)
+{
+    RunState &rs = *rs_;
+    ++rs.dispatchedTo[static_cast<std::size_t>(node)];
+    rs.fabric->sendRequest(
+        node, cfg_.fabric.requestPayloadBytes,
+        [this, node, r = std::move(request)]() mutable {
+            deliverViaFabric(node, std::move(r));
+        });
+}
+
+/**
+ * A request's last flit landed at @p node. Runs inside a network
+ * event on the hub queue: at threads == 1 the engine takes it
+ * directly; at threads > 1 it is staged into the node's mailbox (the
+ * current tick is at or past the committed window end, so the shard
+ * has not run past it). A node that went down while the message was
+ * in flight displaces the request into the retry-or-lost path —
+ * conservation holds, nothing vanishes on the wire.
+ */
+void
+ClusterSimulator::deliverViaFabric(int node, EngineRequest request)
+{
+    RunState &rs = *rs_;
+    auto ns = static_cast<std::size_t>(node);
+    if (!rs.live[ns]) {
+        stats_.inc("network_displaced");
+        handleDisplaced(std::move(request));
+        return;
+    }
+    if (rs.threads > 1) {
+        RunState::Shard &sh = rs.shards[ns];
+        RunState::Shard::Pending p;
+        p.tick = rs.eq.now();
+        p.prebuilt = true;
+        p.built = std::move(request);
+        sh.staging.push_back(std::move(p));
+        ++rs.hubBuffered;
+    } else {
+        rs.engines[ns]->injectAt(std::move(request));
     }
 }
 
@@ -958,6 +1067,28 @@ ClusterSimulator::pickNode(int expert)
         sim::simAssert(n >= 0, "cluster: ring lookup failed");
         return n;
       }
+      case DispatchPolicy::TopologyAware: {
+        // Least-congested hub -> node path; the congestion signal is
+        // hub-owned network state, so the choice is identical across
+        // -j 1 / -j N (unlike least-outstanding, which reads shard
+        // state). First tie-break: fewest requests sent so far, so an
+        // idle fabric degenerates to an even spread.
+        int best = rs.candidates.front();
+        double bestCong = rs.fabric->hubCongestion(best);
+        for (std::size_t i = 1; i < rs.candidates.size(); ++i) {
+            int n = rs.candidates[i];
+            double cong = rs.fabric->hubCongestion(n);
+            auto nsz = static_cast<std::size_t>(n);
+            auto bsz = static_cast<std::size_t>(best);
+            if (cong < bestCong ||
+                (cong == bestCong &&
+                 rs.dispatchedTo[nsz] < rs.dispatchedTo[bsz])) {
+                best = n;
+                bestCong = cong;
+            }
+        }
+        return best;
+      }
     }
     sim::panic("cluster: unknown dispatch policy");
 }
@@ -1000,6 +1131,17 @@ ClusterSimulator::drainNode(int node)
     rs.redispatchedTotal += static_cast<std::int64_t>(moved.size());
     for (EngineRequest &r : moved) {
         int n = pickNode(r.expert);
+        if (rs.fabric) {
+            // Re-placement pays a node -> node transfer of the
+            // request's wire size before the target takes it.
+            ++rs.dispatchedTo[static_cast<std::size_t>(n)];
+            rs.fabric->sendTransfer(
+                node, n, rs.fabric->requestBytes(),
+                [this, n, rq = std::move(r)]() mutable {
+                    deliverViaFabric(n, std::move(rq));
+                });
+            continue;
+        }
         ++rs.dispatchedTo[static_cast<std::size_t>(n)];
         rs.engines[static_cast<std::size_t>(n)]->injectAt(std::move(r));
     }
@@ -1098,6 +1240,19 @@ ClusterSimulator::setNodeFlakyProbability(int node, double p)
     stats_.inc(p == 0.0 ? "flaky_heals" : "flaky_windows");
 }
 
+void
+ClusterSimulator::setNodeLinkFactor(int node, double factor)
+{
+    if (!rs_)
+        sim::panic("cluster: setNodeLinkFactor outside an active run");
+    if (node < 0 || node >= cfg_.nodes)
+        sim::fatal("cluster: setNodeLinkFactor out of range");
+    if (!rs_->fabric)
+        sim::fatal("cluster: setNodeLinkFactor without the fabric");
+    rs_->fabric->degradeNode(node, factor);
+    stats_.inc(factor == 1.0 ? "link_heals" : "link_degrades");
+}
+
 /**
  * One displaced request (crash extraction or flaky dispatch failure)
  * meets the retry policy: duplicates are dropped (their primary is
@@ -1178,6 +1333,12 @@ ClusterSimulator::redispatch(EngineRequest request)
         rs.faultRng->uniformDouble() < rs.flakyProb[ns]) {
         stats_.inc("flaky_failures");
         handleDisplaced(std::move(request));
+        return;
+    }
+    if (rs.fabric) {
+        // The retry crosses the fabric again from the hub, with its
+        // original arrival timestamp intact.
+        forwardRequest(n, std::move(request));
         return;
     }
     ++rs.dispatchedTo[ns];
@@ -1356,6 +1517,63 @@ ClusterSimulator::migrateExpert(int expert, int from, int to)
     if (rs.placedBytesNow[t] + bytes >
         rs.nodeCosts[t].capacityBytes)
         return false; // target DDR cannot take the expert
+
+    if (rs.fabric) {
+        // The payload crosses the fabric, then pays the target's
+        // DDR-write time (the DmaEngine idle estimate, stretched by
+        // any open dma-stall fault) before the placement flips. The
+        // target's bytes are reserved up front so concurrent
+        // migrations cannot oversubscribe it; an infeasible flip
+        // (placement changed mid-flight) refunds the reservation.
+        rs.placedBytesNow[t] += bytes;
+        ++rs.migrationsInFlight;
+        rs.fabric->sendTransfer(
+            from, to, bytes, [this, expert, from, to, bytes]() {
+                RunState &rsc = *rs_;
+                auto tc = static_cast<std::size_t>(to);
+                sim::Tick ddr = static_cast<sim::Tick>(
+                    static_cast<double>(
+                        rsc.engines[tc]->memorySystem().estimateLoad(
+                            bytes)) *
+                    rsc.dmaFactor[tc]);
+                scheduleControlAt(
+                    rsc.eq.now() + ddr,
+                    [this, expert, from, to, bytes]() {
+                        RunState &rsf = *rs_;
+                        auto ef = static_cast<std::size_t>(expert);
+                        auto ff = static_cast<std::size_t>(from);
+                        auto tf = static_cast<std::size_t>(to);
+                        --rsf.migrationsInFlight;
+                        std::vector<int> &hosts =
+                            rsf.placement.hostsOfExpert[ef];
+                        auto hIt = std::find(hosts.begin(),
+                                             hosts.end(), from);
+                        bool already =
+                            std::find(hosts.begin(), hosts.end(),
+                                      to) != hosts.end();
+                        if (hIt == hosts.end() || already) {
+                            // The placement moved under the transfer
+                            // (a replication change raced it): drop
+                            // the copy and refund the reservation.
+                            rsf.placedBytesNow[tf] -= bytes;
+                            stats_.inc("migration_aborts");
+                            return;
+                        }
+                        *hIt = to;
+                        std::vector<int> &fx =
+                            rsf.placement.expertsOfNode[ff];
+                        fx.erase(std::find(fx.begin(), fx.end(),
+                                           expert));
+                        rsf.placement.expertsOfNode[tf].push_back(
+                            expert);
+                        rsf.placedBytesNow[ff] -= bytes;
+                        stats_.inc("expert_migrations");
+                    },
+                    "cluster.migrate_commit");
+            });
+        return true;
+    }
+
     *hostIt = to;
     auto f = static_cast<std::size_t>(from);
     std::vector<int> &fromExperts = rs.placement.expertsOfNode[f];
@@ -1479,6 +1697,9 @@ ClusterSimulator::idle() const
     const RunState &rs = *rs_;
     if (rs.workload->emitted() != rs.workload->plannedRequests())
         return false;
+    if (rs.fabric &&
+        (rs.fabric->inFlight() > 0 || rs.migrationsInFlight > 0))
+        return false;
     for (const std::unique_ptr<ServingEngine> &e : rs.engines) {
         if (e->queueDepth() != 0 || e->busy())
             return false;
@@ -1578,6 +1799,25 @@ ClusterSimulator::snapshot()
         rs.baseExpertHits[e] = rs.expertHits[e];
     }
 
+    if (rs.fabric) {
+        const sim::Network &net = rs.fabric->network();
+        sim::Tick window = rs.eq.now() - rs.snapTick;
+        s.links.resize(static_cast<std::size_t>(net.linkCount()));
+        for (int l = 0; l < net.linkCount(); ++l) {
+            auto ls = static_cast<std::size_t>(l);
+            s.links[ls].from = net.nodeLabel(net.linkFrom(l));
+            s.links[ls].to = net.nodeLabel(net.linkTo(l));
+            sim::Tick busy = net.linkBusyTicks(l) - rs.baseLinkBusy[ls];
+            // Busy time books at transmit start, so a flit spanning
+            // the window edge can push the ratio past 1; clamp.
+            s.links[ls].utilization = window > 0
+                ? std::min(1.0, static_cast<double>(busy) /
+                                    static_cast<double>(window))
+                : 0.0;
+            rs.baseLinkBusy[ls] = net.linkBusyTicks(l);
+        }
+    }
+
     rs.baseArrivals = arrivals;
     rs.baseCompletions = completions;
     rs.baseShed = shed;
@@ -1664,7 +1904,10 @@ ClusterSimulator::runParallel()
                         [&sh]() {
                             RunState::Shard::Pending &q =
                                 sh.inbox[sh.inboxNext++];
-                            sh.engine->inject(q.request);
+                            if (q.prebuilt)
+                                sh.engine->injectAt(std::move(q.built));
+                            else
+                                sh.engine->inject(q.request);
                         },
                         "cluster.deliver");
                 }
@@ -1740,12 +1983,17 @@ ClusterSimulator::runParallel()
             // hub-private staging halves while the workers execute
             // this one. Everything the arrival path touches — the
             // workload generator, its RNG, dispatch-policy state, the
-            // hub queue, the expert placement it reads — is either
-            // hub-owned or frozen until the next control barrier, so
-            // the overlap cannot race the shards; it just hides the
-            // serial routing cost behind shard execution.
+            // hub queue, the fabric, the expert placement it reads —
+            // is either hub-owned or frozen until the next control
+            // barrier, so the overlap cannot race the shards; it just
+            // hides the serial routing cost behind shard execution.
+            // The agenda front is re-read every step: a hub event can
+            // create a control entry (displaced-retry backoff, a
+            // migration commit behind a fabric transfer), and hub
+            // events past that entry's tick must wait for its barrier
+            // to keep hub-side ordering identical to the serial path.
             rs.hubBuffered = 0;
-            while (rs.eq.peekNextTick() < syncT &&
+            while (rs.eq.peekNextTick() < agendaFront() &&
                    rs.hubBuffered < kWindowArrivalCap) {
                 if (flakyOpen &&
                     rs.eq.peekNextTick() + firstBackoff < windowEnd)
@@ -1959,6 +2207,41 @@ ClusterSimulator::finish()
     }
     result.faultsInjected = faults_ ? faults_->injectedCount() : 0;
     result.crashes = rs.crashes;
+
+    if (rs.fabric) {
+        sim::simAssert(rs.fabric->inFlight() == 0,
+                       "cluster: event stream drained with network "
+                       "messages in flight");
+        sim::simAssert(rs.migrationsInFlight == 0,
+                       "cluster: event stream drained with migrations "
+                       "in flight");
+        const sim::Network &net = rs.fabric->network();
+        result.networkMessages = net.messagesDelivered();
+        result.networkFlits = net.flitsDelivered();
+        result.networkCreditStalls = net.creditStalls();
+        sim::Tick span =
+            lastCompletion - std::max<sim::Tick>(rs.firstArrival, 0);
+        if (span > 0 && net.linkCount() > 0) {
+            double maxU = 0.0, sumU = 0.0;
+            for (int l = 0; l < net.linkCount(); ++l) {
+                double u = static_cast<double>(net.linkBusyTicks(l)) /
+                    static_cast<double>(span);
+                maxU = std::max(maxU, u);
+                sumU += u;
+            }
+            result.networkMaxLinkUtilization = maxU;
+            result.networkMeanLinkUtilization =
+                sumU / static_cast<double>(net.linkCount());
+        }
+        stats_.set("network_messages",
+                   static_cast<double>(result.networkMessages));
+        stats_.set("network_flits",
+                   static_cast<double>(result.networkFlits));
+        stats_.set("network_credit_stalls",
+                   static_cast<double>(result.networkCreditStalls));
+        stats_.set("network_max_link_utilization",
+                   result.networkMaxLinkUtilization);
+    }
 
     stats_.set("completed", static_cast<double>(completed));
     stats_.set("batches", static_cast<double>(batches));

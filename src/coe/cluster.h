@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "coe/controller.h"
+#include "coe/fabric.h"
 #include "coe/faults.h"
 #include "coe/serving.h"
 #include "sim/event_queue.h"
@@ -63,6 +64,8 @@ enum class DispatchPolicy {
     RoundRobin,       ///< cycle through the expert's eligible hosts
     LeastOutstanding, ///< eligible host with fewest in-flight requests
     ExpertAffinity,   ///< consistent hashing: stable expert -> node map
+    TopologyAware,    ///< eligible host with the least-congested path
+                      ///< from the hub (requires the fabric)
 };
 
 const char *dispatchPolicyName(DispatchPolicy policy);
@@ -179,6 +182,16 @@ struct ClusterConfig
      */
     std::shared_ptr<const std::vector<FaultEvent>> faults;
     FaultPolicyConfig faultPolicy;
+
+    /**
+     * Interconnect model (coe/fabric.h). Disabled by default: the
+     * zero-network cluster moves requests and expert payloads
+     * instantaneously and stays byte-identical to pre-fabric runs.
+     * When enabled, dispatch, drain re-placement, and migration
+     * traffic pay link serialization, latency, and credit
+     * backpressure on the configured topology.
+     */
+    FabricConfig fabric;
 };
 
 /** Static expert-to-node placement map. */
@@ -246,6 +259,18 @@ struct MetricsSnapshot
     std::vector<NodeSnapshot> nodes;
     /** Windowed dispatch hits per expert id (popularity signal). */
     std::vector<std::int64_t> expertHits;
+
+    /**
+     * Per-link windowed utilization when the fabric is enabled
+     * (empty otherwise): busy ticks in the window / window ticks.
+     */
+    struct LinkSnapshot
+    {
+        std::string from; ///< node label ("ep3" / "sw0")
+        std::string to;
+        double utilization = 0.0;
+    };
+    std::vector<LinkSnapshot> links;
 };
 
 struct ClusterNodeMetrics
@@ -298,6 +323,13 @@ struct ClusterResult
     /** Chaos-layer accounting (0 without a fault schedule). */
     std::int64_t faultsInjected = 0;
     std::int64_t crashes = 0;
+
+    /** Interconnect accounting (all 0 without the fabric). */
+    std::int64_t networkMessages = 0;
+    std::int64_t networkFlits = 0;
+    std::int64_t networkCreditStalls = 0;
+    double networkMaxLinkUtilization = 0.0;  ///< busy / makespan
+    double networkMeanLinkUtilization = 0.0;
 };
 
 class ClusterSimulator
@@ -378,6 +410,12 @@ class ClusterSimulator
     void setNodeServiceFactor(int node, double factor);
     /** Dispatches to @p node fail with probability @p p (0 heals). */
     void setNodeFlakyProbability(int node, double p);
+    /**
+     * Stretch the serialization time of every fabric link adjacent
+     * to @p node by @p factor >= 1 (1.0 heals). Requires the fabric;
+     * the constructor rejects link-degrade schedules without it.
+     */
+    void setNodeLinkFactor(int node, double factor);
 
     /** Live nodes in the active run. */
     int liveNodes() const;
@@ -412,6 +450,8 @@ class ClusterSimulator
     void dispatchRequest(const TrafficRequest &request);
     void handleDisplaced(EngineRequest request);
     void redispatch(EngineRequest request);
+    void forwardRequest(int node, EngineRequest request);
+    void deliverViaFabric(int node, EngineRequest request);
     double estimateDelaySeconds(int node) const;
     void policyTick();
     void armPolicyTick();

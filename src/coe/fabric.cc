@@ -1,0 +1,75 @@
+#include "coe/fabric.h"
+
+#include "sim/log.h"
+
+namespace sn40l::coe {
+
+void
+validateFabricConfig(const FabricConfig &cfg)
+{
+    if (!cfg.enabled)
+        return;
+    if (cfg.linkGbps <= 0.0)
+        sim::fatal("fabric: non-positive link bandwidth");
+    if (cfg.linkLatencyUs < 0.0)
+        sim::fatal("fabric: negative link latency");
+    if (cfg.linkBufferFlits < 1)
+        sim::fatal("fabric: need at least one link buffer flit");
+    if (cfg.flitBytes <= 0.0)
+        sim::fatal("fabric: non-positive flit size");
+    if (cfg.maxFlitsPerMessage < 1)
+        sim::fatal("fabric: need at least one flit per message");
+    if (cfg.requestOverheadBytes < 0.0)
+        sim::fatal("fabric: negative request overhead");
+    if (cfg.requestPayloadBytes < 0.0)
+        sim::fatal("fabric: negative request payload");
+}
+
+sim::NetworkConfig
+toNetworkConfig(const FabricConfig &cfg, int nodes)
+{
+    sim::NetworkConfig net;
+    net.topology = cfg.topology;
+    net.endpoints = nodes + 1; // + the dispatch hub
+    net.linkBytesPerSec = cfg.linkGbps * 1e9 / 8.0;
+    net.linkLatency = sim::fromUs(cfg.linkLatencyUs);
+    net.bufferFlits = cfg.linkBufferFlits;
+    net.flitBytes = cfg.flitBytes;
+    net.maxFlitsPerMessage = cfg.maxFlitsPerMessage;
+    return net;
+}
+
+ClusterFabric::ClusterFabric(sim::EventQueue &eq,
+                             const FabricConfig &cfg, int nodes)
+    : cfg_(cfg), nodes_(nodes), net_(eq, toNetworkConfig(cfg, nodes))
+{
+}
+
+void
+ClusterFabric::sendRequest(int node, double bytes,
+                           Callback on_delivered)
+{
+    net_.send(nodes_, node, bytes + cfg_.requestOverheadBytes,
+              std::move(on_delivered));
+}
+
+void
+ClusterFabric::sendTransfer(int from, int to, double bytes,
+                            Callback on_delivered)
+{
+    net_.send(from, to, bytes, std::move(on_delivered));
+}
+
+double
+ClusterFabric::hubCongestion(int node)
+{
+    return net_.pathCongestion(nodes_, node);
+}
+
+void
+ClusterFabric::degradeNode(int node, double factor)
+{
+    net_.setEndpointLinkFactor(node, factor);
+}
+
+} // namespace sn40l::coe

@@ -24,6 +24,8 @@ faultKindName(FaultKind kind)
         return "straggler";
     case FaultKind::FlakyNode:
         return "flaky";
+    case FaultKind::LinkDegrade:
+        return "link-degrade";
     }
     return "?";
 }
@@ -39,8 +41,10 @@ faultKindFromName(const std::string &name)
         return FaultKind::Straggler;
     if (name == "flaky")
         return FaultKind::FlakyNode;
+    if (name == "link-degrade")
+        return FaultKind::LinkDegrade;
     sim::fatal("unknown fault kind '" + name +
-               "' (crash, dma-stall, straggler, flaky)");
+               "' (crash, dma-stall, straggler, flaky, link-degrade)");
 }
 
 // ------------------------------------------------------ validation
@@ -67,6 +71,7 @@ validateFaultSchedule(const std::vector<FaultEvent> &schedule, int nodes)
             break;
         case FaultKind::DmaStall:
         case FaultKind::Straggler:
+        case FaultKind::LinkDegrade:
             if (e.factor < 1.0)
                 sim::fatal(tag + "stretch factor must be >= 1");
             break;
@@ -258,7 +263,8 @@ loadFaultSchedule(const std::string &path)
         e.kind = [&p] {
             std::string kind = p.word("kind");
             if (kind != "crash" && kind != "dma-stall" &&
-                kind != "straggler" && kind != "flaky")
+                kind != "straggler" && kind != "flaky" &&
+                kind != "link-degrade")
                 p.die("unknown fault kind '" + kind + "'");
             return faultKindFromName(kind);
         }();
@@ -276,7 +282,8 @@ loadFaultSchedule(const std::string &path)
         if (e.node < 0 || e.durationSeconds < 0.0)
             p.die("negative field value");
         if ((e.kind == FaultKind::DmaStall ||
-             e.kind == FaultKind::Straggler) &&
+             e.kind == FaultKind::Straggler ||
+             e.kind == FaultKind::LinkDegrade) &&
             e.factor < 1.0)
             p.die("stretch factor must be >= 1");
         if (e.kind == FaultKind::FlakyNode &&
@@ -338,6 +345,9 @@ FaultInjector::fire(const FaultEvent &event)
     case FaultKind::FlakyNode:
         cluster_.setNodeFlakyProbability(event.node, event.factor);
         break;
+    case FaultKind::LinkDegrade:
+        cluster_.setNodeLinkFactor(event.node, event.factor);
+        break;
     }
 }
 
@@ -356,6 +366,9 @@ FaultInjector::heal(const FaultEvent &event)
         break;
     case FaultKind::FlakyNode:
         cluster_.setNodeFlakyProbability(event.node, 0.0);
+        break;
+    case FaultKind::LinkDegrade:
+        cluster_.setNodeLinkFactor(event.node, 1.0);
         break;
     }
 }

@@ -27,6 +27,10 @@
  *  - flaky:     transient request-level failures: dispatches to the
  *               node fail with probability `factor` for `duration`
  *               seconds and fall into the same retry/lost path.
+ *  - link-degrade: stretch the serialization time of every fabric
+ *               link adjacent to the node by `factor` (congested or
+ *               flapping NIC); requires the interconnect
+ *               (ClusterConfig::fabric.enabled); duration restores.
  */
 
 #ifndef SN40L_COE_FAULTS_H
@@ -47,6 +51,7 @@ enum class FaultKind {
     DmaStall,    ///< DMA completions stretched by `factor`
     Straggler,   ///< prompt execution stretched by `factor`
     FlakyNode,   ///< dispatches fail with probability `factor`
+    LinkDegrade, ///< node's fabric links stretched by `factor`
 };
 
 const char *faultKindName(FaultKind kind);

@@ -29,6 +29,18 @@ snapshotJsonFields(util::JsonWriter &w, const MetricsSnapshot &snap)
         .field("hedged", snap.hedged)
         .field("hedge_won", snap.hedgeWon)
         .field("node_seconds_live", snap.nodeSecondsLive);
+    // Only fabric-enabled runs carry link state; omitting the array
+    // otherwise keeps pre-fabric decision-log files byte-identical.
+    if (!snap.links.empty()) {
+        w.key("links").beginArray();
+        for (const MetricsSnapshot::LinkSnapshot &l : snap.links)
+            w.beginObject()
+                .field("from", l.from)
+                .field("to", l.to)
+                .field("util", l.utilization)
+                .endObject();
+        w.endArray();
+    }
 }
 
 void
@@ -135,6 +147,22 @@ writeClusterJson(std::ostream &os, const ClusterConfig &cfg,
         .field("controller_ticks", r.controllerTicks)
         .field("controller_actions", r.controllerActions)
         .field("events", r.stream.eventsExecuted);
+    // Interconnect block only when the fabric ran, so zero-network
+    // reports stay byte-identical to pre-fabric goldens.
+    if (cfg.fabric.enabled) {
+        w.key("network")
+            .beginObject()
+            .field("topology", sim::topologyName(cfg.fabric.topology))
+            .field("link_gbps", cfg.fabric.linkGbps)
+            .field("messages", r.networkMessages)
+            .field("flits", r.networkFlits)
+            .field("credit_stalls", r.networkCreditStalls)
+            .field("max_link_utilization",
+                   r.networkMaxLinkUtilization)
+            .field("mean_link_utilization",
+                   r.networkMeanLinkUtilization)
+            .endObject();
+    }
     w.key("node_metrics").beginArray();
     for (const ClusterNodeMetrics &nm : r.nodes)
         clusterNodeJson(w, nm);

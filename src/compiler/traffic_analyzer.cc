@@ -94,6 +94,9 @@ TrafficAnalyzer::analyze(const graph::DataflowGraph &graph,
                 mesh.addFlow(center_of.at(id), dsts[0], rate);
             else
                 mesh.addMulticastFlow(center_of.at(id), dsts, rate);
+            for (arch::Coord dst : dsts)
+                report.flowList.push_back(
+                    {center_of.at(id), dst, rate});
             ++report.flows;
         }
         // Off-chip reads enter through the AGCU column (x = 0) at the
@@ -114,10 +117,13 @@ TrafficAnalyzer::analyze(const graph::DataflowGraph &graph,
             arch::Coord dst = center_of.at(id);
             arch::Coord src{0, dst.y};
             mesh.addFlow(src, dst, rate);
+            report.flowList.push_back({src, dst, rate});
             ++report.flows;
         }
     }
 
+    report.meshCols = cols;
+    report.meshRows = rows;
     report.maxLinkLoad = mesh.maxLinkLoad();
     double link_bw = chip_.rdnLinkBandwidth;
     report.throttledFactor = mesh.congestionFactor(link_bw);

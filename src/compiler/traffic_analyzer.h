@@ -35,6 +35,18 @@ struct TrafficReport
 
     /** Stage coordinates used (for inspection/tests). */
     std::vector<arch::Coord> stageCenters;
+
+    /**
+     * The flow set behind the numbers above, for event-driven replay
+     * (arch::simulatedCongestionFactor). Multicast streams appear
+     * once per destination — an upper bound, since the closed-form
+     * accounting charges a shared tree prefix only once.
+     */
+    std::vector<arch::MeshFlow> flowList;
+
+    /** Mesh geometry the flows were placed on (cols x rows). */
+    int meshCols = 0;
+    int meshRows = 0;
 };
 
 class TrafficAnalyzer

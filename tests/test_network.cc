@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Tests for the event-driven link/credit interconnect (sim/network.h)
+ * and its cluster integration (coe/fabric.h): topology name tables and
+ * config validation, route shapes per topology, credit-exhaustion
+ * backpressure (stalls counted, nothing dropped, completion strictly
+ * later than with deep buffers), same-tick round-robin arbitration
+ * fairness at a shared switch, the zero-network identity contract
+ * (fabric knobs are inert until enabled), networked serial-vs-parallel
+ * determinism, link-degrade request conservation, and the RDN replay
+ * entry point arch::simulatedCongestionFactor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/rdn.h"
+#include "coe/cluster.h"
+#include "coe/faults.h"
+#include "coe/serving.h"
+#include "sim/event_queue.h"
+#include "sim/log.h"
+#include "sim/network.h"
+#include "sim/ticks.h"
+
+using namespace sn40l;
+using namespace sn40l::coe;
+
+namespace {
+
+/** Cluster config used by the fabric integration tests (same shape as
+ *  the test_cluster golden helper). */
+ClusterConfig
+clusterConfig(int nodes)
+{
+    ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.dispatch = DispatchPolicy::RoundRobin;
+    cfg.placement = PlacementPolicy::FullReplication;
+    cfg.node.mode = ServingMode::EventDriven;
+    cfg.node.numExperts = 150;
+    cfg.node.batch = 8;
+    cfg.node.streamRequests = 400;
+    cfg.node.routing = RoutingDistribution::Zipf;
+    cfg.node.zipfS = 1.0;
+    cfg.node.arrivalRatePerSec = 16.0 * nodes;
+    cfg.node.seed = 11;
+    return cfg;
+}
+
+/** Strict result equality: every integer counter and every derived
+ *  double that the cluster goldens pin, plus the network counters. */
+void
+expectClusterIdentical(const ClusterResult &a, const ClusterResult &b)
+{
+    EXPECT_EQ(a.oom, b.oom);
+    EXPECT_EQ(a.stream.completed, b.stream.completed);
+    EXPECT_EQ(a.stream.batches, b.stream.batches);
+    EXPECT_EQ(a.stream.shed, b.stream.shed);
+    EXPECT_EQ(a.stream.lost, b.stream.lost);
+    EXPECT_DOUBLE_EQ(a.stream.p50LatencySeconds,
+                     b.stream.p50LatencySeconds);
+    EXPECT_DOUBLE_EQ(a.stream.p95LatencySeconds,
+                     b.stream.p95LatencySeconds);
+    EXPECT_DOUBLE_EQ(a.stream.p99LatencySeconds,
+                     b.stream.p99LatencySeconds);
+    EXPECT_DOUBLE_EQ(a.stream.maxLatencySeconds,
+                     b.stream.maxLatencySeconds);
+    EXPECT_DOUBLE_EQ(a.stream.makespanSeconds, b.stream.makespanSeconds);
+    EXPECT_DOUBLE_EQ(a.stream.throughputRequestsPerSec,
+                     b.stream.throughputRequestsPerSec);
+    EXPECT_DOUBLE_EQ(a.stream.meanQueueDepth, b.stream.meanQueueDepth);
+    EXPECT_DOUBLE_EQ(a.stream.maxQueueDepth, b.stream.maxQueueDepth);
+    EXPECT_DOUBLE_EQ(a.stream.meanBatchOccupancy,
+                     b.stream.meanBatchOccupancy);
+    EXPECT_DOUBLE_EQ(a.missRate, b.missRate);
+    EXPECT_EQ(a.redispatched, b.redispatched);
+    EXPECT_EQ(a.networkMessages, b.networkMessages);
+    EXPECT_EQ(a.networkFlits, b.networkFlits);
+    EXPECT_EQ(a.networkCreditStalls, b.networkCreditStalls);
+    ASSERT_EQ(a.nodes.size(), b.nodes.size());
+    for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+        EXPECT_EQ(a.nodes[n].dispatched, b.nodes[n].dispatched)
+            << "node " << n;
+        EXPECT_EQ(a.nodes[n].completed, b.nodes[n].completed)
+            << "node " << n;
+        EXPECT_EQ(a.nodes[n].batches, b.nodes[n].batches)
+            << "node " << n;
+    }
+}
+
+/** Serial vs parallel: same as above except the two cluster-wide
+ *  running means (merge-order sensitive) are compared loosely. */
+void
+expectClusterEqualAcrossThreads(const ClusterResult &a,
+                                const ClusterResult &b)
+{
+    expectClusterIdentical(a, b);
+    EXPECT_NEAR(a.stream.meanLatencySeconds, b.stream.meanLatencySeconds,
+                1e-9 * (1.0 + a.stream.meanLatencySeconds));
+}
+
+} // namespace
+
+// ----------------------------------------------- names & validation
+
+TEST(NetworkNames, TopologyRoundTripAndAliases)
+{
+    for (sim::Topology t :
+         {sim::Topology::Star, sim::Topology::Mesh2D,
+          sim::Topology::Torus2D, sim::Topology::FatTree})
+        EXPECT_EQ(sim::topologyFromName(sim::topologyName(t)), t);
+    EXPECT_EQ(sim::topologyFromName("mesh2d"), sim::Topology::Mesh2D);
+    EXPECT_EQ(sim::topologyFromName("torus2d"), sim::Topology::Torus2D);
+    EXPECT_EQ(sim::topologyFromName("fattree"), sim::Topology::FatTree);
+    EXPECT_THROW(sim::topologyFromName("ring"), sim::FatalError);
+}
+
+TEST(NetworkNames, ConfigValidationRejectsNonsense)
+{
+    sim::NetworkConfig good;
+    good.endpoints = 4;
+    EXPECT_NO_THROW(sim::validateNetworkConfig(good));
+
+    auto expect_fatal = [](auto mutate) {
+        sim::NetworkConfig bad;
+        bad.endpoints = 4;
+        mutate(bad);
+        EXPECT_THROW(sim::validateNetworkConfig(bad), sim::FatalError);
+    };
+    expect_fatal([](sim::NetworkConfig &c) { c.endpoints = 0; });
+    expect_fatal([](sim::NetworkConfig &c) { c.linkBytesPerSec = 0.0; });
+    expect_fatal([](sim::NetworkConfig &c) { c.linkLatency = -1; });
+    expect_fatal([](sim::NetworkConfig &c) { c.bufferFlits = 0; });
+    expect_fatal([](sim::NetworkConfig &c) { c.flitBytes = 0.0; });
+    expect_fatal([](sim::NetworkConfig &c) { c.maxFlitsPerMessage = 0; });
+    expect_fatal([](sim::NetworkConfig &c) { c.fatTreeSpines = 0; });
+}
+
+TEST(NetworkNames, FabricValidationOnlyBitesWhenEnabled)
+{
+    coe::FabricConfig off;
+    off.linkGbps = -5.0; // inert: the fabric is disabled
+    EXPECT_NO_THROW(coe::validateFabricConfig(off));
+
+    coe::FabricConfig on;
+    on.enabled = true;
+    EXPECT_NO_THROW(coe::validateFabricConfig(on));
+    on.linkGbps = -5.0;
+    EXPECT_THROW(coe::validateFabricConfig(on), sim::FatalError);
+}
+
+// ------------------------------------------------------------ routes
+
+TEST(NetworkRoute, StarAlwaysTwoHopsThroughTheHub)
+{
+    sim::EventQueue eq;
+    sim::NetworkConfig cfg;
+    cfg.endpoints = 4;
+    sim::Network net(eq, cfg);
+    // 4 endpoints, one hub: a link each way per endpoint.
+    EXPECT_EQ(net.linkCount(), 8);
+    for (int s = 0; s < 4; ++s)
+        for (int d = 0; d < 4; ++d) {
+            if (s == d)
+                continue;
+            const std::vector<int> &path = net.route(s, d);
+            ASSERT_EQ(path.size(), 2u) << s << "->" << d;
+            EXPECT_EQ(net.linkTo(path[0]), 4);   // into the hub
+            EXPECT_EQ(net.linkFrom(path[1]), 4); // out of the hub
+        }
+    EXPECT_EQ(net.nodeLabel(0), "ep0");
+    EXPECT_EQ(net.nodeLabel(4), "sw0");
+    EXPECT_THROW(net.route(0, 4), sim::FatalError); // hub is no endpoint
+}
+
+TEST(NetworkRoute, MeshUsesXYDimensionOrder)
+{
+    sim::EventQueue eq;
+    sim::NetworkConfig cfg;
+    cfg.topology = sim::Topology::Mesh2D;
+    cfg.endpoints = 9;
+    cfg.meshCols = 3;
+    sim::Network net(eq, cfg);
+    // Corner to corner on a 3x3: 2 X hops then 2 Y hops.
+    const std::vector<int> &path = net.route(0, 8);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(net.linkTo(path[0]), 1); // x first
+    EXPECT_EQ(net.linkTo(path[1]), 2);
+    EXPECT_EQ(net.linkTo(path[2]), 5); // then y
+    EXPECT_EQ(net.linkTo(path[3]), 8);
+}
+
+TEST(NetworkRoute, TorusWrapShortensTheLongWay)
+{
+    sim::EventQueue eq;
+    sim::NetworkConfig cfg;
+    cfg.topology = sim::Topology::Torus2D;
+    cfg.endpoints = 9;
+    cfg.meshCols = 3;
+    sim::Network net(eq, cfg);
+    // 0 -> 2 is two hops on a mesh but one wrap hop on the torus.
+    EXPECT_EQ(net.route(0, 2).size(), 1u);
+    EXPECT_EQ(net.route(0, 6).size(), 1u); // same in Y
+}
+
+TEST(NetworkRoute, FatTreeStaysInTheLeafWhenItCan)
+{
+    sim::EventQueue eq;
+    sim::NetworkConfig cfg;
+    cfg.topology = sim::Topology::FatTree;
+    cfg.endpoints = 8;
+    cfg.fatTreeRadix = 4;
+    cfg.fatTreeSpines = 2;
+    sim::Network net(eq, cfg);
+    EXPECT_EQ(net.route(0, 1).size(), 2u); // same leaf: up, down
+    EXPECT_EQ(net.route(0, 4).size(), 4u); // cross leaf: via a spine
+}
+
+// ------------------------------------------------- delivery & credits
+
+TEST(NetworkDelivery, LocalSendTouchesNoLink)
+{
+    sim::EventQueue eq;
+    sim::NetworkConfig cfg;
+    cfg.endpoints = 2;
+    sim::Network net(eq, cfg);
+    bool delivered = false;
+    net.send(0, 0, 1e9, [&delivered]() { delivered = true; });
+    EXPECT_EQ(net.messagesInFlight(), 1);
+    eq.run();
+    EXPECT_TRUE(delivered);
+    EXPECT_EQ(net.messagesDelivered(), 1);
+    EXPECT_EQ(net.flitsDelivered(), 0); // no link was crossed
+    EXPECT_EQ(net.creditStalls(), 0);
+}
+
+TEST(NetworkDelivery, MessageArrivesWholeAndInFlightDrains)
+{
+    sim::EventQueue eq;
+    sim::NetworkConfig cfg;
+    cfg.endpoints = 2;
+    cfg.flitBytes = 64.0;
+    sim::Network net(eq, cfg);
+    sim::Tick done_at = 0;
+    net.send(0, 1, 64.0 * 10, [&]() { done_at = eq.now(); });
+    eq.run();
+    EXPECT_EQ(net.messagesDelivered(), 1);
+    EXPECT_EQ(net.messagesInFlight(), 0);
+    EXPECT_EQ(net.flitsDelivered(), 10);
+    // At least two hop latencies (ep -> hub -> ep) plus serialization.
+    EXPECT_GE(done_at, 2 * cfg.linkLatency);
+}
+
+TEST(NetworkCredit, ExhaustionStallsButDeliversEverything)
+{
+    // 40 flits through 2-deep buffers: the transmitter must stall on
+    // credits (counted), yet every flit lands. The same message
+    // through 64-deep buffers never stalls and finishes strictly
+    // earlier — the credit loop (return delay == link latency) is the
+    // pacing mechanism, not a drop mechanism.
+    const double bytes = 64.0 * 40;
+    auto run_with_buffer = [&](int buffer_flits, std::int64_t &stalls,
+                               std::int64_t &flits) {
+        sim::EventQueue eq;
+        sim::NetworkConfig cfg;
+        cfg.endpoints = 2;
+        cfg.flitBytes = 64.0;
+        cfg.bufferFlits = buffer_flits;
+        sim::Network net(eq, cfg);
+        sim::Tick done_at = 0;
+        net.send(0, 1, bytes, [&]() { done_at = eq.now(); });
+        eq.run();
+        stalls = net.creditStalls();
+        flits = net.flitsDelivered();
+        return done_at;
+    };
+    std::int64_t shallow_stalls = 0, shallow_flits = 0;
+    std::int64_t deep_stalls = 0, deep_flits = 0;
+    sim::Tick shallow_done =
+        run_with_buffer(2, shallow_stalls, shallow_flits);
+    sim::Tick deep_done = run_with_buffer(64, deep_stalls, deep_flits);
+
+    EXPECT_EQ(shallow_flits, 40); // nothing dropped
+    EXPECT_EQ(deep_flits, 40);
+    EXPECT_GT(shallow_stalls, 0);
+    EXPECT_EQ(deep_stalls, 0);
+    EXPECT_GT(shallow_done, deep_done);
+}
+
+TEST(NetworkCredit, DegradedLinkAdvertisesItsStretchWhenIdle)
+{
+    // The capacity-aware congestion signal: an idle degraded path must
+    // cost more than an idle healthy one, otherwise a topology-aware
+    // dispatcher keeps trickling traffic onto the sick link until the
+    // queue builds (and each trickle head-of-line blocks shared hops).
+    sim::EventQueue eq;
+    sim::NetworkConfig cfg;
+    cfg.endpoints = 3;
+    sim::Network net(eq, cfg);
+    EXPECT_DOUBLE_EQ(net.pathCongestion(0, 1), 0.0);
+    net.setEndpointLinkFactor(1, 40.0);
+    EXPECT_GT(net.pathCongestion(0, 1), net.pathCongestion(0, 2));
+    net.setEndpointLinkFactor(1, 1.0); // heal
+    EXPECT_DOUBLE_EQ(net.pathCongestion(0, 1), 0.0);
+    EXPECT_THROW(net.setEndpointLinkFactor(1, 0.5), sim::FatalError);
+    EXPECT_THROW(net.setEndpointLinkFactor(9, 2.0), sim::FatalError);
+}
+
+TEST(NetworkArbitration, SameTickSendersInterleaveAtASharedSwitch)
+{
+    // Two equal 10-flit messages converge on ep2's hub link in the
+    // same tick. Per-input-port round-robin must interleave them: when
+    // the first message completes, the other has landed all but a
+    // couple of its flits (the loser of the final arbitration round is
+    // still crossing the wire). A single shared FIFO would drain one
+    // message entirely first — 10 flits delivered at first completion.
+    sim::EventQueue eq;
+    sim::NetworkConfig cfg;
+    cfg.endpoints = 3;
+    cfg.flitBytes = 64.0;
+    sim::Network net(eq, cfg);
+    std::int64_t flits_at_first_completion = -1;
+    auto on_done = [&]() {
+        if (flits_at_first_completion < 0)
+            flits_at_first_completion = net.flitsDelivered();
+    };
+    eq.schedule(0, [&]() {
+        net.send(0, 2, 64.0 * 10, on_done);
+        net.send(1, 2, 64.0 * 10, on_done);
+    }, "inject");
+    eq.run();
+    EXPECT_EQ(net.flitsDelivered(), 20);
+    EXPECT_GE(flits_at_first_completion, 18);
+}
+
+// ------------------------------------------------ cluster integration
+
+TEST(FabricCluster, DisabledFabricKnobsAreInert)
+{
+    // The zero-network identity contract: setting every fabric knob
+    // while leaving enabled == false must not perturb a single metric
+    // relative to a config that never mentions the fabric.
+    ClusterConfig plain = clusterConfig(3);
+    ClusterConfig knobs = clusterConfig(3);
+    knobs.fabric.topology = sim::Topology::FatTree;
+    knobs.fabric.linkGbps = 1.0;
+    knobs.fabric.linkLatencyUs = 500.0;
+    knobs.fabric.linkBufferFlits = 2;
+    knobs.fabric.requestPayloadBytes = 1e9;
+    ASSERT_FALSE(knobs.fabric.enabled);
+
+    ClusterResult a = ClusterSimulator(plain).run();
+    ClusterResult b = ClusterSimulator(knobs).run();
+    expectClusterIdentical(a, b);
+    EXPECT_EQ(a.networkMessages, 0);
+    EXPECT_DOUBLE_EQ(b.networkMaxLinkUtilization, 0.0);
+}
+
+TEST(FabricCluster, NetworkedRunMovesEveryRequestOverTheWire)
+{
+    ClusterConfig cfg = clusterConfig(3);
+    cfg.fabric.enabled = true;
+    ClusterResult r = ClusterSimulator(cfg).run();
+    EXPECT_EQ(r.stream.completed + r.stream.shed + r.stream.lost, 400);
+    // Every dispatch is one hub -> node message.
+    EXPECT_GE(r.networkMessages, 400);
+    EXPECT_GT(r.networkFlits, 0);
+    EXPECT_GT(r.networkMaxLinkUtilization, 0.0);
+    EXPECT_GE(r.networkMaxLinkUtilization,
+              r.networkMeanLinkUtilization);
+}
+
+TEST(FabricCluster, NetworkedParallelMatchesSerial)
+{
+    for (sim::Topology topo :
+         {sim::Topology::Star, sim::Topology::Mesh2D}) {
+        ClusterConfig cfg = clusterConfig(3);
+        cfg.fabric.enabled = true;
+        cfg.fabric.topology = topo;
+        ClusterResult serial = ClusterSimulator(cfg).run();
+        ClusterConfig par = cfg;
+        par.threads = 3;
+        ClusterResult parallel = ClusterSimulator(par).run();
+        SCOPED_TRACE(sim::topologyName(topo));
+        EXPECT_GT(serial.networkMessages, 0);
+        expectClusterEqualAcrossThreads(serial, parallel);
+    }
+}
+
+TEST(FabricCluster, TopologyAwareDispatchNeedsTheFabric)
+{
+    ClusterConfig cfg = clusterConfig(3);
+    cfg.dispatch = DispatchPolicy::TopologyAware;
+    EXPECT_THROW(ClusterSimulator{cfg}, sim::FatalError);
+    cfg.fabric.enabled = true;
+    EXPECT_NO_THROW(ClusterSimulator{cfg});
+}
+
+TEST(FabricCluster, LinkDegradeScheduleNeedsTheFabric)
+{
+    ClusterConfig cfg = clusterConfig(3);
+    cfg.faults = std::make_shared<std::vector<FaultEvent>>(
+        std::vector<FaultEvent>{
+            {1.0, FaultKind::LinkDegrade, 1, 40.0, 4.0}});
+    EXPECT_THROW(ClusterSimulator{cfg}, sim::FatalError);
+    cfg.fabric.enabled = true;
+    EXPECT_NO_THROW(ClusterSimulator{cfg});
+}
+
+TEST(FabricCluster, LinkDegradeConservesRequests)
+{
+    // A mid-run link degrade slows traffic but must not leak requests:
+    // everything that arrived is completed, shed, or counted lost.
+    ClusterConfig cfg = clusterConfig(4);
+    cfg.fabric.enabled = true;
+    cfg.fabric.linkGbps = 1.0; // thin links so the degrade bites
+    cfg.faults = std::make_shared<std::vector<FaultEvent>>(
+        std::vector<FaultEvent>{
+            {1.0, FaultKind::LinkDegrade, 2, 40.0, 3.0}});
+    ClusterResult r = ClusterSimulator(cfg).run();
+    EXPECT_FALSE(r.oom);
+    EXPECT_EQ(r.stream.completed + r.stream.shed + r.stream.lost, 400);
+    EXPECT_EQ(r.faultsInjected, 1);
+    EXPECT_EQ(r.crashes, 0);
+}
+
+// -------------------------------------------------- RDN replay bridge
+
+TEST(RdnReplay, EmptyOrIdleFlowSetsCostNothing)
+{
+    EXPECT_DOUBLE_EQ(
+        arch::simulatedCongestionFactor({}, 4, 4, 1e9), 1.0);
+    // Zero-rate and self flows are skipped, not fatal.
+    std::vector<arch::MeshFlow> idle = {
+        {{0, 0}, {3, 3}, 0.0},
+        {{1, 1}, {1, 1}, 5e9},
+    };
+    EXPECT_DOUBLE_EQ(
+        arch::simulatedCongestionFactor(idle, 4, 4, 1e9), 1.0);
+}
+
+TEST(RdnReplay, OversubscriptionDilatesMonotonically)
+{
+    // Eight flows funneling through column x=0 at 4x the link rate
+    // must dilate well past an undersubscribed copy of the same set.
+    auto funnel = [](double rate) {
+        std::vector<arch::MeshFlow> flows;
+        for (int y = 0; y < 8; ++y)
+            flows.push_back({{0, y}, {3, y}, rate});
+        return flows;
+    };
+    const double link_bw = 1e9;
+    double light =
+        arch::simulatedCongestionFactor(funnel(1e8), 4, 8, link_bw);
+    double heavy =
+        arch::simulatedCongestionFactor(funnel(4e9), 4, 8, link_bw);
+    EXPECT_GE(light, 1.0);
+    EXPECT_GT(heavy, light);
+    EXPECT_GT(heavy, 1.5);
+    EXPECT_THROW(
+        arch::simulatedCongestionFactor(funnel(1e9), 0, 8, link_bw),
+        sim::FatalError);
+}

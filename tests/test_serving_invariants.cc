@@ -8,7 +8,9 @@
  *  - arrivals == completions + shed + lost once the event stream
  *    drains (in-flight is zero at drain by the drivers' own asserts;
  *    lost is only ever non-zero under injected crash/flaky faults,
- *    and retries/hedges never double-count a request);
+ *    and retries/hedges never double-count a request) — including
+ *    trials that route all cluster traffic over the interconnect
+ *    model, with and without a link-degrade fault;
  *  - no request completes before it arrives (latencies non-negative,
  *    checked per sample);
  *  - per-node dispatched/completed/miss/shed counts sum to the
@@ -217,6 +219,21 @@ TEST(ClusterInvariants, RandomizedClusterConservation)
             cfg.dispatch != DispatchPolicy::LeastOutstanding;
         if (parallelSafe)
             cfg.threads = rouletteThreads; // ctor clamps to nodes
+        // Fabric roulette: a third of trials route dispatch, drain,
+        // and migration traffic over the interconnect model, on a
+        // random topology with links thin enough to queue. The
+        // network delays requests but never owns or drops one, so
+        // every conservation law below must hold unchanged. Drawn
+        // unconditionally (same RNG-stream-stability discipline).
+        std::uint64_t fabricDraw = rng.uniformInt(3);
+        std::uint64_t topoDraw = rng.uniformInt(3);
+        if (fabricDraw == 0) {
+            cfg.fabric.enabled = true;
+            cfg.fabric.topology = topoDraw == 0 ? sim::Topology::Star
+                : topoDraw == 1               ? sim::Topology::Mesh2D
+                                              : sim::Topology::FatTree;
+            cfg.fabric.linkGbps = 2.0;
+        }
         // Fault roulette: the chaos layer must uphold the extended
         // conservation law no matter which fault fires or which
         // degraded-mode policy is armed. All draws are unconditional
@@ -224,9 +241,10 @@ TEST(ClusterInvariants, RandomizedClusterConservation)
         // kinds (crash, flaky) remap to a straggler on trials with
         // closed-loop arrivals or generated sessions, which the
         // simulator rejects by construction (a lost request would
-        // wedge the client pool / starve its follow-up).
+        // wedge the client pool / starve its follow-up); link-degrade
+        // needs the fabric and remaps to a DMA stall without one.
         std::uint64_t faultOn = rng.uniformInt(3);
-        std::uint64_t kindDraw = rng.uniformInt(4);
+        std::uint64_t kindDraw = rng.uniformInt(5);
         int faultNode = static_cast<int>(
             rng.uniformInt(static_cast<std::uint64_t>(cfg.nodes)));
         double faultAt =
@@ -247,12 +265,21 @@ TEST(ClusterInvariants, RandomizedClusterConservation)
               case 0: e.kind = FaultKind::NodeCrash; break;
               case 1: e.kind = FaultKind::DmaStall; e.factor = 3.0; break;
               case 2: e.kind = FaultKind::Straggler; e.factor = 2.5; break;
-              default: e.kind = FaultKind::FlakyNode; e.factor = 0.5; break;
+              case 3: e.kind = FaultKind::FlakyNode; e.factor = 0.5; break;
+              default:
+                e.kind = FaultKind::LinkDegrade;
+                e.factor = 20.0;
+                break;
             }
             if (!displacingOk && (e.kind == FaultKind::NodeCrash ||
                                   e.kind == FaultKind::FlakyNode)) {
                 e.kind = FaultKind::Straggler;
                 e.factor = 2.5;
+            }
+            if (e.kind == FaultKind::LinkDegrade &&
+                !cfg.fabric.enabled) {
+                e.kind = FaultKind::DmaStall;
+                e.factor = 3.0;
             }
             cfg.faults = std::make_shared<const std::vector<FaultEvent>>(
                 std::vector<FaultEvent>{e});
@@ -281,7 +308,11 @@ TEST(ClusterInvariants, RandomizedClusterConservation)
         SCOPED_TRACE("trial " + std::to_string(trial) + " seed " +
                      std::to_string(cfg.node.seed) + " nodes " +
                      std::to_string(cfg.nodes) + " threads " +
-                     std::to_string(cfg.threads) + " fault " +
+                     std::to_string(cfg.threads) + " fabric " +
+                     (cfg.fabric.enabled
+                          ? sim::topologyName(cfg.fabric.topology)
+                          : "off") +
+                     " fault " +
                      (chaos ? std::string(faultKindName(
                                   (*cfg.faults)[0].kind)) +
                           "@n" + std::to_string(faultNode) +
@@ -306,6 +337,14 @@ TEST(ClusterInvariants, RandomizedClusterConservation)
         }
         EXPECT_GE(m.hedged, m.hedgeWon);
         EXPECT_EQ(r.faultsInjected, chaos ? 1 : 0);
+
+        // Every completion crossed the fabric at least once (hub-side
+        // brown-out sheds and flaky dispatch failures never ride), and
+        // nothing rides the wire without the fabric.
+        if (cfg.fabric.enabled)
+            EXPECT_GE(r.networkMessages, m.completed);
+        else
+            EXPECT_EQ(r.networkMessages, 0);
 
         // Per-node counters sum to the cluster-wide totals.
         std::int64_t completed = 0, misses = 0, shed = 0;

@@ -473,6 +473,64 @@ parseScheduleList(const FlagParser &p, const std::string &csv)
     return actions;
 }
 
+// ------------------------------------------ interconnect group
+
+struct FabricFlagState
+{
+    bool setLinkGbps = false;
+    bool setLinkLatency = false;
+    bool setLinkBuffer = false;
+};
+
+/**
+ * Interconnect flags (cluster subcommand). --topology switches the
+ * cluster from instantaneous hub->node handoff onto the event-driven
+ * link/credit fabric (coe/fabric.h); the --link-* knobs tune it and
+ * require it. Off by default: without --topology the run is
+ * byte-identical to a pre-fabric build.
+ */
+inline void
+addFabricFlags(FlagParser &p, coe::FabricConfig &cfg,
+               FabricFlagState &st)
+{
+    p.value("--topology", [&](const std::string &v) {
+        cfg.topology = sim::topologyFromName(v);
+        cfg.enabled = true;
+    });
+    p.value("--link-gbps", [&p, &cfg, &st](const std::string &v) {
+        cfg.linkGbps = std::stod(v);
+        if (cfg.linkGbps <= 0.0)
+            p.fail("--link-gbps must be positive");
+        st.setLinkGbps = true;
+    });
+    p.value("--link-latency-us", [&p, &cfg, &st](const std::string &v) {
+        cfg.linkLatencyUs = std::stod(v);
+        if (cfg.linkLatencyUs < 0.0)
+            p.fail("--link-latency-us must be non-negative");
+        st.setLinkLatency = true;
+    });
+    p.value("--link-buffer-flits", [&p, &cfg, &st](const std::string &v) {
+        cfg.linkBufferFlits = std::stoi(v);
+        if (cfg.linkBufferFlits < 1)
+            p.fail("--link-buffer-flits must be at least 1");
+        st.setLinkBuffer = true;
+    });
+}
+
+inline void
+validateFabricFlags(const FlagParser &p, const coe::FabricConfig &cfg,
+                    const FabricFlagState &st,
+                    coe::DispatchPolicy dispatch)
+{
+    if (!cfg.enabled &&
+        (st.setLinkGbps || st.setLinkLatency || st.setLinkBuffer))
+        p.fail("--link-* flags tune the interconnect; they require "
+               "--topology");
+    if (dispatch == coe::DispatchPolicy::TopologyAware && !cfg.enabled)
+        p.fail("--dispatch topo-aware routes around fabric congestion; "
+               "it requires --topology");
+}
+
 // ------------------------------------------------ chaos groups
 
 struct FaultFlagState

@@ -238,8 +238,21 @@ clusterHelp(std::ostream &os)
        << "                        (requires --placement replicate-hot;\n"
        << "                        default experts/10)\n"
        << "  --dispatch D          round-robin | least-outstanding |\n"
-       << "                        expert-affinity (default\n"
-       << "                        least-outstanding)\n"
+       << "                        expert-affinity | topo-aware\n"
+       << "                        (default least-outstanding;\n"
+       << "                        topo-aware requires --topology)\n"
+       << "\n"
+       << "Interconnect (event-driven link/credit fabric, see\n"
+       << "docs/ARCHITECTURE.md):\n"
+       << "  --topology T          star | mesh | torus | fat-tree:\n"
+       << "                        route dispatch, migration, and drain\n"
+       << "                        traffic through a flit-level fabric\n"
+       << "                        instead of instantaneous handoff\n"
+       << "  --link-gbps G         per-link bandwidth in gigabits/s\n"
+       << "                        (requires --topology; default 200)\n"
+       << "  --link-latency-us U   per-hop link latency (default 2)\n"
+       << "  --link-buffer-flits N per-link input buffer depth, i.e.\n"
+       << "                        the credit count (default 64)\n"
        << "\n"
        << "Scenarios:\n"
        << "  --drain-at SEC        drain a node mid-run: its queue\n"
@@ -293,8 +306,9 @@ clusterHelp(std::ostream &os)
        << "  --faults FILE         replay a JSONL fault schedule: node\n"
        << "                        crashes (queued work re-dispatched or\n"
        << "                        lost), DMA stalls, stragglers, flaky\n"
-       << "                        dispatch windows. Deterministic for\n"
-       << "                        any -j N\n"
+       << "                        dispatch windows, degraded fabric\n"
+       << "                        links (link-degrade needs --topology).\n"
+       << "                        Deterministic for any -j N\n"
        << "  --retry-max N         re-dispatch a displaced request up to\n"
        << "                        N times (requires --faults; default 0:\n"
        << "                        displaced work is lost)\n"
@@ -790,6 +804,7 @@ runClusterCmd(int argc, char **argv)
     PlanFlagState plan;
     ExecFlagState exec;
     FaultFlagState fst;
+    FabricFlagState fab;
     addWorkloadFlags(parser, cfg.node, wst);
     addArrivalFlags(parser, cfg.node, ast);
     addScenarioFlags(parser, cfg.node, sst);
@@ -798,6 +813,7 @@ runClusterCmd(int argc, char **argv)
     addPlanFlags(parser, plan);
     addExecFlags(parser, exec);
     addFaultFlags(parser, cfg.faultPolicy, fst);
+    addFabricFlags(parser, cfg.fabric, fab);
 
     bool set_rate = false, set_hot = false;
     bool set_drain_at = false, set_drain_node = false;
@@ -862,6 +878,7 @@ runClusterCmd(int argc, char **argv)
     validateControllerFlags(parser, cfg.controller, cst);
     validatePlanFlags(parser, plan);
     validateFaultFlags(parser, cfg.faultPolicy, fst, cfg.node);
+    validateFabricFlags(parser, cfg.fabric, fab, cfg.dispatch);
     validateClusterExecFlags(parser, exec, cfg.node, cfg.dispatch, ast,
                              sst);
     if (exec.threads > cfg.nodes && cfg.nodes > 0) {
@@ -968,6 +985,16 @@ runClusterCmd(int argc, char **argv)
                             coe::controllerPolicyName(
                                 cfg.controller.policy)
                       : "")
+              << (cfg.fabric.enabled
+                      ? std::string(", fabric ") +
+                            sim::topologyName(cfg.fabric.topology) +
+                            " (" +
+                            util::formatDouble(cfg.fabric.linkGbps, 0) +
+                            " Gb/s links, " +
+                            util::formatDouble(cfg.fabric.linkLatencyUs,
+                                               1) +
+                            " us)"
+                      : "")
               << "\n\n";
 
     coe::ClusterSimulator sim(cfg);
@@ -1033,6 +1060,20 @@ runClusterCmd(int argc, char **argv)
         if (!cfg.controller.logPath.empty())
             std::cout << ", log " << cfg.controller.logPath;
         std::cout << "\n";
+    }
+    if (cfg.fabric.enabled) {
+        std::cout << "Interconnect: "
+                  << sim::topologyName(cfg.fabric.topology) << ", "
+                  << r.networkMessages << " messages ("
+                  << r.networkFlits << " flits), "
+                  << r.networkCreditStalls << " credit stalls, link "
+                  << "utilization "
+                  << util::formatDouble(
+                         r.networkMeanLinkUtilization * 100, 1)
+                  << "% mean / "
+                  << util::formatDouble(
+                         r.networkMaxLinkUtilization * 100, 1)
+                  << "% max\n";
     }
     if (cfg.faults || cfg.faultPolicy.anyEnabled()) {
         std::cout << "Chaos: " << r.faultsInjected
