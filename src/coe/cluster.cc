@@ -665,12 +665,16 @@ ClusterSimulator::begin()
     }
 
     // Placement feasibility: every node's placed experts must fit its
-    // DDR backing tier (the single-node OOM check, per shard).
-    ExpertZoo zoo = ExpertZoo::uniform(base.numExperts, base.expertBase);
+    // DDR backing tier (the single-node OOM check, per shard). With
+    // the PEFT zoo enabled each node's DDR also carries one copy of
+    // the shared base weights the adapters are deltas on.
+    ExpertZoo zoo = buildServingZoo(base);
     rs->expertBytes.resize(static_cast<std::size_t>(base.numExperts));
     for (int e = 0; e < base.numExperts; ++e)
         rs->expertBytes[static_cast<std::size_t>(e)] = zoo.expert(e).bytes;
-    rs->placedBytesNow.assign(static_cast<std::size_t>(N), 0.0);
+    rs->placedBytesNow.assign(
+        static_cast<std::size_t>(N),
+        base.zoo.enabled ? base.expertBase.weightBytes() : 0.0);
     rs->expertHits.assign(static_cast<std::size_t>(base.numExperts), 0);
     rs->baseExpertHits.assign(static_cast<std::size_t>(base.numExperts),
                               0);
@@ -710,7 +714,7 @@ ClusterSimulator::begin()
             parallel ? rs->shards[ns].eq : rs->eq;
         rs->engines.push_back(std::make_unique<ServingEngine>(
             nodeEq, rs->nodeCfg[ns], rs->nodeCosts[ns],
-            ExpertZoo::uniform(base.numExperts, base.expertBase)));
+            buildServingZoo(rs->nodeCfg[ns])));
         if (parallel) {
             // No shared latency/stall mirrors: engines record into
             // their per-node distributions only (worker threads may
@@ -2070,6 +2074,7 @@ ClusterSimulator::finish()
     rs.hedges.clear();
 
     std::int64_t completed = 0, batches = 0, misses = 0, shedTotal = 0;
+    std::int64_t specSteps = 0;
     double occupancyTotal = 0.0, depthIntegral = 0.0;
     sim::Tick lastCompletion = 0;
     for (int n = 0; n < N; ++n) {
@@ -2083,6 +2088,7 @@ ClusterSimulator::finish()
         batches += e.batchCount();
         misses += e.missCount();
         shedTotal += e.shedCount();
+        specSteps += e.specStepsTotal();
         occupancyTotal += e.occupancyTotal();
         depthIntegral += e.depthIntegral();
         lastCompletion = std::max(lastCompletion, e.lastCompletion());
@@ -2124,6 +2130,14 @@ ClusterSimulator::finish()
     }
     m.meanSwitchStallSeconds = stalls_.mean();
     m.p95SwitchStallSeconds = stalls_.quantile(0.95);
+    if (base.specDecode.enabled) {
+        m.specSteps = specSteps;
+        m.specTokensPerStep = specSteps > 0
+            ? static_cast<double>(completed) *
+                static_cast<double>(base.outputTokens) /
+                static_cast<double>(specSteps)
+            : 0.0;
+    }
     m.eventsExecuted = rs.eq.executedCount();
     // Shard events (including the mailbox delivery events, which have
     // no serial counterpart) count toward the run's event total.

@@ -10,6 +10,7 @@
 #include "coe/serving_engine.h"
 #include "coe/workload.h"
 #include "runtime/runner.h"
+#include "runtime/spec_decode.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
 #include "sim/rng.h"
@@ -73,7 +74,58 @@ validateServingConfig(const ServingConfig &cfg)
     }
     if (cfg.expertRegionBytes < 0)
         sim::fatal("ServingConfig: negative expert region size");
+    if (cfg.specDecode.enabled) {
+        if (cfg.specDecode.gamma < 0)
+            sim::fatal("ServingConfig: negative spec-decode gamma");
+        if (cfg.specDecode.acceptRate < 0.0 ||
+            cfg.specDecode.acceptRate > 1.0)
+            sim::fatal("ServingConfig: spec-decode acceptRate outside "
+                       "[0, 1]");
+        if (cfg.specDecode.draftRatio <= 0.0 ||
+            cfg.specDecode.draftRatio >= 1.0)
+            sim::fatal("ServingConfig: spec-decode draftRatio outside "
+                       "(0, 1)");
+    }
+    if (cfg.zoo.enabled) {
+        if (cfg.zoo.rank <= 0)
+            sim::fatal("ServingConfig: non-positive zoo LoRA rank");
+        if (cfg.zoo.churnEverySeconds < 0.0)
+            sim::fatal("ServingConfig: negative zoo churn period");
+        if (cfg.zoo.dmaSetupSeconds < 0.0)
+            sim::fatal("ServingConfig: negative zoo DMA setup time");
+    }
     validateWorkloadConfig(cfg);
+}
+
+double
+loraAdapterBytes(const models::LlmConfig &base, int rank)
+{
+    if (rank <= 0)
+        sim::fatal("loraAdapterBytes: non-positive rank");
+    // Per layer: LoRA A/B pairs on the four attention projections
+    // (q, k, v, o), each d_model x rank, at 2 bytes/param (BF16).
+    double per_layer = 4.0 * (2.0 * rank * base.dModel) * 2.0;
+    return per_layer * base.numLayers;
+}
+
+ExpertZoo
+buildServingZoo(const ServingConfig &cfg)
+{
+    if (!cfg.zoo.enabled)
+        return ExpertZoo::uniform(cfg.numExperts, cfg.expertBase);
+    double adapter = loraAdapterBytes(cfg.expertBase, cfg.zoo.rank);
+    ExpertZoo zoo;
+    for (int i = 0; i < cfg.numExperts; ++i) {
+        ExpertModel m;
+        m.id = i;
+        m.name = "lora_" + std::to_string(i);
+        m.domain = "peft";
+        m.config = cfg.expertBase;
+        m.bytes = adapter;
+        m.mutableBytes = 0.0;
+        zoo.add(m);
+    }
+    return zoo;
 }
 
 ServingSimulator::ServingSimulator(ServingConfig cfg) : cfg_(std::move(cfg))
@@ -185,11 +237,17 @@ ServingSimulator::computeCosts()
 mem::MemorySystemConfig
 platformMemoryConfig(const ServingConfig &cfg)
 {
-    if (cfg.memoryOverride)
-        return *cfg.memoryOverride;
+    if (cfg.memoryOverride) {
+        mem::MemorySystemConfig m = *cfg.memoryOverride;
+        if (cfg.zoo.enabled && m.dmaSetupSeconds == 0.0)
+            m.dmaSetupSeconds = cfg.zoo.dmaSetupSeconds;
+        return m;
+    }
 
     mem::MemorySystemConfig m;
     m.dmaEngines = cfg.dmaEngines;
+    if (cfg.zoo.enabled)
+        m.dmaSetupSeconds = cfg.zoo.dmaSetupSeconds;
     if (cfg.platform == Platform::Sn40l) {
         arch::NodeConfig node =
             arch::NodeConfig::sn40lNode(cfg.tensorParallel);
@@ -225,17 +283,21 @@ ServingSimulator::runAnalytic()
 {
     ServingResult result;
 
-    ExpertZoo zoo = ExpertZoo::uniform(cfg_.numExperts, cfg_.expertBase);
+    ExpertZoo zoo = buildServingZoo(cfg_);
+    std::int64_t region =
+        ServingEngine::effectiveExpertRegionBytes(cfg_, costs_);
     result.residentCapacityExperts = static_cast<int>(
-        static_cast<double>(costs_.expertRegionBytes) /
-        zoo.maxExpertBytes());
+        static_cast<double>(region) / zoo.maxExpertBytes());
 
-    if (zoo.totalBytes() > costs_.capacityBytes) {
+    double backing = zoo.totalBytes();
+    if (cfg_.zoo.enabled)
+        backing += cfg_.expertBase.weightBytes();
+    if (backing > costs_.capacityBytes) {
         result.oom = true;
         return result;
     }
 
-    CoeRuntime runtime(zoo, costs_.expertRegionBytes);
+    CoeRuntime runtime(zoo, region);
     Router router(cfg_.numExperts, cfg_.routing, cfg_.seed, cfg_.zipfS);
 
     double router_total = 0.0, switch_total = 0.0, exec_total = 0.0;
@@ -244,6 +306,19 @@ ServingSimulator::runAnalytic()
     double per_prompt_exec =
         costs_.prefillSeconds +
         cfg_.outputTokens * costs_.decodeSecondsPerToken;
+    if (cfg_.specDecode.enabled) {
+        // Closed-form counterpart of the event-driven per-request
+        // sampler: expected steps at the configured acceptance rate,
+        // each step paying one target verification plus gamma draft
+        // tokens at draftRatio of the target's decode cost.
+        runtime::SpecDecodeConfig sd;
+        sd.gamma = cfg_.specDecode.gamma;
+        sd.acceptRate = cfg_.specDecode.acceptRate;
+        double steps = cfg_.outputTokens / sd.expectedTokensPerStep();
+        double step_seconds = costs_.decodeSecondsPerToken *
+            (1.0 + sd.gamma * cfg_.specDecode.draftRatio);
+        per_prompt_exec = costs_.prefillSeconds + steps * step_seconds;
+    }
 
     for (int r = 0; r < cfg_.requests; ++r) {
         router_total += costs_.routerSeconds;
@@ -285,12 +360,16 @@ ServingSimulator::runEventDriven()
 {
     ServingResult result;
 
-    ExpertZoo zoo = ExpertZoo::uniform(cfg_.numExperts, cfg_.expertBase);
+    ExpertZoo zoo = buildServingZoo(cfg_);
     result.residentCapacityExperts = static_cast<int>(
-        static_cast<double>(costs_.expertRegionBytes) /
+        static_cast<double>(
+            ServingEngine::effectiveExpertRegionBytes(cfg_, costs_)) /
         zoo.maxExpertBytes());
 
-    if (zoo.totalBytes() > costs_.capacityBytes) {
+    double backing = zoo.totalBytes();
+    if (cfg_.zoo.enabled)
+        backing += cfg_.expertBase.weightBytes();
+    if (backing > costs_.capacityBytes) {
         result.oom = true;
         return result;
     }
@@ -376,6 +455,16 @@ ServingSimulator::runEventDriven()
         static_cast<std::int64_t>(stats_.get("prefetch_hits"));
     m.prefetchesCancelled =
         static_cast<std::int64_t>(stats_.get("prefetches_cancelled"));
+
+    if (cfg_.specDecode.enabled) {
+        m.specSteps = engine.specStepsTotal();
+        m.specTokensPerStep = m.specSteps > 0
+            ? static_cast<double>(completed) *
+                static_cast<double>(cfg_.outputTokens) /
+                static_cast<double>(m.specSteps)
+            : 0.0;
+        stats_.set("spec_steps", static_cast<double>(m.specSteps));
+    }
 
     m.shed = engine.shedCount();
     m.shedRate = completed + m.shed > 0

@@ -59,6 +59,61 @@ enum class SchedulerPolicy {
 const char *schedulerPolicyName(SchedulerPolicy policy);
 SchedulerPolicy schedulerPolicyFromName(const std::string &name);
 
+/**
+ * Speculative decoding as a serving mode (Table IV): a small draft
+ * model lives permanently in the HBM expert region and proposes
+ * `gamma` tokens per step; the target expert verifies them in one
+ * pass. Each request's number of draft/verify steps is sampled from
+ * its own acceptance-rate stream and flows through the per-request
+ * exec/traffic shape hooks, so tokens/s, queue depth, and HBM
+ * contention respond to gamma and acceptRate inside the event loop.
+ */
+struct SpecDecodeServingConfig
+{
+    bool enabled = false;
+    int gamma = 4;           ///< draft tokens per verification step
+    double acceptRate = 0.8; ///< per-token draft acceptance probability
+
+    /**
+     * Draft model size and per-token cost as a fraction of the target
+     * expert. The draft's weights are pinned in the expert region
+     * (draftRatio * expertBase.weightBytes()) for the whole run.
+     */
+    double draftRatio = 0.05;
+};
+
+/**
+ * PEFT expert zoo (CoE pitch, Section V-B): thousands of LoRA
+ * adapters share pinned base weights; an expert switch streams only
+ * the adapter-sized delta DDR -> HBM, exercising many tiny DMA
+ * transfers instead of few multi-GB ones.
+ */
+struct ZooServingConfig
+{
+    bool enabled = false;
+
+    /** LoRA rank; adapter bytes scale linearly with it. */
+    int rank = 16;
+
+    /**
+     * Trending-adapter churn: every this many seconds the workload's
+     * routed adapter ids rotate by a deterministic stride, forcing
+     * cold loads. 0 disables churn.
+     */
+    double churnEverySeconds = 0.0;
+
+    /**
+     * Fixed per-transfer DMA setup cost (descriptor programming).
+     * Negligible against multi-GB expert copies but dominant for
+     * adapter-sized ones — the many-tiny-transfer regime. Applied to
+     * every DMA transfer while the zoo is enabled.
+     */
+    double dmaSetupSeconds = 4e-6;
+};
+
+/** Bytes of one LoRA adapter at @p rank for base model @p base. */
+double loraAdapterBytes(const models::LlmConfig &base, int rank);
+
 struct ServingConfig
 {
     Platform platform = Platform::Sn40l;
@@ -160,6 +215,12 @@ struct ServingConfig
      * arrival processes bit-identically. See coe/workload.h.
      */
     WorkloadConfig workload;
+
+    /** Speculative-decoding serving mode (EventDriven). */
+    SpecDecodeServingConfig specDecode;
+
+    /** PEFT expert-zoo serving mode (EventDriven). */
+    ZooServingConfig zoo;
 };
 
 struct LatencyBreakdown
@@ -235,6 +296,15 @@ struct StreamMetrics
     std::int64_t hedged = 0;
     std::int64_t hedgeWon = 0;
 
+    /**
+     * Speculative-decoding accounting (specDecode.enabled only):
+     * total draft/verify steps across completed requests and the mean
+     * tokens emitted per step (outputTokens / steps), the measured
+     * counterpart of SpecDecodeConfig::expectedTokensPerStep().
+     */
+    std::int64_t specSteps = 0;
+    double specTokensPerStep = 0.0;
+
     /** Simulator events the run executed (perf accounting, not a
      *  modeled quantity — see bench/perf_serving). */
     std::uint64_t eventsExecuted = 0;
@@ -280,6 +350,16 @@ PhaseCosts computePhaseCosts(const ServingConfig &cfg);
  * FatalError. Shared by ServingSimulator and ClusterSimulator.
  */
 void validateServingConfig(const ServingConfig &cfg);
+
+/**
+ * Build the expert zoo for @p cfg: cfg.numExperts full-weight copies
+ * of expertBase by default, or cfg.numExperts LoRA adapters of
+ * loraAdapterBytes(expertBase, zoo.rank) each when the zoo is
+ * enabled (base weights are pinned separately by the engine). Shared
+ * by ServingSimulator and ClusterSimulator so placement and serving
+ * agree on expert sizes.
+ */
+ExpertZoo buildServingZoo(const ServingConfig &cfg);
 
 /**
  * Shape the three-tier memory system after the serving platform: the

@@ -4,10 +4,19 @@
 #include <cmath>
 #include <string>
 
+#include "runtime/spec_decode.h"
 #include "sim/log.h"
+#include "sim/rng.h"
 #include "sim/ticks.h"
 
 namespace sn40l::coe {
+
+namespace {
+
+/** Seed salt for the per-request spec-decode acceptance sampler. */
+constexpr std::uint64_t kSpecSalt = 0x5bec0dec5bec0decULL;
+
+} // namespace
 
 TrafficRequest
 toTrafficRequest(const EngineRequest &request)
@@ -24,14 +33,39 @@ toTrafficRequest(const EngineRequest &request)
     return t;
 }
 
+std::int64_t
+ServingEngine::effectiveExpertRegionBytes(const ServingConfig &cfg,
+                                          const PhaseCosts &costs)
+{
+    std::int64_t region = costs.expertRegionBytes;
+    if (cfg.expertRegionBytes > 0)
+        region = cfg.expertRegionBytes;
+    double reserve = 0.0;
+    if (cfg.specDecode.enabled)
+        reserve +=
+            cfg.specDecode.draftRatio * cfg.expertBase.weightBytes();
+    if (cfg.zoo.enabled)
+        reserve += cfg.expertBase.weightBytes();
+    if (reserve <= 0.0)
+        return region;
+    auto reserved = static_cast<std::int64_t>(reserve);
+    if (reserved >= region)
+        sim::fatal("ServingConfig: always-resident reservations (" +
+                   std::to_string(reserved) +
+                   " bytes: draft model and/or zoo base weights) do "
+                   "not fit the expert region (" +
+                   std::to_string(region) + " bytes)");
+    return region - reserved;
+}
+
 ServingEngine::ServingEngine(sim::EventQueue &eq, const ServingConfig &cfg,
                              const PhaseCosts &costs, ExpertZoo zoo)
     : eq_(eq), cfg_(cfg), costs_(costs), zoo_(std::move(zoo)),
-      runtime_(zoo_, costs_.expertRegionBytes),
+      runtime_(zoo_, effectiveExpertRegionBytes(cfg_, costs_)),
       memsys_(eq, "memsys", platformMemoryConfig(cfg_))
 {
     residentCapacity_ = static_cast<int>(
-        static_cast<double>(costs_.expertRegionBytes) /
+        static_cast<double>(runtime_.regionBytes()) /
         zoo_.maxExpertBytes());
 
     // A batch pins its experts for the whole execution, and issued
@@ -241,6 +275,32 @@ ServingEngine::makeEngineRequest(const TrafficRequest &request,
         execSecondsFor(request.promptLen, request.outputTokens);
     req.trafficBytes = trafficBytesFor(request.outputTokens);
     req.hedgeDuplicate = request.hedgeDuplicate;
+    if (cfg_.specDecode.enabled) {
+        // Per-request acceptance sampling through the shape hooks:
+        // the request's decode becomes `steps` draft/verify rounds,
+        // each paying one target verification plus gamma draft tokens
+        // at draftRatio of the target's per-token cost, and streaming
+        // the target weights once per verification plus the draft's
+        // (draftRatio-sized) weights per draft token. Seeded from
+        // (config seed, request id) only, so retries, hedge
+        // duplicates, and parallel cluster shards resample the exact
+        // same shape.
+        runtime::SpecDecodeConfig sd;
+        sd.gamma = cfg_.specDecode.gamma;
+        sd.acceptRate = cfg_.specDecode.acceptRate;
+        sim::Rng rng(sim::mix64(cfg_.seed ^ kSpecSalt) ^
+                     sim::mix64(static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(request.id))));
+        int tokens = request.outputTokens > 0 ? request.outputTokens
+                                              : cfg_.outputTokens;
+        int steps = runtime::sampleStepsForTokens(sd, tokens, rng);
+        double step_cost = 1.0 + sd.gamma * cfg_.specDecode.draftRatio;
+        req.specSteps = steps;
+        req.execSeconds = prefillSecondsFor(request.promptLen) +
+            steps * step_cost * costs_.decodeSecondsPerToken;
+        req.trafficBytes = cfg_.expertBase.weightBytes() *
+            (1.0 + steps * step_cost);
+    }
     return req;
 }
 
@@ -262,15 +322,21 @@ ServingEngine::setServiceFactor(double factor)
  * memo — and decode cost is exactly linear in emitted tokens.
  */
 double
+ServingEngine::prefillSecondsFor(int prompt_len) const
+{
+    if (prompt_len > 0 && prompt_len != cfg_.promptLen)
+        return costs_.prefillSeconds *
+            (static_cast<double>(prompt_len) /
+             static_cast<double>(cfg_.promptLen));
+    return costs_.prefillSeconds;
+}
+
+double
 ServingEngine::execSecondsFor(int prompt_len, int output_tokens) const
 {
     if (prompt_len <= 0 && output_tokens <= 0)
         return perPromptExec_;
-    double prefill = costs_.prefillSeconds;
-    if (prompt_len > 0 && prompt_len != cfg_.promptLen)
-        prefill = costs_.prefillSeconds *
-            (static_cast<double>(prompt_len) /
-             static_cast<double>(cfg_.promptLen));
+    double prefill = prefillSecondsFor(prompt_len);
     int tokens = output_tokens > 0 ? output_tokens : cfg_.outputTokens;
     return prefill + tokens * costs_.decodeSecondsPerToken;
 }
@@ -439,6 +505,7 @@ ServingEngine::finishBatch()
         latency_.record(seconds);
         if (latencyMirror_)
             latencyMirror_->record(seconds);
+        specStepsTotal_ += r.specSteps;
         ++completedCount_;
         if (onRequestComplete_)
             onRequestComplete_(r);

@@ -80,6 +80,13 @@ struct EngineRequest
      */
     double execSeconds = 0.0;
     double trafficBytes = 0.0;
+    /**
+     * Draft/verify steps this request's decode was sampled to take
+     * (specDecode.enabled only, else 0). Carried on the request so
+     * retries/re-dispatches keep their shape and completion-side
+     * accounting never double-counts.
+     */
+    int specSteps = 0;
 
     // ---- chaos-layer fields (coe/faults.h) ----------------------
     /** Times this request has been re-dispatched after a failure. */
@@ -117,6 +124,18 @@ class ServingEngine
      */
     ServingEngine(sim::EventQueue &eq, const ServingConfig &cfg,
                   const PhaseCosts &costs, ExpertZoo zoo);
+
+    /**
+     * HBM expert-region bytes actually available to the LRU after the
+     * always-resident reservations: the draft model's weights
+     * (specDecode: draftRatio * expertBase.weightBytes()) and the
+     * pinned base weights the zoo's adapters share (zoo:
+     * expertBase.weightBytes()). With both features off this is
+     * exactly costs.expertRegionBytes. Fatals when the reservations
+     * do not fit the region.
+     */
+    static std::int64_t effectiveExpertRegionBytes(
+        const ServingConfig &cfg, const PhaseCosts &costs);
 
     ServingEngine(const ServingEngine &) = delete;
     ServingEngine &operator=(const ServingEngine &) = delete;
@@ -271,6 +290,8 @@ class ServingEngine
     }
 
     std::int64_t completedCount() const { return completedCount_; }
+    /** Draft/verify steps across completed requests (specDecode). */
+    std::int64_t specStepsTotal() const { return specStepsTotal_; }
     std::int64_t injectedCount() const { return injectedCount_; }
     std::int64_t batchCount() const { return batchCount_; }
     std::int64_t missCount() const { return missCount_; }
@@ -304,6 +325,7 @@ class ServingEngine
   private:
     void touchDepth(std::size_t next_depth);
     void samplePeakResident();
+    double prefillSecondsFor(int prompt_len) const;
     double execSecondsFor(int prompt_len, int output_tokens) const;
     double trafficBytesFor(int output_tokens) const;
     bool shouldShed(const EngineRequest &request) const;
@@ -355,6 +377,7 @@ class ServingEngine
 
     std::int64_t injectedCount_ = 0;
     std::int64_t completedCount_ = 0;
+    std::int64_t specStepsTotal_ = 0;
     std::int64_t batchCount_ = 0;
     std::int64_t missCount_ = 0;
     std::int64_t shedCount_ = 0;

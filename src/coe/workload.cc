@@ -46,6 +46,30 @@ RateShape::instantaneous(double base, double t) const
 
 namespace {
 
+/**
+ * Trending-adapter churn (ZooServingConfig::churnEverySeconds): every
+ * churn period the routed id space rotates by a period-derived
+ * pseudo-random offset, so adapters that were hot go cold and the
+ * engines pay fresh adapter loads on the live DMA path. A pure
+ * function of (zoo config, emission time, routed id): deterministic
+ * across reruns and cluster shards, and the identity when the zoo or
+ * churn is off.
+ */
+int
+applyZooChurn(const ZooServingConfig &zoo, int num_experts,
+              double now_seconds, int expert)
+{
+    if (!zoo.enabled || zoo.churnEverySeconds <= 0.0)
+        return expert;
+    auto period = static_cast<std::uint64_t>(
+        now_seconds / zoo.churnEverySeconds);
+    if (period == 0)
+        return expert;
+    int offset = static_cast<int>(
+        mix64(period) % static_cast<std::uint64_t>(num_experts));
+    return (expert + offset) % num_experts;
+}
+
 void
 validateShape(const RateShape &shape, const std::string &who)
 {
@@ -81,7 +105,8 @@ class OpenLoopWorkload : public WorkloadModel
           arrivals_(cfg.seed ^ kArrivalSalt),
           baseRate_(cfg.arrivalRatePerSec), shape_(shape),
           total_(cfg.streamRequests),
-          sloSeconds_(cfg.workload.sloSeconds)
+          sloSeconds_(cfg.workload.sloSeconds), zoo_(cfg.zoo),
+          numExperts_(cfg.numExperts)
     {
     }
 
@@ -104,7 +129,10 @@ class OpenLoopWorkload : public WorkloadModel
                       [this]() {
                           scheduleNext();
                           TrafficRequest r;
-                          r.expert = router_.route();
+                          r.expert = applyZooChurn(
+                              zoo_, numExperts_,
+                              sim::toSeconds(eq().now()),
+                              router_.route());
                           r.deadlineSeconds = sloSeconds_;
                           emit(r);
                       },
@@ -117,6 +145,8 @@ class OpenLoopWorkload : public WorkloadModel
     RateShape shape_;
     std::int64_t total_;
     double sloSeconds_;
+    ZooServingConfig zoo_;
+    int numExperts_;
     std::int64_t scheduled_ = 0;
     double arrivalT_ = 0.0;
     double factor_ = 1.0;
@@ -136,7 +166,8 @@ class ClosedLoopWorkload : public WorkloadModel
         : router_(cfg.numExperts, cfg.routing, cfg.seed, cfg.zipfS),
           clients_(cfg.clients), thinkSeconds_(cfg.thinkSeconds),
           total_(cfg.streamRequests),
-          sloSeconds_(cfg.workload.sloSeconds)
+          sloSeconds_(cfg.workload.sloSeconds), zoo_(cfg.zoo),
+          numExperts_(cfg.numExperts)
     {
     }
 
@@ -187,7 +218,9 @@ class ClosedLoopWorkload : public WorkloadModel
     emitOne()
     {
         TrafficRequest r;
-        r.expert = router_.route();
+        r.expert = applyZooChurn(zoo_, numExperts_,
+                                 sim::toSeconds(eq().now()),
+                                 router_.route());
         r.deadlineSeconds = sloSeconds_;
         emit(r);
     }
@@ -197,6 +230,8 @@ class ClosedLoopWorkload : public WorkloadModel
     double thinkSeconds_;
     std::int64_t total_;
     double sloSeconds_;
+    ZooServingConfig zoo_;
+    int numExperts_;
     std::int64_t scheduled_ = 0;
 };
 
@@ -213,7 +248,8 @@ class MultiTenantWorkload : public WorkloadModel
 {
   public:
     MultiTenantWorkload(const ServingConfig &cfg, const RateShape &shape)
-        : numExperts_(cfg.numExperts), total_(cfg.streamRequests)
+        : numExperts_(cfg.numExperts), total_(cfg.streamRequests),
+          zoo_(cfg.zoo)
     {
         std::vector<TenantSpec> specs = cfg.workload.tenantSpecs.empty()
             ? buildTenantMix(cfg)
@@ -319,8 +355,11 @@ class MultiTenantWorkload : public WorkloadModel
         TrafficRequest r;
         r.tenant = ti;
         if (expert < 0) {
-            r.expert = (t.router.route() + t.spec.expertOffset) %
-                numExperts_;
+            // Churn applies only to fresh routes; session follow-ups
+            // deliberately stick to their established adapter.
+            r.expert = applyZooChurn(
+                zoo_, numExperts_, sim::toSeconds(eq().now()),
+                (t.router.route() + t.spec.expertOffset) % numExperts_);
             r.session = t.spec.sessionFollowProb > 0.0 ? nextSession_++
                                                        : -1;
             r.turn = 0;
@@ -369,6 +408,7 @@ class MultiTenantWorkload : public WorkloadModel
 
     int numExperts_;
     std::int64_t total_;
+    ZooServingConfig zoo_;
     std::vector<Tenant> tenants_;
     std::int64_t scheduled_ = 0;
     int nextSession_ = 0;

@@ -25,8 +25,18 @@ DmaEngine::setRateFactor(double factor)
 }
 
 void
+DmaEngine::setSetupTicks(sim::Tick ticks)
+{
+    if (ticks < 0)
+        sim::fatal(name_ + ": negative DMA setup ticks");
+    setupTicks_ = ticks;
+}
+
+void
 DmaEngine::scheduleCompletion(sim::Tick done, Callback on_done)
 {
+    if (setupTicks_ > 0)
+        done += setupTicks_;
     // Exact pass-through at the default factor: healthy runs must not
     // even round-trip ticks through a multiply.
     if (rateFactor_ != 1.0) {

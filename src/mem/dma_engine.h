@@ -68,6 +68,18 @@ class DmaEngine
     void setRateFactor(double factor);
     double rateFactor() const { return rateFactor_; }
 
+    /**
+     * Fixed per-copy setup cost (descriptor programming), added to
+     * every completion while set. Negligible for multi-GB expert
+     * copies but dominant for adapter-sized transfers — the PEFT
+     * zoo's many-tiny-transfer regime. The engine counts as busy
+     * through the setup span, so the pool cannot double-issue onto
+     * it. 0 (the default) leaves completion arithmetic untouched.
+     * Negative values are a FatalError.
+     */
+    void setSetupTicks(sim::Tick ticks);
+    sim::Tick setupTicks() const { return setupTicks_; }
+
     /** Idle-channel estimate: bytes at the slower endpoint's rate. */
     static sim::Tick estimate(const BandwidthChannel &src,
                               const BandwidthChannel &dst, double bytes);
@@ -82,6 +94,7 @@ class DmaEngine
     std::string doneLabel_;
     int inFlight_ = 0;
     double rateFactor_ = 1.0;
+    sim::Tick setupTicks_ = 0;
     /**
      * Parked completion callbacks, indexed by slot. The completion
      * event captures only {engine, slot} (16 bytes, fits the inline

@@ -17,6 +17,8 @@ MemorySystemConfig::validate() const
         sim::fatal("MemorySystemConfig: non-positive interleave");
     if (dmaEngines <= 0)
         sim::fatal("MemorySystemConfig: need at least one DMA engine");
+    if (dmaSetupSeconds < 0.0)
+        sim::fatal("MemorySystemConfig: negative DMA setup time");
 }
 
 MemorySystem::MemorySystem(sim::EventQueue &eq, std::string name,
@@ -33,6 +35,9 @@ MemorySystem::MemorySystem(sim::EventQueue &eq, std::string name,
     for (int i = 0; i < cfg.dmaEngines; ++i) {
         engines_.push_back(std::make_unique<DmaEngine>(
             eq, name_ + ".dma" + std::to_string(i)));
+        if (cfg.dmaSetupSeconds > 0.0)
+            engines_.back()->setSetupTicks(
+                sim::fromSeconds(cfg.dmaSetupSeconds));
     }
 }
 

@@ -52,6 +52,15 @@ struct MemorySystemConfig
     TierConfig hbm; ///< working tier the experts execute from
     int dmaEngines = 2;
 
+    /**
+     * Fixed per-transfer setup cost (descriptor programming) applied
+     * by every DMA engine in the pool. 0 (default) keeps completion
+     * arithmetic bit-identical to the setup-free engine; the PEFT
+     * expert zoo sets it so thousands of adapter-sized transfers pay
+     * a real per-transfer overhead (see DmaEngine::setSetupTicks).
+     */
+    double dmaSetupSeconds = 0.0;
+
     /** Throws FatalError on non-positive channel/engine counts. */
     void validate() const;
 };

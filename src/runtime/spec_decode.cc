@@ -23,12 +23,51 @@ specDecodeTokensPerSecond(const SpecDecodeConfig &cfg,
                           double target_step_seconds,
                           double draft_token_seconds)
 {
+    if (cfg.gamma < 0)
+        sim::fatal("specDecode: negative gamma");
     if (target_step_seconds <= 0.0)
         sim::fatal("specDecode: non-positive target step time");
     if (draft_token_seconds <= 0.0)
         return 1.0 / target_step_seconds;
     double step = target_step_seconds + cfg.gamma * draft_token_seconds;
     return cfg.expectedTokensPerStep() / step;
+}
+
+int
+sampleTokensPerStep(const SpecDecodeConfig &cfg, sim::Rng &rng)
+{
+    if (cfg.gamma < 0)
+        sim::fatal("specDecode: negative gamma");
+    if (cfg.acceptRate < 0.0 || cfg.acceptRate > 1.0)
+        sim::fatal("specDecode: acceptRate outside [0, 1]");
+    // Burn all gamma draws even after the first rejection so that the
+    // same rng stream at a higher acceptRate accepts a superset of
+    // tokens (common-random-numbers coupling).
+    int accepted = 0;
+    bool rejected = false;
+    for (int i = 0; i < cfg.gamma; ++i) {
+        bool accept = rng.uniformDouble() < cfg.acceptRate;
+        if (!rejected && accept)
+            ++accepted;
+        else
+            rejected = true;
+    }
+    return accepted + 1;
+}
+
+int
+sampleStepsForTokens(const SpecDecodeConfig &cfg, int output_tokens,
+                     sim::Rng &rng)
+{
+    if (output_tokens <= 0)
+        return 0;
+    int emitted = 0;
+    int steps = 0;
+    while (emitted < output_tokens) {
+        emitted += sampleTokensPerStep(cfg, rng);
+        ++steps;
+    }
+    return steps;
 }
 
 } // namespace sn40l::runtime

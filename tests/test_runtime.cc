@@ -179,3 +179,116 @@ TEST(SpecDecode, RejectsBadTargetTime)
     EXPECT_THROW(specDecodeTokensPerSecond(cfg, 0.0, 1e-3),
                  sim::FatalError);
 }
+
+TEST(SpecDecode, RejectsNegativeGamma)
+{
+    // Regression: a negative gamma used to shrink the modeled step
+    // below the target verification time and inflate tokens/s; it is
+    // now rejected everywhere the config enters the model.
+    SpecDecodeConfig cfg;
+    cfg.gamma = -1;
+    EXPECT_THROW(specDecodeTokensPerSecond(cfg, 10e-3, 1e-3),
+                 sim::FatalError);
+    sim::Rng rng(7);
+    EXPECT_THROW(sampleTokensPerStep(cfg, rng), sim::FatalError);
+}
+
+TEST(SpecDecode, GammaZeroIsAutoregressiveEvenWithCostlyDraft)
+{
+    // Degenerate corner: no draft tokens proposed, so the draft cost
+    // term vanishes even when draft decode time is positive.
+    SpecDecodeConfig cfg;
+    cfg.gamma = 0;
+    EXPECT_DOUBLE_EQ(cfg.expectedTokensPerStep(), 1.0);
+    double target = 10e-3;
+    EXPECT_DOUBLE_EQ(specDecodeTokensPerSecond(cfg, target, 20e-3),
+                     1.0 / target);
+}
+
+TEST(SpecDecode, NonPositiveDraftTimeMeansNoDraftModel)
+{
+    // Degenerate corner: draft_token_seconds <= 0 is "no draft
+    // model" — the step is the bare target verification.
+    SpecDecodeConfig cfg;
+    cfg.gamma = 5;
+    double target = 10e-3;
+    EXPECT_DOUBLE_EQ(specDecodeTokensPerSecond(cfg, target, 0.0),
+                     1.0 / target);
+    EXPECT_DOUBLE_EQ(specDecodeTokensPerSecond(cfg, target, -1.0),
+                     1.0 / target);
+}
+
+TEST(SpecDecode, SamplerBoundsAndExtremes)
+{
+    SpecDecodeConfig cfg;
+    cfg.gamma = 4;
+    EXPECT_THROW(
+        [] {
+            SpecDecodeConfig bad;
+            bad.acceptRate = 1.5;
+            sim::Rng r(1);
+            sampleTokensPerStep(bad, r);
+        }(),
+        sim::FatalError);
+
+    cfg.acceptRate = 0.0;
+    sim::Rng rng(11);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sampleTokensPerStep(cfg, rng), 1);
+
+    cfg.acceptRate = 1.0;
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sampleTokensPerStep(cfg, rng), cfg.gamma + 1);
+
+    cfg.acceptRate = 0.6;
+    for (int i = 0; i < 1000; ++i) {
+        int t = sampleTokensPerStep(cfg, rng);
+        EXPECT_GE(t, 1);
+        EXPECT_LE(t, cfg.gamma + 1);
+    }
+}
+
+TEST(SpecDecode, SamplerIsDeterministicAndCrnMonotone)
+{
+    SpecDecodeConfig cfg;
+    cfg.gamma = 4;
+    cfg.acceptRate = 0.5;
+
+    sim::Rng a(42), b(42);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(sampleTokensPerStep(cfg, a),
+                  sampleTokensPerStep(cfg, b));
+
+    // Common-random-numbers coupling: the sampler burns exactly gamma
+    // uniforms per step, so on identical rng streams a higher
+    // acceptance rate can never emit fewer tokens per step.
+    SpecDecodeConfig hi = cfg;
+    hi.acceptRate = 0.9;
+    sim::Rng lo_rng(7), hi_rng(7);
+    for (int i = 0; i < 500; ++i) {
+        int lo_t = sampleTokensPerStep(cfg, lo_rng);
+        int hi_t = sampleTokensPerStep(hi, hi_rng);
+        EXPECT_GE(hi_t, lo_t);
+    }
+}
+
+TEST(SpecDecode, StepsForTokensCorners)
+{
+    SpecDecodeConfig cfg;
+    cfg.gamma = 0;
+    sim::Rng rng(3);
+    // gamma == 0 is exactly autoregressive: one token per step.
+    EXPECT_EQ(sampleStepsForTokens(cfg, 20, rng), 20);
+    EXPECT_EQ(sampleStepsForTokens(cfg, 0, rng), 0);
+    EXPECT_EQ(sampleStepsForTokens(cfg, -5, rng), 0);
+
+    // accept == 1: every step retires gamma + 1 tokens.
+    cfg.gamma = 4;
+    cfg.acceptRate = 1.0;
+    EXPECT_EQ(sampleStepsForTokens(cfg, 20, rng), 4);
+    EXPECT_EQ(sampleStepsForTokens(cfg, 21, rng), 5);
+
+    // accept == 0: every step retires exactly the bonus token.
+    cfg.acceptRate = 0.0;
+    EXPECT_EQ(sampleStepsForTokens(cfg, 20, rng), 20);
+}

@@ -10,7 +10,10 @@
  *    lost is only ever non-zero under injected crash/flaky faults,
  *    and retries/hedges never double-count a request) — including
  *    trials that route all cluster traffic over the interconnect
- *    model, with and without a link-degrade fault;
+ *    model, with and without a link-degrade fault, and trials with
+ *    speculative decoding (incl. the gamma == 0 and accept-rate 0/1
+ *    corners) and the PEFT adapter zoo (with and without churn)
+ *    enabled;
  *  - no request completes before it arrives (latencies non-negative,
  *    checked per sample);
  *  - per-node dispatched/completed/miss/shed counts sum to the
@@ -103,6 +106,30 @@ randomServingConfig(sim::Rng &rng, int trial)
     if (rng.uniformInt(3) == 0)
         cfg.workload.sloSeconds =
             0.5 + 0.25 * static_cast<double>(rng.uniformInt(12));
+
+    // Spec-decode / zoo roulette: draft/verify decode shapes and tiny
+    // LoRA adapters must uphold the same conservation laws as plain
+    // serving. All draws are unconditional (RNG-stream-stability
+    // discipline); the sweeps deliberately include the degenerate
+    // corners gamma == 0 and acceptRate in {0, 1}.
+    std::uint64_t specDraw = rng.uniformInt(3);
+    std::uint64_t gammaDraw = rng.uniformInt(6);
+    std::uint64_t acceptDraw = rng.uniformInt(11);
+    std::uint64_t zooDraw = rng.uniformInt(3);
+    std::uint64_t churnDraw = rng.uniformInt(3);
+    if (specDraw == 0) {
+        cfg.specDecode.enabled = true;
+        cfg.specDecode.gamma = static_cast<int>(gammaDraw); // 0..5
+        cfg.specDecode.acceptRate =
+            0.1 * static_cast<double>(acceptDraw); // 0.0..1.0
+        cfg.specDecode.draftRatio = 0.05;
+    }
+    if (zooDraw == 0) {
+        cfg.zoo.enabled = true;
+        cfg.zoo.rank = 16;
+        if (churnDraw == 0)
+            cfg.zoo.churnEverySeconds = 2.0;
+    }
     return cfg;
 }
 

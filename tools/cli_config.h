@@ -277,10 +277,13 @@ validateScenarioFlags(const FlagParser &p, coe::ServingConfig &cfg,
  */
 inline void
 addCoreServingFlags(FlagParser &p, coe::ServingConfig &cfg,
-                    std::string &scheduler_name)
+                    std::string &scheduler_name,
+                    bool *set_experts = nullptr)
 {
-    p.value("--experts", [&](const std::string &v) {
+    p.value("--experts", [&cfg, set_experts](const std::string &v) {
         cfg.numExperts = std::stoi(v);
+        if (set_experts)
+            *set_experts = true;
     });
     p.value("--batch", [&](const std::string &v) {
         cfg.batch = std::stoi(v);
@@ -290,6 +293,98 @@ addCoreServingFlags(FlagParser &p, coe::ServingConfig &cfg,
     });
     p.value("--scheduler",
             [&](const std::string &v) { scheduler_name = v; });
+}
+
+// --------------------------------- spec-decode / expert-zoo group
+
+/** Tracks which spec-decode / zoo tuning flags were set. */
+struct SpecZooFlagState
+{
+    bool setGamma = false;
+    bool setAccept = false;
+    bool setDraftRatio = false;
+    bool setZooAdapters = false;
+    bool setZooRank = false;
+    bool setZooChurn = false;
+};
+
+/**
+ * Speculative-decoding and PEFT expert-zoo serving modes (serve,
+ * sweep, cluster). --spec-decode turns the decode phase into
+ * draft/verify rounds against a small always-resident draft model;
+ * --zoo-adapters N replaces the full-weight expert set with N LoRA
+ * adapters sharing pinned base weights, so expert switches become
+ * many tiny DMA transfers.
+ */
+inline void
+addSpecZooFlags(FlagParser &p, coe::ServingConfig &cfg,
+                SpecZooFlagState &st)
+{
+    p.flag("--spec-decode", [&]() { cfg.specDecode.enabled = true; });
+    p.value("--spec-gamma", [&](const std::string &v) {
+        cfg.specDecode.gamma = std::stoi(v);
+        st.setGamma = true;
+    });
+    p.value("--spec-accept", [&](const std::string &v) {
+        cfg.specDecode.acceptRate = std::stod(v);
+        st.setAccept = true;
+    });
+    p.value("--spec-draft-ratio", [&](const std::string &v) {
+        cfg.specDecode.draftRatio = std::stod(v);
+        st.setDraftRatio = true;
+    });
+    p.value("--zoo-adapters", [&](const std::string &v) {
+        cfg.zoo.enabled = true;
+        cfg.numExperts = std::stoi(v);
+        st.setZooAdapters = true;
+    });
+    p.value("--zoo-rank", [&](const std::string &v) {
+        cfg.zoo.rank = std::stoi(v);
+        st.setZooRank = true;
+    });
+    p.value("--zoo-churn", [&](const std::string &v) {
+        cfg.zoo.churnEverySeconds = std::stod(v);
+        st.setZooChurn = true;
+    });
+}
+
+/**
+ * Reject contradictory spec-decode / zoo combinations. @p set_experts
+ * reports whether the caller saw an explicit --experts (scalar or
+ * sweep-axis): --zoo-adapters replaces the expert set, so combining
+ * the two is ambiguous.
+ */
+inline void
+validateSpecZooFlags(const FlagParser &p, const coe::ServingConfig &cfg,
+                     const SpecZooFlagState &st, bool set_experts)
+{
+    if (!cfg.specDecode.enabled &&
+        (st.setGamma || st.setAccept || st.setDraftRatio))
+        p.fail("--spec-gamma/--spec-accept/--spec-draft-ratio require "
+               "--spec-decode");
+    if (cfg.specDecode.enabled) {
+        if (cfg.specDecode.gamma < 0)
+            p.fail("--spec-gamma must be non-negative");
+        if (cfg.specDecode.acceptRate < 0.0 ||
+            cfg.specDecode.acceptRate > 1.0)
+            p.fail("--spec-accept must be in [0, 1]");
+        if (cfg.specDecode.draftRatio <= 0.0 ||
+            cfg.specDecode.draftRatio >= 1.0)
+            p.fail("--spec-draft-ratio must be in (0, 1)");
+    }
+    if (!st.setZooAdapters && (st.setZooRank || st.setZooChurn))
+        p.fail("--zoo-rank/--zoo-churn require --zoo-adapters");
+    if (st.setZooAdapters) {
+        if (set_experts)
+            p.fail("--zoo-adapters replaces the expert set; it cannot "
+                   "be combined with --experts");
+        if (cfg.numExperts <= 0)
+            p.fail("--zoo-adapters must be positive");
+        if (cfg.zoo.rank <= 0)
+            p.fail("--zoo-rank must be at least 1");
+        if (cfg.zoo.churnEverySeconds < 0.0)
+            p.fail("--zoo-churn must be non-negative");
+    }
 }
 
 // --------------------------------------------- execution groups

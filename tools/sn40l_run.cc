@@ -151,7 +151,31 @@ serveHelp(std::ostream &os)
        << "(default 2)\n"
        << "  --expert-region-gb G  HBM expert-region size in GB "
        << "(default:\n"
-       << "                        platform HBM minus router/KV reserve)\n";
+       << "                        platform HBM minus router/KV reserve)\n"
+       << "\n"
+       << "Speculative decoding (see docs/CLI.md):\n"
+       << "  --spec-decode         draft/verify serving: an always-\n"
+       << "                        resident draft model proposes gamma\n"
+       << "                        tokens per step; each request samples\n"
+       << "                        its own acceptance stream\n"
+       << "  --spec-gamma N        draft tokens per verification step\n"
+       << "                        (requires --spec-decode; default 4)\n"
+       << "  --spec-accept P       per-token acceptance probability in\n"
+       << "                        [0, 1] (default 0.8)\n"
+       << "  --spec-draft-ratio F  draft model size/cost as a fraction\n"
+       << "                        of the target in (0, 1) (default "
+       << "0.05)\n"
+       << "\n"
+       << "PEFT expert zoo (see docs/CLI.md):\n"
+       << "  --zoo-adapters N      serve N LoRA adapters sharing pinned\n"
+       << "                        base weights instead of full-weight\n"
+       << "                        experts (replaces --experts)\n"
+       << "  --zoo-rank R          LoRA rank; adapter bytes scale with\n"
+       << "                        it (requires --zoo-adapters; "
+       << "default 16)\n"
+       << "  --zoo-churn SEC       rotate adapter popularity every SEC\n"
+       << "                        seconds (trending adapters; "
+       << "default off)\n";
 }
 
 void
@@ -193,6 +217,12 @@ sweepHelp(std::ostream &os)
        << "                        (0 = whole queue)\n"
        << "  --dma-engines N       DMA engines per point\n"
        << "  --expert-region-gb G  HBM expert-region size in GB\n"
+       << "\n"
+       << "Speculative decoding / PEFT zoo (same meaning as `serve`;\n"
+       << "applied to every point):\n"
+       << "  --spec-decode, --spec-gamma, --spec-accept,\n"
+       << "  --spec-draft-ratio, --zoo-adapters (conflicts with the\n"
+       << "  --experts axis), --zoo-rank, --zoo-churn\n"
        << "\n"
        << "Workload scenarios (same meaning as `serve`):\n"
        << "  --workload, --tenants, --slo-ms, --session-prob,\n"
@@ -350,6 +380,11 @@ clusterHelp(std::ostream &os)
        << "  --prefetch, --prefetch-depth, --prefetch-window,\n"
        << "  --dma-engines, --expert-region-gb\n"
        << "\n"
+       << "Speculative decoding / PEFT zoo (same meaning as `serve`):\n"
+       << "  --spec-decode, --spec-gamma, --spec-accept,\n"
+       << "  --spec-draft-ratio, --zoo-adapters, --zoo-rank, "
+       << "--zoo-churn\n"
+       << "\n"
        << "Workload scenarios (same meaning as `serve`):\n"
        << "  --workload, --tenants, --slo-ms, --session-prob,\n"
        << "  --session-think, --session-turns, --burst-factor,\n"
@@ -391,16 +426,20 @@ runServe(int argc, char **argv)
     WorkloadFlagState wst;
     ArrivalFlagState ast;
     ScenarioFlagState sst;
+    SpecZooFlagState szst;
+    bool set_experts = false;
     addWorkloadFlags(parser, cfg, wst);
     addArrivalFlags(parser, cfg, ast);
     addScenarioFlags(parser, cfg, sst);
-    addCoreServingFlags(parser, cfg, scheduler_name);
+    addCoreServingFlags(parser, cfg, scheduler_name, &set_experts);
+    addSpecZooFlags(parser, cfg, szst);
 
     if (parser.parse(argc, argv, std::cout))
         return 0;
     validateWorkloadFlags(parser, cfg, wst);
     validateArrivalFlags(parser, cfg, ast);
     validateScenarioFlags(parser, cfg, sst, ast);
+    validateSpecZooFlags(parser, cfg, szst, set_experts);
 
     std::vector<coe::SchedulerPolicy> policies;
     if (scheduler_name == "both") {
@@ -436,6 +475,7 @@ runServe(int argc, char **argv)
                        "Queue depth", "Batch occupancy"});
     std::vector<std::string> prefetch_lines;
     std::vector<std::string> shed_lines;
+    std::vector<std::string> spec_lines;
     for (coe::SchedulerPolicy policy : policies) {
         cfg.scheduler = policy;
         coe::ServingSimulator sim(cfg);
@@ -461,6 +501,15 @@ runServe(int argc, char **argv)
                 std::to_string(m.prefetchesCancelled) +
                 " cancelled under eviction pressure");
         }
+        if (cfg.specDecode.enabled) {
+            spec_lines.push_back(
+                std::string(coe::schedulerPolicyName(policy)) + ": " +
+                std::to_string(m.specSteps) + " draft/verify steps, " +
+                util::formatDouble(m.specTokensPerStep, 2) +
+                " accepted tokens/step (gamma " +
+                std::to_string(cfg.specDecode.gamma) + ", accept " +
+                util::formatDouble(cfg.specDecode.acceptRate, 2) + ")");
+        }
         table.addRow({coe::schedulerPolicyName(policy),
                       util::formatSeconds(m.p50LatencySeconds),
                       util::formatSeconds(m.p95LatencySeconds),
@@ -483,6 +532,11 @@ runServe(int argc, char **argv)
     if (!shed_lines.empty()) {
         std::cout << "\nSLO admission control:\n";
         for (const std::string &line : shed_lines)
+            std::cout << "  " << line << "\n";
+    }
+    if (!spec_lines.empty()) {
+        std::cout << "\nSpeculative decoding:\n";
+        for (const std::string &line : spec_lines)
             std::cout << "  " << line << "\n";
     }
     if (!cfg.workload.traceOut.empty())
@@ -510,9 +564,11 @@ runSweepCmd(int argc, char **argv)
     WorkloadFlagState wst;
     ScenarioFlagState sst;
     FaultFlagState fst;
+    SpecZooFlagState szst;
     addWorkloadFlags(parser, grid.base, wst);
     addScenarioFlags(parser, grid.base, sst);
     addFaultFlags(parser, grid.faultPolicy, fst);
+    addSpecZooFlags(parser, grid.base, szst);
     bool set_placement = false, set_dispatch = false;
     parser.value("--experts", [&](const std::string &v) {
         grid.expertCounts = parseList<int>(
@@ -559,6 +615,10 @@ runSweepCmd(int argc, char **argv)
     // rate is a grid axis), so the shared arrival-state checks get a
     // default state; the axis-specific conflicts are checked below.
     validateScenarioFlags(parser, grid.base, sst, ArrivalFlagState{});
+    // sweep's --experts is a grid axis: a non-empty axis list plays
+    // the scalar flag's role in the --zoo-adapters conflict check.
+    validateSpecZooFlags(parser, grid.base, szst,
+                         !grid.expertCounts.empty());
     validateFaultFlags(parser, grid.faultPolicy, fst, grid.base);
     if ((fst.setFaults || grid.faultPolicy.anyEnabled()) &&
         grid.nodeCounts.empty())
@@ -805,10 +865,13 @@ runClusterCmd(int argc, char **argv)
     ExecFlagState exec;
     FaultFlagState fst;
     FabricFlagState fab;
+    SpecZooFlagState szst;
+    bool set_experts = false;
     addWorkloadFlags(parser, cfg.node, wst);
     addArrivalFlags(parser, cfg.node, ast);
     addScenarioFlags(parser, cfg.node, sst);
-    addCoreServingFlags(parser, cfg.node, scheduler_name);
+    addCoreServingFlags(parser, cfg.node, scheduler_name, &set_experts);
+    addSpecZooFlags(parser, cfg.node, szst);
     addControllerFlags(parser, cfg.controller, cst);
     addPlanFlags(parser, plan);
     addExecFlags(parser, exec);
@@ -875,6 +938,7 @@ runClusterCmd(int argc, char **argv)
     validateWorkloadFlags(parser, cfg.node, wst);
     validateArrivalFlags(parser, cfg.node, ast);
     validateScenarioFlags(parser, cfg.node, sst, ast);
+    validateSpecZooFlags(parser, cfg.node, szst, set_experts);
     validateControllerFlags(parser, cfg.controller, cst);
     validatePlanFlags(parser, plan);
     validateFaultFlags(parser, cfg.faultPolicy, fst, cfg.node);
